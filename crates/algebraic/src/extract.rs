@@ -1,0 +1,413 @@
+//! Greedy extraction passes: `gcx` (common-cube extraction) and `gkx`
+//! (kernel extraction) — the SIS preprocessing steps of Scripts B and C.
+
+use crate::division::weak_divide;
+use crate::kernels::kernels;
+use crate::space::JointSpace;
+use boolsubst_cube::{Cover, Cube, Lit, Phase};
+use boolsubst_network::{Network, NodeId};
+use std::collections::HashMap;
+
+/// Options shared by the extraction passes.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractOptions {
+    /// Maximum number of divisors to extract.
+    pub max_extractions: usize,
+    /// Ignore candidate divisors seen in more than this many cubes when
+    /// enumerating (guards quadratic candidate generation).
+    pub max_candidate_pool: usize,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> ExtractOptions {
+        ExtractOptions { max_extractions: 200, max_candidate_pool: 20_000 }
+    }
+}
+
+/// Statistics of an extraction run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtractStats {
+    /// Number of new nodes created.
+    pub extracted: usize,
+    /// Estimated SOP literal saving.
+    pub literal_gain: i64,
+}
+
+/// A cube expressed over network nodes instead of local cover variables.
+type GlobalCube = Vec<(NodeId, Phase)>;
+
+fn global_cubes_of(net: &Network, node: NodeId) -> Vec<GlobalCube> {
+    let n = net.node(node);
+    let Some(cover) = n.cover() else { return Vec::new() };
+    cover
+        .cubes()
+        .iter()
+        .map(|c| {
+            let mut g: GlobalCube = c
+                .lits()
+                .map(|l| (n.fanins()[l.var], l.phase))
+                .collect();
+            g.sort_unstable();
+            g
+        })
+        .collect()
+}
+
+fn cube_intersection(a: &GlobalCube, b: &GlobalCube) -> GlobalCube {
+    a.iter().filter(|x| b.contains(x)).copied().collect()
+}
+
+fn cube_contains(big: &GlobalCube, small: &GlobalCube) -> bool {
+    small.iter().all(|x| big.contains(x))
+}
+
+/// `gcx`: repeatedly extracts the best-value common cube as a new node.
+pub fn gcx(net: &mut Network, opts: &ExtractOptions) -> ExtractStats {
+    let mut stats = ExtractStats::default();
+    for _ in 0..opts.max_extractions {
+        // Gather all cubes (globally expressed) from internal nodes.
+        let mut all: Vec<(NodeId, GlobalCube)> = Vec::new();
+        for id in net.internal_ids().collect::<Vec<_>>() {
+            for g in global_cubes_of(net, id) {
+                if g.len() >= 2 {
+                    all.push((id, g));
+                }
+            }
+        }
+        if all.len() > opts.max_candidate_pool {
+            all.truncate(opts.max_candidate_pool);
+        }
+        // Candidate cubes: pairwise intersections with ≥ 2 literals.
+        let mut candidates: HashMap<GlobalCube, ()> = HashMap::new();
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                let inter = cube_intersection(&all[i].1, &all[j].1);
+                if inter.len() >= 2 {
+                    candidates.entry(inter).or_insert(());
+                }
+            }
+        }
+        // Value each candidate: occurrences × (|c| − 1) − |c|.
+        let mut best: Option<(GlobalCube, i64, usize)> = None;
+        for (cand, ()) in &candidates {
+            let occ = all.iter().filter(|(_, g)| cube_contains(g, cand)).count();
+            if occ < 2 {
+                continue;
+            }
+            let k = cand.len() as i64;
+            let value = (occ as i64) * (k - 1) - k;
+            if value > 0 && best.as_ref().is_none_or(|b| value > b.1) {
+                best = Some((cand.clone(), value, occ));
+            }
+        }
+        let Some((cube, value, _)) = best else { break };
+
+        // Create the new node.
+        let support: Vec<NodeId> = cube.iter().map(|&(n, _)| n).collect();
+        let mut local = Cube::universe(support.len());
+        for (i, &(_, phase)) in cube.iter().enumerate() {
+            local.restrict(Lit { var: i, phase });
+        }
+        let name = net.fresh_name();
+        let m = net
+            .add_node(name, support, Cover::from_cubes(cube.len(), vec![local]))
+            .expect("fresh node");
+
+        // Rewrite every cube containing the extracted cube.
+        for id in net.internal_ids().collect::<Vec<_>>() {
+            if id == m {
+                continue;
+            }
+            let globals = global_cubes_of(net, id);
+            if !globals.iter().any(|g| cube_contains(g, &cube)) {
+                continue;
+            }
+            let mut new_fanins: Vec<NodeId> = net.node(id).fanins().to_vec();
+            if !new_fanins.contains(&m) {
+                new_fanins.push(m);
+            }
+            let n = new_fanins.len();
+            let pos = |node: NodeId| new_fanins.iter().position(|&x| x == node).expect("present");
+            let mut new_cover = Cover::new(n);
+            for g in &globals {
+                let mut c = Cube::universe(n);
+                if cube_contains(g, &cube) {
+                    for &(node, phase) in g {
+                        if !cube.contains(&(node, phase)) {
+                            c.restrict(Lit { var: pos(node), phase });
+                        }
+                    }
+                    c.restrict(Lit::pos(pos(m)));
+                } else {
+                    for &(node, phase) in g {
+                        c.restrict(Lit { var: pos(node), phase });
+                    }
+                }
+                new_cover.push(c);
+            }
+            // Prune fanins that fell out of use.
+            let support_vars = new_cover.support();
+            let kept: Vec<NodeId> = support_vars.iter().map(|&v| new_fanins[v]).collect();
+            let mut map = vec![0usize; n];
+            for (new_idx, &v) in support_vars.iter().enumerate() {
+                map[v] = new_idx;
+            }
+            let new_cover = new_cover.remapped(kept.len(), &map);
+            net.replace_function(id, kept, new_cover)
+                .expect("cube rewrite is structurally safe");
+        }
+        stats.extracted += 1;
+        stats.literal_gain += value;
+    }
+    stats
+}
+
+/// `gkx`: repeatedly extracts the best-value kernel as a new node and
+/// substitutes it algebraically into every node it divides.
+pub fn gkx(net: &mut Network, opts: &ExtractOptions) -> ExtractStats {
+    let mut stats = ExtractStats::default();
+    for _ in 0..opts.max_extractions {
+        // Enumerate kernels of every internal node, expressed globally.
+        #[derive(Clone)]
+        struct Candidate {
+            vars: Vec<NodeId>,
+            cover: Cover,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut keys: HashMap<String, usize> = HashMap::new();
+        for id in net.internal_ids().collect::<Vec<_>>() {
+            let node = net.node(id);
+            let cover = node.cover().expect("internal");
+            for k in kernels(cover) {
+                if k.kernel.len() < 2 {
+                    continue;
+                }
+                // Express over the used fanins, sorted by node id.
+                let support = k.kernel.support();
+                let mut vars: Vec<NodeId> =
+                    support.iter().map(|&v| node.fanins()[v]).collect();
+                let mut order: Vec<usize> = (0..vars.len()).collect();
+                order.sort_by_key(|&i| vars[i]);
+                vars.sort_unstable();
+                let mut map = vec![0usize; cover.num_vars()];
+                for (new_idx, &old_pos) in order.iter().enumerate() {
+                    map[support[old_pos]] = new_idx;
+                }
+                let kcover = k.kernel.remapped(vars.len(), &map);
+                let key = format!(
+                    "{:?}|{kcover}",
+                    vars.iter().map(|v| v.index()).collect::<Vec<_>>()
+                );
+                if let std::collections::hash_map::Entry::Vacant(e) = keys.entry(key) {
+                    e.insert(candidates.len());
+                    candidates.push(Candidate { vars, cover: kcover });
+                }
+                if candidates.len() >= opts.max_candidate_pool {
+                    break;
+                }
+            }
+        }
+
+        // Value each candidate by total algebraic saving.
+        let targets: Vec<NodeId> = net.internal_ids().collect();
+        let mut best: Option<(usize, i64)> = None;
+        for (ci, cand) in candidates.iter().enumerate() {
+            let mut value: i64 = -(cand.cover.literal_count() as i64);
+            let mut uses = 0;
+            for &t in &targets {
+                if cand.vars.contains(&t) {
+                    continue;
+                }
+                // Cycle guard: the new node depends on cand.vars.
+                let tfo = net.tfo(t);
+                if cand.vars.iter().any(|v| tfo.contains(v)) {
+                    continue;
+                }
+                let mut nodes = vec![t];
+                nodes.extend(cand.vars.iter().copied());
+                let space = JointSpace::union_of_fanins(net, &[t]);
+                // Candidate vars must be a subset of t's fanins for a
+                // purely algebraic quotient to exist.
+                if !cand.vars.iter().all(|&v| space.index_of(v).is_some()) {
+                    continue;
+                }
+                let f = space.cover_of(net, t);
+                let map: Vec<usize> = cand
+                    .vars
+                    .iter()
+                    .map(|&v| space.index_of(v).expect("subset checked"))
+                    .collect();
+                let d = cand.cover.remapped(space.len(), &map);
+                let division = weak_divide(&f, &d);
+                if division.quotient.is_empty() {
+                    continue;
+                }
+                let before = f.literal_count() as i64;
+                let after = (division.quotient.literal_count()
+                    + division.quotient.len()
+                    + division.remainder.literal_count()) as i64;
+                if before > after {
+                    value += before - after;
+                    uses += 1;
+                }
+            }
+            if uses >= 2 && value > 0 && best.as_ref().is_none_or(|b| value > b.1) {
+                best = Some((ci, value));
+            }
+        }
+        let Some((ci, value)) = best else { break };
+        let cand = candidates[ci].clone();
+
+        // Materialize the kernel as a node.
+        let name = net.fresh_name();
+        let m = net
+            .add_node(name, cand.vars.clone(), cand.cover.clone())
+            .expect("fresh node");
+
+        // Substitute into every profitable target.
+        for &t in &targets {
+            if t == m || cand.vars.contains(&t) {
+                continue;
+            }
+            let tfo = net.tfo(t);
+            if cand.vars.iter().any(|v| tfo.contains(v)) {
+                continue;
+            }
+            let space = JointSpace::union_of_fanins(net, &[t]);
+            if !cand.vars.iter().all(|&v| space.index_of(v).is_some()) {
+                continue;
+            }
+            let f = space.cover_of(net, t);
+            let map: Vec<usize> = cand
+                .vars
+                .iter()
+                .map(|&v| space.index_of(v).expect("subset checked"))
+                .collect();
+            let d = cand.cover.remapped(space.len(), &map);
+            let division = weak_divide(&f, &d);
+            if division.quotient.is_empty() {
+                continue;
+            }
+            let before = f.literal_count();
+            let after = division.quotient.literal_count()
+                + division.quotient.len()
+                + division.remainder.literal_count();
+            if after >= before {
+                continue;
+            }
+            let n = space.len();
+            let mut new_cover = Cover::new(n + 1);
+            for c in division.quotient.cubes() {
+                let mut c = c.extended(n + 1);
+                c.restrict(Lit::pos(n));
+                new_cover.push(c);
+            }
+            new_cover.extend_cover(&division.remainder.extended(n + 1));
+            let mut fanins = space.vars.clone();
+            fanins.push(m);
+            let support_vars = new_cover.support();
+            let kept: Vec<NodeId> = support_vars.iter().map(|&v| fanins[v]).collect();
+            let mut map = vec![0usize; n + 1];
+            for (new_idx, &v) in support_vars.iter().enumerate() {
+                map[v] = new_idx;
+            }
+            let new_cover = new_cover.remapped(kept.len(), &map);
+            net.replace_function(t, kept, new_cover)
+                .expect("kernel substitution is structurally safe");
+        }
+        stats.extracted += 1;
+        stats.literal_gain += value;
+        // Drop the new node if nothing ended up using it.
+        if net.fanouts()[m.index()].is_empty() {
+            let _ = net.remove_node(m);
+            stats.extracted -= 1;
+            stats.literal_gain -= value;
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+    use boolsubst_network::random_sim_equivalent;
+
+    fn two_sharing_nodes() -> Network {
+        let mut net = Network::new("share");
+        let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| net.add_input(*n).expect("input"))
+            .collect();
+        let (a, b, c, d, e) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        // f = abc + abd ; g = abe + c'd  (common cube ab)
+        let f = net
+            .add_node("f", vec![a, b, c, d], parse_sop(4, "abc + abd").expect("p"))
+            .expect("f");
+        let g = net
+            .add_node("g", vec![a, b, c, d, e], parse_sop(5, "abe + c'd").expect("p"))
+            .expect("g");
+        net.add_output("f", f).expect("o");
+        net.add_output("g", g).expect("o");
+        net
+    }
+
+    #[test]
+    fn gcx_extracts_common_cube() {
+        let mut net = two_sharing_nodes();
+        let before = net.clone();
+        let stats = gcx(&mut net, &ExtractOptions::default());
+        assert_eq!(stats.extracted, 1);
+        net.check_invariants();
+        assert!(random_sim_equivalent(&before, &net, 100, 3));
+        // A new node holding ab exists and both f and g use it.
+        assert!(net.internal_ids().count() >= 3);
+        assert!(net.sop_literals() < before.sop_literals() + 2);
+    }
+
+    #[test]
+    fn gkx_extracts_shared_kernel() {
+        // f = ac + ad + bc + bd ; g = c'e + ce'... make g share (c + d):
+        // g = ce + de.
+        let mut net = Network::new("kern");
+        let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| net.add_input(*n).expect("input"))
+            .collect();
+        let (a, b, c, d, e) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        let f = net
+            .add_node(
+                "f",
+                vec![a, b, c, d],
+                parse_sop(4, "ac + ad + bc + bd").expect("p"),
+            )
+            .expect("f");
+        let g = net
+            .add_node("g", vec![c, d, e], parse_sop(3, "ac + bc").expect("p"))
+            .expect("g");
+        net.add_output("f", f).expect("o");
+        net.add_output("g", g).expect("o");
+        let before = net.clone();
+        let stats = gkx(&mut net, &ExtractOptions::default());
+        assert!(stats.extracted >= 1, "no kernel extracted");
+        net.check_invariants();
+        assert!(random_sim_equivalent(&before, &net, 100, 9));
+        assert!(net.sop_literals() <= before.sop_literals());
+    }
+
+    #[test]
+    fn extraction_is_idempotent_when_nothing_shared() {
+        let mut net = Network::new("nothing");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let f = net
+            .add_node("f", vec![a, b], parse_sop(2, "ab'").expect("p"))
+            .expect("f");
+        net.add_output("f", f).expect("o");
+        let s1 = gcx(&mut net, &ExtractOptions::default());
+        let s2 = gkx(&mut net, &ExtractOptions::default());
+        assert_eq!(s1.extracted, 0);
+        assert_eq!(s2.extracted, 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! `fx`-style fast extraction of double-cube divisors
+//! (Rajski–Vasudevamurthy): enumerate all two-cube divisors obtained by
+//! factoring cube pairs against their common cube, weigh them by global
+//! occurrence count, and greedily extract the most valuable ones as new
+//! nodes. The granularity SIS's `fx` adds below kernel extraction.
+
+use boolsubst_cube::{Cover, Cube, Lit, Phase};
+use boolsubst_network::{Network, NodeId};
+use std::collections::HashMap;
+
+/// Options for [`fx`].
+#[derive(Debug, Clone, Copy)]
+pub struct FxOptions {
+    /// Maximum number of divisors to extract.
+    pub max_extractions: usize,
+    /// Candidate pool bound (guards quadratic pair enumeration).
+    pub max_pairs: usize,
+}
+
+impl Default for FxOptions {
+    fn default() -> FxOptions {
+        FxOptions { max_extractions: 200, max_pairs: 50_000 }
+    }
+}
+
+/// Statistics from an [`fx`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxStats {
+    /// New nodes created.
+    pub extracted: usize,
+    /// Estimated SOP literal saving.
+    pub literal_gain: i64,
+}
+
+/// A cube over network nodes: sorted (node, phase) literals.
+type GlobalCube = Vec<(NodeId, Phase)>;
+
+/// A normalized double-cube divisor: two disjoint global cubes, ordered.
+type Divisor = (GlobalCube, GlobalCube);
+
+fn global_cubes_of(net: &Network, node: NodeId) -> Vec<GlobalCube> {
+    let n = net.node(node);
+    let Some(cover) = n.cover() else { return Vec::new() };
+    cover
+        .cubes()
+        .iter()
+        .map(|c| {
+            let mut g: GlobalCube =
+                c.lits().map(|l| (n.fanins()[l.var], l.phase)).collect();
+            g.sort_unstable();
+            g
+        })
+        .collect()
+}
+
+fn minus(big: &GlobalCube, small: &GlobalCube) -> GlobalCube {
+    big.iter().filter(|x| !small.contains(x)).copied().collect()
+}
+
+fn intersect(a: &GlobalCube, b: &GlobalCube) -> GlobalCube {
+    a.iter().filter(|x| b.contains(x)).copied().collect()
+}
+
+/// The double-cube divisor of a cube pair: strip the common cube, order
+/// the two rests. `None` when either rest is empty (one cube contains the
+/// other) or the rests share a variable (not an algebraic divisor).
+fn divisor_of_pair(c1: &GlobalCube, c2: &GlobalCube) -> Option<Divisor> {
+    let base = intersect(c1, c2);
+    let d1 = minus(c1, &base);
+    let d2 = minus(c2, &base);
+    if d1.is_empty() || d2.is_empty() {
+        return None;
+    }
+    // Rests must not share a variable (in any phase) for base·(d1 + d2)
+    // to be an algebraic product.
+    for (v, _) in &d1 {
+        if d2.iter().any(|(w, _)| w == v) {
+            return None;
+        }
+    }
+    Some(if d1 <= d2 { (d1, d2) } else { (d2, d1) })
+}
+
+/// One occurrence of a divisor: node + the indices of the matched cubes.
+#[derive(Debug, Clone, Copy)]
+struct Occurrence {
+    node: NodeId,
+    i: usize,
+    j: usize,
+}
+
+/// Greedy double-cube divisor extraction over the whole network.
+pub fn fx(net: &mut Network, opts: &FxOptions) -> FxStats {
+    let mut stats = FxStats::default();
+    for _ in 0..opts.max_extractions {
+        // Enumerate all cube pairs per node and bucket them by divisor.
+        let mut buckets: HashMap<Divisor, Vec<Occurrence>> = HashMap::new();
+        let mut pairs = 0usize;
+        for id in net.internal_ids().collect::<Vec<_>>() {
+            let cubes = global_cubes_of(net, id);
+            for i in 0..cubes.len() {
+                for j in i + 1..cubes.len() {
+                    pairs += 1;
+                    if pairs > opts.max_pairs {
+                        break;
+                    }
+                    if let Some(d) = divisor_of_pair(&cubes[i], &cubes[j]) {
+                        buckets.entry(d).or_default().push(Occurrence { node: id, i, j });
+                    }
+                }
+            }
+        }
+
+        // Value: each occurrence replaces two cubes (2·|base| + |d1| +
+        // |d2| literals) by one (|base| + 1); the new node costs
+        // |d1| + |d2| literals. Occurrences within one node must use
+        // disjoint cubes, so count a conservative matching.
+        let mut best: Option<(Divisor, Vec<Occurrence>, i64)> = None;
+        for (div, occs) in &buckets {
+            // Greedy disjoint matching per node.
+            let mut used: HashMap<NodeId, Vec<usize>> = HashMap::new();
+            let mut chosen = Vec::new();
+            for occ in occs {
+                let u = used.entry(occ.node).or_default();
+                if !u.contains(&occ.i) && !u.contains(&occ.j) {
+                    u.push(occ.i);
+                    u.push(occ.j);
+                    chosen.push(*occ);
+                }
+            }
+            if chosen.is_empty() {
+                continue;
+            }
+            let dcost = (div.0.len() + div.1.len()) as i64;
+            let mut value = -dcost;
+            for occ in &chosen {
+                let cubes = global_cubes_of(net, occ.node);
+                let base = intersect(&cubes[occ.i], &cubes[occ.j]).len() as i64;
+                value += base + dcost - 1;
+            }
+            if value > 0 && best.as_ref().is_none_or(|b| value > b.2) {
+                best = Some((div.clone(), chosen, value));
+            }
+        }
+        let Some((div, occs, value)) = best else { break };
+
+        // Materialize the divisor node: cover = d1 + d2 over its support.
+        let mut support: Vec<NodeId> = div
+            .0
+            .iter()
+            .chain(div.1.iter())
+            .map(|&(n, _)| n)
+            .collect();
+        support.sort_unstable();
+        support.dedup();
+        let k = support.len();
+        let pos = |n: NodeId, support: &[NodeId]| {
+            support.binary_search(&n).expect("in support")
+        };
+        let mut cover = Cover::new(k);
+        for part in [&div.0, &div.1] {
+            let mut cube = Cube::universe(k);
+            for &(n, phase) in part {
+                cube.restrict(Lit { var: pos(n, &support), phase });
+            }
+            cover.push(cube);
+        }
+        let name = net.fresh_name();
+        let m = net
+            .add_node(name, support, cover)
+            .expect("fresh divisor node");
+
+        // Rewrite every chosen occurrence: cubes i, j -> base · x_m.
+        let mut by_node: HashMap<NodeId, Vec<Occurrence>> = HashMap::new();
+        for occ in occs {
+            by_node.entry(occ.node).or_default().push(occ);
+        }
+        for (node, occs) in by_node {
+            // Cycle guard: the new node depends only on pre-existing
+            // nodes; `node` cannot be among them (divisors come from
+            // `node`'s own fanins), but check anyway.
+            if net.node(m).fanins().contains(&node) {
+                continue;
+            }
+            let cubes = global_cubes_of(net, node);
+            let mut replaced: Vec<bool> = vec![false; cubes.len()];
+            let mut new_cubes: Vec<GlobalCube> = Vec::new();
+            for occ in &occs {
+                if replaced[occ.i] || replaced[occ.j] {
+                    continue;
+                }
+                replaced[occ.i] = true;
+                replaced[occ.j] = true;
+                let mut base = intersect(&cubes[occ.i], &cubes[occ.j]);
+                base.push((m, Phase::Pos));
+                base.sort_unstable();
+                new_cubes.push(base);
+            }
+            for (i, c) in cubes.iter().enumerate() {
+                if !replaced[i] {
+                    new_cubes.push(c.clone());
+                }
+            }
+            // Build the new fanin list + cover.
+            let mut fanins: Vec<NodeId> = Vec::new();
+            for c in &new_cubes {
+                for &(n, _) in c {
+                    if !fanins.contains(&n) {
+                        fanins.push(n);
+                    }
+                }
+            }
+            fanins.sort_unstable();
+            let nv = fanins.len();
+            let mut cover = Cover::new(nv);
+            for c in &new_cubes {
+                let mut cube = Cube::universe(nv);
+                for &(n, phase) in c {
+                    let v = fanins.binary_search(&n).expect("in fanins");
+                    cube.restrict(Lit { var: v, phase });
+                }
+                cover.push(cube);
+            }
+            cover.remove_contained_cubes();
+            net.replace_function(node, fanins, cover)
+                .expect("fx rewrite is structurally safe");
+        }
+        stats.extracted += 1;
+        stats.literal_gain += value;
+        // Drop the node if everything got absorbed elsewhere.
+        if net.fanouts()[m.index()].is_empty() {
+            let _ = net.remove_node(m);
+            stats.extracted -= 1;
+            stats.literal_gain -= value;
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+    use boolsubst_network::random_sim_equivalent;
+
+    #[test]
+    fn extracts_shared_double_cube() {
+        // f = ae + be + ... and g = ad + bd share the divisor (a + b).
+        let mut net = Network::new("fx");
+        let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| net.add_input(*n).expect("input"))
+            .collect();
+        let (a, b, _c, d, e) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        let f = net
+            .add_node("f", vec![a, b, e], parse_sop(3, "ac + bc").expect("p"))
+            .expect("f");
+        let g = net
+            .add_node("g", vec![a, b, d], parse_sop(3, "ac + bc").expect("p"))
+            .expect("g");
+        net.add_output("f", f).expect("o");
+        net.add_output("g", g).expect("o");
+        let before = net.clone();
+        let stats = fx(&mut net, &FxOptions::default());
+        assert!(stats.extracted >= 1, "no divisor extracted");
+        net.check_invariants();
+        assert!(random_sim_equivalent(&before, &net, 200, 77));
+        assert!(net.sop_literals() < before.sop_literals());
+        // The new node holds a + b.
+        let new_node = net
+            .internal_ids()
+            .find(|&id| net.node(id).name().starts_with("[t"))
+            .expect("new node");
+        let cover = net.node(new_node).cover().expect("internal");
+        assert!(cover.equivalent(&parse_sop(cover.num_vars(), "a + b").expect("p")));
+    }
+
+    #[test]
+    fn no_extraction_without_sharing() {
+        let mut net = Network::new("none");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let f = net
+            .add_node("f", vec![a, b], parse_sop(2, "ab'").expect("p"))
+            .expect("f");
+        net.add_output("f", f).expect("o");
+        let stats = fx(&mut net, &FxOptions::default());
+        assert_eq!(stats.extracted, 0);
+    }
+
+    #[test]
+    fn single_node_internal_sharing() {
+        // f = ad + bd + ae + be = (a + b)(d + e): fx extracts a + b (or
+        // d + e) and halves the cube count.
+        let mut net = Network::new("single");
+        let ids: Vec<NodeId> = ["a", "b", "d", "e"]
+            .iter()
+            .map(|n| net.add_input(*n).expect("input"))
+            .collect();
+        let f = net
+            .add_node(
+                "f",
+                ids.clone(),
+                parse_sop(4, "ac + bc + ad + bd").expect("p"),
+            )
+            .expect("f");
+        net.add_output("f", f).expect("o");
+        let before = net.clone();
+        let stats = fx(&mut net, &FxOptions::default());
+        assert!(stats.extracted >= 1);
+        net.check_invariants();
+        assert!(random_sim_equivalent(&before, &net, 100, 5));
+    }
+
+    #[test]
+    fn divisor_of_pair_normalizes() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let g1: GlobalCube = vec![(a, Phase::Pos), (c, Phase::Pos)];
+        let g2: GlobalCube = vec![(b, Phase::Pos), (c, Phase::Pos)];
+        let d12 = divisor_of_pair(&g1, &g2).expect("divisor");
+        let d21 = divisor_of_pair(&g2, &g1).expect("divisor");
+        assert_eq!(d12, d21, "order must not matter");
+        // Containment pair has no double-cube divisor.
+        let g3: GlobalCube = vec![(c, Phase::Pos)];
+        assert!(divisor_of_pair(&g1, &g3).is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Joint variable spaces: expressing several nodes' covers over the union
+//! of their fanins so they can be divided against each other.
+
+use boolsubst_cube::Cover;
+use boolsubst_network::{Network, NodeId};
+
+/// A sorted list of fanin nodes serving as the variable universe for
+/// cross-node cover manipulation (`vars[i]` is cover variable `i`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JointSpace {
+    /// The fanin nodes, sorted by id.
+    pub vars: Vec<NodeId>,
+}
+
+impl JointSpace {
+    /// Builds the union space of the fanins of `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is invalid.
+    #[must_use]
+    pub fn union_of_fanins(net: &Network, nodes: &[NodeId]) -> JointSpace {
+        let mut vars: Vec<NodeId> = Vec::new();
+        for &n in nodes {
+            for &f in net.node(n).fanins() {
+                if !vars.contains(&f) {
+                    vars.push(f);
+                }
+            }
+        }
+        vars.sort_unstable();
+        JointSpace { vars }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if the space is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Variable index of a fanin node, if present.
+    #[must_use]
+    pub fn index_of(&self, node: NodeId) -> Option<usize> {
+        self.vars.binary_search(&node).ok()
+    }
+
+    /// Re-expresses `node`'s cover in this space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a primary input or some fanin of `node` is not
+    /// in the space.
+    #[must_use]
+    pub fn cover_of(&self, net: &Network, node: NodeId) -> Cover {
+        let n = net.node(node);
+        let cover = n.cover().expect("cover_of requires an internal node");
+        let map: Vec<usize> = n
+            .fanins()
+            .iter()
+            .map(|&f| self.index_of(f).expect("fanin missing from joint space"))
+            .collect();
+        cover.remapped(self.vars.len(), &map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+
+    #[test]
+    fn union_and_remap() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let f = net
+            .add_node("f", vec![c, a], parse_sop(2, "ab").expect("p"))
+            .expect("f");
+        let g = net
+            .add_node("g", vec![b, c], parse_sop(2, "a + b'").expect("p"))
+            .expect("g");
+        let space = JointSpace::union_of_fanins(&net, &[f, g]);
+        assert_eq!(space.vars, vec![a, b, c]);
+        // f = c·a in joint space (a=var0, c=var2): "ac".
+        let fj = space.cover_of(&net, f);
+        assert_eq!(fj.to_string(), "ac");
+        // g = b + c' in joint space.
+        let gj = space.cover_of(&net, g);
+        assert_eq!(gj.to_string(), "b + c'");
+    }
+}

@@ -1,0 +1,394 @@
+#![warn(missing_docs)]
+//! # boolsubst-bdd — reduced ordered BDDs
+//!
+//! A compact hash-consed ROBDD package used as the *exact equivalence
+//! oracle* of the workspace: every Boolean-division rewrite can be checked
+//! by building BDDs of the affected functions before and after.
+//!
+//! Terminals are [`Bdd::zero`] and [`Bdd::one`]; all operations go through
+//! a memoized `ite`. Variable order is the creation order of variables.
+//!
+//! ```
+//! use boolsubst_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new(3);
+//! let (a, b, c) = (bdd.var(0), bdd.var(1), bdd.var(2));
+//! let ab = bdd.and(a, b);
+//! let f = bdd.or(ab, c);          // ab + c
+//! let g = bdd.or(c, ab);          // c + ab
+//! assert_eq!(f, g);               // canonical: equal functions unify
+//! assert!(bdd.eval(f, &[true, true, false]));
+//! ```
+
+use std::collections::HashMap;
+
+/// Reference to a BDD node (index into the shared node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A BDD manager: node table, unique table and operation cache.
+#[derive(Debug)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Ref, Ref), Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    num_vars: usize,
+}
+
+const VAR_TERMINAL: u32 = u32::MAX;
+
+impl Bdd {
+    /// Creates a manager for `num_vars` variables (ordered by index).
+    #[must_use]
+    pub fn new(num_vars: usize) -> Bdd {
+        let nodes = vec![
+            Node { var: VAR_TERMINAL, lo: Ref(0), hi: Ref(0) }, // 0 terminal
+            Node { var: VAR_TERMINAL, lo: Ref(1), hi: Ref(1) }, // 1 terminal
+        ];
+        Bdd { nodes, unique: HashMap::new(), ite_cache: HashMap::new(), num_vars }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The constant-0 function.
+    #[must_use]
+    pub fn zero(&self) -> Ref {
+        Ref(0)
+    }
+
+    /// The constant-1 function.
+    #[must_use]
+    pub fn one(&self) -> Ref {
+        Ref(1)
+    }
+
+    /// The projection function of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vars`.
+    pub fn var(&mut self, v: usize) -> Ref {
+        assert!(v < self.num_vars, "variable {v} out of range");
+        self.mk(v as u32, Ref(0), Ref(1))
+    }
+
+    /// The complement of the projection function of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vars`.
+    pub fn nvar(&mut self, v: usize) -> Ref {
+        assert!(v < self.num_vars, "variable {v} out of range");
+        self.mk(v as u32, Ref(1), Ref(0))
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        let r = Ref(u32::try_from(self.nodes.len()).expect("BDD node table overflow"));
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    fn var_of(&self, r: Ref) -> u32 {
+        self.nodes[r.0 as usize].var
+    }
+
+    /// If-then-else: `f·g + f'·h` — the universal BDD operation.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        if f == self.one() {
+            return g;
+        }
+        if f == self.zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == self.one() && h == self.zero() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactors(&self, r: Ref, var: u32) -> (Ref, Ref) {
+        let n = self.nodes[r.0 as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    /// Boolean AND.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        let zero = self.zero();
+        self.ite(f, g, zero)
+    }
+
+    /// Boolean OR.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        let one = self.one();
+        self.ite(f, one, g)
+    }
+
+    /// Boolean NOT.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        let one = self.one();
+        let zero = self.zero();
+        self.ite(f, zero, one)
+    }
+
+    /// Boolean XOR.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Existential quantification of variable `v` from `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vars`.
+    pub fn exists(&mut self, f: Ref, v: usize) -> Ref {
+        let f_hi = self.compose_const(f, v, true);
+        let f_lo = self.compose_const(f, v, false);
+        self.or(f_hi, f_lo)
+    }
+
+    /// Restricts variable `v` of `f` to a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vars`.
+    pub fn compose_const(&mut self, f: Ref, v: usize, value: bool) -> Ref {
+        assert!(v < self.num_vars, "variable {v} out of range");
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, v as u32, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        r: Ref,
+        var: u32,
+        value: bool,
+        memo: &mut HashMap<Ref, Ref>,
+    ) -> Ref {
+        let n = self.nodes[r.0 as usize];
+        if n.var == VAR_TERMINAL || n.var > var {
+            return r;
+        }
+        if let Some(&m) = memo.get(&r) {
+            return m;
+        }
+        let out = if n.var == var {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_rec(n.lo, var, value, memo);
+            let hi = self.restrict_rec(n.hi, var, value, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(r, out);
+        out
+    }
+
+    /// Evaluates `f` under a complete assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() < num_vars`.
+    #[must_use]
+    pub fn eval(&self, f: Ref, inputs: &[bool]) -> bool {
+        assert!(inputs.len() >= self.num_vars, "assignment too short");
+        let mut r = f;
+        loop {
+            let n = self.nodes[r.0 as usize];
+            if n.var == VAR_TERMINAL {
+                return r == self.one();
+            }
+            r = if inputs[n.var as usize] { n.hi } else { n.lo };
+        }
+    }
+
+    /// Number of nodes ever allocated in the manager (diagnostics).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of satisfying assignments of `f` over all `num_vars`
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 127` (the count may not fit in `u128`).
+    #[must_use]
+    pub fn sat_count(&self, f: Ref) -> u128 {
+        assert!(self.num_vars <= 127, "sat_count limited to 127 variables");
+        let mut memo: HashMap<Ref, u128> = HashMap::new();
+        let below = self.count_below(f, &mut memo);
+        below << self.level(f)
+    }
+
+    /// Level of a reference: its variable index, or `num_vars` for
+    /// terminals.
+    fn level(&self, r: Ref) -> u32 {
+        let v = self.var_of(r);
+        if v == VAR_TERMINAL {
+            self.num_vars as u32
+        } else {
+            v
+        }
+    }
+
+    /// Satisfying count over variables `[level(r), num_vars)`.
+    fn count_below(&self, r: Ref, memo: &mut HashMap<Ref, u128>) -> u128 {
+        if r == self.zero() {
+            return 0;
+        }
+        if r == self.one() {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&r) {
+            return c;
+        }
+        let n = self.nodes[r.0 as usize];
+        let lo = self.count_below(n.lo, memo) << (self.level(n.lo) - n.var - 1);
+        let hi = self.count_below(n.hi, memo) << (self.level(n.hi) - n.var - 1);
+        let total = lo + hi;
+        memo.insert(r, total);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicity() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let ab = bdd.and(a, b);
+        let ba = bdd.and(b, a);
+        assert_eq!(ab, ba);
+        let na = bdd.not(a);
+        let nna = bdd.not(na);
+        assert_eq!(a, nna);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let x = bdd.xor(a, b);
+        assert!(!bdd.eval(x, &[false, false]));
+        assert!(bdd.eval(x, &[true, false]));
+        assert!(bdd.eval(x, &[false, true]));
+        assert!(!bdd.eval(x, &[true, true]));
+    }
+
+    #[test]
+    fn tautology_collapses_to_one() {
+        let mut bdd = Bdd::new(1);
+        let a = bdd.var(0);
+        let na = bdd.not(a);
+        let t = bdd.or(a, na);
+        assert_eq!(t, bdd.one());
+    }
+
+    #[test]
+    fn consensus_identity() {
+        // ab + a'c + bc == ab + a'c
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let na = bdd.not(a);
+        let nac = bdd.and(na, c);
+        let bc = bdd.and(b, c);
+        let t1 = bdd.or(ab, nac);
+        let lhs = bdd.or(t1, bc);
+        assert_eq!(lhs, t1);
+    }
+
+    #[test]
+    fn sat_count_majority() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let ac = bdd.and(a, c);
+        let bc = bdd.and(b, c);
+        let t = bdd.or(ab, ac);
+        let maj = bdd.or(t, bc);
+        assert_eq!(bdd.sat_count(maj), 4);
+        let one = bdd.one();
+        let zero = bdd.zero();
+        assert_eq!(bdd.sat_count(one), 8);
+        assert_eq!(bdd.sat_count(zero), 0);
+        let just_a = bdd.var(0);
+        assert_eq!(bdd.sat_count(just_a), 4);
+    }
+
+    #[test]
+    fn restrict_shannon() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c); // ab + c
+        let f_a1 = bdd.compose_const(f, 0, true); // b + c
+        let expect = bdd.or(b, c);
+        assert_eq!(f_a1, expect);
+        let f_a0 = bdd.compose_const(f, 0, false); // c
+        assert_eq!(f_a0, c);
+    }
+
+    #[test]
+    fn exists_quantifier() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let ab = bdd.and(a, b);
+        // ∃a. ab = b
+        let e = bdd.exists(ab, 0);
+        assert_eq!(e, b);
+    }
+}

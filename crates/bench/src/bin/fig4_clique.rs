@@ -1,0 +1,67 @@
+//! Regenerates Fig. 4: the candidate-intersection graph — one vertex per
+//! (SOS-valid) voting wire, an edge wherever two wires' candidate core
+//! divisors intersect, and the maximal cliques whose common intersection
+//! yields the core divisor.
+
+use boolsubst_core::division::DivisionOptions;
+use boolsubst_core::extended::{compute_vote_table, enumerate_cliques};
+use boolsubst_cube::display::var_name;
+use boolsubst_cube::{parse_sop, Phase};
+
+fn main() {
+    println!("Fig. 4 — candidate-intersection graph and maximal cliques\n");
+    let f = parse_sop(5, "ab + ac + bc'").expect("f parses");
+    let d = parse_sop(5, "ab + c + de").expect("d parses");
+    println!("dividend f = {f}");
+    println!("divisor  d = {d}\n");
+
+    let table = compute_vote_table(&f, &d, &DivisionOptions::paper_default());
+    let rows = table.valid_rows();
+
+    let label = |i: usize| {
+        let row = rows[i];
+        format!(
+            "w{i}:{}{}@{}",
+            var_name(row.wire.lit.var),
+            if row.wire.lit.phase == Phase::Neg { "'" } else { "" },
+            f.cubes()[row.wire.cube_index]
+        )
+    };
+
+    println!("vertices:");
+    for (i, row) in rows.iter().enumerate() {
+        let cands: Vec<String> =
+            row.candidates.iter().map(|k| format!("k{}", k + 1)).collect();
+        println!("  {} with candidate {{{}}}", label(i), cands.join(", "));
+    }
+
+    println!("\nedges (non-empty pairwise intersection):");
+    for i in 0..rows.len() {
+        for j in i + 1..rows.len() {
+            let inter: Vec<String> = rows[i]
+                .candidates
+                .iter()
+                .filter(|k| rows[j].candidates.contains(k))
+                .map(|k| format!("k{}", k + 1))
+                .collect();
+            if !inter.is_empty() {
+                println!("  {} -- {}  ∩ = {{{}}}", label(i), label(j), inter.join(", "));
+            }
+        }
+    }
+
+    println!("\nmaximal cliques (common intersection validated):");
+    let mut cliques = enumerate_cliques(&table, 128);
+    cliques.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
+    for c in &cliques {
+        let members: Vec<String> = c.members.iter().map(|&i| label(i)).collect();
+        let core: Vec<String> =
+            c.core_cube_indices.iter().map(|k| format!("k{}", k + 1)).collect();
+        println!(
+            "  clique {{{}}} -> core divisor {{{}}} (expects {} removals)",
+            members.join(", "),
+            core.join(", "),
+            c.members.len()
+        );
+    }
+}

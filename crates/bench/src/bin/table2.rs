@@ -1,0 +1,11 @@
+//! Regenerates Table II: Script A (`eliminate 0; simplify`) starting
+//! points, comparing SIS-style `resub -d` with the paper's three Boolean
+//! configurations.
+
+use boolsubst_bench::{print_table, run_table};
+use boolsubst_workloads::scripts::script_a;
+
+fn main() {
+    let rows = run_table(&script_a);
+    print_table("Table II — Script A (eliminate 0; simplify)", &rows);
+}

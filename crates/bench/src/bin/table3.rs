@@ -1,0 +1,9 @@
+//! Regenerates Table III: Script B (`eliminate 0; simplify; gcx`).
+
+use boolsubst_bench::{print_table, run_table};
+use boolsubst_workloads::scripts::script_b;
+
+fn main() {
+    let rows = run_table(&script_b);
+    print_table("Table III — Script B (eliminate 0; simplify; gcx)", &rows);
+}

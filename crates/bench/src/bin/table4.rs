@@ -1,0 +1,9 @@
+//! Regenerates Table IV: Script C (`eliminate 0; simplify; gkx`).
+
+use boolsubst_bench::{print_table, run_table};
+use boolsubst_workloads::scripts::script_c;
+
+fn main() {
+    let rows = run_table(&script_c);
+    print_table("Table IV — Script C (eliminate 0; simplify; gkx)", &rows);
+}

@@ -1,0 +1,53 @@
+//! Regenerates Table V: the full `script.algebraic`-style flow with every
+//! `resub` occurrence replaced by each algorithm under test (SIS algebraic
+//! `resub -d`, then our basic / extended / extended-GDC substitution).
+
+use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
+use boolsubst_bench::{print_table, Cell, TableRow};
+use boolsubst_core::subst::{boolean_substitute, SubstOptions};
+use boolsubst_core::verify::networks_equivalent;
+use boolsubst_network::Network;
+use boolsubst_workloads::scripts::script_algebraic_with;
+use std::time::Instant;
+
+fn flow(net: &Network, resub: &dyn Fn(&mut Network)) -> (Cell, bool) {
+    let mut n = net.clone();
+    let start = Instant::now();
+    script_algebraic_with(&mut n, |x| resub(x));
+    let cpu = start.elapsed().as_secs_f64();
+    n.check_invariants();
+    let ok = networks_equivalent(net, &n);
+    (Cell { lits: network_factored_literals(&n), cpu }, ok)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for net in boolsubst_workloads::full_suite() {
+        let initial = network_factored_literals(&net);
+        let (resub, ok1) = flow(&net, &|n| {
+            algebraic_resub(n, &ResubOptions::default());
+        });
+        let (basic, ok2) = flow(&net, &|n| {
+            boolean_substitute(n, &SubstOptions::basic());
+        });
+        let (ext, ok3) = flow(&net, &|n| {
+            boolean_substitute(n, &SubstOptions::extended());
+        });
+        let (ext_gdc, ok4) = flow(&net, &|n| {
+            boolean_substitute(n, &SubstOptions::extended_gdc());
+        });
+        rows.push(TableRow {
+            name: net.name().to_string(),
+            initial,
+            resub,
+            basic,
+            ext,
+            ext_gdc,
+            verified: ok1 && ok2 && ok3 && ok4,
+        });
+    }
+    print_table(
+        "Table V — script.algebraic with each resubstitution method",
+        &rows,
+    );
+}

@@ -1,0 +1,81 @@
+//! Extension experiment: the full Boolean flow (`script.boolean` —
+//! prepare, extended substitution, fx+gkx extraction, substitute again,
+//! clean up) against the algebraic `script.algebraic` flow, plus a final
+//! don't-care pass. This is "what the paper enables" measured end to end.
+
+use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
+use boolsubst_core::dontcare::{full_simplify, DontCareOptions};
+use boolsubst_core::subst::{boolean_substitute, SubstOptions};
+use boolsubst_core::verify::networks_equivalent;
+use boolsubst_workloads::scripts::{script_algebraic_with, script_boolean};
+use std::time::Instant;
+
+fn main() {
+    println!("Extension — full algebraic flow vs full Boolean flow (+DC pass)\n");
+    println!(
+        "{:<10} {:>8} | {:>10} {:>7} | {:>10} {:>7} | {:>10} {:>7}",
+        "circuit", "initial", "algebraic", "cpu", "boolean", "cpu", "bool+dc", "cpu"
+    );
+    let mut sums = [0usize; 4];
+    let mut cpus = [0f64; 3];
+    for net in boolsubst_workloads::full_suite() {
+        let initial = network_factored_literals(&net);
+        sums[0] += initial;
+
+        let mut alg = net.clone();
+        let t0 = Instant::now();
+        script_algebraic_with(&mut alg, |n| {
+            algebraic_resub(n, &ResubOptions::default());
+        });
+        let alg_cpu = t0.elapsed().as_secs_f64();
+        cpus[0] += alg_cpu;
+        assert!(networks_equivalent(&net, &alg), "algebraic flow broke {}", net.name());
+
+        let mut boo = net.clone();
+        let t1 = Instant::now();
+        script_boolean(&mut boo, |n| {
+            boolean_substitute(n, &SubstOptions::extended());
+        });
+        let boo_cpu = t1.elapsed().as_secs_f64();
+        cpus[1] += boo_cpu;
+        assert!(networks_equivalent(&net, &boo), "boolean flow broke {}", net.name());
+
+        let mut dc = boo.clone();
+        let t2 = Instant::now();
+        full_simplify(&mut dc, &DontCareOptions::default());
+        dc.sweep();
+        // The +DC column's cost is the Boolean flow plus the DC pass.
+        let dc_cpu = boo_cpu + t2.elapsed().as_secs_f64();
+        cpus[2] += dc_cpu;
+        assert!(networks_equivalent(&net, &dc), "dc pass broke {}", net.name());
+
+        let cells = [
+            network_factored_literals(&alg),
+            network_factored_literals(&boo),
+            network_factored_literals(&dc),
+        ];
+        for (i, c) in cells.iter().enumerate() {
+            sums[i + 1] += c;
+        }
+        println!(
+            "{:<10} {:>8} | {:>10} {:>7.3} | {:>10} {:>7.3} | {:>10} {:>7.3}",
+            net.name(),
+            initial,
+            cells[0],
+            alg_cpu,
+            cells[1],
+            boo_cpu,
+            cells[2],
+            dc_cpu,
+        );
+    }
+    println!(
+        "{:<10} {:>8} | {:>10} {:>7.2} | {:>10} {:>7.2} | {:>10} {:>7.2}",
+        "total", sums[0], sums[1], cpus[0], sums[2], cpus[1], sums[3], cpus[2]
+    );
+    let pct = |x: usize| 100.0 * (sums[0] as f64 - x as f64) / (sums[0] as f64).max(1.0);
+    println!(
+        "{:<10} {:>8} | {:>9.1}% {:>7} | {:>9.1}% {:>7} | {:>9.1}% {:>7}",
+        "improve", "", pct(sums[1]), "", pct(sums[2]), "", pct(sums[3]), ""
+    );
+}

@@ -1,0 +1,485 @@
+//! Basic Boolean division `f = d·q + r` via redundancy addition and
+//! removal, at the level of covers (Section III of the paper).
+//!
+//! The three steps:
+//! 1. split the dividend into the *kept* part `f'` (cubes contained by
+//!    some divisor cube) and the remainder `r` — after this, `d` is an SOS
+//!    of `f'`;
+//! 2. AND `f'` with `d` — redundant *a priori* by Lemma 1, no redundancy
+//!    test needed;
+//! 3. run ATPG-style redundancy removal inside the `f'` region; whatever
+//!    survives is the quotient `q`.
+
+use crate::sos::is_sos_of;
+use boolsubst_atpg::{
+    remove_redundant_wires_with, CandidateWire, Circuit, GateId, ImplyOptions,
+    RemovalOptions,
+};
+use boolsubst_cube::{Cover, Cube, Lit, Phase};
+
+/// Options controlling a division run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DivisionOptions {
+    /// Implication options (learning depth) used during redundancy
+    /// removal.
+    pub imply: ImplyOptions,
+    /// Extra removal passes over surviving candidate wires (each removal
+    /// can expose more redundancy). 0 behaves as 1.
+    pub max_passes: usize,
+    /// When non-zero, undecided wires get a bounded *exact* test search
+    /// with this decision budget (the extreme end of the paper's
+    /// implication-effort knob).
+    pub exact_budget: usize,
+}
+
+impl DivisionOptions {
+    /// Paper configuration: plain direct implications, two passes.
+    #[must_use]
+    pub fn paper_default() -> DivisionOptions {
+        DivisionOptions { imply: ImplyOptions::default(), max_passes: 2, exact_budget: 0 }
+    }
+
+    /// Exact configuration: implications plus a bounded exact search for
+    /// every undecided wire. Slowest, best quality; exact on small cones.
+    #[must_use]
+    pub fn exact(budget: usize) -> DivisionOptions {
+        DivisionOptions {
+            imply: ImplyOptions::default(),
+            max_passes: 2,
+            exact_budget: budget,
+        }
+    }
+}
+
+/// Result of a basic Boolean division `f = d·q + r`.
+#[derive(Debug, Clone)]
+pub struct DivisionResult {
+    /// The quotient `q` (empty cover means the division failed — no cube
+    /// of `f` was contained by a divisor cube).
+    pub quotient: Cover,
+    /// The remainder `r`.
+    pub remainder: Cover,
+    /// Number of wires removed by the RAR step.
+    pub wires_removed: usize,
+    /// Number of fault checks performed.
+    pub checks: usize,
+}
+
+impl DivisionResult {
+    /// True if the division produced a usable quotient.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        !self.quotient.is_empty()
+    }
+
+    /// Literal cost of the divided form: `lits(q) + |q| + lits(r)` in SOP
+    /// terms, counting one literal per quotient cube for the divisor
+    /// input.
+    #[must_use]
+    pub fn sop_cost(&self) -> usize {
+        self.quotient.literal_count() + self.quotient.len() + self.remainder.literal_count()
+    }
+
+    /// Exact check that `d·q + r ≡ f` (used in tests and debug runs).
+    #[must_use]
+    pub fn verify(&self, f: &Cover, d: &Cover) -> bool {
+        let mut rebuilt = self.quotient.and(d);
+        rebuilt.extend_cover(&self.remainder);
+        rebuilt.equivalent(f)
+    }
+}
+
+/// The gate-level region built for a division, retaining the cube/literal
+/// correspondence needed to read the simplified quotient back.
+pub(crate) struct Region {
+    pub circuit: Circuit,
+    /// Literal input gates: `lit_gate[v]` = (positive gate, negative gate).
+    pub lit_gates: Vec<(GateId, GateId)>,
+    /// AND gate of each kept cube, aligned with `kept.cubes()`.
+    pub kept_gates: Vec<GateId>,
+    /// OR gate over the kept cubes (`f'`).
+    pub fprime_or: GateId,
+    /// The bold AND joining `f'` and the divisor.
+    pub bold: GateId,
+}
+
+impl Region {
+    /// Builds the specialized division configuration: literals, divisor
+    /// cubes + OR, kept cubes + OR, bold AND, remainder cubes and the
+    /// output OR (observation point).
+    pub(crate) fn build(kept: &Cover, divisor: &Cover, remainder: &Cover) -> Region {
+        let n = kept.num_vars();
+        let mut circuit = Circuit::new();
+        let mut lit_gates = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = circuit.add_input();
+            let ng = circuit.add_not(p);
+            lit_gates.push((p, ng));
+        }
+        let lit_gate = |lg: &Vec<(GateId, GateId)>, l: Lit| match l.phase {
+            Phase::Pos => lg[l.var].0,
+            Phase::Neg => lg[l.var].1,
+        };
+
+        let divisor_gates: Vec<GateId> = divisor
+            .cubes()
+            .iter()
+            .map(|c| {
+                let ins = c.lits().map(|l| lit_gate(&lit_gates, l)).collect();
+                circuit.add_and(ins)
+            })
+            .collect();
+        let d_or = circuit.add_or(divisor_gates.clone());
+
+        let kept_gates: Vec<GateId> = kept
+            .cubes()
+            .iter()
+            .map(|c| {
+                let ins = c.lits().map(|l| lit_gate(&lit_gates, l)).collect();
+                circuit.add_and(ins)
+            })
+            .collect();
+        let fprime_or = circuit.add_or(kept_gates.clone());
+        let bold = circuit.add_and(vec![fprime_or, d_or]);
+
+        let mut f_out_ins = vec![bold];
+        for c in remainder.cubes() {
+            let ins = c.lits().map(|l| lit_gate(&lit_gates, l)).collect();
+            f_out_ins.push(circuit.add_and(ins));
+        }
+        let f_out = circuit.add_or(f_out_ins);
+        circuit.add_output(f_out);
+
+        let _ = divisor_gates;
+        Region { circuit, lit_gates, kept_gates, fprime_or, bold }
+    }
+
+    /// Candidate wires inside the `f'` region: every literal wire into a
+    /// kept cube, every cube wire into the `f'` OR, and the `f'` wire into
+    /// the bold AND (its removal means `q = 1`).
+    pub(crate) fn candidate_wires(&self, kept: &Cover) -> Vec<CandidateWire> {
+        let mut out = Vec::new();
+        for (cube, &gate) in kept.cubes().iter().zip(&self.kept_gates) {
+            for l in cube.lits() {
+                let driver = match l.phase {
+                    Phase::Pos => self.lit_gates[l.var].0,
+                    Phase::Neg => self.lit_gates[l.var].1,
+                };
+                out.push(CandidateWire { sink: gate, driver });
+            }
+            out.push(CandidateWire { sink: self.fprime_or, driver: gate });
+        }
+        out.push(CandidateWire { sink: self.bold, driver: self.fprime_or });
+        out
+    }
+
+    /// Reads the simplified quotient back from the circuit.
+    pub(crate) fn read_quotient(&self, num_vars: usize) -> Cover {
+        // If the f' wire into the bold AND was removed, the quotient is 1.
+        if !self.circuit.fanins(self.bold).contains(&self.fprime_or) {
+            return Cover::one(num_vars);
+        }
+        let mut q = Cover::new(num_vars);
+        for &cube_gate in self.circuit.fanins(self.fprime_or) {
+            let mut cube = Cube::universe(num_vars);
+            for &lit_in in self.circuit.fanins(cube_gate) {
+                // Map the gate back to a literal.
+                if let Some(v) = self.lit_gates.iter().position(|&(p, _)| p == lit_in) {
+                    cube.restrict(Lit::pos(v));
+                } else if let Some(v) =
+                    self.lit_gates.iter().position(|&(_, ng)| ng == lit_in)
+                {
+                    cube.restrict(Lit::neg(v));
+                }
+            }
+            q.push(cube);
+        }
+        q.remove_contained_cubes();
+        q
+    }
+}
+
+/// Splits `f` into (kept, remainder) with respect to divisor `d`: kept
+/// cubes are those contained by at least one divisor cube, so `d` is an
+/// SOS of the kept part (Lemma 1 applies).
+#[must_use]
+pub fn split_remainder(f: &Cover, d: &Cover) -> (Cover, Cover) {
+    let n = f.num_vars();
+    let mut kept = Cover::new(n);
+    let mut remainder = Cover::new(n);
+    for c in f.cubes() {
+        if d.some_cube_contains(c) {
+            kept.push(c.clone());
+        } else {
+            remainder.push(c.clone());
+        }
+    }
+    (kept, remainder)
+}
+
+/// Basic Boolean division of cover `f` by divisor cover `d` in a shared
+/// variable space, per Section III-B of the paper. The implications are
+/// confined to the division region (the paper's local configuration).
+///
+/// # Panics
+///
+/// Panics if the universes differ or `d` is empty.
+#[must_use]
+pub fn basic_divide_covers(f: &Cover, d: &Cover, opts: &DivisionOptions) -> DivisionResult {
+    assert_eq!(f.num_vars(), d.num_vars(), "universe mismatch");
+    assert!(!d.is_empty(), "division by the empty cover");
+    let (kept, remainder) = split_remainder(f, d);
+    if kept.is_empty() {
+        return DivisionResult {
+            quotient: Cover::new(f.num_vars()),
+            remainder,
+            wires_removed: 0,
+            checks: 0,
+        };
+    }
+    debug_assert!(is_sos_of(d, &kept), "divisor must be an SOS of the kept part");
+
+    let mut region = Region::build(&kept, d, &remainder);
+    let candidates = region.candidate_wires(&kept);
+    let outcome = remove_redundant_wires_with(
+        &mut region.circuit,
+        &candidates,
+        &RemovalOptions { imply: opts.imply, exact_budget: opts.exact_budget },
+        opts.max_passes.max(1) + 1,
+    );
+    let quotient = region.read_quotient(f.num_vars());
+    DivisionResult {
+        quotient,
+        remainder,
+        wires_removed: outcome.removed.len(),
+        checks: outcome.checks,
+    }
+}
+
+/// Result of a product-of-sums division `f = (d + q) · r` (both `q` and
+/// `r` viewed as products of sum terms).
+#[derive(Debug, Clone)]
+pub struct PosDivisionResult {
+    /// Sum terms of the quotient: `f = (d + q) · r` with
+    /// `q = Σ` these terms... represented as the *complement-domain* SOP
+    /// cover `q̃` with `q = q̃'`.
+    pub quotient_compl: Cover,
+    /// Complement-domain remainder `r̃` with `r = r̃'`.
+    pub remainder_compl: Cover,
+    /// Wires removed during the dual run.
+    pub wires_removed: usize,
+}
+
+impl PosDivisionResult {
+    /// True if the POS division produced a usable quotient.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        !self.quotient_compl.is_empty()
+    }
+
+    /// Exact check that `(d + q)·r ≡ f` where `q = quotient_compl'` and
+    /// `r = remainder_compl'`.
+    #[must_use]
+    pub fn verify(&self, f: &Cover, d: &Cover) -> bool {
+        let q = self.quotient_compl.complement();
+        let r = self.remainder_compl.complement();
+        let rebuilt = d.or(&q).and(&r);
+        rebuilt.equivalent(f)
+    }
+}
+
+/// Product-of-sums Boolean division (the paper's POS symmetric case,
+/// Lemma 2): divides `f` by `d` with both viewed in product-of-sum form,
+/// producing `f = (d + q)·r`.
+///
+/// Implemented through the exact duality `f = (d + q)·r ⇔ f' = d'·q' +
+/// r'`: complement both covers, run the SOP machinery, and interpret the
+/// results in the complement domain.
+///
+/// # Panics
+///
+/// Panics if the universes differ or `d` is a tautology (whose complement
+/// would be an empty divisor).
+#[must_use]
+pub fn pos_divide_covers(f: &Cover, d: &Cover, opts: &DivisionOptions) -> PosDivisionResult {
+    let fc = f.complement();
+    let dc = d.complement();
+    assert!(!dc.is_empty(), "POS division by a tautological divisor");
+    let r = basic_divide_covers(&fc, &dc, opts);
+    PosDivisionResult {
+        quotient_compl: r.quotient,
+        remainder_compl: r.remainder,
+        wires_removed: r.wires_removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+
+    fn divide(n: usize, fs: &str, ds: &str) -> (Cover, Cover, DivisionResult) {
+        let f = parse_sop(n, fs).expect("f");
+        let d = parse_sop(n, ds).expect("d");
+        let r = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        assert!(r.verify(&f, &d), "f != d·q + r for f={fs}, d={ds}: q={}, r={}", r.quotient, r.remainder);
+        (f, d, r)
+    }
+
+    #[test]
+    fn paper_section1_example() {
+        // f = ab + ac + bc', d = ab + c. Boolean division should reach
+        // f = (a + b)d + ... with 4 literals total (q = a + b, r = 0
+        // after also absorbing bc'? The paper reports f = (a + b)d).
+        let (_f, _d, r) = divide(3, "ab + ac + bc'", "ab + c");
+        assert!(r.succeeded());
+        // Known optimum: q = a + b, r = bc' absorbed? The paper's result
+        // is q = a + b with remainder folded; our RAR removes enough to
+        // reach cost ≤ algebraic (q=a, r=bc' : cost 1+1+2=4).
+        assert!(r.sop_cost() <= 4, "cost {} too high: q={} r={}", r.sop_cost(), r.quotient, r.remainder);
+    }
+
+    #[test]
+    fn fig2_walkthrough() {
+        // Fig. 2: f = ab + ac (kept) with divisor d = ab + c; quotient
+        // shrinks to a.
+        let (_f, _d, r) = divide(3, "ab + ac", "ab + c");
+        assert!(r.succeeded());
+        assert_eq!(r.remainder.len(), 0);
+        assert!(r.quotient.literal_count() <= 2, "q = {}", r.quotient);
+    }
+
+    #[test]
+    fn division_with_remainder() {
+        // f = ab + c'd', d = ab + c : cube c'd' is not contained by any
+        // divisor cube → remainder.
+        let (_f, _d, r) = divide(4, "ab + c'd'", "ab + c");
+        assert!(r.succeeded());
+        assert_eq!(r.remainder.to_string(), "c'd'");
+    }
+
+    #[test]
+    fn zero_quotient_when_no_containment() {
+        let f = parse_sop(3, "a'b'").expect("f");
+        let d = parse_sop(3, "ab + c").expect("d");
+        let r = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        assert!(!r.succeeded());
+        assert_eq!(r.remainder.to_string(), "a'b'");
+    }
+
+    #[test]
+    fn divide_by_self_gives_one() {
+        let (_f, _d, r) = divide(3, "ab + c", "ab + c");
+        assert!(r.succeeded());
+        assert!(r.quotient.cubes().iter().any(boolsubst_cube::Cube::is_universe),
+            "quotient should be 1, got {}", r.quotient);
+    }
+
+    #[test]
+    fn boolean_beats_algebraic_on_intro_example() {
+        // Algebraic division of f = ab + ac + bc' by d = ab + c gives
+        // q = a (5 lits with remainder). Boolean gets 4.
+        let (f, d, r) = divide(3, "ab + ac + bc'", "ab + c");
+        let alg = boolsubst_algebraic_weak_divide_cost(&f, &d);
+        assert!(r.sop_cost() <= alg, "boolean {} vs algebraic {alg}", r.sop_cost());
+    }
+
+    /// SOP cost of the algebraic division (for comparison in tests).
+    fn boolsubst_algebraic_weak_divide_cost(f: &Cover, d: &Cover) -> usize {
+        // Inline small weak division to avoid a dev-dependency cycle:
+        // quotient = cubes of f containing d's cubes... use the simplest
+        // correct definition via the algebraic crate is unavailable here,
+        // so emulate: q = ⋂ f/di.
+        let n = f.num_vars();
+        let mut q: Option<Vec<boolsubst_cube::Cube>> = None;
+        for dc in d.cubes() {
+            let mut part = Vec::new();
+            for c in f.cubes() {
+                if dc.contains(c) {
+                    let mut x = c.clone();
+                    for v in dc.support() {
+                        x.free_var(v);
+                    }
+                    part.push(x);
+                }
+            }
+            q = Some(match q {
+                None => part,
+                Some(prev) => prev.into_iter().filter(|c| part.contains(c)).collect(),
+            });
+        }
+        let q = Cover::from_cubes(n, q.unwrap_or_default());
+        let product = q.and(d);
+        let mut r = Cover::new(n);
+        for c in f.cubes() {
+            if !product.cubes().iter().any(|p| p == c) {
+                r.push(c.clone());
+            }
+        }
+        if q.is_empty() {
+            f.literal_count()
+        } else {
+            q.literal_count() + q.len() + r.literal_count()
+        }
+    }
+
+    #[test]
+    fn pos_division_intro_example() {
+        // The paper's POS example: with f and d in product-of-sum form,
+        // substitution works symmetrically. Take f = (a + b)(a + c)(b + c')
+        // and d = (a + b)(c): complement-domain machinery must verify.
+        let f = parse_sop(3, "ab + ac + bc'").expect("f");
+        let d = parse_sop(3, "ab + c").expect("d");
+        let r = pos_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        assert!(r.verify(&f, &d), "POS reconstruction failed");
+    }
+
+    #[test]
+    fn pos_division_pure_sum_terms() {
+        // f = (a + b)(c + d), d = (a + b): q should be trivial, r = (c+d).
+        let f = parse_sop(4, "ac + ad + bc + bd").expect("f");
+        let d = parse_sop(4, "a + b").expect("d");
+        let r = pos_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        assert!(r.succeeded());
+        assert!(r.verify(&f, &d));
+    }
+
+    #[test]
+    fn division_result_is_never_worse_than_trivial() {
+        for (n, fs, ds) in [
+            (4, "ab + ac + ad", "b + c + d"),
+            (4, "abc + abd' + ab'c", "c + d'"),
+            (5, "ab + cd + e", "ab + cd"),
+            (3, "ab + ab' + a'b", "a + b"),
+        ] {
+            let f = parse_sop(n, fs).expect("f");
+            let d = parse_sop(n, ds).expect("d");
+            let r = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+            assert!(r.verify(&f, &d), "verify failed on {fs} / {ds}");
+            if r.succeeded() {
+                assert!(
+                    r.sop_cost() <= f.literal_count() + d.literal_count(),
+                    "pathological cost on {fs} / {ds}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learning_can_only_help() {
+        let f = parse_sop(4, "ab + ac + bc' + a'd").expect("f");
+        let d = parse_sop(4, "ab + c").expect("d");
+        let plain = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        let learned = basic_divide_covers(
+            &f,
+            &d,
+            &DivisionOptions {
+                imply: ImplyOptions { learn_depth: 1 },
+                max_passes: 2,
+                exact_budget: 0,
+            },
+        );
+        assert!(learned.verify(&f, &d));
+        assert!(learned.wires_removed >= plain.wires_removed);
+    }
+}

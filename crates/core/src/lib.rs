@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! # boolsubst-core — Boolean division and substitution via RAR
+//!
+//! The paper's primary contribution (Chang & Cheng, DAC'98 / TCAD'99):
+//!
+//! * [`sos`] — the SOS/POS notions and Lemmas 1–2 that make the added
+//!   division gates redundant *a priori*;
+//! * [`division`] — basic Boolean division `f = d·q + r` (SOP and POS
+//!   forms) through redundancy addition and removal;
+//! * [`extended`] — extended division: implication voting, the vote table
+//!   (Table I), clique-based core-divisor selection (Fig. 4), divisor
+//!   decomposition;
+//! * [`subst`] — the network-level substitution driver with the paper's
+//!   three configurations (`basic`, `ext`, `ext-GDC`);
+//! * [`netcircuit`] — whole-network gate materialization for the global
+//!   don't-care mode;
+//! * [`verify`] — the BDD equivalence oracle every test leans on.
+//!
+//! ```
+//! use boolsubst_cube::parse_sop;
+//! use boolsubst_core::{basic_divide_covers, DivisionOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Section I example: f = ab + ac + bc', d = ab + c.
+//! let f = parse_sop(3, "ab + ac + bc'")?;
+//! let d = parse_sop(3, "ab + c")?;
+//! let r = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+//! assert!(r.verify(&f, &d));        // f == d·q + r, exactly
+//! assert!(r.sop_cost() <= 4);       // Boolean division beats algebraic
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod division;
+pub mod dontcare;
+pub mod extended;
+pub mod netcircuit;
+pub mod paper;
+pub mod sos;
+pub mod subst;
+pub mod verify;
+
+pub use dontcare::{
+    full_simplify, odc_cover, sdc_space_and_cover, DontCareOptions, DontCareStats,
+};
+pub use division::{
+    basic_divide_covers, pos_divide_covers, split_remainder, DivisionOptions,
+    DivisionResult, PosDivisionResult,
+};
+pub use extended::{
+    compute_vote_table, compute_vote_tables_pooled, enumerate_cliques,
+    extended_divide_covers, extended_divide_covers_pos, extended_divide_covers_with,
+    extended_divide_pooled,
+    CliqueChoice, CoreSelection, DividendWire,
+    ExtendedDivision, VoteRow, VoteTable, CLIQUE_LIMIT,
+};
+pub use netcircuit::{network_from_circuit, NetCircuit, NetworkRegion};
+pub use sos::{is_pos_of_compl, is_sos_of, lemma1_holds, lemma2_holds};
+pub use subst::{boolean_substitute, Acceptance, SubstMode, SubstOptions, SubstStats};
+pub use verify::{network_bdds, networks_equivalent, networks_equivalent_modulo_dc};

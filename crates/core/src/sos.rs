@@ -1,0 +1,114 @@
+//! The paper's central structural notions: *sum-of-subproducts* (SOS) and
+//! *product-of-subsums* (POS), with Lemmas 1 and 2.
+//!
+//! `d` is an **SOS** of `f` when every cube of `f` is contained by at
+//! least one cube of `d` — then `f · d ≡ f` (Lemma 1), so an AND gate with
+//! `d` can be added to `f` *known a priori to be redundant*. Dually, `d`
+//! is a **POS** of `f` (both in product-of-sum form) when every sum term
+//! of `f` contains at least one sum term of `d` — then `f + d ≡ f`
+//! (Lemma 2).
+
+use boolsubst_cube::Cover;
+
+/// True if `d` is a sum-of-subproducts of `f`: every cube of `f` is
+/// contained by some cube of `d`.
+///
+/// # Panics
+///
+/// Panics if the universes differ.
+#[must_use]
+pub fn is_sos_of(d: &Cover, f: &Cover) -> bool {
+    assert_eq!(d.num_vars(), f.num_vars(), "universe mismatch");
+    f.cubes().iter().all(|c| d.some_cube_contains(c))
+}
+
+/// True if `d` is a product-of-subsums of `f`, with both covers given as
+/// the SOP of the *complement* (the natural representation of a
+/// product-of-sums in cube calculus: `f = (Σ terms)' `). Structurally this
+/// is the SOS relation between the complement covers.
+///
+/// # Panics
+///
+/// Panics if the universes differ.
+#[must_use]
+pub fn is_pos_of_compl(d_compl: &Cover, f_compl: &Cover) -> bool {
+    is_sos_of(d_compl, f_compl)
+}
+
+/// Lemma 1: if `d` is an SOS of `f` then `f · d ≡ f`. Returns whether the
+/// identity holds for this pair (exactly — not just the SOS sufficient
+/// condition). Mostly used by property tests.
+///
+/// # Panics
+///
+/// Panics if the universes differ.
+#[must_use]
+pub fn lemma1_holds(d: &Cover, f: &Cover) -> bool {
+    f.and(d).equivalent(f)
+}
+
+/// Lemma 2 (dual): if `d` is a POS of `f` then `f + d ≡ f`, i.e. `d ⇒ f`.
+///
+/// # Panics
+///
+/// Panics if the universes differ.
+#[must_use]
+pub fn lemma2_holds(d: &Cover, f: &Cover) -> bool {
+    f.or(d).equivalent(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+
+    #[test]
+    fn paper_sos_examples() {
+        // d = ab + c is an SOS of f' = ab + ac: ab ⊂ ab, ac ⊂ c.
+        let d = parse_sop(3, "ab + c").expect("d");
+        let f = parse_sop(3, "ab + ac").expect("f");
+        assert!(is_sos_of(&d, &f));
+        // Adding more cubes to the SOS keeps the relation.
+        let d2 = parse_sop(3, "ab + c + a'b'").expect("d2");
+        assert!(is_sos_of(&d2, &f));
+        // bc' is not contained by ab or c: not an SOS.
+        let f2 = parse_sop(3, "ab + ac + bc'").expect("f2");
+        assert!(!is_sos_of(&d, &f2));
+    }
+
+    #[test]
+    fn lemma1_on_sos_pairs() {
+        let cases = [
+            (3, "ab + c", "ab + ac"),
+            (4, "a + b'", "ac + b'd"),
+            (2, "1", "ab + a'b'"),
+        ];
+        for (n, ds, fs) in cases {
+            let d = parse_sop(n, ds).expect("d");
+            let f = parse_sop(n, fs).expect("f");
+            assert!(is_sos_of(&d, &f), "{ds} should be SOS of {fs}");
+            assert!(lemma1_holds(&d, &f), "Lemma 1 failed for {ds}, {fs}");
+        }
+    }
+
+    #[test]
+    fn lemma1_converse_not_required() {
+        // f·d ≡ f can hold without the structural SOS condition
+        // (Boolean containment is weaker): f = a, d = ab + ab'.
+        let d = parse_sop(2, "ab + ab'").expect("d");
+        let f = parse_sop(2, "a").expect("f");
+        assert!(!is_sos_of(&d, &f));
+        assert!(lemma1_holds(&d, &f));
+    }
+
+    #[test]
+    fn lemma2_on_pos_pairs() {
+        // In complement representation: d' SOS of f' ⇔ d POS of f ⇒
+        // f + d ≡ f.
+        let f = parse_sop(3, "ab + ac").expect("f");
+        let d = parse_sop(3, "ab").expect("d"); // d ⇒ f
+        assert!(lemma2_holds(&d, &f));
+        let d2 = parse_sop(3, "a'").expect("d2");
+        assert!(!lemma2_holds(&d2, &f));
+    }
+}

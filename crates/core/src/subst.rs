@@ -1,0 +1,643 @@
+//! The Boolean substitution driver: sweeps (target, divisor) node pairs,
+//! divides with the RAR engine, and greedily accepts any rewrite with a
+//! positive factored-literal gain — the paper's three experimental
+//! configurations (`basic`, `ext`, `ext-GDC`) plus the POS-form attempts.
+
+use crate::division::{basic_divide_covers, pos_divide_covers, DivisionOptions};
+use crate::extended::extended_divide_covers;
+use crate::netcircuit::NetworkRegion;
+use boolsubst_algebraic::{factored_literals, JointSpace};
+use boolsubst_atpg::{remove_redundant_wires_with, RemovalOptions};
+use boolsubst_cube::{Cover, Lit, Phase};
+use boolsubst_network::{Network, NodeId};
+
+/// Which of the paper's configurations to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstMode {
+    /// Basic division only (divisor used as-is).
+    Basic,
+    /// Extended division (divisor may be decomposed), local implications.
+    Extended,
+    /// Extended division with *global* internal don't cares: the
+    /// redundancy-removal implications range over the whole circuit.
+    ExtendedGdc,
+}
+
+/// When to accept a substitution during the sweep — the paper's
+/// implementation is locally greedy ("takes the first division that has a
+/// positive gain"), which it blames for the Table V `ext-GDC` anomaly;
+/// [`Acceptance::BestGain`] is the ablation alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Acceptance {
+    /// Accept the first divisor with positive gain (the paper's policy).
+    #[default]
+    FirstGain,
+    /// Evaluate every divisor for the target, apply only the best.
+    BestGain,
+}
+
+/// Options for [`boolean_substitute`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubstOptions {
+    /// Configuration (paper: `basic` / `ext` / `ext GDC`).
+    pub mode: SubstMode,
+    /// Division options (learning depth, removal passes).
+    pub division: DivisionOptions,
+    /// Also attempt product-of-sum-form substitution when the SOP attempt
+    /// yields no gain.
+    pub try_pos: bool,
+    /// Skip divisors with more cubes than this.
+    pub max_divisor_cubes: usize,
+    /// Skip pairs whose joint variable space exceeds this.
+    pub max_joint_vars: usize,
+    /// Sweeps over all pairs.
+    pub max_passes: usize,
+    /// Acceptance policy (paper: first positive gain).
+    pub acceptance: Acceptance,
+}
+
+impl SubstOptions {
+    /// The paper's `basic` configuration.
+    #[must_use]
+    pub fn basic() -> SubstOptions {
+        SubstOptions {
+            mode: SubstMode::Basic,
+            division: DivisionOptions::paper_default(),
+            try_pos: true,
+            max_divisor_cubes: 24,
+            max_joint_vars: 48,
+            max_passes: 1,
+            acceptance: Acceptance::FirstGain,
+        }
+    }
+
+    /// The paper's `ext.` configuration.
+    #[must_use]
+    pub fn extended() -> SubstOptions {
+        SubstOptions { mode: SubstMode::Extended, ..SubstOptions::basic() }
+    }
+
+    /// The paper's `ext. GDC` configuration (global don't cares).
+    #[must_use]
+    pub fn extended_gdc() -> SubstOptions {
+        SubstOptions { mode: SubstMode::ExtendedGdc, ..SubstOptions::basic() }
+    }
+
+    /// Extension beyond the paper: extended division with a bounded exact
+    /// test search deciding the wires implications leave open.
+    #[must_use]
+    pub fn extended_exact(budget: usize) -> SubstOptions {
+        SubstOptions {
+            mode: SubstMode::Extended,
+            division: DivisionOptions::exact(budget),
+            ..SubstOptions::basic()
+        }
+    }
+}
+
+/// Statistics of a substitution run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubstStats {
+    /// Division attempts.
+    pub divisions_tried: usize,
+    /// Accepted substitutions (SOP form).
+    pub substitutions: usize,
+    /// Accepted substitutions in product-of-sum form.
+    pub pos_substitutions: usize,
+    /// Extended divisions that decomposed a divisor.
+    pub extended_decompositions: usize,
+    /// Total factored-literal gain.
+    pub literal_gain: i64,
+}
+
+/// Builds the new cover for `target` after substitution: `q·x + r` over
+/// `space ∪ {divisor}`, pruning unused variables. Returns (fanins, cover).
+fn assemble(
+    space: &JointSpace,
+    divisor: NodeId,
+    quotient: &Cover,
+    remainder: &Cover,
+    divisor_phase: Phase,
+) -> (Vec<NodeId>, Cover) {
+    let n = space.len();
+    let mut new_cover = Cover::new(n + 1);
+    for c in quotient.cubes() {
+        let mut c = c.extended(n + 1);
+        c.restrict(Lit { var: n, phase: divisor_phase });
+        new_cover.push(c);
+    }
+    new_cover.extend_cover(&remainder.extended(n + 1));
+    new_cover.remove_contained_cubes();
+    let mut fanins = space.vars.clone();
+    fanins.push(divisor);
+    let support = new_cover.support();
+    let kept: Vec<NodeId> = support.iter().map(|&v| fanins[v]).collect();
+    let mut map = vec![0usize; n + 1];
+    for (new_idx, &v) in support.iter().enumerate() {
+        map[v] = new_idx;
+    }
+    let remapped = new_cover.remapped(kept.len(), &map);
+    (kept, remapped)
+}
+
+fn factored_gain(net: &Network, target: NodeId, new_cover: &Cover) -> i64 {
+    let old = factored_literals(net.node(target).cover().expect("internal")) as i64;
+    old - factored_literals(new_cover) as i64
+}
+
+/// One substitution attempt of `divisor` into `target`. Applies the first
+/// strategy with positive gain (the paper's locally greedy acceptance) and
+/// returns the gain, or `None` if nothing helped.
+fn try_pair(
+    net: &mut Network,
+    target: NodeId,
+    divisor: NodeId,
+    opts: &SubstOptions,
+    stats: &mut SubstStats,
+) -> Option<i64> {
+    if target == divisor
+        || net.node(target).is_input()
+        || net.node(divisor).is_input()
+        || net.node(target).fanins().contains(&divisor)
+        || net.tfo(target).contains(&divisor)
+    {
+        return None;
+    }
+    let d_cover_len = net.node(divisor).cover().expect("internal").len();
+    if d_cover_len == 0 || d_cover_len > opts.max_divisor_cubes {
+        return None;
+    }
+    let space = JointSpace::union_of_fanins(net, &[target, divisor]);
+    if space.len() > opts.max_joint_vars {
+        return None;
+    }
+    // Cheap relevance filter: supports must overlap.
+    let t_fanins = net.node(target).fanins();
+    if !net
+        .node(divisor)
+        .fanins()
+        .iter()
+        .any(|f| t_fanins.contains(f))
+    {
+        return None;
+    }
+    let f = space.cover_of(net, target);
+    let d = space.cover_of(net, divisor);
+    stats.divisions_tried += 1;
+
+    // --- SOP basic division (local or GDC scope) ---
+    let division = if opts.mode == SubstMode::ExtendedGdc {
+        divide_in_network(net, target, divisor, &space, &f, &d, &opts.division)
+    } else {
+        let r = basic_divide_covers(&f, &d, &opts.division);
+        r.succeeded().then_some((r.quotient, r.remainder))
+    };
+    if let Some((quotient, remainder)) = division {
+        let (fanins, cover) = assemble(&space, divisor, &quotient, &remainder, Phase::Pos);
+        let gain = factored_gain(net, target, &cover);
+        if gain > 0 {
+            net.replace_function(target, fanins, cover)
+                .expect("substitution must be applicable");
+            stats.substitutions += 1;
+            stats.literal_gain += gain;
+            return Some(gain);
+        }
+    }
+
+    // --- SOP division by the divisor's complement (the `-d` flavour) ---
+    {
+        let d_compl = d.complement();
+        if !d_compl.is_empty() && d_compl.len() <= opts.max_divisor_cubes {
+            let r = basic_divide_covers(&f, &d_compl, &opts.division);
+            if r.succeeded() {
+                let (fanins, cover) =
+                    assemble(&space, divisor, &r.quotient, &r.remainder, Phase::Neg);
+                let gain = factored_gain(net, target, &cover);
+                if gain > 0 {
+                    net.replace_function(target, fanins, cover)
+                        .expect("complement substitution must be applicable");
+                    stats.substitutions += 1;
+                    stats.literal_gain += gain;
+                    return Some(gain);
+                }
+            }
+        }
+    }
+
+    // --- Extended division: decompose the divisor ---
+    if opts.mode != SubstMode::Basic {
+        if let Some(ext) = extended_divide_covers(&f, &d, &opts.division) {
+            // Core == whole divisor means basic already covered it.
+            if ext.core_cube_indices.len() < d.len() && ext.division.succeeded() {
+                let gain = plan_extended(net, target, divisor, &space, &ext);
+                if let Some((gain, apply)) = gain {
+                    if gain > 0 {
+                        apply(net);
+                        stats.substitutions += 1;
+                        stats.extended_decompositions += 1;
+                        stats.literal_gain += gain;
+                        return Some(gain);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- POS-form attempt ---
+    if opts.try_pos {
+        let fc = f.complement();
+        let dc = d.complement();
+        if !dc.is_empty()
+            && dc.len() <= opts.max_divisor_cubes
+            && fc.len() <= 4 * f.len().max(4)
+        {
+            let r = pos_divide_covers(&f, &d, &opts.division);
+            if r.succeeded() {
+                // f = (d + q)·r ⇔ f' = d'·q̃ + r̃; rebuild f as the
+                // complement of the divided complement, with x_d'.
+                let n = space.len();
+                let mut compl_form = Cover::new(n + 1);
+                for c in r.quotient_compl.cubes() {
+                    let mut c = c.extended(n + 1);
+                    c.restrict(Lit { var: n, phase: Phase::Neg });
+                    compl_form.push(c);
+                }
+                compl_form.extend_cover(&r.remainder_compl.extended(n + 1));
+                let new_cover = compl_form.complement();
+                if new_cover.len() <= 4 * f.len().max(4) {
+                    let mut fanins = space.vars.clone();
+                    fanins.push(divisor);
+                    let support = new_cover.support();
+                    let kept: Vec<NodeId> =
+                        support.iter().map(|&v| fanins[v]).collect();
+                    let mut map = vec![0usize; n + 1];
+                    for (new_idx, &v) in support.iter().enumerate() {
+                        map[v] = new_idx;
+                    }
+                    let new_cover = new_cover.remapped(kept.len(), &map);
+                    let gain = factored_gain(net, target, &new_cover);
+                    if gain > 0 {
+                        net.replace_function(target, kept, new_cover)
+                            .expect("POS substitution must be applicable");
+                        stats.substitutions += 1;
+                        stats.pos_substitutions += 1;
+                        stats.literal_gain += gain;
+                        return Some(gain);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Plans an extended-division rewrite: create the core node, re-express the
+/// divisor as `core + rest`, substitute the core into the target. Returns
+/// the total factored-literal gain and a closure applying the rewrite.
+#[allow(clippy::type_complexity)]
+fn plan_extended<'a>(
+    net: &Network,
+    target: NodeId,
+    divisor: NodeId,
+    space: &'a JointSpace,
+    ext: &'a crate::extended::ExtendedDivision,
+) -> Option<(i64, Box<dyn FnOnce(&mut Network) + 'a>)> {
+    let d_cover = space.cover_of(net, divisor);
+    let rest: Cover = Cover::from_cubes(
+        space.len(),
+        d_cover
+            .cubes()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _c)| !ext.core_cube_indices.contains(&i)).map(|(_i, c)| c.clone())
+            .collect(),
+    );
+    // New target function: q·x_core + r.
+    let core = ext.core.clone();
+    let quotient = ext.division.quotient.clone();
+    let remainder = ext.division.remainder.clone();
+
+    // Gain accounting (factored literals):
+    //   target: old − new (new counts one literal per quotient cube for
+    //           x_core);
+    //   divisor: old − (rest + 1 literal for x_core);
+    //   core node: −lits(core)  ... but those literals previously lived
+    //   inside the divisor, so the divisor side nets to −1.
+    let target_old = factored_literals(net.node(target).cover().expect("internal")) as i64;
+    let n = space.len();
+    let mut new_target = Cover::new(n + 1);
+    for c in quotient.cubes() {
+        let mut c = c.extended(n + 1);
+        c.restrict(Lit::pos(n));
+        new_target.push(c);
+    }
+    new_target.extend_cover(&remainder.extended(n + 1));
+    let target_new = factored_literals(&new_target) as i64;
+
+    let divisor_old = factored_literals(net.node(divisor).cover().expect("internal")) as i64;
+    let mut new_divisor = Cover::new(n + 1);
+    for c in rest.cubes() {
+        new_divisor.push(c.extended(n + 1));
+    }
+    {
+        let mut xc = boolsubst_cube::Cube::universe(n + 1);
+        xc.restrict(Lit::pos(n));
+        new_divisor.push(xc);
+    }
+    let divisor_new = factored_literals(&new_divisor) as i64;
+    let core_cost = factored_literals(&core) as i64;
+
+    let gain = (target_old - target_new) + (divisor_old - divisor_new) - core_cost;
+    if gain <= 0 {
+        return None;
+    }
+
+    let space_vars = space.vars.clone();
+    let apply = Box::new(move |net: &mut Network| {
+        // 1. Core node over its support.
+        let support = core.support();
+        let core_fanins: Vec<NodeId> = support.iter().map(|&v| space_vars[v]).collect();
+        let mut map = vec![0usize; core.num_vars()];
+        for (new_idx, &v) in support.iter().enumerate() {
+            map[v] = new_idx;
+        }
+        let core_local = core.remapped(core_fanins.len(), &map);
+        let name = net.fresh_name();
+        let m = net
+            .add_node(name, core_fanins, core_local)
+            .expect("fresh core node");
+
+        // 2. Divisor = rest + x_core.
+        let mut div_fanins = space_vars.clone();
+        div_fanins.push(m);
+        let mut div_cover = Cover::new(space_vars.len() + 1);
+        for c in rest.cubes() {
+            div_cover.push(c.extended(space_vars.len() + 1));
+        }
+        let mut xc = boolsubst_cube::Cube::universe(space_vars.len() + 1);
+        xc.restrict(Lit::pos(space_vars.len()));
+        div_cover.push(xc);
+        let support = div_cover.support();
+        let kept: Vec<NodeId> = support.iter().map(|&v| div_fanins[v]).collect();
+        let mut map = vec![0usize; space_vars.len() + 1];
+        for (new_idx, &v) in support.iter().enumerate() {
+            map[v] = new_idx;
+        }
+        let div_cover = div_cover.remapped(kept.len(), &map);
+        net.replace_function(divisor, kept, div_cover)
+            .expect("divisor decomposition must be applicable");
+
+        // 3. Target = q·x_core + r.
+        let mut tgt_fanins = space_vars.clone();
+        tgt_fanins.push(m);
+        let mut tgt_cover = Cover::new(space_vars.len() + 1);
+        for c in quotient.cubes() {
+            let mut c = c.extended(space_vars.len() + 1);
+            c.restrict(Lit::pos(space_vars.len()));
+            tgt_cover.push(c);
+        }
+        tgt_cover.extend_cover(&remainder.extended(space_vars.len() + 1));
+        let support = tgt_cover.support();
+        let kept: Vec<NodeId> = support.iter().map(|&v| tgt_fanins[v]).collect();
+        let mut map = vec![0usize; space_vars.len() + 1];
+        for (new_idx, &v) in support.iter().enumerate() {
+            map[v] = new_idx;
+        }
+        let tgt_cover = tgt_cover.remapped(kept.len(), &map);
+        net.replace_function(target, kept, tgt_cover)
+            .expect("target substitution must be applicable");
+    });
+    Some((gain, apply))
+}
+
+/// Basic division with whole-network implication scope (the GDC mode):
+/// builds the full circuit with the target in the division configuration,
+/// observes the primary outputs, and removes every provably redundant
+/// region wire.
+fn divide_in_network(
+    net: &Network,
+    target: NodeId,
+    divisor: NodeId,
+    space: &JointSpace,
+    f: &Cover,
+    d: &Cover,
+    opts: &DivisionOptions,
+) -> Option<(Cover, Cover)> {
+    let (kept, remainder) = crate::division::split_remainder(f, d);
+    if kept.is_empty() {
+        return None;
+    }
+    let mut region = NetworkRegion::build(
+        net,
+        target,
+        divisor,
+        space.vars.clone(),
+        &kept,
+        &remainder,
+    );
+    let candidates = region.candidate_wires(&kept);
+    let _ = remove_redundant_wires_with(
+        &mut region.netc.circuit,
+        &candidates,
+        &RemovalOptions { imply: opts.imply, exact_budget: opts.exact_budget },
+        opts.max_passes.max(1) + 1,
+    );
+    let quotient = region.read_quotient();
+    (!quotient.is_empty()).then_some((quotient, remainder))
+}
+
+/// Runs the Boolean substitution pass over the network. Targets are
+/// visited from largest cover to smallest (bigger nodes benefit most);
+/// for each target every other internal node is tried as a divisor, and
+/// the first strategy with positive factored-literal gain is taken.
+pub fn boolean_substitute(net: &mut Network, opts: &SubstOptions) -> SubstStats {
+    let mut stats = SubstStats::default();
+    for _ in 0..opts.max_passes.max(1) {
+        let before = stats.substitutions;
+        let mut targets: Vec<NodeId> = net.internal_ids().collect();
+        targets.sort_by_key(|&id| {
+            std::cmp::Reverse(net.node(id).cover().map_or(0, Cover::literal_count))
+        });
+        for target in targets {
+            if net.node_opt(target).is_none() {
+                continue;
+            }
+            let divisors: Vec<NodeId> = net.internal_ids().collect();
+            match opts.acceptance {
+                Acceptance::FirstGain => {
+                    for divisor in divisors {
+                        if net.node_opt(target).is_none()
+                            || net.node_opt(divisor).is_none()
+                        {
+                            continue;
+                        }
+                        let _ = try_pair(net, target, divisor, opts, &mut stats);
+                    }
+                }
+                Acceptance::BestGain => {
+                    // Dry-run every divisor on a scratch copy, then apply
+                    // only the best one for real.
+                    let mut best: Option<(NodeId, i64)> = None;
+                    for &divisor in &divisors {
+                        let mut scratch = net.clone();
+                        let mut scratch_stats = SubstStats::default();
+                        if let Some(gain) =
+                            try_pair(&mut scratch, target, divisor, opts, &mut scratch_stats)
+                        {
+                            if best.is_none_or(|(_, g)| gain > g) {
+                                best = Some((divisor, gain));
+                            }
+                        }
+                    }
+                    if let Some((divisor, _)) = best {
+                        let _ = try_pair(net, target, divisor, opts, &mut stats);
+                    }
+                }
+            }
+        }
+        if stats.substitutions == before {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::networks_equivalent;
+    use boolsubst_cube::parse_sop;
+
+    /// The paper's running example as a network: f = ab + ac + bc' with an
+    /// existing node d = ab + c.
+    fn paper_net() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new("paper");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let f = net
+            .add_node("f", vec![a, b, c], parse_sop(3, "ab + ac + bc'").expect("p"))
+            .expect("f");
+        let d = net
+            .add_node("d", vec![a, b, c], parse_sop(3, "ab + c").expect("p"))
+            .expect("d");
+        net.add_output("f", f).expect("o");
+        net.add_output("d", d).expect("o");
+        (net, f, d)
+    }
+
+    #[test]
+    fn basic_substitution_beats_algebraic_on_paper_example() {
+        let (mut net, f, _d) = paper_net();
+        let before = net.clone();
+        let stats = boolean_substitute(&mut net, &SubstOptions::basic());
+        assert!(stats.substitutions >= 1, "no substitution accepted");
+        net.check_invariants();
+        assert!(networks_equivalent(&before, &net), "function changed");
+        // Paper: Boolean substitution reaches 4 literals for f
+        // (f = (a + b)d), algebraic only 5.
+        let f_lits = factored_literals(net.node(f).cover().expect("cover"));
+        assert!(f_lits <= 4, "f has {f_lits} literals");
+    }
+
+    #[test]
+    fn extended_decomposes_divisor() {
+        // Paper Section I scenario: the ideal divisor ab + c does not
+        // exist; instead a node d = ab + c + e does. Basic division cannot
+        // exploit it (the extra cube e gets in the way), but extended
+        // division extracts the core ab + c, decomposes d = core + e, and
+        // rewrites f = core + z.
+        let mut net = Network::new("ext");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let e = net.add_input("e").expect("e");
+        let z = net.add_input("z").expect("z");
+        let f = net
+            .add_node("f", vec![a, b, c, z], parse_sop(4, "ab + c + d").expect("p"))
+            .expect("f");
+        let d = net
+            .add_node("d", vec![a, b, c, e], parse_sop(4, "ab + c + d").expect("p"))
+            .expect("d");
+        net.add_output("f", f).expect("o");
+        net.add_output("d", d).expect("o");
+        let before = net.clone();
+        let stats = boolean_substitute(&mut net, &SubstOptions::extended());
+        net.check_invariants();
+        assert!(networks_equivalent(&before, &net), "function changed");
+        assert!(
+            stats.extended_decompositions >= 1,
+            "extended decomposition not used: {stats:?}"
+        );
+        assert!(stats.literal_gain >= 1);
+        // A fresh core node must exist now.
+        assert!(net.internal_ids().count() >= 3);
+    }
+
+    #[test]
+    fn pos_substitution_found() {
+        // f = (a + b)(c + d) as SOP; divisor g = (a + b) i.e. a + b.
+        // SOP basic division works here too, so force the POS path by a
+        // divisor only useful in POS form: f = (a+b)(c+d), d = a + b.
+        // Note basic SOP division of f by d: kept cubes contained by a or
+        // b... every cube (ac, ad, bc, bd) is contained by a or b, so SOP
+        // division succeeds as well; accept either, but the result must
+        // stay equivalent and smaller.
+        let mut net = Network::new("pos");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let d = net.add_input("d").expect("d");
+        let f = net
+            .add_node(
+                "f",
+                vec![a, b, c, d],
+                parse_sop(4, "ac + ad + bc + bd").expect("p"),
+            )
+            .expect("f");
+        let g = net
+            .add_node("g", vec![a, b], parse_sop(2, "a + b").expect("p"))
+            .expect("g");
+        net.add_output("f", f).expect("o");
+        net.add_output("g", g).expect("o");
+        let before = net.clone();
+        let stats = boolean_substitute(&mut net, &SubstOptions::basic());
+        assert!(stats.substitutions >= 1);
+        net.check_invariants();
+        assert!(networks_equivalent(&before, &net));
+        let f_lits = factored_literals(net.node(f).cover().expect("cover"));
+        assert!(f_lits <= 3, "f has {f_lits} literals");
+    }
+
+    #[test]
+    fn gdc_mode_preserves_outputs() {
+        let (mut net, ..) = paper_net();
+        let before = net.clone();
+        let stats = boolean_substitute(&mut net, &SubstOptions::extended_gdc());
+        net.check_invariants();
+        assert!(
+            networks_equivalent(&before, &net),
+            "GDC mode changed an output function"
+        );
+        assert!(stats.substitutions >= 1);
+    }
+
+    #[test]
+    fn no_substitution_into_unrelated_nodes() {
+        let mut net = Network::new("unrelated");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let d = net.add_input("d").expect("d");
+        let f = net
+            .add_node("f", vec![a, b], parse_sop(2, "ab").expect("p"))
+            .expect("f");
+        let g = net
+            .add_node("g", vec![c, d], parse_sop(2, "a + b").expect("p"))
+            .expect("g");
+        net.add_output("f", f).expect("o");
+        net.add_output("g", g).expect("o");
+        let stats = boolean_substitute(&mut net, &SubstOptions::extended());
+        assert_eq!(stats.substitutions, 0);
+    }
+}

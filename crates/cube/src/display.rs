@@ -1,0 +1,125 @@
+//! Textual forms for cubes and covers used in tests, examples and the
+//! table binaries. Variables are named `a..z`, then `v26`, `v27`, ….
+
+use crate::{Cover, Cube, Lit, Phase};
+use std::fmt;
+
+/// Default print name for variable index `v`: `a..z`, then `v<index>`.
+#[must_use]
+pub fn var_name(v: usize) -> String {
+    if v < 26 {
+        char::from(b'a' + v as u8).to_string()
+    } else {
+        format!("v{v}")
+    }
+}
+
+/// Error produced when parsing an alphabetic SOP expression fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSopError {
+    msg: String,
+}
+
+impl fmt::Display for ParseSopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid sum-of-products expression: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseSopError {}
+
+/// Parses expressions such as `ab' + c + a'bc` into a [`Cover`] over
+/// `num_vars` variables, where `a` is variable 0, `b` variable 1, and so
+/// on. `0` denotes the empty cover term and `1` the universal cube.
+///
+/// # Errors
+///
+/// Returns [`ParseSopError`] on unknown characters or variables outside the
+/// declared universe.
+pub fn parse_sop(num_vars: usize, text: &str) -> Result<Cover, ParseSopError> {
+    let mut cover = Cover::new(num_vars);
+    for term in text.split('+') {
+        let term = term.trim();
+        if term.is_empty() {
+            return Err(ParseSopError { msg: "empty product term".into() });
+        }
+        if term == "0" {
+            continue;
+        }
+        if term == "1" {
+            cover.push(Cube::universe(num_vars));
+            continue;
+        }
+        let mut lits: Vec<Lit> = Vec::new();
+        let chars: Vec<char> = term.chars().filter(|c| !c.is_whitespace()).collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if !c.is_ascii_lowercase() {
+                return Err(ParseSopError { msg: format!("unexpected character {c:?}") });
+            }
+            let var = (c as u8 - b'a') as usize;
+            if var >= num_vars {
+                return Err(ParseSopError {
+                    msg: format!("variable {c:?} outside universe of {num_vars}"),
+                });
+            }
+            let phase = if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                i += 1;
+                Phase::Neg
+            } else {
+                Phase::Pos
+            };
+            lits.push(Lit { var, phase });
+            i += 1;
+        }
+        cover.push(Cube::from_lits(num_vars, &lits));
+    }
+    Ok(cover)
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes().iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let c = parse_sop(4, "ab' + c + a'bd").expect("parse");
+        assert_eq!(c.to_string(), "ab' + c + a'bd");
+    }
+
+    #[test]
+    fn parse_constants() {
+        assert_eq!(parse_sop(2, "0").expect("parse").to_string(), "0");
+        assert_eq!(parse_sop(2, "1").expect("parse").to_string(), "1");
+        assert_eq!(parse_sop(2, "a + 0").expect("parse").to_string(), "a");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_sop(2, "a + ").is_err());
+        assert!(parse_sop(2, "aZ").is_err());
+        assert!(parse_sop(1, "ab").is_err());
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # boolsubst-cube — two-level cube calculus
+//!
+//! The foundation of the `boolsubst` workspace: product terms ([`Cube`]),
+//! sums of products ([`Cover`]), the unate-recursive tautology check,
+//! complementation, and an ESPRESSO-style two-level simplifier.
+//!
+//! Cubes use positional notation packed two bits per variable, so
+//! containment / intersection / distance are word-parallel. Containment of
+//! cubes (`c1.contains(c2)` ⇔ `lits(c1) ⊆ lits(c2)`) is the notion on which
+//! the paper's *sum-of-subproducts* (SOS) and *product-of-subsums* (POS)
+//! definitions rest.
+//!
+//! ```
+//! use boolsubst_cube::{parse_sop, SimplifyOptions, simplify, Cover};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let f = parse_sop(3, "ab + ab'c + a'bc")?;
+//! let dc = Cover::new(3);
+//! let g = simplify(&f, &dc, SimplifyOptions::default());
+//! assert!(g.equivalent(&f));
+//! assert!(g.literal_count() <= f.literal_count());
+//! # Ok(())
+//! # }
+//! ```
+
+mod complement;
+mod count;
+mod cover;
+mod cube;
+pub mod display;
+mod simplify;
+mod tautology;
+
+pub use cover::Cover;
+pub use cube::{Cube, Lit, Phase, VarState};
+pub use display::{parse_sop, ParseSopError};
+pub use simplify::{simplify, simplify_exact_cover, supercube, SimplifyOptions};
+pub use tautology::is_tautology_exhaustive;

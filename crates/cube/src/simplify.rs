@@ -1,0 +1,264 @@
+//! ESPRESSO-style heuristic two-level minimization (EXPAND, IRREDUNDANT,
+//! REDUCE) with don't-care support. This is the `simplify` step of the
+//! SIS-like scripts and the engine behind node minimization.
+
+use crate::{Cover, Cube, Lit};
+
+/// Options controlling [`simplify`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimplifyOptions {
+    /// Maximum number of EXPAND/IRREDUNDANT/REDUCE sweeps.
+    pub max_iterations: usize,
+    /// Whether to run the REDUCE phase between sweeps (more effort, can
+    /// escape local minima).
+    pub reduce: bool,
+}
+
+impl Default for SimplifyOptions {
+    fn default() -> SimplifyOptions {
+        SimplifyOptions { max_iterations: 4, reduce: true }
+    }
+}
+
+/// Cost of a cover: (cube count, literal count); minimization is
+/// lexicographic on this pair with literals dominant like SIS.
+fn cost(f: &Cover) -> (usize, usize) {
+    (f.literal_count(), f.len())
+}
+
+/// Heuristically minimizes `onset` against the don't-care set `dcset`.
+///
+/// The result covers `onset` and is covered by `onset + dcset`; it is
+/// irredundant and each cube is prime relative to `onset + dcset`.
+///
+/// # Panics
+///
+/// Panics if the universes differ.
+#[must_use]
+pub fn simplify(onset: &Cover, dcset: &Cover, opts: SimplifyOptions) -> Cover {
+    assert_eq!(onset.num_vars(), dcset.num_vars(), "universe mismatch");
+    let mut f = onset.clone();
+    f.remove_contained_cubes();
+    if f.is_empty() {
+        return f;
+    }
+    let care_upper = onset.or(dcset);
+    if care_upper.is_tautology() && dcset.is_empty() && onset.is_tautology() {
+        return Cover::one(onset.num_vars());
+    }
+
+    let mut best = f.clone();
+    let mut best_cost = cost(&best);
+    for _ in 0..opts.max_iterations.max(1) {
+        expand(&mut f, &care_upper);
+        irredundant(&mut f, dcset);
+        let c = cost(&f);
+        if c < best_cost {
+            best = f.clone();
+            best_cost = c;
+        } else {
+            break;
+        }
+        if opts.reduce {
+            reduce(&mut f, dcset);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Convenience wrapper: minimize with no don't cares and default options.
+#[must_use]
+pub fn simplify_exact_cover(onset: &Cover) -> Cover {
+    simplify(onset, &Cover::new(onset.num_vars()), SimplifyOptions::default())
+}
+
+/// EXPAND: raise each cube to a prime of `upper = onset + dcset` by
+/// deleting literals while the enlarged cube stays inside `upper`.
+fn expand(f: &mut Cover, upper: &Cover) {
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Expand big cubes first so they can absorb small ones.
+    cubes.sort_by_key(Cube::literal_count);
+    for cube in &mut cubes {
+        // Try literals in a deterministic order; re-check after each
+        // deletion since deletions interact.
+        let lits: Vec<Lit> = cube.lits().collect();
+        for l in lits {
+            let mut trial = cube.clone();
+            trial.free_var(l.var);
+            if upper.covers_cube(&trial) {
+                *cube = trial;
+            }
+        }
+    }
+    *f = Cover::from_cubes(f.num_vars(), cubes);
+    f.remove_contained_cubes();
+}
+
+/// IRREDUNDANT: drop cubes covered by the rest of the cover plus the
+/// don't-care set. Greedy, biased to drop large-literal cubes first.
+fn irredundant(f: &mut Cover, dcset: &Cover) {
+    let mut order: Vec<usize> = (0..f.len()).collect();
+    // Try to remove cubes with many literals first (cheapest to lose).
+    order.sort_by_key(|&i| std::cmp::Reverse(f.cubes()[i].literal_count()));
+    let mut keep = vec![true; f.len()];
+    for &i in &order {
+        keep[i] = false;
+        let mut rest = Cover::new(f.num_vars());
+        for (j, c) in f.cubes().iter().enumerate() {
+            if keep[j] {
+                rest.push(c.clone());
+            }
+        }
+        rest.extend_cover(dcset);
+        if !rest.covers_cube(&f.cubes()[i]) {
+            keep[i] = true;
+        }
+    }
+    let cubes = f
+        .cubes()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _c)| keep[i]).map(|(_i, c)| c.clone())
+        .collect();
+    *f = Cover::from_cubes(f.num_vars(), cubes);
+}
+
+/// REDUCE: shrink each cube to the smallest cube still covering the part
+/// of the onset no other cube covers, enabling different expansions on the
+/// next sweep. We implement the classical "maximally reduce against the
+/// rest" using supercube of the sharp.
+fn reduce(f: &mut Cover, dcset: &Cover) {
+    let n = f.num_vars();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Reduce small cubes last (they are the most constrained already).
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    for i in 0..cubes.len() {
+        let mut rest = Cover::new(n);
+        for (j, c) in cubes.iter().enumerate() {
+            if j != i {
+                rest.push(c.clone());
+            }
+        }
+        rest.extend_cover(dcset);
+        // Part of cube i not covered by the rest:
+        let exclusive = Cover::from_cubes(n, vec![cubes[i].clone()]).sharp(&rest);
+        if exclusive.is_empty() {
+            continue; // fully redundant; leave for irredundant to drop
+        }
+        // Smallest cube containing `exclusive` (its supercube).
+        let mut sup = exclusive.cubes()[0].clone();
+        for c in &exclusive.cubes()[1..] {
+            sup = supercube(&sup, c);
+        }
+        // Only shrink, never grow, and stay inside the original cube.
+        if cubes[i].contains(&sup) {
+            cubes[i] = sup;
+        }
+    }
+    *f = Cover::from_cubes(n, cubes);
+}
+
+/// Smallest cube containing both arguments.
+#[must_use]
+pub fn supercube(a: &Cube, b: &Cube) -> Cube {
+    let n = a.num_vars();
+    assert_eq!(n, b.num_vars(), "universe mismatch");
+    let mut out = Cube::universe(n);
+    for v in 0..n {
+        use crate::VarState::{Neg, Pos};
+        match (a.var_state(v), b.var_state(v)) {
+            (Pos, Pos) => out.restrict(Lit::pos(v)),
+            (Neg, Neg) => out.restrict(Lit::neg(v)),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_sop;
+
+    fn roundtrip(n: usize, on: &str, dc: &str) -> Cover {
+        let onset = parse_sop(n, on).expect("parse onset");
+        let dcset = parse_sop(n, dc).expect("parse dcset");
+        let out = simplify(&onset, &dcset, SimplifyOptions::default());
+        // Correctness envelope: onset \ dc ⊆ out ⊆ onset + dc. (Minterms in
+        // both onset and dcset are genuinely optional.)
+        assert!(
+            out.covers(&onset.sharp(&dcset)),
+            "lost care onset minterms for {on} dc {dc}"
+        );
+        assert!(
+            onset.or(&dcset).covers(&out),
+            "gained care minterms for {on} dc {dc}"
+        );
+        out
+    }
+
+    #[test]
+    fn merges_adjacent_cubes() {
+        let out = roundtrip(2, "ab + ab'", "0");
+        assert_eq!(out.to_string(), "a");
+    }
+
+    #[test]
+    fn removes_consensus_cube() {
+        let out = roundtrip(3, "ab + a'c + bc", "0");
+        assert_eq!(out.literal_count(), 4);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn uses_dont_cares() {
+        // f = ab, dc = ab' : expands to a.
+        let out = roundtrip(2, "ab", "ab'");
+        assert_eq!(out.to_string(), "a");
+    }
+
+    #[test]
+    fn boolean_division_via_dc_example() {
+        // The paper's motivating trick: simplify f with d' as don't care.
+        // f = ab + ac + bc', divisor d = ab + c. With dc = d' = a'c' + b'c'
+        // f can use cubes inside d freely.
+        let out = roundtrip(3, "ab + ac + bc'", "a'c' + b'c'");
+        assert!(out.literal_count() <= 6);
+    }
+
+    #[test]
+    fn full_onset_becomes_one() {
+        let out = roundtrip(2, "ab + ab' + a'b + a'b'", "0");
+        assert_eq!(out.to_string(), "1");
+    }
+
+    #[test]
+    fn empty_onset_stays_empty() {
+        let out = roundtrip(3, "0", "a");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn supercube_merges() {
+        let a = parse_sop(3, "ab").expect("parse");
+        let b = parse_sop(3, "ab'c").expect("parse");
+        let s = supercube(&a.cubes()[0], &b.cubes()[0]);
+        assert_eq!(s.to_string(), "a");
+    }
+
+    #[test]
+    fn never_worse_than_input() {
+        for (n, s) in [
+            (4, "abcd + abcd' + abc'd + ab'cd"),
+            (3, "ab + ab'c + a'bc"),
+            (5, "abc + abd + abe + ab"),
+        ] {
+            let f = parse_sop(n, s).expect("parse");
+            let out = simplify(&f, &Cover::new(n), SimplifyOptions::default());
+            assert!(out.literal_count() <= f.literal_count(), "worse on {s}");
+            assert!(out.equivalent(&f), "not equivalent on {s}");
+        }
+    }
+}

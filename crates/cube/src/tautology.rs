@@ -1,0 +1,214 @@
+//! Tautology checking via the unate recursive paradigm, and the Boolean
+//! containment / equivalence predicates built on it.
+
+use crate::{Cover, Cube, Lit};
+
+impl Cover {
+    /// True if the cover is a tautology (covers every minterm).
+    ///
+    /// Uses the classical unate recursive paradigm: unate variables are
+    /// reduced away, then the most binate variable is chosen for Shannon
+    /// splitting.
+    #[must_use]
+    pub fn is_tautology(&self) -> bool {
+        taut_rec(self)
+    }
+
+    /// Boolean containment: true if every minterm of `cube` is covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        assert_eq!(self.num_vars(), cube.num_vars(), "universe mismatch");
+        if cube.is_empty() {
+            return true;
+        }
+        self.cofactor(cube).is_tautology()
+    }
+
+    /// Boolean containment of covers: `other ⇒ self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn covers(&self, other: &Cover) -> bool {
+        other.cubes().iter().all(|c| self.covers_cube(c))
+    }
+
+    /// Functional equivalence of two covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn equivalent(&self, other: &Cover) -> bool {
+        self.covers(other) && other.covers(self)
+    }
+}
+
+/// Per-variable phase statistics for a cover.
+struct ColumnStats {
+    /// (positive occurrences, negative occurrences) per variable.
+    counts: Vec<(u32, u32)>,
+}
+
+fn column_stats(f: &Cover) -> ColumnStats {
+    let mut counts = vec![(0u32, 0u32); f.num_vars()];
+    for c in f.cubes() {
+        for l in c.lits() {
+            match l.phase {
+                crate::Phase::Pos => counts[l.var].0 += 1,
+                crate::Phase::Neg => counts[l.var].1 += 1,
+            }
+        }
+    }
+    ColumnStats { counts }
+}
+
+fn taut_rec(f: &Cover) -> bool {
+    // Terminal cases.
+    if f.cubes().iter().any(Cube::is_universe) {
+        return true;
+    }
+    if f.is_empty() {
+        return false;
+    }
+
+    let stats = column_stats(f);
+
+    // Quick necessary condition: a cube with k literals covers a 2^-k
+    // fraction of the space, so if the sum of 2^-k over all cubes is below
+    // 1 the cover cannot be a tautology. Computed in units of 2^-64 with an
+    // over-approximation (1 unit) for cubes of 64+ literals to stay sound.
+    let mut frac: u128 = 0;
+    for c in f.cubes() {
+        let k = c.literal_count();
+        frac = frac.saturating_add(if k < 64 { 1u128 << (64 - k as u32) } else { 1 });
+        if frac >= 1u128 << 64 {
+            break;
+        }
+    }
+    if frac < (1u128 << 64) {
+        return false;
+    }
+
+    // Unate reduction: if variable v appears in only one phase, cubes
+    // containing that literal can never help cover the opposite half, and
+    // the tautology question reduces to the cofactor against the *missing*
+    // phase (which simply deletes those cubes).
+    for (v, &(pos, neg)) in stats.counts.iter().enumerate() {
+        if pos > 0 && neg == 0 {
+            return taut_rec(&f.cofactor_lit(Lit::neg(v)));
+        }
+        if neg > 0 && pos == 0 {
+            return taut_rec(&f.cofactor_lit(Lit::pos(v)));
+        }
+    }
+
+    // Most binate variable: maximize min(pos, neg), tie-break on total.
+    let split = stats
+        .counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &(p, n))| p > 0 && n > 0)
+        .max_by_key(|(_, &(p, n))| (p.min(n), p + n))
+        .map(|(v, _)| v);
+
+    match split {
+        Some(v) => {
+            taut_rec(&f.cofactor_lit(Lit::pos(v))) && taut_rec(&f.cofactor_lit(Lit::neg(v)))
+        }
+        None => {
+            // No binate variable and no unate variable: every cube is the
+            // universal cube (handled above) — unreachable for nonempty
+            // covers without literals.
+            f.cubes().iter().any(Cube::is_universe)
+        }
+    }
+}
+
+#[allow(clippy::missing_panics_doc)]
+/// Exhaustive tautology check used to cross-validate the recursive one in
+/// tests (2^n evaluation; only for small universes).
+#[must_use]
+pub fn is_tautology_exhaustive(f: &Cover) -> bool {
+    let n = f.num_vars();
+    assert!(n <= 20, "exhaustive check limited to 20 variables");
+    let mut inputs = vec![false; n];
+    for m in 0u64..(1u64 << n) {
+        for (v, slot) in inputs.iter_mut().enumerate() {
+            *slot = (m >> v) & 1 == 1;
+        }
+        if !f.eval(&inputs) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_sop;
+
+    #[test]
+    fn simple_tautologies() {
+        assert!(parse_sop(1, "a + a'").expect("parse").is_tautology());
+        assert!(parse_sop(2, "a + a'b + a'b'").expect("parse").is_tautology());
+        assert!(parse_sop(2, "1").expect("parse").is_tautology());
+    }
+
+    #[test]
+    fn simple_non_tautologies() {
+        assert!(!parse_sop(2, "a + b").expect("parse").is_tautology());
+        assert!(!parse_sop(1, "a").expect("parse").is_tautology());
+        assert!(!parse_sop(2, "0").expect("parse").is_tautology());
+    }
+
+    #[test]
+    fn xor_cover_plus_complement_is_tautology() {
+        // a xor b = ab' + a'b ; complement = ab + a'b'
+        let f = parse_sop(2, "ab' + a'b + ab + a'b'").expect("parse");
+        assert!(f.is_tautology());
+    }
+
+    #[test]
+    fn covers_cube_boolean_not_structural() {
+        // f = ab + ab' covers cube a even though no single cube contains it.
+        let f = parse_sop(2, "ab + ab'").expect("parse");
+        let a = parse_sop(2, "a").expect("parse");
+        assert!(!f.some_cube_contains(&a.cubes()[0]));
+        assert!(f.covers_cube(&a.cubes()[0]));
+    }
+
+    #[test]
+    fn equivalence_detects_consensus() {
+        let f = parse_sop(3, "ab + a'c + bc").expect("parse");
+        let g = parse_sop(3, "ab + a'c").expect("parse");
+        assert!(f.equivalent(&g));
+        let h = parse_sop(3, "ab + a'c'").expect("parse");
+        assert!(!f.equivalent(&h));
+    }
+
+    #[test]
+    fn matches_exhaustive_on_fixed_cases() {
+        let cases = [
+            (3, "ab + a'c + bc"),
+            (3, "a + b + c + a'b'c'"),
+            (4, "ab + cd + a'b' + c'd'"),
+            (4, "a + a'b + a'b'c + a'b'c'd + a'b'c'd'"),
+            (2, "ab"),
+        ];
+        for (n, s) in cases {
+            let f = parse_sop(n, s).expect("parse");
+            assert_eq!(
+                f.is_tautology(),
+                is_tautology_exhaustive(&f),
+                "mismatch on {s}"
+            );
+        }
+    }
+}

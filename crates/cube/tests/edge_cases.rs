@@ -1,0 +1,134 @@
+//! Edge-case integration tests for the cube calculus: degenerate
+//! universes, wide universes crossing word boundaries, and API contracts.
+
+use boolsubst_cube::{
+    is_tautology_exhaustive, parse_sop, simplify, simplify_exact_cover, supercube, Cover,
+    Cube, Lit, Phase, SimplifyOptions, VarState,
+};
+
+#[test]
+fn zero_variable_universe() {
+    // Over 0 variables: the empty cover is 0, the universal cube is 1.
+    let zero = Cover::new(0);
+    assert!(zero.is_empty());
+    assert!(!zero.is_tautology());
+    let one = Cover::one(0);
+    assert!(one.is_tautology());
+    assert!(one.eval(&[]));
+    assert!(!zero.eval(&[]));
+    let compl = zero.complement();
+    assert!(compl.is_tautology());
+}
+
+#[test]
+fn wide_universe_word_boundaries() {
+    // 129 variables: three words, literals at every boundary.
+    let n = 129;
+    let lits = [0, 31, 32, 63, 64, 95, 96, 127, 128];
+    let cube = Cube::from_lits(n, &lits.map(Lit::pos));
+    assert_eq!(cube.literal_count(), lits.len());
+    for &v in &lits {
+        assert_eq!(cube.var_state(v), VarState::Pos);
+    }
+    // Containment across words.
+    let weaker = Cube::from_lits(n, &[Lit::pos(64)]);
+    assert!(weaker.contains(&cube));
+    assert!(!cube.contains(&weaker));
+    // Distance across words.
+    let flipped = Cube::from_lits(n, &lits.map(Lit::neg));
+    assert_eq!(cube.distance(&flipped), lits.len());
+}
+
+#[test]
+fn cover_collects_and_extends() {
+    let cubes = vec![
+        Cube::from_lits(3, &[Lit::pos(0)]),
+        Cube::from_lits(3, &[Lit::neg(1)]),
+    ];
+    let c: Cover = cubes.clone().into_iter().collect();
+    assert_eq!(c.len(), 2);
+    let mut d = Cover::new(3);
+    d.extend(cubes);
+    assert_eq!(d.len(), 2);
+}
+
+#[test]
+fn empty_cube_is_dropped_everywhere() {
+    let mut c = Cover::new(2);
+    c.push(Cube::from_lits(2, &[Lit::pos(0), Lit::neg(0)]));
+    assert!(c.is_empty());
+    // Complement of constant 0 is constant 1.
+    assert!(c.complement().is_tautology());
+}
+
+#[test]
+fn supercube_of_disjoint_is_universe() {
+    let a = parse_sop(2, "ab").expect("p");
+    let b = parse_sop(2, "a'b'").expect("p");
+    let s = supercube(&a.cubes()[0], &b.cubes()[0]);
+    assert!(s.is_universe());
+}
+
+#[test]
+fn simplify_handles_tautology_input() {
+    let f = parse_sop(2, "a + a'").expect("p");
+    let out = simplify_exact_cover(&f);
+    assert!(out.is_tautology());
+    assert!(out.literal_count() <= 2);
+}
+
+#[test]
+fn simplify_with_overlapping_dc_drops_optional_minterms() {
+    let on = parse_sop(2, "ab + a'b").expect("p");
+    let dc = parse_sop(2, "b").expect("p"); // everything optional
+    let out = simplify(&on, &dc, SimplifyOptions::default());
+    // Result may be anything inside the envelope; check the envelope.
+    assert!(on.or(&dc).covers(&out));
+}
+
+#[test]
+fn tautology_on_wide_random_covers_matches_exhaustive() {
+    // Deterministic pseudo-random covers over 10 vars.
+    let mut seed = 0x1234_5678u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for _ in 0..30 {
+        let mut cover = Cover::new(10);
+        for _ in 0..(next() % 12 + 1) {
+            let mut cube = Cube::universe(10);
+            for _ in 0..(next() % 3 + 1) {
+                let v = (next() % 10) as usize;
+                let phase = if next() % 2 == 0 { Phase::Pos } else { Phase::Neg };
+                cube.restrict(Lit { var: v, phase });
+            }
+            cover.push(cube);
+        }
+        assert_eq!(cover.is_tautology(), is_tautology_exhaustive(&cover));
+    }
+}
+
+#[test]
+fn remapped_permutes_support() {
+    let f = parse_sop(3, "ab' + c").expect("p");
+    // Swap variables 0 and 2.
+    let g = f.remapped(3, &[2, 1, 0]);
+    let want = parse_sop(3, "cb' + a").expect("p");
+    assert!(g.equivalent(&want));
+}
+
+#[test]
+fn parse_rejects_out_of_universe() {
+    assert!(parse_sop(2, "abc").is_err());
+    assert!(parse_sop(0, "a").is_err());
+    assert!(parse_sop(2, "").is_err());
+}
+
+#[test]
+fn display_of_wide_vars() {
+    let c = Cube::from_lits(30, &[Lit::pos(26), Lit::neg(29)]);
+    assert_eq!(c.to_string(), "v26v29'");
+}

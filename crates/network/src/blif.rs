@@ -1,0 +1,543 @@
+//! Minimal BLIF reader/writer covering the combinational subset used by
+//! the workloads: `.model`, `.inputs`, `.outputs`, `.names`, `.end`.
+
+use crate::{Network, NodeId};
+use boolsubst_cube::{Cover, Cube, Lit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced when parsing BLIF text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlifError {
+    line: usize,
+    msg: String,
+}
+
+impl ParseBlifError {
+    fn new(line: usize, msg: impl Into<String>) -> ParseBlifError {
+        ParseBlifError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+struct RawNames {
+    line: usize,
+    signals: Vec<String>,
+    /// (input pattern, output char) rows.
+    rows: Vec<(String, char)>,
+}
+
+/// Parses a combinational BLIF model into a [`Network`].
+///
+/// Supports `.model`, `.inputs`, `.outputs`, `.names` (single-output cover
+/// rows with `0`, `1`, `-` input columns and `0`/`1` output), comments
+/// (`#`), line continuations (`\`), and an optional `.exdc` section whose
+/// covers (matched to outputs by name) become the network's external
+/// don't-care network. Latches and subcircuits are rejected.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on malformed input.
+pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
+    // Join continuation lines and strip comments first.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let without_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let chunk = without_comment.trim_end();
+        if pending.is_empty() {
+            pending_line = line_no;
+        }
+        if let Some(stripped) = chunk.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(chunk);
+        let full = pending.trim().to_string();
+        pending.clear();
+        if !full.is_empty() {
+            logical.push((pending_line, full));
+        }
+    }
+
+    let mut model_name = String::from("unnamed");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut names_blocks: Vec<RawNames> = Vec::new();
+    let mut current: Option<RawNames> = None;
+
+    let logical_all = logical;
+    let mut exdc_lines: Vec<(usize, String)> = Vec::new();
+    let logical: Vec<(usize, String)> = {
+        let mut main = Vec::new();
+        let mut in_exdc = false;
+        for (ln, s) in logical_all {
+            if s.split_whitespace().next() == Some(".exdc") {
+                in_exdc = true;
+                continue;
+            }
+            if in_exdc {
+                exdc_lines.push((ln, s));
+            } else {
+                main.push((ln, s));
+            }
+        }
+        main
+    };
+
+    for (line_no, line) in logical {
+        if line.starts_with('.') {
+            if let Some(block) = current.take() {
+                names_blocks.push(block);
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().expect("nonempty");
+            match directive {
+                ".model" => {
+                    if let Some(n) = parts.next() {
+                        model_name = n.to_string();
+                    }
+                }
+                ".inputs" => input_names.extend(parts.map(str::to_string)),
+                ".outputs" => output_names.extend(parts.map(str::to_string)),
+                ".names" => {
+                    let signals: Vec<String> = parts.map(str::to_string).collect();
+                    if signals.is_empty() {
+                        return Err(ParseBlifError::new(line_no, ".names with no signals"));
+                    }
+                    current = Some(RawNames { line: line_no, signals, rows: Vec::new() });
+                }
+                ".end" => break,
+                other => {
+                    return Err(ParseBlifError::new(
+                        line_no,
+                        format!("unsupported directive {other:?}"),
+                    ));
+                }
+            }
+        } else if let Some(block) = current.as_mut() {
+            let mut parts = line.split_whitespace();
+            let (pattern, out) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(p), Some(o), None) => (p.to_string(), o),
+                (Some(o), None, None) if block.signals.len() == 1 => (String::new(), o),
+                _ => {
+                    return Err(ParseBlifError::new(line_no, "malformed cover row"));
+                }
+            };
+            if out.len() != 1 || !matches!(out, "0" | "1") {
+                return Err(ParseBlifError::new(line_no, "cover output must be 0 or 1"));
+            }
+            block.rows.push((pattern, out.chars().next().expect("checked")));
+        } else {
+            return Err(ParseBlifError::new(line_no, "cover row outside .names"));
+        }
+    }
+    if let Some(block) = current.take() {
+        names_blocks.push(block);
+    }
+
+    let mut net = build_network(&model_name, &input_names, &output_names, &names_blocks)?;
+    if !exdc_lines.is_empty() {
+        let dc = parse_exdc_section(&exdc_lines, &input_names, &output_names)?;
+        net.set_exdc(dc)
+            .map_err(|e| ParseBlifError::new(0, e.to_string()))?;
+    }
+    Ok(net)
+}
+
+/// Parses the `.exdc` section: `.names` blocks over the main model's
+/// inputs, whose outputs (matched by name) mark don't-care input
+/// combinations. Ends at `.end`.
+fn parse_exdc_section(
+    lines: &[(usize, String)],
+    input_names: &[String],
+    output_names: &[String],
+) -> Result<Network, ParseBlifError> {
+    let mut blocks: Vec<RawNames> = Vec::new();
+    let mut current: Option<RawNames> = None;
+    for (line_no, line) in lines {
+        if line.starts_with('.') {
+            if let Some(block) = current.take() {
+                blocks.push(block);
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next().expect("nonempty") {
+                ".names" => {
+                    let signals: Vec<String> = parts.map(str::to_string).collect();
+                    if signals.is_empty() {
+                        return Err(ParseBlifError::new(*line_no, ".names with no signals"));
+                    }
+                    current = Some(RawNames { line: *line_no, signals, rows: Vec::new() });
+                }
+                ".end" => break,
+                other => {
+                    return Err(ParseBlifError::new(
+                        *line_no,
+                        format!("unsupported directive {other:?} in .exdc"),
+                    ));
+                }
+            }
+        } else if let Some(block) = current.as_mut() {
+            let mut parts = line.split_whitespace();
+            let (pattern, out) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(p), Some(o), None) => (p.to_string(), o),
+                (Some(o), None, None) if block.signals.len() == 1 => (String::new(), o),
+                _ => return Err(ParseBlifError::new(*line_no, "malformed cover row")),
+            };
+            if out.len() != 1 || !matches!(out, "0" | "1") {
+                return Err(ParseBlifError::new(*line_no, "cover output must be 0 or 1"));
+            }
+            block.rows.push((pattern, out.chars().next().expect("checked")));
+        } else {
+            return Err(ParseBlifError::new(*line_no, "cover row outside .names in .exdc"));
+        }
+    }
+    if let Some(block) = current.take() {
+        blocks.push(block);
+    }
+    // The DC network's outputs are the blocks whose output signal names a
+    // main-model output.
+    let dc_outputs: Vec<String> = blocks
+        .iter()
+        .filter_map(|b| {
+            let name = b.signals.last().expect("nonempty");
+            output_names.contains(name).then(|| name.clone())
+        })
+        .collect();
+    build_network("exdc", input_names, &dc_outputs, &blocks)
+}
+
+fn build_network(
+    model_name: &str,
+    input_names: &[String],
+    output_names: &[String],
+    blocks: &[RawNames],
+) -> Result<Network, ParseBlifError> {
+    let mut net = Network::new(model_name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    for n in input_names {
+        let id = net
+            .add_input(n)
+            .map_err(|e| ParseBlifError::new(0, e.to_string()))?;
+        ids.insert(n.clone(), id);
+    }
+
+    // Topologically sort the blocks: a block is ready when all its fanins
+    // are defined.
+    let mut remaining: Vec<&RawNames> = blocks.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|block| {
+            let out_name = block.signals.last().expect("nonempty");
+            let fanin_names = &block.signals[..block.signals.len() - 1];
+            if !fanin_names.iter().all(|f| ids.contains_key(f)) {
+                return true; // not ready yet
+            }
+            let fanins: Vec<NodeId> = fanin_names.iter().map(|f| ids[f]).collect();
+            let cover = match rows_to_cover(block, fanin_names.len()) {
+                Ok(c) => c,
+                Err(_) => return true, // surfaced below via the stall check
+            };
+            match net.add_node(out_name, fanins, cover) {
+                Ok(id) => {
+                    ids.insert(out_name.clone(), id);
+                    false
+                }
+                Err(_) => true,
+            }
+        });
+        if remaining.len() == before {
+            // Stalled: report the first offender precisely.
+            let block = remaining[0];
+            let fanin_names = &block.signals[..block.signals.len() - 1];
+            rows_to_cover(block, fanin_names.len())?;
+            let missing = fanin_names
+                .iter()
+                .find(|f| !ids.contains_key(*f))
+                .cloned()
+                .unwrap_or_else(|| "?".into());
+            return Err(ParseBlifError::new(
+                block.line,
+                format!("undefined or cyclic signal {missing:?}"),
+            ));
+        }
+    }
+
+    for o in output_names {
+        let id = *ids
+            .get(o)
+            .ok_or_else(|| ParseBlifError::new(0, format!("undriven output {o:?}")))?;
+        net.add_output(o, id)
+            .map_err(|e| ParseBlifError::new(0, e.to_string()))?;
+    }
+    Ok(net)
+}
+
+fn rows_to_cover(block: &RawNames, num_vars: usize) -> Result<Cover, ParseBlifError> {
+    let mut on = Cover::new(num_vars);
+    let mut off = Cover::new(num_vars);
+    let mut out_value: Option<char> = None;
+    for (pattern, out) in &block.rows {
+        if let Some(prev) = out_value {
+            if prev != *out {
+                return Err(ParseBlifError::new(
+                    block.line,
+                    "mixed 0 and 1 output rows in one .names",
+                ));
+            }
+        }
+        out_value = Some(*out);
+        if pattern.len() != num_vars {
+            return Err(ParseBlifError::new(
+                block.line,
+                format!("pattern {pattern:?} has wrong width (want {num_vars})"),
+            ));
+        }
+        let mut cube = Cube::universe(num_vars);
+        for (v, ch) in pattern.chars().enumerate() {
+            match ch {
+                '1' => cube.restrict(Lit::pos(v)),
+                '0' => cube.restrict(Lit::neg(v)),
+                '-' => {}
+                other => {
+                    return Err(ParseBlifError::new(
+                        block.line,
+                        format!("bad pattern character {other:?}"),
+                    ));
+                }
+            }
+        }
+        match out {
+            '1' => on.push(cube),
+            _ => off.push(cube),
+        }
+    }
+    match out_value {
+        None => Ok(Cover::new(num_vars)), // no rows: constant 0
+        Some('1') => Ok(on),
+        Some(_) => Ok(off.complement()),
+    }
+}
+
+/// Serializes a network as BLIF text.
+#[must_use]
+pub fn write_blif(net: &Network) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {}", net.name());
+    let _ = write!(s, ".inputs");
+    for &i in net.inputs() {
+        let _ = write!(s, " {}", net.node(i).name());
+    }
+    let _ = writeln!(s);
+    let _ = write!(s, ".outputs");
+    for (name, _) in net.outputs() {
+        let _ = write!(s, " {name}");
+    }
+    let _ = writeln!(s);
+    for id in net.topo_order() {
+        let node = net.node(id);
+        let Some(cover) = node.cover() else { continue };
+        let _ = write!(s, ".names");
+        for &f in node.fanins() {
+            let _ = write!(s, " {}", net.node(f).name());
+        }
+        let _ = writeln!(s, " {}", node.name());
+        let n = node.fanins().len();
+        if cover.is_empty() {
+            continue; // constant 0: no rows
+        }
+        for cube in cover.cubes() {
+            let mut row = String::with_capacity(n + 2);
+            for v in 0..n {
+                row.push(match cube.var_state(v) {
+                    boolsubst_cube::VarState::Pos => '1',
+                    boolsubst_cube::VarState::Neg => '0',
+                    _ => '-',
+                });
+            }
+            let _ = writeln!(s, "{row} 1");
+        }
+    }
+    // Outputs whose name differs from the driver need a buffer.
+    for (name, id) in net.outputs() {
+        if net.node(*id).name() != name {
+            let _ = writeln!(s, ".names {} {}", net.node(*id).name(), name);
+            let _ = writeln!(s, "1 1");
+        }
+    }
+    if let Some(dc) = net.exdc() {
+        s.push_str(".exdc\n");
+        for id in dc.topo_order() {
+            let node = dc.node(id);
+            let Some(cover) = node.cover() else { continue };
+            let _ = write!(s, ".names");
+            for &f in node.fanins() {
+                let _ = write!(s, " {}", dc.node(f).name());
+            }
+            let _ = writeln!(s, " {}", node.name());
+            for cube in cover.cubes() {
+                let mut row = String::new();
+                for v in 0..node.fanins().len() {
+                    row.push(match cube.var_state(v) {
+                        boolsubst_cube::VarState::Pos => '1',
+                        boolsubst_cube::VarState::Neg => '0',
+                        _ => '-',
+                    });
+                }
+                let _ = writeln!(s, "{row} 1");
+            }
+        }
+    }
+    s.push_str(".end\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny sample
+.model sample
+.inputs a b c
+.outputs f
+.names a b g
+11 1
+.names g c f
+1- 1
+-1 1
+.end
+";
+
+    #[test]
+    fn parse_sample() {
+        let net = parse_blif(SAMPLE).expect("parse");
+        net.check_invariants();
+        assert_eq!(net.name(), "sample");
+        assert_eq!(net.inputs().len(), 3);
+        assert_eq!(net.outputs().len(), 1);
+        // f = ab + c
+        assert_eq!(net.eval_outputs(&[true, true, false]), vec![true]);
+        assert_eq!(net.eval_outputs(&[true, false, false]), vec![false]);
+        assert_eq!(net.eval_outputs(&[false, false, true]), vec![true]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let net = parse_blif(SAMPLE).expect("parse");
+        let text = write_blif(&net);
+        let again = parse_blif(&text).expect("reparse");
+        for m in 0u32..8 {
+            let inputs: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(net.eval_outputs(&inputs), again.eval_outputs(&inputs));
+        }
+    }
+
+    #[test]
+    fn zero_rows_complemented() {
+        let text = "\
+.model inv
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+";
+        let net = parse_blif(text).expect("parse");
+        // f = (ab)' = a' + b'
+        assert_eq!(net.eval_outputs(&[true, true]), vec![false]);
+        assert_eq!(net.eval_outputs(&[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn constant_nodes() {
+        let text = "\
+.model consts
+.inputs a
+.outputs one zero f
+.names one
+1
+.names zero
+.names a one f
+11 1
+.end
+";
+        let net = parse_blif(text).expect("parse");
+        assert_eq!(net.eval_outputs(&[true]), vec![true, false, true]);
+        assert_eq!(net.eval_outputs(&[false]), vec![true, false, false]);
+    }
+
+    #[test]
+    fn out_of_order_blocks() {
+        let text = "\
+.model ooo
+.inputs a b
+.outputs f
+.names g b f
+11 1
+.names a b g
+10 1
+.end
+";
+        let net = parse_blif(text).expect("parse");
+        assert_eq!(net.eval_outputs(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\n2 1\n.end\n").is_err());
+        assert!(parse_blif(".model m\n.inputs a\n.outputs f\n.end\n").is_err());
+        assert!(parse_blif("11 1\n").is_err());
+        // Cycle: f depends on g depends on f.
+        let cyc = ".model c\n.inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n";
+        assert!(parse_blif(cyc).is_err());
+    }
+
+    #[test]
+    fn exdc_section_roundtrip() {
+        let text = "\
+.model dcdemo
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.exdc
+.names a b f
+00 1
+.end
+";
+        let net = parse_blif(text).expect("parse");
+        let dc = net.exdc().expect("exdc attached");
+        assert_eq!(dc.outputs().len(), 1);
+        // DC marks the input 00 as unconstrained.
+        assert!(dc.eval_outputs(&[false, false])[0]);
+        assert!(!dc.eval_outputs(&[true, false])[0]);
+        let again = parse_blif(&write_blif(&net)).expect("reparse");
+        assert!(again.exdc().is_some());
+        assert_eq!(
+            again.exdc().expect("exdc").eval_outputs(&[false, false]),
+            vec![true]
+        );
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let net = parse_blif(text).expect("parse");
+        assert_eq!(net.inputs().len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Graphviz DOT export for visual inspection of networks.
+
+use crate::Network;
+use std::fmt::Write as _;
+
+/// Renders the network as a Graphviz digraph: primary inputs as boxes,
+/// internal nodes as ellipses labelled with their factored size, primary
+/// outputs as double circles.
+#[must_use]
+pub fn to_dot(net: &Network) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", net.name());
+    let _ = writeln!(s, "  rankdir=LR;");
+    for &pi in net.inputs() {
+        let _ = writeln!(s, "  \"{}\" [shape=box];", net.node(pi).name());
+    }
+    for id in net.internal_ids() {
+        let node = net.node(id);
+        let lits = node.cover().map_or(0, boolsubst_cube::Cover::literal_count);
+        let _ = writeln!(
+            s,
+            "  \"{}\" [shape=ellipse, label=\"{}\\n{} lits\"];",
+            node.name(),
+            node.name(),
+            lits
+        );
+        for &f in node.fanins() {
+            let _ = writeln!(s, "  \"{}\" -> \"{}\";", net.node(f).name(), node.name());
+        }
+    }
+    for (name, o) in net.outputs() {
+        let driver = net.node(*o).name();
+        let _ = writeln!(s, "  \"out:{name}\" [shape=doublecircle];");
+        let _ = writeln!(s, "  \"{driver}\" -> \"out:{name}\";");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_blif;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let net = parse_blif(
+            ".model d\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n",
+        )
+        .expect("parse");
+        let dot = to_dot(&net);
+        assert!(dot.contains("digraph \"d\""));
+        assert!(dot.contains("\"a\" [shape=box]"));
+        assert!(dot.contains("\"a\" -> \"f\""));
+        assert!(dot.contains("\"b\" -> \"f\""));
+        assert!(dot.contains("out:f"));
+    }
+}

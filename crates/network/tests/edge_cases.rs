@@ -1,0 +1,102 @@
+//! Edge-case integration tests for the network layer.
+
+use boolsubst_cube::{parse_sop, Cover};
+use boolsubst_network::{parse_blif, random_sim_equivalent, to_dot, write_blif, Network};
+
+#[test]
+fn constant_only_network() {
+    let mut net = Network::new("konst");
+    let one = net.add_node("one", Vec::new(), Cover::one(0)).expect("one");
+    let zero = net.add_node("zero", Vec::new(), Cover::new(0)).expect("zero");
+    net.add_output("one", one).expect("o");
+    net.add_output("zero", zero).expect("o");
+    net.check_invariants();
+    assert_eq!(net.eval_outputs(&[]), vec![true, false]);
+    let text = write_blif(&net);
+    let again = parse_blif(&text).expect("roundtrip");
+    assert_eq!(again.eval_outputs(&[]), vec![true, false]);
+}
+
+#[test]
+fn output_driven_by_primary_input() {
+    let mut net = Network::new("wire");
+    let a = net.add_input("a").expect("a");
+    net.add_output("f", a).expect("o");
+    net.check_invariants();
+    assert_eq!(net.eval_outputs(&[true]), vec![true]);
+    let again = parse_blif(&write_blif(&net)).expect("roundtrip");
+    assert_eq!(again.eval_outputs(&[false]), vec![false]);
+}
+
+#[test]
+fn same_node_drives_multiple_outputs() {
+    let mut net = Network::new("multi");
+    let a = net.add_input("a").expect("a");
+    let b = net.add_input("b").expect("b");
+    let g = net
+        .add_node("g", vec![a, b], parse_sop(2, "ab").expect("p"))
+        .expect("g");
+    net.add_output("x", g).expect("o");
+    net.add_output("y", g).expect("o");
+    assert_eq!(net.eval_outputs(&[true, true]), vec![true, true]);
+    let again = parse_blif(&write_blif(&net)).expect("roundtrip");
+    assert_eq!(again.outputs().len(), 2);
+    assert!(random_sim_equivalent(&net, &again, 50, 3));
+}
+
+#[test]
+fn eliminate_negative_threshold_still_collapses_dead_value() {
+    // value = -1 nodes (single literal, single use) collapse even at
+    // threshold -1.
+    let mut net = Network::new("neg");
+    let a = net.add_input("a").expect("a");
+    let buf = net
+        .add_node("buf", vec![a], parse_sop(1, "a").expect("p"))
+        .expect("buf");
+    let f = net
+        .add_node("f", vec![buf], parse_sop(1, "a'").expect("p"))
+        .expect("f");
+    net.add_output("f", f).expect("o");
+    let k = net.eliminate(-1);
+    assert_eq!(k, 1);
+    net.check_invariants();
+}
+
+#[test]
+fn find_and_fresh_names() {
+    let mut net = Network::new("names");
+    let a = net.add_input("a").expect("a");
+    assert_eq!(net.find("a"), Some(a));
+    assert_eq!(net.find("nope"), None);
+    let fresh = net.fresh_name();
+    assert!(net.find(&fresh).is_none());
+    assert!(fresh.starts_with("[t"));
+}
+
+#[test]
+fn dot_export_handles_constants_and_outputs() {
+    let mut net = Network::new("dot");
+    let a = net.add_input("a").expect("a");
+    let k = net.add_node("k1", Vec::new(), Cover::one(0)).expect("k");
+    let f = net
+        .add_node("f", vec![a, k], parse_sop(2, "ab").expect("p"))
+        .expect("f");
+    net.add_output("f", f).expect("o");
+    let dot = to_dot(&net);
+    assert!(dot.contains("\"k1\""));
+    assert!(dot.contains("\"a\" -> \"f\""));
+}
+
+#[test]
+fn blif_name_with_brackets_roundtrips() {
+    let mut net = Network::new("brackets");
+    let a = net.add_input("a").expect("a");
+    let b = net.add_input("b").expect("b");
+    let name = net.fresh_name();
+    let g = net
+        .add_node(&name, vec![a, b], parse_sop(2, "a + b").expect("p"))
+        .expect("g");
+    net.add_output("out", g).expect("o");
+    let again = parse_blif(&write_blif(&net)).expect("roundtrip");
+    assert!(random_sim_equivalent(&net, &again, 20, 1));
+}

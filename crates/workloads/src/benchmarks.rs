@@ -1,0 +1,876 @@
+//! The benchmark substrate: constructors for classic MCNC/ISCAS-style
+//! circuit *functions* (adders, symmetric counters, comparators, decoders,
+//! parity and majority logic, ALU slices), used in place of the original
+//! benchmark files, which are not distributable here. See DESIGN.md §3 for
+//! why this substitution preserves the experiments' shape.
+
+use boolsubst_cube::{Cover, Cube, Lit};
+use boolsubst_network::{Network, NodeId};
+
+fn cover1(n: usize, cubes: &[&[Lit]]) -> Cover {
+    Cover::from_cubes(n, cubes.iter().map(|ls| Cube::from_lits(n, ls)).collect())
+}
+
+/// n-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs `s0..`,
+/// `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn ripple_adder(n: usize) -> Network {
+    assert!(n > 0, "adder width must be positive");
+    let mut net = Network::new(format!("add{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("input"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("input"))
+        .collect();
+    let mut carry = net.add_input("cin").expect("input");
+    for i in 0..n {
+        // s = a ⊕ b ⊕ c ; co = ab + ac + bc (over fanins [a, b, c])
+        let xor3 = cover1(
+            3,
+            &[
+                &[Lit::pos(0), Lit::neg(1), Lit::neg(2)],
+                &[Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+                &[Lit::neg(0), Lit::neg(1), Lit::pos(2)],
+                &[Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+            ],
+        );
+        let maj = cover1(
+            3,
+            &[
+                &[Lit::pos(0), Lit::pos(1)],
+                &[Lit::pos(0), Lit::pos(2)],
+                &[Lit::pos(1), Lit::pos(2)],
+            ],
+        );
+        let s = net
+            .add_node(format!("s{i}"), vec![a[i], b[i], carry], xor3)
+            .expect("sum node");
+        let co = net
+            .add_node(format!("c{}", i + 1), vec![a[i], b[i], carry], maj)
+            .expect("carry node");
+        net.add_output(format!("s{i}"), s).expect("output");
+        carry = co;
+    }
+    net.add_output("cout", carry).expect("output");
+    net
+}
+
+/// rd-style symmetric function (rd53, rd73, rd84 families): the outputs
+/// are the binary digits of the popcount of `n` inputs, built as a tree of
+/// full/half adders.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16`.
+#[must_use]
+pub fn symmetric_rd(n: usize) -> Network {
+    assert!((1..=16).contains(&n), "rd input count out of range");
+    let mut net = Network::new(format!("rd{n}"));
+    // Column-compression: maintain buckets of bits per weight.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new()];
+    for i in 0..n {
+        let pi = net.add_input(format!("x{i}")).expect("input");
+        columns[0].push(pi);
+    }
+    let xor2 = cover1(2, &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]]);
+    let and2 = cover1(2, &[&[Lit::pos(0), Lit::pos(1)]]);
+    let xor3 = cover1(
+        3,
+        &[
+            &[Lit::pos(0), Lit::neg(1), Lit::neg(2)],
+            &[Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            &[Lit::neg(0), Lit::neg(1), Lit::pos(2)],
+            &[Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+        ],
+    );
+    let maj3 = cover1(
+        3,
+        &[
+            &[Lit::pos(0), Lit::pos(1)],
+            &[Lit::pos(0), Lit::pos(2)],
+            &[Lit::pos(1), Lit::pos(2)],
+        ],
+    );
+    let mut counter = 0usize;
+    let mut w = 0usize;
+    while w < columns.len() {
+        while columns[w].len() > 1 {
+            if columns[w].len() >= 3 {
+                let x = columns[w].remove(0);
+                let y = columns[w].remove(0);
+                let z = columns[w].remove(0);
+                let s = net
+                    .add_node(format!("fa_s{counter}"), vec![x, y, z], xor3.clone())
+                    .expect("fa sum");
+                let c = net
+                    .add_node(format!("fa_c{counter}"), vec![x, y, z], maj3.clone())
+                    .expect("fa carry");
+                counter += 1;
+                columns[w].push(s);
+                if columns.len() <= w + 1 {
+                    columns.push(Vec::new());
+                }
+                columns[w + 1].push(c);
+            } else {
+                let x = columns[w].remove(0);
+                let y = columns[w].remove(0);
+                let s = net
+                    .add_node(format!("ha_s{counter}"), vec![x, y], xor2.clone())
+                    .expect("ha sum");
+                let c = net
+                    .add_node(format!("ha_c{counter}"), vec![x, y], and2.clone())
+                    .expect("ha carry");
+                counter += 1;
+                columns[w].push(s);
+                if columns.len() <= w + 1 {
+                    columns.push(Vec::new());
+                }
+                columns[w + 1].push(c);
+            }
+        }
+        w += 1;
+    }
+    for (w, col) in columns.iter().enumerate() {
+        if let Some(&bit) = col.first() {
+            net.add_output(format!("o{w}"), bit).expect("output");
+        }
+    }
+    net
+}
+
+/// n-input odd-parity tree (the 9symml / parity family).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn parity(n: usize) -> Network {
+    assert!(n >= 2, "parity needs at least two inputs");
+    let mut net = Network::new(format!("parity{n}"));
+    let xor2 = cover1(2, &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]]);
+    let mut level: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("x{i}")).expect("input"))
+        .collect();
+    let mut counter = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let g = net
+                    .add_node(format!("p{counter}"), vec![pair[0], pair[1]], xor2.clone())
+                    .expect("xor node");
+                counter += 1;
+                next.push(g);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    net.add_output("parity", level[0]).expect("output");
+    net
+}
+
+/// n-bit magnitude comparator: outputs `lt`, `eq` for inputs `a`, `b`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn comparator(n: usize) -> Network {
+    assert!(n > 0, "comparator width must be positive");
+    let mut net = Network::new(format!("cmp{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("input"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("input"))
+        .collect();
+    // eq_i = a_i xnor b_i ; lt_i = a_i' b_i
+    let xnor = cover1(2, &[&[Lit::pos(0), Lit::pos(1)], &[Lit::neg(0), Lit::neg(1)]]);
+    let ltc = cover1(2, &[&[Lit::neg(0), Lit::pos(1)]]);
+    let mut eq_chain: Option<NodeId> = None;
+    let mut lt_acc: Option<NodeId> = None;
+    for i in (0..n).rev() {
+        let eq_i = net
+            .add_node(format!("eq{i}"), vec![a[i], b[i]], xnor.clone())
+            .expect("eq node");
+        let lt_i = net
+            .add_node(format!("ltb{i}"), vec![a[i], b[i]], ltc.clone())
+            .expect("lt node");
+        // lt := lt_so_far + eq_so_far·lt_i ; eq := eq_so_far·eq_i
+        match (eq_chain, lt_acc) {
+            (None, None) => {
+                eq_chain = Some(eq_i);
+                lt_acc = Some(lt_i);
+            }
+            (Some(eqp), Some(ltp)) => {
+                let lt_new = net
+                    .add_node(
+                        format!("lt{i}"),
+                        vec![ltp, eqp, lt_i],
+                        cover1(3, &[&[Lit::pos(0)], &[Lit::pos(1), Lit::pos(2)]]),
+                    )
+                    .expect("lt chain");
+                let eq_new = net
+                    .add_node(
+                        format!("eqc{i}"),
+                        vec![eqp, eq_i],
+                        cover1(2, &[&[Lit::pos(0), Lit::pos(1)]]),
+                    )
+                    .expect("eq chain");
+                eq_chain = Some(eq_new);
+                lt_acc = Some(lt_new);
+            }
+            _ => unreachable!("chains advance together"),
+        }
+    }
+    net.add_output("lt", lt_acc.expect("nonempty")).expect("output");
+    net.add_output("eq", eq_chain.expect("nonempty")).expect("output");
+    net
+}
+
+/// k-to-2^k decoder with enable.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 6`.
+#[must_use]
+pub fn decoder(k: usize) -> Network {
+    assert!((1..=6).contains(&k), "decoder size out of range");
+    let mut net = Network::new(format!("dec{k}"));
+    let sel: Vec<NodeId> = (0..k)
+        .map(|i| net.add_input(format!("s{i}")).expect("input"))
+        .collect();
+    let en = net.add_input("en").expect("input");
+    for m in 0..(1usize << k) {
+        let mut lits = vec![Lit::pos(k)]; // enable is fanin k
+        for (i, _) in sel.iter().enumerate() {
+            lits.push(if (m >> i) & 1 == 1 { Lit::pos(i) } else { Lit::neg(i) });
+        }
+        let mut fanins = sel.clone();
+        fanins.push(en);
+        let g = net
+            .add_node(format!("y{m}"), fanins, cover1(k + 1, &[&lits]))
+            .expect("decoder node");
+        net.add_output(format!("y{m}"), g).expect("output");
+    }
+    net
+}
+
+/// 2^k-to-1 multiplexer tree.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 5`.
+#[must_use]
+pub fn mux_tree(k: usize) -> Network {
+    assert!((1..=5).contains(&k), "mux size out of range");
+    let mut net = Network::new(format!("mux{k}"));
+    let sel: Vec<NodeId> = (0..k)
+        .map(|i| net.add_input(format!("s{i}")).expect("input"))
+        .collect();
+    let mut level: Vec<NodeId> = (0..(1usize << k))
+        .map(|i| net.add_input(format!("d{i}")).expect("input"))
+        .collect();
+    // mux(s, a, b) = s'a + sb over fanins [s, a, b]
+    let mux = cover1(
+        3,
+        &[&[Lit::neg(0), Lit::pos(1)], &[Lit::pos(0), Lit::pos(2)]],
+    );
+    let mut counter = 0;
+    for s in &sel {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            let g = net
+                .add_node(format!("m{counter}"), vec![*s, pair[0], pair[1]], mux.clone())
+                .expect("mux node");
+            counter += 1;
+            next.push(g);
+        }
+        level = next;
+    }
+    net.add_output("out", level[0]).expect("output");
+    net
+}
+
+/// A small ALU slice: two n-bit operands, 2-bit opcode selecting
+/// AND/OR/XOR/ADD, one n-bit result (plus carry).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn alu_slice(n: usize) -> Network {
+    assert!(n > 0, "alu width must be positive");
+    let mut net = Network::new(format!("alu{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("input"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("input"))
+        .collect();
+    let op0 = net.add_input("op0").expect("input");
+    let op1 = net.add_input("op1").expect("input");
+    let and2 = cover1(2, &[&[Lit::pos(0), Lit::pos(1)]]);
+    let or2 = cover1(2, &[&[Lit::pos(0)], &[Lit::pos(1)]]);
+    let xor2 = cover1(2, &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]]);
+    let maj3 = cover1(
+        3,
+        &[
+            &[Lit::pos(0), Lit::pos(1)],
+            &[Lit::pos(0), Lit::pos(2)],
+            &[Lit::pos(1), Lit::pos(2)],
+        ],
+    );
+    let xor3 = cover1(
+        3,
+        &[
+            &[Lit::pos(0), Lit::neg(1), Lit::neg(2)],
+            &[Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            &[Lit::neg(0), Lit::neg(1), Lit::pos(2)],
+            &[Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+        ],
+    );
+    let zero = net
+        .add_node("zero", Vec::new(), Cover::new(0))
+        .expect("constant zero");
+    let mut carry = zero;
+    for i in 0..n {
+        let g_and = net
+            .add_node(format!("and{i}"), vec![a[i], b[i]], and2.clone())
+            .expect("and");
+        let g_or = net
+            .add_node(format!("or{i}"), vec![a[i], b[i]], or2.clone())
+            .expect("or");
+        let g_xor = net
+            .add_node(format!("xor{i}"), vec![a[i], b[i]], xor2.clone())
+            .expect("xor");
+        let g_sum = net
+            .add_node(format!("sum{i}"), vec![a[i], b[i], carry], xor3.clone())
+            .expect("sum");
+        let g_carry = net
+            .add_node(format!("cry{i}"), vec![a[i], b[i], carry], maj3.clone())
+            .expect("carry");
+        carry = g_carry;
+        // result = op1'op0'·and + op1'op0·or + op1 op0'·xor + op1 op0·sum
+        let res_cover = cover1(
+            6,
+            &[
+                &[Lit::neg(0), Lit::neg(1), Lit::pos(2)],
+                &[Lit::neg(0), Lit::pos(1), Lit::pos(3)],
+                &[Lit::pos(0), Lit::neg(1), Lit::pos(4)],
+                &[Lit::pos(0), Lit::pos(1), Lit::pos(5)],
+            ],
+        );
+        let r = net
+            .add_node(
+                format!("r{i}"),
+                vec![op1, op0, g_and, g_or, g_xor, g_sum],
+                res_cover,
+            )
+            .expect("result");
+        net.add_output(format!("r{i}"), r).expect("output");
+    }
+    net.add_output("cout", carry).expect("output");
+    net
+}
+
+
+/// n-input priority encoder: outputs the index (binary) of the
+/// highest-numbered asserted input plus a `valid` flag.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > 16`.
+#[must_use]
+pub fn priority_encoder(n: usize) -> Network {
+    assert!((2..=16).contains(&n), "priority encoder size out of range");
+    let mut net = Network::new(format!("prio{n}"));
+    let ins: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("x{i}")).expect("input"))
+        .collect();
+    // grant_i = x_i · x_{i+1}' · … · x_{n-1}'  (highest index wins)
+    let mut grants = Vec::with_capacity(n);
+    for i in 0..n {
+        let fanins: Vec<NodeId> = ins[i..].to_vec();
+        let mut lits = vec![Lit::pos(0)];
+        for j in 1..fanins.len() {
+            lits.push(Lit::neg(j));
+        }
+        let g = net
+            .add_node(format!("grant{i}"), fanins.clone(), cover1(fanins.len(), &[&lits]))
+            .expect("grant node");
+        grants.push(g);
+    }
+    let bits = n.next_power_of_two().trailing_zeros() as usize;
+    for b in 0..bits.max(1) {
+        // output bit b = OR of grants whose index has bit b set
+        let sources: Vec<NodeId> = (0..n)
+            .filter(|i| (i >> b) & 1 == 1)
+            .map(|i| grants[i])
+            .collect();
+        if sources.is_empty() {
+            continue;
+        }
+        let cubes: Vec<Vec<Lit>> = (0..sources.len()).map(|k| vec![Lit::pos(k)]).collect();
+        let cube_refs: Vec<&[Lit]> = cubes.iter().map(Vec::as_slice).collect();
+        let node = net
+            .add_node(format!("y{b}"), sources.clone(), cover1(sources.len(), &cube_refs))
+            .expect("encoder bit");
+        net.add_output(format!("y{b}"), node).expect("output");
+    }
+    // valid = OR of all inputs.
+    let cubes: Vec<Vec<Lit>> = (0..n).map(|k| vec![Lit::pos(k)]).collect();
+    let cube_refs: Vec<&[Lit]> = cubes.iter().map(Vec::as_slice).collect();
+    let valid = net
+        .add_node("valid", ins.clone(), cover1(n, &cube_refs))
+        .expect("valid node");
+    net.add_output("valid", valid).expect("output");
+    net
+}
+
+/// n-bit binary-to-Gray converter followed by a Gray-to-binary stage —
+/// the composition is the identity, so the circuit is rich in structural
+/// redundancy for don't-care extraction.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16`.
+#[must_use]
+pub fn gray_roundtrip(n: usize) -> Network {
+    assert!((1..=16).contains(&n), "gray width out of range");
+    let mut net = Network::new(format!("gray{n}"));
+    let ins: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("input"))
+        .collect();
+    let xor2 = cover1(2, &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]]);
+    // Gray: g_i = b_i ⊕ b_{i+1} (msb copies through).
+    let mut gray = Vec::with_capacity(n);
+    for i in 0..n {
+        if i + 1 < n {
+            let g = net
+                .add_node(format!("g{i}"), vec![ins[i], ins[i + 1]], xor2.clone())
+                .expect("gray node");
+            gray.push(g);
+        } else {
+            gray.push(ins[i]);
+        }
+    }
+    // Back: r_i = g_i ⊕ r_{i+1}, r_{n-1} = g_{n-1}.
+    let mut prev: Option<NodeId> = None;
+    for i in (0..n).rev() {
+        let r = match prev {
+            None => gray[i],
+            Some(p) => net
+                .add_node(format!("r{i}"), vec![gray[i], p], xor2.clone())
+                .expect("binary node"),
+        };
+        prev = Some(r);
+        net.add_output(format!("r{i}"), r).expect("output");
+    }
+    net
+}
+
+/// BCD to 7-segment decoder (classic `con1`-style two-level block,
+/// segments a–g; inputs above 9 are don't-care-ish but mapped to blank).
+#[must_use]
+pub fn seven_segment() -> Network {
+    let mut net = Network::new("seg7");
+    let ins: Vec<NodeId> = (0..4)
+        .map(|i| net.add_input(format!("d{i}")).expect("input"))
+        .collect();
+    // Segment truth table for digits 0-9 (bit i of the mask = digit i).
+    let segments: [(&str, u16); 7] = [
+        ("sa", 0b11_1110_1101),
+        ("sb", 0b11_1001_1111),
+        ("sc", 0b11_1111_1011),
+        ("sd", 0b11_0110_1101),
+        ("se", 0b01_0100_0101),
+        ("sf", 0b11_0111_0001),
+        ("sg", 0b11_0111_1100),
+    ];
+    for (name, mask) in segments {
+        let mut cover = Cover::new(4);
+        for digit in 0..10u32 {
+            if (mask >> digit) & 1 == 1 {
+                let lits: Vec<Lit> = (0..4)
+                    .map(|b| {
+                        if (digit >> b) & 1 == 1 {
+                            Lit::pos(b)
+                        } else {
+                            Lit::neg(b)
+                        }
+                    })
+                    .collect();
+                cover.push(Cube::from_lits(4, &lits));
+            }
+        }
+        let node = net
+            .add_node(name, ins.clone(), cover)
+            .expect("segment node");
+        net.add_output(name, node).expect("output");
+    }
+    net
+}
+
+/// Carry-select style adder block: two n-bit ripple chains (carry 0 and
+/// carry 1) with a mux — twice the logic, heavy sharing potential.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 8`.
+#[must_use]
+pub fn carry_select_adder(n: usize) -> Network {
+    assert!((1..=8).contains(&n), "adder width out of range");
+    let mut net = Network::new(format!("csel{n}"));
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("input"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("input"))
+        .collect();
+    let cin = net.add_input("cin").expect("input");
+    let xor3 = cover1(
+        3,
+        &[
+            &[Lit::pos(0), Lit::neg(1), Lit::neg(2)],
+            &[Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            &[Lit::neg(0), Lit::neg(1), Lit::pos(2)],
+            &[Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+        ],
+    );
+    let maj3 = cover1(
+        3,
+        &[
+            &[Lit::pos(0), Lit::pos(1)],
+            &[Lit::pos(0), Lit::pos(2)],
+            &[Lit::pos(1), Lit::pos(2)],
+        ],
+    );
+    let mux = cover1(
+        3,
+        &[&[Lit::neg(0), Lit::pos(1)], &[Lit::pos(0), Lit::pos(2)]],
+    );
+    let zero = net.add_node("k0", Vec::new(), Cover::new(0)).expect("zero");
+    let one = net.add_node("k1", Vec::new(), Cover::one(0)).expect("one");
+    let mut chains: Vec<Vec<NodeId>> = Vec::new(); // [carry0 sums, carry1 sums]
+    let mut final_carries = Vec::new();
+    for (tag, mut carry) in [("p0", zero), ("p1", one)] {
+        let mut sums = Vec::new();
+        for i in 0..n {
+            let s = net
+                .add_node(format!("{tag}s{i}"), vec![a[i], b[i], carry], xor3.clone())
+                .expect("sum");
+            let c = net
+                .add_node(format!("{tag}c{i}"), vec![a[i], b[i], carry], maj3.clone())
+                .expect("carry");
+            sums.push(s);
+            carry = c;
+        }
+        final_carries.push(carry);
+        chains.push(sums);
+    }
+    for (i, (c0, c1)) in chains[0].iter().zip(&chains[1]).enumerate() {
+        let m = net
+            .add_node(format!("s{i}"), vec![cin, *c0, *c1], mux.clone())
+            .expect("mux");
+        net.add_output(format!("s{i}"), m).expect("output");
+    }
+    let mc = net
+        .add_node("cout", vec![cin, final_carries[0], final_carries[1]], mux)
+        .expect("mux carry");
+    net.add_output("cout", mc).expect("output");
+    net
+}
+
+
+/// The ISCAS-85 C17 benchmark — the classic six-NAND-gate circuit, encoded
+/// exactly (NAND as the SOP `a' + b'` over two fanins).
+#[must_use]
+pub fn c17() -> Network {
+    let mut net = Network::new("c17");
+    let n1 = net.add_input("1").expect("input");
+    let n2 = net.add_input("2").expect("input");
+    let n3 = net.add_input("3").expect("input");
+    let n6 = net.add_input("6").expect("input");
+    let n7 = net.add_input("7").expect("input");
+    let nand = cover1(2, &[&[Lit::neg(0)], &[Lit::neg(1)]]);
+    let g10 = net.add_node("10", vec![n1, n3], nand.clone()).expect("g10");
+    let g11 = net.add_node("11", vec![n3, n6], nand.clone()).expect("g11");
+    let g16 = net.add_node("16", vec![n2, g11], nand.clone()).expect("g16");
+    let g19 = net.add_node("19", vec![g11, n7], nand.clone()).expect("g19");
+    let g22 = net.add_node("22", vec![g10, g16], nand.clone()).expect("g22");
+    let g23 = net.add_node("23", vec![g16, g19], nand).expect("g23");
+    net.add_output("22", g22).expect("output");
+    net.add_output("23", g23).expect("output");
+    net
+}
+
+/// The named standard suite used by the table binaries.
+#[must_use]
+pub fn standard_suite() -> Vec<Network> {
+    vec![
+        ripple_adder(4),
+        ripple_adder(8),
+        symmetric_rd(5),
+        symmetric_rd(7),
+        parity(9),
+        comparator(6),
+        decoder(4),
+        mux_tree(4),
+        alu_slice(4),
+        priority_encoder(8),
+        gray_roundtrip(6),
+        seven_segment(),
+        carry_select_adder(4),
+        c17(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_adds() {
+        let net = ripple_adder(3);
+        net.check_invariants();
+        for a in 0u32..8 {
+            for b in 0u32..8 {
+                for cin in 0u32..2 {
+                    let mut ins = Vec::new();
+                    for i in 0..3 {
+                        ins.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..3 {
+                        ins.push((b >> i) & 1 == 1);
+                    }
+                    ins.push(cin == 1);
+                    let outs = net.eval_outputs(&ins);
+                    let mut sum = 0u32;
+                    for (i, &s) in outs.iter().take(3).enumerate() {
+                        sum |= u32::from(s) << i;
+                    }
+                    sum |= u32::from(outs[3]) << 3;
+                    assert_eq!(sum, a + b + cin, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rd53_counts() {
+        let net = symmetric_rd(5);
+        net.check_invariants();
+        assert_eq!(net.outputs().len(), 3);
+        for m in 0u32..32 {
+            let ins: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let outs = net.eval_outputs(&ins);
+            let mut count = 0u32;
+            for (i, &o) in outs.iter().enumerate() {
+                count |= u32::from(o) << i;
+            }
+            assert_eq!(count, m.count_ones(), "popcount mismatch at {m:05b}");
+        }
+    }
+
+    #[test]
+    fn parity_is_odd_parity() {
+        let net = parity(9);
+        net.check_invariants();
+        for m in [0u32, 1, 0b101, 0b111111111, 0b10101] {
+            let ins: Vec<bool> = (0..9).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(net.eval_outputs(&ins)[0], m.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let net = comparator(3);
+        net.check_invariants();
+        for a in 0u32..8 {
+            for b in 0u32..8 {
+                let mut ins = Vec::new();
+                for i in 0..3 {
+                    ins.push((a >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    ins.push((b >> i) & 1 == 1);
+                }
+                let outs = net.eval_outputs(&ins);
+                assert_eq!(outs[0], a < b, "lt a={a} b={b}");
+                assert_eq!(outs[1], a == b, "eq a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let net = decoder(3);
+        net.check_invariants();
+        for m in 0u32..8 {
+            let mut ins: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            ins.push(true);
+            let outs = net.eval_outputs(&ins);
+            for (i, &o) in outs.iter().enumerate() {
+                assert_eq!(o, i as u32 == m);
+            }
+            // Disabled: all outputs low.
+            let mut ins_off = ins;
+            ins_off[3] = false;
+            assert!(net.eval_outputs(&ins_off).iter().all(|&o| !o));
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let net = mux_tree(3);
+        net.check_invariants();
+        for sel in 0u32..8 {
+            let mut ins: Vec<bool> = (0..3).map(|i| (sel >> i) & 1 == 1).collect();
+            let data: Vec<bool> = (0..8).map(|i| i == sel).collect();
+            ins.extend(&data);
+            assert!(net.eval_outputs(&ins)[0], "sel {sel}");
+        }
+    }
+
+    #[test]
+    fn alu_ops() {
+        let net = alu_slice(2);
+        net.check_invariants();
+        for a in 0u32..4 {
+            for b in 0u32..4 {
+                for op in 0u32..4 {
+                    let mut ins = Vec::new();
+                    for i in 0..2 {
+                        ins.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..2 {
+                        ins.push((b >> i) & 1 == 1);
+                    }
+                    ins.push(op & 1 == 1); // op0
+                    ins.push(op >> 1 == 1); // op1
+                    let outs = net.eval_outputs(&ins);
+                    let mut r = 0u32;
+                    for (i, &o) in outs.iter().take(2).enumerate() {
+                        r |= u32::from(o) << i;
+                    }
+                    let want = match op {
+                        0 => a & b,
+                        1 => a | b,
+                        2 => a ^ b,
+                        _ => (a + b) & 3,
+                    };
+                    assert_eq!(r, want, "a={a} b={b} op={op}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_encodes() {
+        let net = priority_encoder(4);
+        net.check_invariants();
+        for m in 1u32..16 {
+            let ins: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let outs = net.eval_outputs(&ins);
+            let highest = 31 - m.leading_zeros();
+            let mut got = 0u32;
+            for (b, &o) in outs.iter().take(2).enumerate() {
+                got |= u32::from(o) << b;
+            }
+            assert_eq!(got, highest, "m={m:04b}");
+            assert!(outs[2], "valid must be set for {m:04b}");
+        }
+        assert!(!net.eval_outputs(&[false; 4])[2]);
+    }
+
+    #[test]
+    fn gray_roundtrip_is_identity() {
+        let net = gray_roundtrip(5);
+        net.check_invariants();
+        for m in 0u32..32 {
+            let ins: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let outs = net.eval_outputs(&ins);
+            // Outputs were registered from msb down: r4, r3, ... r0.
+            for (k, &o) in outs.iter().enumerate() {
+                let bit = 4 - k;
+                assert_eq!(o, (m >> bit) & 1 == 1, "m={m:05b} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn seven_segment_digits() {
+        let net = seven_segment();
+        net.check_invariants();
+        // Digit 8 lights every segment; digit 1 lights only b and c.
+        let dig = |d: u32| -> Vec<bool> {
+            let ins: Vec<bool> = (0..4).map(|i| (d >> i) & 1 == 1).collect();
+            net.eval_outputs(&ins)
+        };
+        assert!(dig(8).iter().all(|&s| s));
+        let one = dig(1);
+        assert_eq!(one, vec![false, true, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn carry_select_matches_addition() {
+        let net = carry_select_adder(3);
+        net.check_invariants();
+        for a in 0u32..8 {
+            for b in 0u32..8 {
+                for cin in 0u32..2 {
+                    let mut ins = Vec::new();
+                    for i in 0..3 {
+                        ins.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..3 {
+                        ins.push((b >> i) & 1 == 1);
+                    }
+                    ins.push(cin == 1);
+                    let outs = net.eval_outputs(&ins);
+                    let mut sum = 0u32;
+                    for (i, &s) in outs.iter().take(3).enumerate() {
+                        sum |= u32::from(s) << i;
+                    }
+                    sum |= u32::from(outs[3]) << 3;
+                    assert_eq!(sum, a + b + cin, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c17_matches_reference_truth_table() {
+        let net = c17();
+        net.check_invariants();
+        // Reference model: 22 = NAND(10, 16), 23 = NAND(16, 19) with
+        // 10 = NAND(1,3), 11 = NAND(3,6), 16 = NAND(2,11), 19 = NAND(11,7).
+        let nand = |a: bool, b: bool| !(a && b);
+        for m in 0u32..32 {
+            let v: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let (i1, i2, i3, i6, i7) = (v[0], v[1], v[2], v[3], v[4]);
+            let g10 = nand(i1, i3);
+            let g11 = nand(i3, i6);
+            let g16 = nand(i2, g11);
+            let g19 = nand(g11, i7);
+            let want = vec![nand(g10, g16), nand(g16, g19)];
+            assert_eq!(net.eval_outputs(&v), want, "m = {m:05b}");
+        }
+    }
+
+    #[test]
+    fn suite_is_well_formed() {
+        for net in standard_suite() {
+            net.check_invariants();
+            assert!(net.sop_literals() > 0);
+        }
+    }
+}

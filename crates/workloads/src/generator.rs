@@ -1,0 +1,360 @@
+//! Seeded synthetic multilevel network generator. Produces layered DAGs
+//! with deliberate sharing and containment structure so Boolean
+//! substitution opportunities exist (the regimes MCNC random-logic
+//! circuits exercise).
+
+use boolsubst_cube::{Cover, Cube, Lit, Phase};
+use boolsubst_network::{Network, NodeId};
+
+/// Parameters for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorParams {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of internal nodes.
+    pub nodes: usize,
+    /// Maximum fanins per node.
+    pub max_fanin: usize,
+    /// Maximum cubes per node cover.
+    pub max_cubes: usize,
+    /// Fraction (0–100) of nodes re-using an existing node's cube pattern
+    /// with one extra literal — creating containment/sharing structure.
+    pub sharing_percent: u64,
+}
+
+impl Default for GeneratorParams {
+    fn default() -> GeneratorParams {
+        GeneratorParams {
+            inputs: 8,
+            nodes: 24,
+            max_fanin: 5,
+            max_cubes: 4,
+            sharing_percent: 40,
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*), so workloads are reproducible
+/// without external dependencies.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates the generator from a seed (0 is mapped to a fixed value).
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Generates a random layered network. Deterministic in `(seed, params)`.
+///
+/// # Panics
+///
+/// Panics if the parameters are degenerate (no inputs or nodes).
+#[must_use]
+pub fn random_network(seed: u64, params: &GeneratorParams) -> Network {
+    assert!(params.inputs >= 2 && params.nodes >= 1, "degenerate parameters");
+    let mut rng = Rng::new(seed);
+    let mut net = Network::new(format!("rnd{seed}"));
+    let mut pool: Vec<NodeId> = (0..params.inputs)
+        .map(|i| net.add_input(format!("x{i}")).expect("input"))
+        .collect();
+    let mut internal: Vec<NodeId> = Vec::new();
+
+    for k in 0..params.nodes {
+        // Choose distinct fanins, biased towards recent nodes for depth.
+        let arity = 2 + rng.below(params.max_fanin.saturating_sub(1).max(1));
+        let mut fanins: Vec<NodeId> = Vec::new();
+        while fanins.len() < arity.min(pool.len()) {
+            let idx = if rng.below(100) < 50 && pool.len() > params.inputs {
+                params.inputs + rng.below(pool.len() - params.inputs)
+            } else {
+                rng.below(pool.len())
+            };
+            let cand = pool[idx];
+            if !fanins.contains(&cand) {
+                fanins.push(cand);
+            }
+        }
+        let n = fanins.len();
+
+        // Build the cover.
+        let cubes = 1 + rng.below(params.max_cubes);
+        let mut cover = Cover::new(n);
+        for _ in 0..cubes {
+            let mut cube = Cube::universe(n);
+            let lits = 1 + rng.below(n);
+            for _ in 0..lits {
+                let v = rng.below(n);
+                let phase = if rng.below(100) < 35 { Phase::Neg } else { Phase::Pos };
+                cube.restrict(Lit { var: v, phase });
+            }
+            if !cube.is_empty() {
+                cover.push(cube);
+            }
+        }
+        // Sharing structure: sometimes append a specialization of an
+        // existing cube (same literals + one extra), creating containment
+        // pairs that Boolean division feeds on.
+        if (rng.below(100) as u64) < params.sharing_percent && !cover.is_empty() {
+            let base = cover.cubes()[rng.below(cover.len())].clone();
+            let mut special = base;
+            special.restrict(Lit {
+                var: rng.below(n),
+                phase: if rng.below(2) == 0 { Phase::Pos } else { Phase::Neg },
+            });
+            if !special.is_empty() {
+                cover.push(special);
+            }
+        }
+        cover.remove_contained_cubes();
+        if cover.is_empty() {
+            cover.push(Cube::from_lits(n, &[Lit::pos(0)]));
+        }
+        let id = net
+            .add_node(format!("n{k}"), fanins, cover)
+            .expect("generated node");
+        pool.push(id);
+        internal.push(id);
+    }
+
+    // Outputs: the sinks (no fanout) plus a few random internal nodes.
+    let fanouts = net.fanouts();
+    let mut out_count = 0;
+    for &id in &internal {
+        if fanouts[id.index()].is_empty() {
+            net.add_output(format!("z{out_count}"), id).expect("output");
+            out_count += 1;
+        }
+    }
+    if out_count == 0 {
+        let id = *internal.last().expect("nonempty");
+        net.add_output("z0", id).expect("output");
+    }
+    net
+}
+
+
+/// Parameters for [`planted_network`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedParams {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of hidden divisor expressions to plant.
+    pub hidden: usize,
+    /// Number of target nodes embedding a hidden divisor.
+    pub targets: usize,
+    /// Extra cubes appended to each *materialized* divisor node, so that
+    /// only extended division (divisor decomposition) can exploit it.
+    pub divisor_extra_cubes: usize,
+}
+
+impl Default for PlantedParams {
+    fn default() -> PlantedParams {
+        PlantedParams { inputs: 10, hidden: 3, targets: 8, divisor_extra_cubes: 1 }
+    }
+}
+
+fn random_cube(rng: &mut Rng, n: usize, min_lits: usize, max_lits: usize) -> Cube {
+    loop {
+        let mut cube = Cube::universe(n);
+        let lits = min_lits + rng.below(max_lits - min_lits + 1);
+        for _ in 0..lits {
+            let phase = if rng.below(100) < 30 { Phase::Neg } else { Phase::Pos };
+            cube.restrict(Lit { var: rng.below(n), phase });
+        }
+        if !cube.is_empty() && cube.literal_count() >= min_lits {
+            return cube;
+        }
+    }
+}
+
+/// Generates a network with *planted Boolean substitution opportunities*:
+/// hidden expressions `H_j` are embedded (flattened) inside target nodes
+/// as `f = H_j·q1 + H_j·q2 + noise`, while separate divisor nodes carry
+/// `H_j` — optionally padded with extra cubes so only the paper's
+/// *extended* division (divisor decomposition) can recover the share.
+/// Deterministic in `(seed, params)`.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters.
+#[must_use]
+pub fn planted_network(seed: u64, params: &PlantedParams) -> Network {
+    assert!(params.inputs >= 4 && params.hidden >= 1 && params.targets >= 1);
+    let mut rng = Rng::new(seed.wrapping_mul(0x517C_C1B7_2722_0A95) | 1);
+    let n = params.inputs;
+    let mut net = Network::new(format!("plant{seed}"));
+    let pis: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("x{i}")).expect("input"))
+        .collect();
+
+    // Hidden expressions: 2-3 cubes over the PIs.
+    let hidden: Vec<Cover> = (0..params.hidden)
+        .map(|_| {
+            let mut cover = Cover::new(n);
+            let cubes = 2 + rng.below(2);
+            while cover.len() < cubes {
+                cover.push(random_cube(&mut rng, n, 1, 3));
+                cover.remove_contained_cubes();
+            }
+            cover
+        })
+        .collect();
+
+    // Materialized divisor nodes: H_j (+ padding cubes).
+    for (j, h) in hidden.iter().enumerate() {
+        let mut cover = h.clone();
+        for _ in 0..params.divisor_extra_cubes {
+            cover.push(random_cube(&mut rng, n, 2, 3));
+        }
+        cover.remove_contained_cubes();
+        let support = cover.support();
+        let fanins: Vec<NodeId> = support.iter().map(|&v| pis[v]).collect();
+        let mut map = vec![0usize; n];
+        for (k, &v) in support.iter().enumerate() {
+            map[v] = k;
+        }
+        let local = cover.remapped(fanins.len(), &map);
+        let id = net
+            .add_node(format!("d{j}"), fanins, local)
+            .expect("divisor node");
+        net.add_output(format!("d{j}"), id).expect("divisor output");
+    }
+
+    // Target nodes: flattened H_j·q1 + H_j·q2 + noise.
+    for t in 0..params.targets {
+        let h = &hidden[rng.below(hidden.len())];
+        let mut cover = Cover::new(n);
+        let quotient_cubes = 1 + rng.below(2);
+        for _ in 0..quotient_cubes {
+            let q = random_cube(&mut rng, n, 1, 2);
+            for hc in h.cubes() {
+                cover.push(hc.and(&q));
+            }
+        }
+        if rng.below(100) < 60 {
+            cover.push(random_cube(&mut rng, n, 2, 4)); // remainder noise
+        }
+        cover.remove_contained_cubes();
+        if cover.is_empty() {
+            cover.push(random_cube(&mut rng, n, 1, 2));
+        }
+        let support = cover.support();
+        let fanins: Vec<NodeId> = support.iter().map(|&v| pis[v]).collect();
+        let mut map = vec![0usize; n];
+        for (k, &v) in support.iter().enumerate() {
+            map[v] = k;
+        }
+        let local = cover.remapped(fanins.len(), &map);
+        let id = net
+            .add_node(format!("f{t}"), fanins, local)
+            .expect("target node");
+        net.add_output(format!("f{t}"), id).expect("target output");
+    }
+    net
+}
+
+/// A deterministic batch of generated circuits for the tables.
+#[must_use]
+pub fn generated_suite() -> Vec<Network> {
+    let mut out = Vec::new();
+    for (seed, inputs, nodes) in [
+        (1u64, 8usize, 20usize),
+        (2, 10, 30),
+        (3, 12, 40),
+        (5, 9, 26),
+        (8, 14, 48),
+        (13, 11, 36),
+    ] {
+        let params = GeneratorParams {
+            inputs,
+            nodes,
+            ..GeneratorParams::default()
+        };
+        out.push(random_network(seed, &params));
+    }
+    for (seed, inputs, targets, extra) in [
+        (21u64, 10usize, 8usize, 0usize),
+        (22, 12, 10, 1),
+        (23, 12, 12, 1),
+        (24, 14, 12, 2),
+    ] {
+        let params = PlantedParams {
+            inputs,
+            targets,
+            divisor_extra_cubes: extra,
+            ..PlantedParams::default()
+        };
+        out.push(planted_network(seed, &params));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = GeneratorParams::default();
+        let a = random_network(42, &p);
+        let b = random_network(42, &p);
+        assert_eq!(
+            boolsubst_network::write_blif(&a),
+            boolsubst_network::write_blif(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = GeneratorParams::default();
+        let a = random_network(1, &p);
+        let b = random_network(2, &p);
+        assert_ne!(
+            boolsubst_network::write_blif(&a),
+            boolsubst_network::write_blif(&b)
+        );
+    }
+
+    #[test]
+    fn planted_networks_are_valid_and_deterministic() {
+        let p = PlantedParams::default();
+        let a = planted_network(9, &p);
+        let b = planted_network(9, &p);
+        a.check_invariants();
+        assert_eq!(
+            boolsubst_network::write_blif(&a),
+            boolsubst_network::write_blif(&b)
+        );
+        assert!(a.outputs().len() >= p.hidden + p.targets);
+    }
+
+    #[test]
+    fn generated_networks_are_valid() {
+        for net in generated_suite() {
+            net.check_invariants();
+            assert!(!net.outputs().is_empty());
+            assert!(net.sop_literals() > 0);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # boolsubst-workloads — benchmark substrate and scripts
+//!
+//! The experimental workloads standing in for the paper's MCNC/ISCAS
+//! suite (see DESIGN.md §3): constructors for classic circuit functions
+//! ([`benchmarks`]), a seeded synthetic network generator ([`generator`]),
+//! and the SIS-like preparation scripts ([`scripts`]) that produce the
+//! starting points of Tables II–V.
+//!
+//! ```
+//! use boolsubst_workloads::{benchmarks, scripts};
+//!
+//! let mut net = benchmarks::ripple_adder(4);
+//! scripts::script_a(&mut net); // eliminate 0; simplify
+//! assert!(net.sop_literals() > 0);
+//! ```
+
+pub mod benchmarks;
+pub mod generator;
+pub mod scripts;
+
+use boolsubst_network::Network;
+
+/// The full workload set used by every table binary: the named standard
+/// circuits plus the generated suite.
+#[must_use]
+pub fn full_suite() -> Vec<Network> {
+    let mut out = benchmarks::standard_suite();
+    out.extend(generator::generated_suite());
+    out
+}

@@ -1,0 +1,163 @@
+//! The SIS-like scripts of the paper's experiments: Script A
+//! (`eliminate 0; simplify`), Script B (+`gcx`), Script C (+`gkx`), and a
+//! `script.algebraic`-style full flow with a pluggable resubstitution
+//! step.
+
+use boolsubst_algebraic::{fx, gcx, gkx, ExtractOptions, FxOptions};
+use boolsubst_cube::{simplify, Cover, SimplifyOptions};
+use boolsubst_network::Network;
+
+/// Two-level-simplifies every internal node (the SIS `simplify` step,
+/// without external don't cares), then sweeps.
+pub fn simplify_network(net: &mut Network) {
+    let ids: Vec<_> = net.internal_ids().collect();
+    for id in ids {
+        let node = net.node(id);
+        let cover = node.cover().expect("internal").clone();
+        let fanins = node.fanins().to_vec();
+        let dc = Cover::new(cover.num_vars());
+        let simplified = simplify(&cover, &dc, SimplifyOptions::default());
+        if simplified.literal_count() < cover.literal_count()
+            || simplified.len() < cover.len()
+        {
+            net.replace_function(id, fanins, simplified)
+                .expect("simplify preserves structure");
+        }
+    }
+    net.sweep();
+}
+
+/// Script A: `eliminate 0; simplify` — collapses single-use nodes into
+/// complex gates (which suit substitution best, per the paper) and
+/// two-level-minimizes each node.
+pub fn script_a(net: &mut Network) {
+    net.eliminate(0);
+    simplify_network(net);
+}
+
+/// Script B: Script A followed by greedy common-cube extraction (`gcx`).
+pub fn script_b(net: &mut Network) {
+    script_a(net);
+    gcx(net, &ExtractOptions::default());
+    net.sweep();
+}
+
+/// Script C: Script A followed by greedy kernel extraction (`gkx`).
+pub fn script_c(net: &mut Network) {
+    script_a(net);
+    gkx(net, &ExtractOptions::default());
+    net.sweep();
+}
+
+/// The `script.algebraic`-style flow with a pluggable resubstitution
+/// callback (the paper's Table V replaces every `resub` occurrence with
+/// each algorithm under test):
+///
+/// ```text
+/// sweep; eliminate -1; simplify; eliminate -1; sweep; eliminate 5;
+/// simplify; RESUB; fx; RESUB; sweep; eliminate -1; sweep; simplify
+/// ```
+pub fn script_algebraic_with(net: &mut Network, mut resub: impl FnMut(&mut Network)) {
+    net.sweep();
+    net.eliminate(-1);
+    simplify_network(net);
+    net.eliminate(-1);
+    net.sweep();
+    net.eliminate(5);
+    simplify_network(net);
+    resub(net);
+    fx(net, &FxOptions::default());
+    resub(net);
+    net.sweep();
+    net.eliminate(-1);
+    net.sweep();
+    simplify_network(net);
+}
+
+/// An all-Boolean optimization flow built from this workspace's pieces —
+/// what a downstream user would actually run: prepare, substitute
+/// (extended), extract, substitute again, then clean up. The `resub`
+/// argument supplies the substitution step so callers can choose the
+/// configuration.
+pub fn script_boolean(net: &mut Network, mut resub: impl FnMut(&mut Network)) {
+    net.sweep();
+    net.eliminate(0);
+    simplify_network(net);
+    resub(net);
+    fx(net, &FxOptions::default());
+    gkx(net, &ExtractOptions::default());
+    resub(net);
+    net.sweep();
+    simplify_network(net);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{ripple_adder, symmetric_rd};
+    use crate::generator::{random_network, GeneratorParams};
+    use boolsubst_network::random_sim_equivalent;
+
+    fn preserves<F: FnOnce(&mut Network)>(mut net: Network, f: F) -> (usize, usize) {
+        let before = net.clone();
+        let lits_before = net.sop_literals();
+        f(&mut net);
+        net.check_invariants();
+        assert!(
+            random_sim_equivalent(&before, &net, 300, 0xFEED),
+            "script changed the function of {}",
+            before.name()
+        );
+        (lits_before, net.sop_literals())
+    }
+
+    #[test]
+    fn script_a_preserves_and_reshapes() {
+        let (_, after) = preserves(ripple_adder(4), script_a);
+        assert!(after > 0);
+        let (_, after) = preserves(symmetric_rd(5), script_a);
+        assert!(after > 0);
+    }
+
+    #[test]
+    fn script_b_and_c_preserve() {
+        preserves(ripple_adder(4), script_b);
+        preserves(ripple_adder(4), script_c);
+        let p = GeneratorParams::default();
+        preserves(random_network(7, &p), script_b);
+        preserves(random_network(7, &p), script_c);
+    }
+
+    #[test]
+    fn script_algebraic_with_noop_resub_preserves() {
+        preserves(symmetric_rd(5), |net| script_algebraic_with(net, |_| {}));
+        let p = GeneratorParams::default();
+        preserves(random_network(11, &p), |net| {
+            script_algebraic_with(net, |_| {});
+        });
+    }
+
+    #[test]
+    fn script_boolean_preserves() {
+        preserves(ripple_adder(4), |net| script_boolean(net, |_| {}));
+        let p = GeneratorParams::default();
+        preserves(random_network(19, &p), |net| script_boolean(net, |_| {}));
+    }
+
+    #[test]
+    fn simplify_reduces_redundant_cover() {
+        let mut net = Network::new("red");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let f = net
+            .add_node(
+                "f",
+                vec![a, b],
+                boolsubst_cube::parse_sop(2, "ab + ab' + a'b").expect("p"),
+            )
+            .expect("f");
+        net.add_output("f", f).expect("o");
+        simplify_network(&mut net);
+        assert!(net.sop_literals() <= 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Product-of-sums division — the substitution style that expression-based
+//! (SOP-bound) methods cannot perform at all (Section III-A, Lemma 2).
+//!
+//! Run with: `cargo run --example pos_substitution`
+
+use boolsubst::core::{pos_divide_covers, DivisionOptions};
+use boolsubst::cube::parse_sop;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // f = (a + b)(c + d) given to us flattened as SOP.
+    let f = parse_sop(4, "ac + ad + bc + bd")?;
+    // Existing node d = a + b — in product-of-sum view, a single sum term.
+    let d = parse_sop(4, "a + b")?;
+
+    println!("f (SOP)  = {f}");
+    println!("f (POS)  = (a + b)(c + d)");
+    println!("divisor  = {d}\n");
+
+    let result = pos_divide_covers(&f, &d, &DivisionOptions::paper_default());
+    println!("POS division f = (d + q)·r with");
+    println!("  q = ({})'  [complement-domain cover: {}]",
+        result.quotient_compl, result.quotient_compl);
+    println!("  r = ({})'  [complement-domain cover: {}]",
+        result.remainder_compl, result.remainder_compl);
+    println!("  exact: {}", result.verify(&f, &d));
+    assert!(result.verify(&f, &d));
+
+    // The SOS/POS symmetry: the same engine, run in the complement domain,
+    // performs the dual substitution. A traditional SOP-based substituter
+    // would have to re-derive everything from scratch.
+    let q = result.quotient_compl.complement();
+    let r = result.remainder_compl.complement();
+    println!("\nrecovered factors: f = (d + {q}) · ({r})");
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Quickstart: Boolean division of one cover by another, the paper's
+//! Section I example.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use boolsubst::core::{basic_divide_covers, DivisionOptions};
+use boolsubst::cube::parse_sop;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // f = ab + ac + bc' — six literals in sum-of-products form.
+    let f = parse_sop(3, "ab + ac + bc'")?;
+    // An existing expression d = ab + c we would like to reuse.
+    let d = parse_sop(3, "ab + c")?;
+
+    // Algebraic division can only produce f = a·d + bc' (5 literals);
+    // Boolean division does better.
+    let result = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+
+    println!("f = {f}");
+    println!("d = {d}");
+    println!("Boolean division: f = d·({}) + {}", result.quotient, result.remainder);
+    println!("  wires removed by RAR: {}", result.wires_removed);
+    println!("  exact (f == d·q + r):  {}", result.verify(&f, &d));
+    println!("  divided-form literal cost: {}", result.sop_cost());
+
+    assert!(result.verify(&f, &d));
+    assert!(result.sop_cost() <= 4, "Boolean division should reach 4 literals");
+    Ok(())
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # boolsubst — Boolean division and substitution via RAR
+//!
+//! Umbrella crate re-exporting the `boolsubst` workspace: a reproduction of
+//! Chang & Cheng, *"Efficient Boolean Division and Substitution"* (DAC'98 /
+//! TCAD'99). See the workspace `README.md` for the architecture overview
+//! and `DESIGN.md` for the per-experiment index.
+//!
+//! ```
+//! use boolsubst::cube::parse_sop;
+//! use boolsubst::core::{basic_divide_covers, DivisionOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Section I example: f = ab + ac + bc', d = ab + c.
+//! let f = parse_sop(3, "ab + ac + bc'")?;
+//! let d = parse_sop(3, "ab + c")?;
+//! let div = basic_divide_covers(&f, &d, &DivisionOptions::default());
+//! // Boolean division finds f = (a + b)·d + ... with 4 literals total.
+//! assert!(div.verify(&f, &d));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use boolsubst_algebraic as algebraic;
+pub use boolsubst_atpg as atpg;
+pub use boolsubst_bdd as bdd;
+pub use boolsubst_core as core;
+pub use boolsubst_cube as cube;
+pub use boolsubst_network as network;
+pub use boolsubst_workloads as workloads;

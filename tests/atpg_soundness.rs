@@ -1,0 +1,156 @@
+//! Soundness of the ATPG substrate on randomized circuits: every
+//! "untestable" verdict is checked against the exhaustive oracle, and
+//! redundancy removal never changes an observed function. Also covers the
+//! recursive-learning strengthening.
+
+use boolsubst::atpg::{
+    check_fault, is_testable_exhaustive, remove_redundant_wires, CandidateWire, Circuit,
+    Fault, GateId, ImplyOptions, Wire,
+};
+use proptest::prelude::*;
+
+/// A recipe for one random gate.
+#[derive(Debug, Clone)]
+struct GateRecipe {
+    kind: u8,
+    picks: Vec<usize>,
+}
+
+fn circuit_from(recipes: &[GateRecipe], inputs: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let mut pool: Vec<GateId> = (0..inputs).map(|_| c.add_input()).collect();
+    for r in recipes {
+        let mut ins: Vec<GateId> = Vec::new();
+        for &p in &r.picks {
+            let g = pool[p % pool.len()];
+            if !ins.contains(&g) {
+                ins.push(g);
+            }
+        }
+        let g = match r.kind % 3 {
+            0 => c.add_and(ins),
+            1 => c.add_or(ins),
+            _ => c.add_not(ins[0]),
+        };
+        pool.push(g);
+    }
+    let out = *pool.last().expect("nonempty");
+    c.add_output(out);
+    // A second observation point midway exercises multi-output dominators.
+    if pool.len() > inputs + 2 {
+        c.add_output(pool[inputs + 1]);
+    }
+    c
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Vec<GateRecipe>> {
+    proptest::collection::vec(
+        (any::<u8>(), proptest::collection::vec(0usize..64, 1..=3))
+            .prop_map(|(kind, picks)| GateRecipe { kind, picks }),
+        3..=10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No false redundancy claims, at any learning depth.
+    #[test]
+    fn untestable_claims_are_sound(recipes in recipe_strategy()) {
+        let c = circuit_from(&recipes, 5);
+        for g in c.gate_ids() {
+            for pin in 0..c.fanins(g).len() {
+                for stuck in [false, true] {
+                    let fault = Fault { wire: Wire { gate: g, pin }, stuck };
+                    for depth in [0u8, 1] {
+                        let opts = ImplyOptions { learn_depth: depth };
+                        if check_fault(&c, fault, opts).is_untestable() {
+                            prop_assert!(
+                                !is_testable_exhaustive(&c, fault),
+                                "unsound at depth {depth}: {fault:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Redundancy removal preserves all observed functions.
+    #[test]
+    fn removal_preserves_observed_functions(recipes in recipe_strategy()) {
+        let mut c = circuit_from(&recipes, 5);
+        let reference: Vec<Vec<bool>> = (0u32..32)
+            .map(|m| {
+                let ins: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+                let vals = c.eval(&ins);
+                c.outputs().iter().map(|o| vals[o.index()]).collect()
+            })
+            .collect();
+        let mut candidates = Vec::new();
+        for g in c.gate_ids() {
+            if matches!(
+                c.kind(g),
+                boolsubst::atpg::GateKind::And | boolsubst::atpg::GateKind::Or
+            ) {
+                for &f in c.fanins(g) {
+                    candidates.push(CandidateWire { sink: g, driver: f });
+                }
+            }
+        }
+        let _ = remove_redundant_wires(&mut c, &candidates, ImplyOptions { learn_depth: 1 }, 3);
+        for (m, want) in reference.iter().enumerate() {
+            let ins: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let vals = c.eval(&ins);
+            let got: Vec<bool> = c.outputs().iter().map(|o| vals[o.index()]).collect();
+            prop_assert_eq!(&got, want, "changed at minterm {}", m);
+        }
+    }
+
+    /// Learning only adds implications, never loses them: anything proven
+    /// untestable at depth 0 stays untestable at depth 1.
+    #[test]
+    fn learning_is_monotone(recipes in recipe_strategy()) {
+        let c = circuit_from(&recipes, 5);
+        for g in c.gate_ids() {
+            for pin in 0..c.fanins(g).len() {
+                let fault = Fault::sa1(Wire { gate: g, pin });
+                let d0 = check_fault(&c, fault, ImplyOptions { learn_depth: 0 });
+                if d0.is_untestable() {
+                    let d1 = check_fault(&c, fault, ImplyOptions { learn_depth: 1 });
+                    prop_assert!(d1.is_untestable(), "learning lost a proof");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The general RAR optimizer preserves all observed functions on
+    /// random circuits (every addition is proven redundant before being
+    /// kept; every removal is proven untestable).
+    #[test]
+    fn rar_optimize_preserves_functions(recipes in recipe_strategy()) {
+        use boolsubst::atpg::{rar_optimize, RarOptions};
+        let mut c = circuit_from(&recipes, 5);
+        let reference: Vec<Vec<bool>> = (0u32..32)
+            .map(|m| {
+                let ins: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+                let vals = c.eval(&ins);
+                c.outputs().iter().map(|o| vals[o.index()]).collect()
+            })
+            .collect();
+        let _ = rar_optimize(
+            &mut c,
+            &RarOptions { max_trials: 60, max_passes: 1, ..RarOptions::default() },
+        );
+        for (m, want) in reference.iter().enumerate() {
+            let ins: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let vals = c.eval(&ins);
+            let got: Vec<bool> = c.outputs().iter().map(|o| vals[o.index()]).collect();
+            prop_assert_eq!(&got, want, "changed at minterm {}", m);
+        }
+    }
+}

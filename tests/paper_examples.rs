@@ -1,0 +1,119 @@
+//! The paper's concrete worked examples, pinned as tests: the Section I
+//! literal counts, the Fig. 2 division, the Table I voting behaviour and
+//! the Fig. 4 clique outcome.
+
+use boolsubst::algebraic::{factored_literals, weak_divide};
+use boolsubst::core::subst::{boolean_substitute, SubstOptions};
+use boolsubst::core::verify::networks_equivalent;
+use boolsubst::core::{
+    basic_divide_covers, compute_vote_table, extended_divide_covers, split_remainder,
+    DivisionOptions,
+};
+use boolsubst::cube::parse_sop;
+use boolsubst::network::Network;
+
+/// Section I: f = ab + ac + bc' has six SOP literals; with d = ab + c,
+/// algebraic substitution reaches five literals, Boolean substitution
+/// four.
+#[test]
+fn section1_literal_counts() {
+    let f = parse_sop(3, "ab + ac + bc'").expect("f");
+    let d = parse_sop(3, "ab + c").expect("d");
+    assert_eq!(f.literal_count(), 6);
+
+    // Strict algebraic (weak) division cannot use d at all here: f/ab
+    // gives {1}, f/c gives {a}, and their intersection is empty — the
+    // quotient is 0, leaving f at its 6 literals.
+    let alg = weak_divide(&f, &d);
+    assert!(alg.quotient.is_empty(), "algebraic quotient should be 0");
+
+    // Boolean division exploits ab·c ≡ identities and reaches the paper's
+    // 4 literals: f = d·a + bc' (equivalently (a + b)·d).
+    let boolean = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+    assert!(boolean.verify(&f, &d));
+    assert!(boolean.sop_cost() <= 4);
+}
+
+/// Fig. 2: dividing f = ab + ac + bc' by d = ab + c splits off the
+/// remainder bc', keeps ab + ac, and the RAR step shrinks the quotient.
+#[test]
+fn fig2_division_steps() {
+    let f = parse_sop(3, "ab + ac + bc'").expect("f");
+    let d = parse_sop(3, "ab + c").expect("d");
+    let (kept, remainder) = split_remainder(&f, &d);
+    assert_eq!(kept.to_string(), "ab + ac");
+    assert_eq!(remainder.to_string(), "bc'");
+
+    let r = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+    assert!(r.wires_removed >= 3, "RAR should strip the kept region");
+    assert_eq!(r.remainder.to_string(), "bc'");
+    assert!(r.quotient.literal_count() <= 2);
+}
+
+/// Table I behaviour: wires vote for divisor cubes with implied value 0,
+/// rows failing the SOS condition are filtered.
+#[test]
+fn table1_vote_filtering() {
+    let f = parse_sop(5, "ab + ac + bc'").expect("f");
+    let d = parse_sop(5, "ab + c + de").expect("d");
+    let table = compute_vote_table(&f, &d, &DivisionOptions::paper_default());
+    // Six literal wires in f.
+    assert_eq!(table.rows.len(), 6);
+    // Some rows are filtered by the SOS condition (the paper deletes two
+    // of its six).
+    let filtered = table.rows.iter().filter(|r| !r.sos_valid).count();
+    assert!(filtered >= 1, "expected at least one filtered row");
+    let valid = table.valid_rows();
+    assert!(!valid.is_empty());
+    // No wire votes for the junk cube de (it shares no structure with f).
+    for row in &valid {
+        assert!(
+            !row.candidates.contains(&2),
+            "wire voted for the unrelated cube de"
+        );
+    }
+}
+
+/// Fig. 4 outcome: the chosen core divisor is ab + c, the quotient a.
+#[test]
+fn fig4_core_choice() {
+    let f = parse_sop(5, "ab + ac + bc'").expect("f");
+    let d = parse_sop(5, "ab + c + de").expect("d");
+    let ext = extended_divide_covers(&f, &d, &DivisionOptions::paper_default())
+        .expect("core exists");
+    assert_eq!(ext.core.to_string(), "ab + c");
+    assert_eq!(ext.division.quotient.to_string(), "a");
+    assert_eq!(ext.division.remainder.to_string(), "bc'");
+}
+
+/// The full network flow on the paper's example: Boolean substitution
+/// rewrites f to use the existing node d, reaching 4 factored literals
+/// where algebraic substitution reaches 5.
+#[test]
+fn paper_example_network_flow() {
+    let mut net = Network::new("paper");
+    let a = net.add_input("a").expect("a");
+    let b = net.add_input("b").expect("b");
+    let c = net.add_input("c").expect("c");
+    let f = net
+        .add_node(
+            "f",
+            vec![a, b, c],
+            parse_sop(3, "ab + ac + bc'").expect("p"),
+        )
+        .expect("f");
+    let d = net
+        .add_node("d", vec![a, b, c], parse_sop(3, "ab + c").expect("p"))
+        .expect("d");
+    net.add_output("f", f).expect("o");
+    net.add_output("d", d).expect("o");
+    let golden = net.clone();
+
+    let stats = boolean_substitute(&mut net, &SubstOptions::basic());
+    assert!(stats.substitutions >= 1);
+    assert!(networks_equivalent(&golden, &net));
+    let f_cover = net.node(f).cover().expect("cover");
+    assert!(factored_literals(f_cover) <= 4, "paper reaches 4 literals");
+    // f now uses d as a fanin.
+    assert!(net.node(f).fanins().contains(&d));
+}

@@ -1,0 +1,167 @@
+//! Property-based tests (proptest) for the core invariants: division
+//! exactness, SOS/POS lemmas, two-level minimization envelopes, factoring
+//! equivalence and algebraic reconstruction.
+
+use boolsubst::algebraic::{factor, factored_literals, weak_divide, FactorTree};
+use boolsubst::core::{
+    basic_divide_covers, extended_divide_covers, is_sos_of, lemma1_holds,
+    pos_divide_covers, DivisionOptions,
+};
+use boolsubst::cube::{simplify, Cover, Cube, Lit, Phase, SimplifyOptions};
+use proptest::prelude::*;
+
+const VARS: usize = 5;
+
+/// Strategy: a random cube over `VARS` variables (never empty).
+fn cube_strategy() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec((0..VARS, any::<bool>()), 1..=4).prop_map(|lits| {
+        let mut cube = Cube::universe(VARS);
+        for (v, pos) in lits {
+            // Avoid creating empty cubes: second phase of the same
+            // variable is ignored by keeping the first mention only.
+            if matches!(cube.var_state(v), boolsubst::cube::VarState::DontCare) {
+                cube.restrict(Lit { var: v, phase: if pos { Phase::Pos } else { Phase::Neg } });
+            }
+        }
+        cube
+    })
+}
+
+/// Strategy: a random non-empty cover.
+fn cover_strategy(max_cubes: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(cube_strategy(), 1..=max_cubes).prop_map(|cubes| {
+        let mut c = Cover::new(VARS);
+        for cube in cubes {
+            c.push(cube);
+        }
+        c.remove_contained_cubes();
+        c
+    })
+}
+
+fn eval_tree(t: &FactorTree, inputs: &[bool]) -> bool {
+    match t {
+        FactorTree::Zero => false,
+        FactorTree::One => true,
+        FactorTree::Lit(l) => match l.phase {
+            Phase::Pos => inputs[l.var],
+            Phase::Neg => !inputs[l.var],
+        },
+        FactorTree::And(xs) => xs.iter().all(|x| eval_tree(x, inputs)),
+        FactorTree::Or(xs) => xs.iter().any(|x| eval_tree(x, inputs)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Basic Boolean division is always exact: f == d·q + r.
+    #[test]
+    fn basic_division_exact(f in cover_strategy(6), d in cover_strategy(4)) {
+        let r = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        prop_assert!(r.verify(&f, &d), "q={} r={}", r.quotient, r.remainder);
+    }
+
+    /// POS division is always exact: f == (d + q)·r.
+    #[test]
+    fn pos_division_exact(f in cover_strategy(5), d in cover_strategy(3)) {
+        prop_assume!(!d.is_tautology());
+        let r = pos_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        prop_assert!(r.verify(&f, &d));
+    }
+
+    /// Extended division, when it finds a core, divides exactly by it and
+    /// the core is a subset of the divisor's cubes.
+    #[test]
+    fn extended_division_exact(f in cover_strategy(5), d in cover_strategy(4)) {
+        if let Some(ext) = extended_divide_covers(&f, &d, &DivisionOptions::paper_default()) {
+            prop_assert!(ext.division.verify(&f, &ext.core));
+            for &k in &ext.core_cube_indices {
+                prop_assert!(k < d.len());
+            }
+            prop_assert!(!ext.core.is_empty());
+        }
+    }
+
+    /// Lemma 1: whenever d is (structurally) an SOS of f, f·d == f.
+    #[test]
+    fn lemma1_property(f in cover_strategy(5)) {
+        // Build an SOS of f by dropping literals from its cubes.
+        let mut d = Cover::new(VARS);
+        for c in f.cubes() {
+            let mut weaker = c.clone();
+            let first = weaker.lits().next();
+            if let Some(l) = first {
+                weaker.free_var(l.var);
+            }
+            d.push(weaker);
+        }
+        if d.is_empty() {
+            d = Cover::one(VARS);
+        }
+        prop_assert!(is_sos_of(&d, &f));
+        prop_assert!(lemma1_holds(&d, &f));
+    }
+
+    /// The divided form never uses more SOP literals than the trivial
+    /// form f = d·0 + f.
+    #[test]
+    fn division_no_blowup(f in cover_strategy(5), d in cover_strategy(3)) {
+        let r = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        if r.succeeded() {
+            prop_assert!(r.quotient.len() <= f.len() + 1);
+            prop_assert!(r.remainder.len() <= f.len());
+        }
+    }
+
+    /// Two-level simplification: onset\dc ⊆ result ⊆ onset ∪ dc, and never
+    /// more literals than the input.
+    #[test]
+    fn simplify_envelope(on in cover_strategy(6), dc in cover_strategy(3)) {
+        let out = simplify(&on, &dc, SimplifyOptions::default());
+        prop_assert!(out.covers(&on.sharp(&dc)), "lost care minterms");
+        prop_assert!(on.or(&dc).covers(&out), "left the care envelope");
+        prop_assert!(out.literal_count() <= on.literal_count());
+    }
+
+    /// Factoring preserves the function and never increases literals.
+    #[test]
+    fn factor_equivalent(f in cover_strategy(6)) {
+        let tree = factor(&f);
+        for m in 0u32..(1 << VARS) {
+            let inputs: Vec<bool> = (0..VARS).map(|i| (m >> i) & 1 == 1).collect();
+            prop_assert_eq!(eval_tree(&tree, &inputs), f.eval(&inputs));
+        }
+        prop_assert!(factored_literals(&f) <= f.literal_count());
+    }
+
+    /// Weak division reconstructs: f == d·q + r as cube sets.
+    #[test]
+    fn weak_division_reconstructs(f in cover_strategy(6), d in cover_strategy(3)) {
+        let r = weak_divide(&f, &d);
+        let mut rebuilt = r.quotient.and(&d);
+        rebuilt.extend_cover(&r.remainder);
+        prop_assert!(rebuilt.equivalent(&f));
+    }
+
+    /// Complement is exact: f + f' is a tautology and f·f' is empty.
+    #[test]
+    fn complement_exact(f in cover_strategy(6)) {
+        let g = f.complement();
+        prop_assert!(f.or(&g).is_tautology());
+        let mut inter = f.and(&g);
+        inter.remove_contained_cubes();
+        for c in inter.cubes() {
+            prop_assert!(c.is_empty());
+        }
+    }
+
+    /// Tautology check agrees with exhaustive evaluation.
+    #[test]
+    fn tautology_matches_exhaustive(f in cover_strategy(7)) {
+        prop_assert_eq!(
+            f.is_tautology(),
+            boolsubst::cube::is_tautology_exhaustive(&f)
+        );
+    }
+}
