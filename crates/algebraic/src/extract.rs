@@ -20,7 +20,10 @@ pub struct ExtractOptions {
 
 impl Default for ExtractOptions {
     fn default() -> ExtractOptions {
-        ExtractOptions { max_extractions: 200, max_candidate_pool: 20_000 }
+        ExtractOptions {
+            max_extractions: 200,
+            max_candidate_pool: 20_000,
+        }
     }
 }
 
@@ -38,15 +41,14 @@ type GlobalCube = Vec<(NodeId, Phase)>;
 
 fn global_cubes_of(net: &Network, node: NodeId) -> Vec<GlobalCube> {
     let n = net.node(node);
-    let Some(cover) = n.cover() else { return Vec::new() };
+    let Some(cover) = n.cover() else {
+        return Vec::new();
+    };
     cover
         .cubes()
         .iter()
         .map(|c| {
-            let mut g: GlobalCube = c
-                .lits()
-                .map(|l| (n.fanins()[l.var], l.phase))
-                .collect();
+            let mut g: GlobalCube = c.lits().map(|l| (n.fanins()[l.var], l.phase)).collect();
             g.sort_unstable();
             g
         })
@@ -134,13 +136,19 @@ pub fn gcx(net: &mut Network, opts: &ExtractOptions) -> ExtractStats {
                 if cube_contains(g, &cube) {
                     for &(node, phase) in g {
                         if !cube.contains(&(node, phase)) {
-                            c.restrict(Lit { var: pos(node), phase });
+                            c.restrict(Lit {
+                                var: pos(node),
+                                phase,
+                            });
                         }
                     }
                     c.restrict(Lit::pos(pos(m)));
                 } else {
                     for &(node, phase) in g {
-                        c.restrict(Lit { var: pos(node), phase });
+                        c.restrict(Lit {
+                            var: pos(node),
+                            phase,
+                        });
                     }
                 }
                 new_cover.push(c);
@@ -184,8 +192,7 @@ pub fn gkx(net: &mut Network, opts: &ExtractOptions) -> ExtractStats {
                 }
                 // Express over the used fanins, sorted by node id.
                 let support = k.kernel.support();
-                let mut vars: Vec<NodeId> =
-                    support.iter().map(|&v| node.fanins()[v]).collect();
+                let mut vars: Vec<NodeId> = support.iter().map(|&v| node.fanins()[v]).collect();
                 let mut order: Vec<usize> = (0..vars.len()).collect();
                 order.sort_by_key(|&i| vars[i]);
                 vars.sort_unstable();
@@ -200,7 +207,10 @@ pub fn gkx(net: &mut Network, opts: &ExtractOptions) -> ExtractStats {
                 );
                 if let std::collections::hash_map::Entry::Vacant(e) = keys.entry(key) {
                     e.insert(candidates.len());
-                    candidates.push(Candidate { vars, cover: kcover });
+                    candidates.push(Candidate {
+                        vars,
+                        cover: kcover,
+                    });
                 }
                 if candidates.len() >= opts.max_candidate_pool {
                     break;
@@ -346,7 +356,11 @@ mod tests {
             .add_node("f", vec![a, b, c, d], parse_sop(4, "abc + abd").expect("p"))
             .expect("f");
         let g = net
-            .add_node("g", vec![a, b, c, d, e], parse_sop(5, "abe + c'd").expect("p"))
+            .add_node(
+                "g",
+                vec![a, b, c, d, e],
+                parse_sop(5, "abe + c'd").expect("p"),
+            )
             .expect("g");
         net.add_output("f", f).expect("o");
         net.add_output("g", g).expect("o");

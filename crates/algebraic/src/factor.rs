@@ -128,8 +128,7 @@ fn factor_cube_free(f: &Cover) -> FactorTree {
         if kernel.len() >= 2 {
             let division = weak_divide(f, &kernel);
             if !division.quotient.is_empty() {
-                let head =
-                    flatten_and(vec![factor(&kernel), factor(&division.quotient)]);
+                let head = flatten_and(vec![factor(&kernel), factor(&division.quotient)]);
                 return if division.remainder.is_empty() {
                     head
                 } else {
@@ -255,7 +254,11 @@ mod tests {
     fn factors_textbook() {
         // adf + aef + bdf + bef + cdf + cef + g = (a+b+c)(d+e)f + g : 7 lits
         let tree = check(7, "adf + aef + bdf + bef + cdf + cef + g");
-        assert!(tree.literal_count() <= 9, "got {} lits: {tree}", tree.literal_count());
+        assert!(
+            tree.literal_count() <= 9,
+            "got {} lits: {tree}",
+            tree.literal_count()
+        );
     }
 
     #[test]

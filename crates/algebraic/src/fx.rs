@@ -19,7 +19,10 @@ pub struct FxOptions {
 
 impl Default for FxOptions {
     fn default() -> FxOptions {
-        FxOptions { max_extractions: 200, max_pairs: 50_000 }
+        FxOptions {
+            max_extractions: 200,
+            max_pairs: 50_000,
+        }
     }
 }
 
@@ -40,13 +43,14 @@ type Divisor = (GlobalCube, GlobalCube);
 
 fn global_cubes_of(net: &Network, node: NodeId) -> Vec<GlobalCube> {
     let n = net.node(node);
-    let Some(cover) = n.cover() else { return Vec::new() };
+    let Some(cover) = n.cover() else {
+        return Vec::new();
+    };
     cover
         .cubes()
         .iter()
         .map(|c| {
-            let mut g: GlobalCube =
-                c.lits().map(|l| (n.fanins()[l.var], l.phase)).collect();
+            let mut g: GlobalCube = c.lits().map(|l| (n.fanins()[l.var], l.phase)).collect();
             g.sort_unstable();
             g
         })
@@ -105,7 +109,10 @@ pub fn fx(net: &mut Network, opts: &FxOptions) -> FxStats {
                         break;
                     }
                     if let Some(d) = divisor_of_pair(&cubes[i], &cubes[j]) {
-                        buckets.entry(d).or_default().push(Occurrence { node: id, i, j });
+                        buckets
+                            .entry(d)
+                            .or_default()
+                            .push(Occurrence { node: id, i, j });
                     }
                 }
             }
@@ -142,26 +149,24 @@ pub fn fx(net: &mut Network, opts: &FxOptions) -> FxStats {
                 best = Some((div.clone(), chosen, value));
             }
         }
-        let Some((div, occs, value)) = best else { break };
+        let Some((div, occs, value)) = best else {
+            break;
+        };
 
         // Materialize the divisor node: cover = d1 + d2 over its support.
-        let mut support: Vec<NodeId> = div
-            .0
-            .iter()
-            .chain(div.1.iter())
-            .map(|&(n, _)| n)
-            .collect();
+        let mut support: Vec<NodeId> = div.0.iter().chain(div.1.iter()).map(|&(n, _)| n).collect();
         support.sort_unstable();
         support.dedup();
         let k = support.len();
-        let pos = |n: NodeId, support: &[NodeId]| {
-            support.binary_search(&n).expect("in support")
-        };
+        let pos = |n: NodeId, support: &[NodeId]| support.binary_search(&n).expect("in support");
         let mut cover = Cover::new(k);
         for part in [&div.0, &div.1] {
             let mut cube = Cube::universe(k);
             for &(n, phase) in part {
-                cube.restrict(Lit { var: pos(n, &support), phase });
+                cube.restrict(Lit {
+                    var: pos(n, &support),
+                    phase,
+                });
             }
             cover.push(cube);
         }

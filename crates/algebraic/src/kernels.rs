@@ -52,10 +52,19 @@ fn frequent_literals(f: &Cover, min_count: usize) -> Vec<(Lit, usize)> {
     out
 }
 
-fn kernel_rec(g: &Cover, min_lit_index: usize, cokernel: &Cube, out: &mut Vec<Kernel>, seen: &mut Vec<Cover>) {
+fn kernel_rec(
+    g: &Cover,
+    min_lit_index: usize,
+    cokernel: &Cube,
+    out: &mut Vec<Kernel>,
+    seen: &mut Vec<Cover>,
+) {
     if g.len() >= 2 && !seen.iter().any(|s| s == g) {
         seen.push(g.clone());
-        out.push(Kernel { kernel: g.clone(), cokernel: cokernel.clone() });
+        out.push(Kernel {
+            kernel: g.clone(),
+            cokernel: cokernel.clone(),
+        });
     }
     let n = g.num_vars();
     for (lit, _) in frequent_literals(g, 2) {
@@ -113,8 +122,14 @@ mod tests {
         let f = parse_sop(7, "adf + aef + bdf + bef + cdf + cef + g").expect("p");
         let ks = kernels(&f);
         let strings: Vec<String> = ks.iter().map(|k| k.kernel.to_string()).collect();
-        assert!(strings.iter().any(|s| s == "a + b + c"), "missing a+b+c in {strings:?}");
-        assert!(strings.iter().any(|s| s == "d + e"), "missing d+e in {strings:?}");
+        assert!(
+            strings.iter().any(|s| s == "a + b + c"),
+            "missing a+b+c in {strings:?}"
+        );
+        assert!(
+            strings.iter().any(|s| s == "d + e"),
+            "missing d+e in {strings:?}"
+        );
         // The whole (cube-free) f is a kernel of itself.
         assert!(strings.iter().any(|s| s.contains('g')));
     }
@@ -129,7 +144,9 @@ mod tests {
     fn kernel_times_cokernel_stays_in_f() {
         let f = parse_sop(5, "ab + ac + ad + bc").expect("p");
         for k in kernels(&f) {
-            let product = k.kernel.and(&Cover::from_cubes(5, vec![k.cokernel.clone()]));
+            let product = k
+                .kernel
+                .and(&Cover::from_cubes(5, vec![k.cokernel.clone()]));
             for c in product.cubes() {
                 assert!(
                     f.cubes().iter().any(|fc| fc == c),

@@ -29,15 +29,13 @@ mod kernels;
 mod resub;
 mod space;
 
-pub use division::{
-    common_cube, divide_by_cube, make_cube_free, weak_divide, AlgebraicDivision,
-};
+pub use division::{common_cube, divide_by_cube, make_cube_free, weak_divide, AlgebraicDivision};
 pub use extract::{gcx, gkx, ExtractOptions, ExtractStats};
 pub use factor::{factor, factored_literals, FactorTree};
 pub use fx::{fx, FxOptions, FxStats};
 pub use kernels::{kernels, level0_kernels, Kernel};
 pub use resub::{
-    algebraic_resub, apply_substitution, network_factored_literals,
-    try_algebraic_substitution, ResubOptions, ResubStats, SubstitutionPlan,
+    algebraic_resub, apply_substitution, network_factored_literals, try_algebraic_substitution,
+    ResubOptions, ResubStats, SubstitutionPlan,
 };
 pub use space::JointSpace;

@@ -21,7 +21,11 @@ pub struct ResubOptions {
 
 impl Default for ResubOptions {
     fn default() -> ResubOptions {
-        ResubOptions { use_complement: true, max_passes: 2, complement_cube_limit: 64 }
+        ResubOptions {
+            use_complement: true,
+            max_passes: 2,
+            complement_cube_limit: 64,
+        }
     }
 }
 
@@ -162,8 +166,7 @@ pub fn algebraic_resub(net: &mut Network, opts: &ResubOptions) -> ResubStats {
                 if net.node_opt(target).is_none() {
                     break;
                 }
-                let Some(plan) = try_algebraic_substitution(net, target, divisor, opts)
-                else {
+                let Some(plan) = try_algebraic_substitution(net, target, divisor, opts) else {
                     continue;
                 };
                 if plan.gain > 0 {
@@ -272,8 +275,7 @@ mod tests {
         // does not depend on g yet, so try the reverse direction after a
         // first substitution.
         let mut net2 = net.clone();
-        let plan = try_algebraic_substitution(&net2, f, g, &ResubOptions::default())
-            .expect("plan");
+        let plan = try_algebraic_substitution(&net2, f, g, &ResubOptions::default()).expect("plan");
         apply_substitution(&mut net2, &plan);
         // Now f depends on g: dividing g by f must be rejected.
         assert!(try_algebraic_substitution(&net2, g, f, &ResubOptions::default()).is_none());

@@ -91,7 +91,14 @@ impl Circuit {
 
     /// Adds a constant gate.
     pub fn add_const(&mut self, value: bool) -> GateId {
-        self.push(if value { GateKind::Const1 } else { GateKind::Const0 }, Vec::new())
+        self.push(
+            if value {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            },
+            Vec::new(),
+        )
     }
 
     /// Adds an inverter.
@@ -120,7 +127,10 @@ impl Circuit {
     ///
     /// Panics if any fanin is out of range.
     pub fn add_and(&mut self, inputs: Vec<GateId>) -> GateId {
-        assert!(inputs.iter().all(|g| g.0 < self.gates.len()), "fanin out of range");
+        assert!(
+            inputs.iter().all(|g| g.0 < self.gates.len()),
+            "fanin out of range"
+        );
         self.push(GateKind::And, inputs)
     }
 
@@ -130,7 +140,10 @@ impl Circuit {
     ///
     /// Panics if any fanin is out of range.
     pub fn add_or(&mut self, inputs: Vec<GateId>) -> GateId {
-        assert!(inputs.iter().all(|g| g.0 < self.gates.len()), "fanin out of range");
+        assert!(
+            inputs.iter().all(|g| g.0 < self.gates.len()),
+            "fanin out of range"
+        );
         self.push(GateKind::Or, inputs)
     }
 
@@ -193,7 +206,10 @@ impl Circuit {
         let mut out = vec![Vec::new(); self.gates.len()];
         for (i, gate) in self.gates.iter().enumerate() {
             for (pin, &f) in gate.fanins.iter().enumerate() {
-                out[f.0].push(Wire { gate: GateId(i), pin });
+                out[f.0].push(Wire {
+                    gate: GateId(i),
+                    pin,
+                });
             }
         }
         out
@@ -306,12 +322,8 @@ impl Circuit {
                 GateKind::Const1 => true,
                 GateKind::Not => !pick(gate.fanins[0], 0),
                 GateKind::Buf => pick(gate.fanins[0], 0),
-                GateKind::And => {
-                    gate.fanins.iter().enumerate().all(|(pin, &f)| pick(f, pin))
-                }
-                GateKind::Or => {
-                    gate.fanins.iter().enumerate().any(|(pin, &f)| pick(f, pin))
-                }
+                GateKind::And => gate.fanins.iter().enumerate().all(|(pin, &f)| pick(f, pin)),
+                GateKind::Or => gate.fanins.iter().enumerate().any(|(pin, &f)| pick(f, pin)),
             };
         }
         values

@@ -133,7 +133,10 @@ pub fn fault_coverage(
     let detected = classes
         .iter()
         .filter(|(_, c)| {
-            matches!(c, FaultClass::DetectedRandom(_) | FaultClass::DetectedSearch(_))
+            matches!(
+                c,
+                FaultClass::DetectedRandom(_) | FaultClass::DetectedSearch(_)
+            )
         })
         .count();
     let redundant = classes
@@ -144,9 +147,13 @@ pub fn fault_coverage(
         .iter()
         .filter(|(_, c)| *c == FaultClass::Aborted)
         .count();
-    CoverageReport { classes, detected, redundant, aborted }
+    CoverageReport {
+        classes,
+        detected,
+        redundant,
+        aborted,
+    }
 }
-
 
 /// Structural fault collapsing: partitions the fault list into equivalence
 /// classes using the classical gate-local rules and returns one
@@ -226,7 +233,9 @@ mod tests {
             let good = c.eval(v);
             let bad = c.eval_faulty(v, fault.wire, fault.stuck);
             assert!(
-                c.outputs().iter().any(|o| good[o.index()] != bad[o.index()]),
+                c.outputs()
+                    .iter()
+                    .any(|o| good[o.index()] != bad[o.index()]),
                 "stored vector does not detect {fault:?}"
             );
         }
@@ -283,7 +292,9 @@ mod tests {
                 let detected = vectors.iter().any(|v| {
                     let good = c.eval(v);
                     let bad = c.eval_faulty(v, fault.wire, fault.stuck);
-                    c.outputs().iter().any(|o| good[o.index()] != bad[o.index()])
+                    c.outputs()
+                        .iter()
+                        .any(|o| good[o.index()] != bad[o.index()])
                 });
                 assert!(
                     detected,

@@ -107,7 +107,9 @@ pub fn observability_dominators(circuit: &Circuit, from: GateId) -> Option<Vec<G
         }
         let mut acc: Option<Vec<u64>> = None;
         for &f in circuit.fanins(g) {
-            let Some(fs) = sd[f.index()].as_ref() else { continue };
+            let Some(fs) = sd[f.index()].as_ref() else {
+                continue;
+            };
             acc = Some(match acc {
                 None => fs.clone(),
                 Some(mut a) => {
@@ -131,7 +133,9 @@ pub fn observability_dominators(circuit: &Circuit, from: GateId) -> Option<Vec<G
             // Fault observed directly at an output: nothing must dominate.
             return Some(Vec::new());
         }
-        let Some(os) = sd[o.index()].as_ref() else { continue };
+        let Some(os) = sd[o.index()].as_ref() else {
+            continue;
+        };
         acc = Some(match acc {
             None => os.clone(),
             Some(mut a) => {
@@ -183,7 +187,9 @@ pub fn mandatory_assignments(circuit: &Circuit, fault: Fault) -> Option<Vec<(Gat
     }
     let doms = observability_dominators(circuit, sink)?;
     for d in doms {
-        let Some(ctrl) = circuit.kind(d).controlling() else { continue };
+        let Some(ctrl) = circuit.kind(d).controlling() else {
+            continue;
+        };
         for &f in circuit.fanins(d) {
             // Side inputs = fanins not affected by the fault.
             if f != sink && !tfo_sink[f.index()] {
@@ -279,7 +285,10 @@ mod tests {
         let fault = Fault::sa0(Wire { gate: f, pin: 2 });
         assert!(!is_testable_exhaustive(&c, fault));
         let status = check_fault(&c, fault, ImplyOptions::default());
-        assert!(status.is_untestable(), "implications should find the conflict");
+        assert!(
+            status.is_untestable(),
+            "implications should find the conflict"
+        );
     }
 
     #[test]
@@ -289,7 +298,10 @@ mod tests {
             let fault = Fault::sa0(Wire { gate: f, pin });
             assert!(is_testable_exhaustive(&c, fault));
             let status = check_fault(&c, fault, ImplyOptions::default());
-            assert!(!status.is_untestable(), "pin {pin} wrongly declared redundant");
+            assert!(
+                !status.is_untestable(),
+                "pin {pin} wrongly declared redundant"
+            );
         }
     }
 
@@ -360,7 +372,10 @@ mod tests {
             for g in c.gate_ids() {
                 for pin in 0..c.fanins(g).len() {
                     for stuck in [false, true] {
-                        let fault = Fault { wire: Wire { gate: g, pin }, stuck };
+                        let fault = Fault {
+                            wire: Wire { gate: g, pin },
+                            stuck,
+                        };
                         let status = check_fault(&c, fault, ImplyOptions::default());
                         if status.is_untestable() {
                             assert!(

@@ -92,12 +92,20 @@ impl<'c> Implier<'c> {
                 _ => None,
             })
             .collect();
-        Implier { circuit, fanouts: circuit.fanout_wires(), constants }
+        Implier {
+            circuit,
+            fanouts: circuit.fanout_wires(),
+            constants,
+        }
     }
 
     /// Seeds constant-gate values into a table (conflict only if the caller
     /// pre-assigned a contradictory value).
-    fn seed_constants(&self, values: &mut [Value], queue: &mut Vec<GateId>) -> Result<(), Conflict> {
+    fn seed_constants(
+        &self,
+        values: &mut [Value],
+        queue: &mut Vec<GateId>,
+    ) -> Result<(), Conflict> {
         for &(g, v) in &self.constants {
             Self::assign(values, g, v, queue, &self.fanouts)?;
         }
@@ -120,7 +128,11 @@ impl<'c> Implier<'c> {
     ///
     /// Returns [`Conflict`] if the seeds are contradictory.
     pub fn imply(&self, values: &mut [Value], opts: ImplyOptions) -> Result<(), Conflict> {
-        assert_eq!(values.len(), self.circuit.len(), "value table size mismatch");
+        assert_eq!(
+            values.len(),
+            self.circuit.len(),
+            "value table size mismatch"
+        );
         let mut queue: Vec<GateId> = self.circuit.gate_ids().collect();
         self.propagate(values, &mut queue)?;
         if opts.learn_depth > 0 {
@@ -223,7 +235,11 @@ impl<'c> Implier<'c> {
         }
 
         // Backward implication: derive fanin values from a known output.
-        let out = if out == Value::Unknown { values[g.index()] } else { out };
+        let out = if out == Value::Unknown {
+            values[g.index()]
+        } else {
+            out
+        };
         if out == Value::Unknown {
             return Ok(());
         }
@@ -328,7 +344,9 @@ impl<'c> Implier<'c> {
                 let mut all_conflict = true;
                 for (f, v) in &options {
                     let mut trial: Vec<Value> = values.to_vec();
-                    let sub = ImplyOptions { learn_depth: depth - 1 };
+                    let sub = ImplyOptions {
+                        learn_depth: depth - 1,
+                    };
                     let mut queue = Vec::new();
                     let r = Self::assign(&mut trial, *f, *v, &mut queue, &self.fanouts)
                         .and_then(|()| self.propagate(&mut trial, &mut queue))
@@ -359,13 +377,7 @@ impl<'c> Implier<'c> {
                     let mut queue = Vec::new();
                     for (i, &newv) in common.iter().enumerate() {
                         if newv != Value::Unknown && values[i] == Value::Unknown {
-                            Self::assign(
-                                values,
-                                GateId(i),
-                                newv,
-                                &mut queue,
-                                &self.fanouts,
-                            )?;
+                            Self::assign(values, GateId(i), newv, &mut queue, &self.fanouts)?;
                             learned_any = true;
                         }
                     }
@@ -381,11 +393,7 @@ impl<'c> Implier<'c> {
     /// If gate `g` is *unjustified* (its known output is not yet forced by
     /// its fanins), returns the list of single-fanin assignments that could
     /// justify it. Returns `None` for justified or undetermined gates.
-    fn justification_options(
-        &self,
-        values: &[Value],
-        g: GateId,
-    ) -> Option<Vec<(GateId, Value)>> {
+    fn justification_options(&self, values: &[Value], g: GateId) -> Option<Vec<(GateId, Value)>> {
         let out = values[g.index()].to_bool()?;
         let fanins = self.circuit.fanins(g);
         match (self.circuit.kind(g), out) {

@@ -39,13 +39,13 @@ mod search;
 pub use circuit::{Circuit, GateId, GateKind, Wire};
 pub use coverage::{collapse_faults, enumerate_faults, fault_coverage, CoverageReport, FaultClass};
 pub use fault::{
-    check_fault, is_testable_exhaustive, mandatory_assignments, observability_dominators,
-    Fault, FaultStatus, UntestableReason,
+    check_fault, is_testable_exhaustive, mandatory_assignments, observability_dominators, Fault,
+    FaultStatus, UntestableReason,
 };
 pub use imply::{Conflict, Implier, ImplyOptions, Value};
+pub use rar::{rar_optimize, RarOptions, RarStats};
 pub use redundancy::{
     remove_redundant_wires, remove_redundant_wires_with, CandidateWire, RemovalOptions,
     RemovalOutcome,
 };
-pub use rar::{rar_optimize, RarOptions, RarStats};
 pub use search::{check_fault_exact, find_test, TestSearch};

@@ -10,8 +10,8 @@
 //! on.
 
 use crate::{
-    check_fault, CandidateWire, Circuit, Fault, GateId, GateKind, ImplyOptions,
-    RemovalOptions, Wire,
+    check_fault, CandidateWire, Circuit, Fault, GateId, GateKind, ImplyOptions, RemovalOptions,
+    Wire,
 };
 
 /// Options for [`rar_optimize`].
@@ -98,7 +98,10 @@ pub fn rar_optimize(circuit: &mut Circuit, opts: &RarOptions) -> RarStats {
         let outcome = crate::remove_redundant_wires_with(
             circuit,
             &candidates,
-            &RemovalOptions { imply: opts.imply, exact_budget: 0 },
+            &RemovalOptions {
+                imply: opts.imply,
+                exact_budget: 0,
+            },
             2,
         );
         stats.removals += outcome.removed.len();
@@ -125,7 +128,10 @@ pub fn rar_optimize(circuit: &mut Circuit, opts: &RarOptions) -> RarStats {
                 // Tentatively add the wire.
                 let mut trial = circuit.clone();
                 trial.add_fanin(dst, src);
-                let added = Wire { gate: dst, pin: trial.fanins(dst).len() - 1 };
+                let added = Wire {
+                    gate: dst,
+                    pin: trial.fanins(dst).len() - 1,
+                };
                 if !wire_is_redundant(&trial, added, opts) {
                     continue;
                 }
@@ -138,7 +144,10 @@ pub fn rar_optimize(circuit: &mut Circuit, opts: &RarOptions) -> RarStats {
                 let outcome = crate::remove_redundant_wires_with(
                     &mut scratch,
                     &others,
-                    &RemovalOptions { imply: opts.imply, exact_budget: 0 },
+                    &RemovalOptions {
+                        imply: opts.imply,
+                        exact_budget: 0,
+                    },
                     2,
                 );
                 if outcome.removed.len() >= 2 {

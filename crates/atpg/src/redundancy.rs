@@ -55,7 +55,10 @@ pub fn remove_redundant_wires(
     remove_redundant_wires_with(
         circuit,
         candidates,
-        &RemovalOptions { imply: opts, exact_budget: 0 },
+        &RemovalOptions {
+            imply: opts,
+            exact_budget: 0,
+        },
         max_passes,
     )
 }
@@ -91,15 +94,23 @@ pub fn remove_redundant_wires_with(
             else {
                 continue; // already gone
             };
-            let fault = Fault { wire: Wire { gate: cand.sink, pin }, stuck };
+            let fault = Fault {
+                wire: Wire {
+                    gate: cand.sink,
+                    pin,
+                },
+                stuck,
+            };
             outcome.checks += 1;
             let mut redundant = check_fault(circuit, fault, opts.imply).is_untestable();
             if !redundant && opts.exact_budget > 0 {
-                redundant = check_fault_exact(circuit, fault, opts.exact_budget)
-                    == Some(false);
+                redundant = check_fault_exact(circuit, fault, opts.exact_budget) == Some(false);
             }
             if redundant {
-                circuit.remove_wire(Wire { gate: cand.sink, pin });
+                circuit.remove_wire(Wire {
+                    gate: cand.sink,
+                    pin,
+                });
                 outcome.removed.push(cand);
                 removed_this_pass = true;
             } else {
@@ -147,12 +158,30 @@ mod tests {
         // Candidates: all literal wires into f's cube ANDs and the cube
         // wires into the f' OR.
         let candidates = vec![
-            CandidateWire { sink: f_ab, driver: a },
-            CandidateWire { sink: f_ab, driver: b },
-            CandidateWire { sink: f_ac, driver: a },
-            CandidateWire { sink: f_ac, driver: cc },
-            CandidateWire { sink: fprime, driver: f_ab },
-            CandidateWire { sink: fprime, driver: f_ac },
+            CandidateWire {
+                sink: f_ab,
+                driver: a,
+            },
+            CandidateWire {
+                sink: f_ab,
+                driver: b,
+            },
+            CandidateWire {
+                sink: f_ac,
+                driver: a,
+            },
+            CandidateWire {
+                sink: f_ac,
+                driver: cc,
+            },
+            CandidateWire {
+                sink: fprime,
+                driver: f_ab,
+            },
+            CandidateWire {
+                sink: fprime,
+                driver: f_ac,
+            },
         ];
         let before: Vec<Vec<bool>> = (0u32..8)
             .map(|m| {
@@ -160,8 +189,7 @@ mod tests {
                 c.eval(&inputs)
             })
             .collect();
-        let outcome =
-            remove_redundant_wires(&mut c, &candidates, ImplyOptions::default(), 4);
+        let outcome = remove_redundant_wires(&mut c, &candidates, ImplyOptions::default(), 4);
         // The quotient should shrink: with d present, f' can drop literals
         // (the paper reaches q = a + b ... here q = a suffices: a·d =
         // a(ab + c) = ab + ac = f').
@@ -195,15 +223,32 @@ mod tests {
         let f = c.add_or(vec![ab, nac]);
         c.add_output(f);
         let candidates = vec![
-            CandidateWire { sink: ab, driver: a },
-            CandidateWire { sink: ab, driver: b },
-            CandidateWire { sink: nac, driver: na },
-            CandidateWire { sink: nac, driver: cc },
-            CandidateWire { sink: f, driver: ab },
-            CandidateWire { sink: f, driver: nac },
+            CandidateWire {
+                sink: ab,
+                driver: a,
+            },
+            CandidateWire {
+                sink: ab,
+                driver: b,
+            },
+            CandidateWire {
+                sink: nac,
+                driver: na,
+            },
+            CandidateWire {
+                sink: nac,
+                driver: cc,
+            },
+            CandidateWire {
+                sink: f,
+                driver: ab,
+            },
+            CandidateWire {
+                sink: f,
+                driver: nac,
+            },
         ];
-        let outcome =
-            remove_redundant_wires(&mut c, &candidates, ImplyOptions::default(), 4);
+        let outcome = remove_redundant_wires(&mut c, &candidates, ImplyOptions::default(), 4);
         assert!(outcome.removed.is_empty());
     }
 
@@ -242,9 +287,15 @@ mod tests {
             let mut candidates = Vec::new();
             for &cube in &cubes {
                 for &f in c.fanins(cube) {
-                    candidates.push(CandidateWire { sink: cube, driver: f });
+                    candidates.push(CandidateWire {
+                        sink: cube,
+                        driver: f,
+                    });
                 }
-                candidates.push(CandidateWire { sink: root, driver: cube });
+                candidates.push(CandidateWire {
+                    sink: root,
+                    driver: cube,
+                });
             }
             candidates.dedup();
             let reference: Vec<bool> = (0u32..32)
@@ -286,7 +337,10 @@ mod tests {
         let mut c2 = c.clone();
         let outcome = remove_redundant_wires(
             &mut c2,
-            &[CandidateWire { sink: ab, driver: b }],
+            &[CandidateWire {
+                sink: ab,
+                driver: b,
+            }],
             ImplyOptions::default(),
             2,
         );

@@ -149,7 +149,10 @@ mod tests {
         let (c, _bc, f) = consensus_circuit();
         for pin in 0..3 {
             for stuck in [false, true] {
-                let fault = Fault { wire: Wire { gate: f, pin }, stuck };
+                let fault = Fault {
+                    wire: Wire { gate: f, pin },
+                    stuck,
+                };
                 let want = is_testable_exhaustive(&c, fault);
                 let got = check_fault_exact(&c, fault, 10_000).expect("budget suffices");
                 assert_eq!(got, want, "pin {pin} stuck {stuck}");
@@ -197,7 +200,10 @@ mod tests {
             layer = next;
         }
         c.add_output(layer[0]);
-        let fault = Fault::sa1(Wire { gate: layer[0], pin: 0 });
+        let fault = Fault::sa1(Wire {
+            gate: layer[0],
+            pin: 0,
+        });
         assert_eq!(find_test(&c, fault, 3), TestSearch::Aborted);
     }
 

@@ -49,10 +49,23 @@ impl Bdd {
     #[must_use]
     pub fn new(num_vars: usize) -> Bdd {
         let nodes = vec![
-            Node { var: VAR_TERMINAL, lo: Ref(0), hi: Ref(0) }, // 0 terminal
-            Node { var: VAR_TERMINAL, lo: Ref(1), hi: Ref(1) }, // 1 terminal
+            Node {
+                var: VAR_TERMINAL,
+                lo: Ref(0),
+                hi: Ref(0),
+            }, // 0 terminal
+            Node {
+                var: VAR_TERMINAL,
+                lo: Ref(1),
+                hi: Ref(1),
+            }, // 1 terminal
         ];
-        Bdd { nodes, unique: HashMap::new(), ite_cache: HashMap::new(), num_vars }
+        Bdd {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            num_vars,
+        }
     }
 
     /// Number of variables.
@@ -194,13 +207,7 @@ impl Bdd {
         self.restrict_rec(f, v as u32, value, &mut memo)
     }
 
-    fn restrict_rec(
-        &mut self,
-        r: Ref,
-        var: u32,
-        value: bool,
-        memo: &mut HashMap<Ref, Ref>,
-    ) -> Ref {
+    fn restrict_rec(&mut self, r: Ref, var: u32, value: bool, memo: &mut HashMap<Ref, Ref>) -> Ref {
         let n = self.nodes[r.0 as usize];
         if n.var == VAR_TERMINAL || n.var > var {
             return r;

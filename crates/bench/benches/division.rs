@@ -3,28 +3,20 @@
 //! clique overhead, and the POS (complement-domain) path.
 
 use boolsubst_algebraic::weak_divide;
+use boolsubst_bench::timing::Harness;
 use boolsubst_core::{
     basic_divide_covers, extended_divide_covers, pos_divide_covers, DivisionOptions,
 };
 use boolsubst_cube::{parse_sop, Cover};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// The paper's running example plus progressively larger planted pairs.
 fn cases() -> Vec<(&'static str, Cover, Cover)> {
     let paper_f = parse_sop(3, "ab + ac + bc'").expect("f");
     let paper_d = parse_sop(3, "ab + c").expect("d");
-    let wide_f = parse_sop(
-        8,
-        "abe + abf + ace + acf + bde + bdf + gh + g'h'",
-    )
-    .expect("f");
+    let wide_f = parse_sop(8, "abe + abf + ace + acf + bde + bdf + gh + g'h'").expect("f");
     let wide_d = parse_sop(8, "ab + ac + bd").expect("d");
-    let deep_f = parse_sop(
-        10,
-        "abc + abd' + ae + af + bg + bh + cij + c'ij'",
-    )
-    .expect("f");
+    let deep_f = parse_sop(10, "abc + abd' + ae + af + bg + bh + cij + c'ij'").expect("f");
     let deep_d = parse_sop(10, "a + b + cij").expect("d");
     vec![
         ("paper", paper_f, paper_d),
@@ -33,42 +25,33 @@ fn cases() -> Vec<(&'static str, Cover, Cover)> {
     ]
 }
 
-fn bench_division(c: &mut Criterion) {
-    let mut group = c.benchmark_group("division");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("division");
     for (name, f, d) in cases() {
-        group.bench_with_input(BenchmarkId::new("algebraic", name), &(), |b, ()| {
-            b.iter(|| black_box(weak_divide(black_box(&f), black_box(&d))));
+        group.bench(&format!("algebraic/{name}"), || {
+            black_box(weak_divide(black_box(&f), black_box(&d)))
         });
-        group.bench_with_input(BenchmarkId::new("boolean_basic", name), &(), |b, ()| {
-            b.iter(|| {
-                black_box(basic_divide_covers(
-                    black_box(&f),
-                    black_box(&d),
-                    &DivisionOptions::paper_default(),
-                ))
-            });
+        group.bench(&format!("boolean_basic/{name}"), || {
+            black_box(basic_divide_covers(
+                black_box(&f),
+                black_box(&d),
+                &DivisionOptions::paper_default(),
+            ))
         });
-        group.bench_with_input(BenchmarkId::new("boolean_extended", name), &(), |b, ()| {
-            b.iter(|| {
-                black_box(extended_divide_covers(
-                    black_box(&f),
-                    black_box(&d),
-                    &DivisionOptions::paper_default(),
-                ))
-            });
+        group.bench(&format!("boolean_extended/{name}"), || {
+            black_box(extended_divide_covers(
+                black_box(&f),
+                black_box(&d),
+                &DivisionOptions::paper_default(),
+            ))
         });
-        group.bench_with_input(BenchmarkId::new("boolean_pos", name), &(), |b, ()| {
-            b.iter(|| {
-                black_box(pos_divide_covers(
-                    black_box(&f),
-                    black_box(&d),
-                    &DivisionOptions::paper_default(),
-                ))
-            });
+        group.bench(&format!("boolean_pos/{name}"), || {
+            black_box(pos_divide_covers(
+                black_box(&f),
+                black_box(&d),
+                &DivisionOptions::paper_default(),
+            ))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_division);
-criterion_main!(benches);

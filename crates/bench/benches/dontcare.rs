@@ -3,43 +3,31 @@
 //! explicit.
 
 use boolsubst_atpg::fault_coverage;
+use boolsubst_bench::timing::Harness;
 use boolsubst_core::dontcare::{full_simplify, odc_cover, DontCareOptions};
 use boolsubst_core::netcircuit::NetCircuit;
 use boolsubst_workloads::benchmarks::{c17, ripple_adder};
 use boolsubst_workloads::generator::{planted_network, PlantedParams};
 use boolsubst_workloads::scripts::script_a;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_dontcare(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dontcare");
-    group.sample_size(20);
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("dontcare");
     let mut plant = planted_network(201, &PlantedParams::default());
     script_a(&mut plant);
-    group.bench_function("odc_cover/one_node", |b| {
-        let node = plant.internal_ids().next().expect("nonempty");
-        b.iter(|| black_box(odc_cover(&plant, node, 8)));
+    let node = plant.internal_ids().next().expect("nonempty");
+    group.bench("odc_cover/one_node", || {
+        black_box(odc_cover(&plant, node, 8))
     });
-    group.bench_function("full_simplify/planted", |b| {
-        b.iter(|| {
-            let mut n = plant.clone();
-            black_box(full_simplify(&mut n, &DontCareOptions::default()))
-        });
+    group.bench("full_simplify/planted", || {
+        let mut n = plant.clone();
+        black_box(full_simplify(&mut n, &DontCareOptions::default()))
     });
-    group.finish();
-}
 
-fn bench_coverage(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_coverage");
-    group.sample_size(15);
+    let mut group = harness.group("fault_coverage");
     for (name, net) in [("c17", c17()), ("add4", ripple_adder(4))] {
         let circuit = NetCircuit::build(&net).circuit;
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(fault_coverage(&circuit, 32, 7, 20_000)));
-        });
+        group.bench(name, || black_box(fault_coverage(&circuit, 32, 7, 20_000)));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dontcare, bench_coverage);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! depth — the paper's run-time/quality knob.
 
 use boolsubst_atpg::{check_fault, Circuit, Fault, GateId, ImplyOptions, Wire};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use boolsubst_bench::timing::Harness;
 use std::hint::black_box;
 
 /// Builds a reconvergent ladder of `depth` stages; returns the circuit and
@@ -25,75 +25,50 @@ fn ladder(depth: usize) -> (Circuit, Wire) {
     (c, mid.expect("depth > 0"))
 }
 
-fn bench_implication(c: &mut Criterion) {
-    let mut group = c.benchmark_group("implication");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("implication");
     for depth in [8usize, 32, 128] {
         let (circuit, wire) = ladder(depth);
         let fault = Fault::sa1(wire);
-        group.bench_with_input(
-            BenchmarkId::new("check_fault_direct", depth),
-            &(),
-            |bch, ()| {
-                bch.iter(|| {
-                    black_box(check_fault(
-                        black_box(&circuit),
-                        fault,
-                        ImplyOptions { learn_depth: 0 },
-                    ))
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("check_fault_learning1", depth),
-            &(),
-            |bch, ()| {
-                bch.iter(|| {
-                    black_box(check_fault(
-                        black_box(&circuit),
-                        fault,
-                        ImplyOptions { learn_depth: 1 },
-                    ))
-                });
-            },
-        );
+        group.bench(&format!("check_fault_direct/{depth}"), || {
+            black_box(check_fault(
+                black_box(&circuit),
+                fault,
+                ImplyOptions { learn_depth: 0 },
+            ))
+        });
+        group.bench(&format!("check_fault_learning1/{depth}"), || {
+            black_box(check_fault(
+                black_box(&circuit),
+                fault,
+                ImplyOptions { learn_depth: 1 },
+            ))
+        });
     }
-    group.finish();
-}
 
-/// Fault sweep over a two-level region (the shape every division builds).
-fn bench_region_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("region_sweep");
+    let mut group = harness.group("region_sweep");
     for cubes in [4usize, 16, 64] {
         let mut circuit = Circuit::new();
         let inputs: Vec<GateId> = (0..10).map(|_| circuit.add_input()).collect();
         let mut cube_gates = Vec::new();
         for k in 0..cubes {
-            let ins: Vec<GateId> = (0..3)
-                .map(|j| inputs[(k * 3 + j) % inputs.len()])
-                .collect();
+            let ins: Vec<GateId> = (0..3).map(|j| inputs[(k * 3 + j) % inputs.len()]).collect();
             cube_gates.push(circuit.add_and(ins));
         }
         let root = circuit.add_or(cube_gates.clone());
         circuit.add_output(root);
-        group.bench_with_input(BenchmarkId::new("all_faults", cubes), &(), |bch, ()| {
-            bch.iter(|| {
-                let mut untestable = 0usize;
-                for &g in &cube_gates {
-                    for pin in 0..circuit.fanins(g).len() {
-                        let fault = Fault::sa1(Wire { gate: g, pin });
-                        if check_fault(&circuit, fault, ImplyOptions::default())
-                            .is_untestable()
-                        {
-                            untestable += 1;
-                        }
+        group.bench(&format!("all_faults/{cubes}"), || {
+            let mut untestable = 0usize;
+            for &g in &cube_gates {
+                for pin in 0..circuit.fanins(g).len() {
+                    let fault = Fault::sa1(Wire { gate: g, pin });
+                    if check_fault(&circuit, fault, ImplyOptions::default()).is_untestable() {
+                        untestable += 1;
                     }
                 }
-                black_box(untestable)
-            });
+            }
+            black_box(untestable)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_implication, bench_region_sweep);
-criterion_main!(benches);

@@ -3,51 +3,46 @@
 //! CPU columns of Tables II–V.
 
 use boolsubst_algebraic::{algebraic_resub, ResubOptions};
+use boolsubst_bench::timing::Harness;
 use boolsubst_core::subst::{boolean_substitute, SubstOptions};
 use boolsubst_network::Network;
 use boolsubst_workloads::generator::{planted_network, PlantedParams};
 use boolsubst_workloads::scripts::script_a;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn prepared(seed: u64, targets: usize) -> Network {
     let mut net = planted_network(
         seed,
-        &PlantedParams { targets, ..PlantedParams::default() },
+        &PlantedParams {
+            targets,
+            ..PlantedParams::default()
+        },
     );
     script_a(&mut net);
     net
 }
 
-fn bench_substitution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substitution");
-    group.sample_size(20);
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("substitution");
     for (seed, targets) in [(61u64, 6usize), (62, 12)] {
         let net = prepared(seed, targets);
         let label = format!("plant{targets}");
-        group.bench_with_input(BenchmarkId::new("algebraic_resub", &label), &(), |b, ()| {
-            b.iter(|| {
-                let mut n = net.clone();
-                algebraic_resub(&mut n, &ResubOptions::default());
-                black_box(n.sop_literals())
-            });
+        group.bench(&format!("algebraic_resub/{label}"), || {
+            let mut n = net.clone();
+            algebraic_resub(&mut n, &ResubOptions::default());
+            black_box(n.sop_literals())
         });
         for (name, opts) in [
             ("basic", SubstOptions::basic()),
             ("extended", SubstOptions::extended()),
             ("extended_gdc", SubstOptions::extended_gdc()),
         ] {
-            group.bench_with_input(BenchmarkId::new(name, &label), &(), |b, ()| {
-                b.iter(|| {
-                    let mut n = net.clone();
-                    boolean_substitute(&mut n, &opts);
-                    black_box(n.sop_literals())
-                });
+            group.bench(&format!("{name}/{label}"), || {
+                let mut n = net.clone();
+                boolean_substitute(&mut n, &opts);
+                black_box(n.sop_literals())
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_substitution);
-criterion_main!(benches);

@@ -3,9 +3,9 @@
 //! quick factoring.
 
 use boolsubst_algebraic::factored_literals;
+use boolsubst_bench::timing::Harness;
 use boolsubst_cube::{simplify, Cover, Cube, Lit, Phase, SimplifyOptions};
 use boolsubst_workloads::generator::Rng;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn random_cover(seed: u64, vars: usize, cubes: usize) -> Cover {
@@ -14,8 +14,15 @@ fn random_cover(seed: u64, vars: usize, cubes: usize) -> Cover {
     while cover.len() < cubes {
         let mut cube = Cube::universe(vars);
         for _ in 0..(2 + rng.below(3)) {
-            let phase = if rng.below(2) == 0 { Phase::Pos } else { Phase::Neg };
-            cube.restrict(Lit { var: rng.below(vars), phase });
+            let phase = if rng.below(2) == 0 {
+                Phase::Pos
+            } else {
+                Phase::Neg
+            };
+            cube.restrict(Lit {
+                var: rng.below(vars),
+                phase,
+            });
         }
         if !cube.is_empty() {
             cover.push(cube);
@@ -25,33 +32,24 @@ fn random_cover(seed: u64, vars: usize, cubes: usize) -> Cover {
     cover
 }
 
-fn bench_twolevel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("twolevel");
+fn main() {
+    let harness = Harness::from_args();
+    let mut group = harness.group("twolevel");
     for (vars, cubes) in [(8usize, 8usize), (12, 24), (16, 48)] {
         let f = random_cover(0xABCD + vars as u64, vars, cubes);
         let label = format!("{vars}v{cubes}c");
-        group.bench_with_input(BenchmarkId::new("tautology", &label), &(), |b, ()| {
-            b.iter(|| black_box(black_box(&f).is_tautology()));
+        group.bench(&format!("tautology/{label}"), || {
+            black_box(black_box(&f).is_tautology())
         });
-        group.bench_with_input(BenchmarkId::new("complement", &label), &(), |b, ()| {
-            b.iter(|| black_box(black_box(&f).complement()));
+        group.bench(&format!("complement/{label}"), || {
+            black_box(black_box(&f).complement())
         });
-        group.bench_with_input(BenchmarkId::new("simplify", &label), &(), |b, ()| {
-            let dc = Cover::new(vars);
-            b.iter(|| {
-                black_box(simplify(
-                    black_box(&f),
-                    &dc,
-                    SimplifyOptions::default(),
-                ))
-            });
+        let dc = Cover::new(vars);
+        group.bench(&format!("simplify/{label}"), || {
+            black_box(simplify(black_box(&f), &dc, SimplifyOptions::default()))
         });
-        group.bench_with_input(BenchmarkId::new("factor", &label), &(), |b, ()| {
-            b.iter(|| black_box(factored_literals(black_box(&f))));
+        group.bench(&format!("factor/{label}"), || {
+            black_box(factored_literals(black_box(&f)))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_twolevel);
-criterion_main!(benches);

@@ -13,7 +13,14 @@ fn main() {
     println!("Ablation — first-gain (paper) vs best-gain acceptance\n");
     println!(
         "{:<10} {:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
-        "circuit", "initial", "bas-first", "bas-best", "ext-first", "ext-best", "gdc-first", "gdc-best"
+        "circuit",
+        "initial",
+        "bas-first",
+        "bas-best",
+        "ext-first",
+        "ext-best",
+        "gdc-first",
+        "gdc-best"
     );
     let mut sums = [0usize; 7];
     let mut cpu = [0f64; 6];
@@ -32,12 +39,19 @@ fn main() {
         .into_iter()
         .enumerate()
         {
-            let opts = SubstOptions { acceptance: acc, ..mode };
+            let opts = SubstOptions {
+                acceptance: acc,
+                ..mode
+            };
             let mut trial = net.clone();
             let start = Instant::now();
             boolean_substitute(&mut trial, &opts);
             cpu[i] += start.elapsed().as_secs_f64();
-            assert!(networks_equivalent(&net, &trial), "rewrite broke {}", net.name());
+            assert!(
+                networks_equivalent(&net, &trial),
+                "rewrite broke {}",
+                net.name()
+            );
             cells.push(network_factored_literals(&trial));
         }
         println!(

@@ -15,8 +15,15 @@ fn planted_pair(rng: &mut Rng, vars: usize) -> (Cover, Cover) {
     let cube = |rng: &mut Rng, lits: usize| {
         let mut c = Cube::universe(vars);
         for _ in 0..lits {
-            let phase = if rng.below(100) < 30 { Phase::Neg } else { Phase::Pos };
-            c.restrict(Lit { var: rng.below(vars), phase });
+            let phase = if rng.below(100) < 30 {
+                Phase::Neg
+            } else {
+                Phase::Pos
+            };
+            c.restrict(Lit {
+                var: rng.below(vars),
+                phase,
+            });
         }
         c
     };
@@ -84,7 +91,10 @@ fn main() {
     }
     println!("Ablation — core-divisor selection ({trials} planted divisions, 8 vars)");
     println!("baseline (no division): {baseline_total} SOP literals\n");
-    println!("{:<28} {:>10} {:>10}", "strategy", "total cost", "divisions");
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "strategy", "total cost", "divisions"
+    );
     for (i, (name, _)) in strategies.iter().enumerate() {
         println!("{:<28} {:>10} {:>10}", name, totals[i], found[i]);
     }

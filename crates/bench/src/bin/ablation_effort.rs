@@ -45,7 +45,10 @@ fn main() {
         print!("{:<10} {:>8}", net.name(), initial);
         sums[0] += initial;
         for (i, (_, division)) in efforts.iter().enumerate() {
-            let opts = SubstOptions { division: *division, ..SubstOptions::extended() };
+            let opts = SubstOptions {
+                division: *division,
+                ..SubstOptions::extended()
+            };
             let mut trial = net.clone();
             let start = Instant::now();
             boolean_substitute(&mut trial, &opts);

@@ -14,8 +14,15 @@ fn planted_pair(rng: &mut Rng, vars: usize) -> (Cover, Cover) {
     let cube = |rng: &mut Rng, lits: usize| {
         let mut c = Cube::universe(vars);
         for _ in 0..lits {
-            let phase = if rng.below(100) < 30 { Phase::Neg } else { Phase::Pos };
-            c.restrict(Lit { var: rng.below(vars), phase });
+            let phase = if rng.below(100) < 30 {
+                Phase::Neg
+            } else {
+                Phase::Pos
+            };
+            c.restrict(Lit {
+                var: rng.below(vars),
+                phase,
+            });
         }
         c
     };
@@ -99,7 +106,10 @@ fn main() {
         // General RAR: one wire at a time, everything checked.
         let stats = rar_optimize(
             &mut circuit,
-            &RarOptions { max_trials: 400, ..RarOptions::default() },
+            &RarOptions {
+                max_trials: 400,
+                ..RarOptions::default()
+            },
         );
         rar_removed += stats.removals.saturating_sub(stats.additions);
 
@@ -107,8 +117,7 @@ fn main() {
         let division = basic_divide_covers(&f, &d, &opts);
         if division.succeeded() {
             assert!(division.verify(&f, &d), "division must stay exact");
-            let after =
-                division.quotient.literal_count() + division.quotient.len() + 1;
+            let after = division.quotient.literal_count() + division.quotient.len() + 1;
             division_removed += f_wires.saturating_sub(after);
         }
     }

@@ -8,8 +8,8 @@
 //! o1 collapses to a·o2 — two removals bought by one addition.
 
 use boolsubst_atpg::{
-    check_fault, is_testable_exhaustive, remove_redundant_wires, CandidateWire, Circuit,
-    Fault, GateId, ImplyOptions, Wire,
+    check_fault, is_testable_exhaustive, remove_redundant_wires, CandidateWire, Circuit, Fault,
+    GateId, ImplyOptions, Wire,
 };
 
 fn build(with_added_wire: bool) -> (Circuit, [GateId; 8]) {
@@ -47,7 +47,10 @@ fn main() {
         (o1, 1, "cube ac -> o1"),
     ] {
         let stuck = pin < 2 && (gate == f_ab || gate == f_ac);
-        let fault = Fault { wire: Wire { gate, pin }, stuck };
+        let fault = Fault {
+            wire: Wire { gate, pin },
+            stuck,
+        };
         irredundant &= is_testable_exhaustive(&c0, fault);
         let _ = what;
     }
@@ -55,7 +58,10 @@ fn main() {
 
     // (b) the dotted wire o2 -> AND(a,b) is redundant (ab implies o2).
     let (c1, [.., f_ab1, f_ac1, o1_1]) = build(true);
-    let added = Fault::sa1(Wire { gate: f_ab1, pin: 2 });
+    let added = Fault::sa1(Wire {
+        gate: f_ab1,
+        pin: 2,
+    });
     println!(
         "added wire o2 -> cube ab; redundant (exhaustive check): {}",
         !is_testable_exhaustive(&c1, added)
@@ -63,16 +69,32 @@ fn main() {
     let status = check_fault(&c1, added, ImplyOptions::default());
     println!(
         "  (our implication engine does not even need to test it: {})\n",
-        if status.is_untestable() { "conflict found" } else { "known a priori by Lemma 1" }
+        if status.is_untestable() {
+            "conflict found"
+        } else {
+            "known a priori by Lemma 1"
+        }
     );
 
     // (c) now remove what became redundant.
     let mut c2 = c1.clone();
     let candidates = vec![
-        CandidateWire { sink: f_ab1, driver: a },
-        CandidateWire { sink: f_ab1, driver: b },
-        CandidateWire { sink: o1_1, driver: f_ac1 },
-        CandidateWire { sink: f_ac1, driver: a },
+        CandidateWire {
+            sink: f_ab1,
+            driver: a,
+        },
+        CandidateWire {
+            sink: f_ab1,
+            driver: b,
+        },
+        CandidateWire {
+            sink: o1_1,
+            driver: f_ac1,
+        },
+        CandidateWire {
+            sink: f_ac1,
+            driver: a,
+        },
     ];
     let outcome = remove_redundant_wires(&mut c2, &candidates, ImplyOptions::default(), 3);
     println!(
@@ -103,5 +125,8 @@ fn main() {
             .all(|(x, y)| v0[x.index()] == v2[y.index()]);
     }
     println!("\noutputs preserved: {same}");
-    println!("net effect: one added wire, {} removed — o1 is now a·o2", outcome.removed.len());
+    println!(
+        "net effect: one added wire, {} removed — o1 is now a·o2",
+        outcome.removed.len()
+    );
 }

@@ -25,7 +25,11 @@ fn main() {
         let lit = format!(
             "{}{}",
             var_name(row.wire.lit.var),
-            if row.wire.lit.phase == Phase::Neg { "'" } else { "" }
+            if row.wire.lit.phase == Phase::Neg {
+                "'"
+            } else {
+                ""
+            }
         );
         let cube = f.cubes()[row.wire.cube_index].to_string();
         let cands: Vec<String> = row
@@ -43,7 +47,11 @@ fn main() {
         println!(
             "{:<16} {:<20} {}",
             format!("{lit} in {cube}"),
-            if cands.is_empty() { "-".to_string() } else { cands.join(" + ") },
+            if cands.is_empty() {
+                "-".to_string()
+            } else {
+                cands.join(" + ")
+            },
             note
         );
     }
@@ -53,10 +61,17 @@ fn main() {
         let lit = format!(
             "{}{}",
             var_name(row.wire.lit.var),
-            if row.wire.lit.phase == Phase::Neg { "'" } else { "" }
+            if row.wire.lit.phase == Phase::Neg {
+                "'"
+            } else {
+                ""
+            }
         );
-        let cands: Vec<String> =
-            row.candidates.iter().map(|k| format!("k{}", k + 1)).collect();
+        let cands: Vec<String> = row
+            .candidates
+            .iter()
+            .map(|k| format!("k{}", k + 1))
+            .collect();
         println!(
             "  {lit} in {:<8} votes for {{{}}}",
             f.cubes()[row.wire.cube_index].to_string(),
@@ -66,9 +81,16 @@ fn main() {
 
     match extended_divide_covers(&f, &d, &DivisionOptions::paper_default()) {
         Some(ext) => {
-            let core_names: Vec<String> =
-                ext.core_cube_indices.iter().map(|k| format!("k{}", k + 1)).collect();
-            println!("\nchosen core divisor: {} = {{{}}}", ext.core, core_names.join(", "));
+            let core_names: Vec<String> = ext
+                .core_cube_indices
+                .iter()
+                .map(|k| format!("k{}", k + 1))
+                .collect();
+            println!(
+                "\nchosen core divisor: {} = {{{}}}",
+                ext.core,
+                core_names.join(", ")
+            );
             println!("expected wire removals: {}", ext.expected_removals);
             println!(
                 "final division: f = dc·({}) + {}  [verified: {}]",

@@ -23,15 +23,22 @@ fn main() {
         format!(
             "w{i}:{}{}@{}",
             var_name(row.wire.lit.var),
-            if row.wire.lit.phase == Phase::Neg { "'" } else { "" },
+            if row.wire.lit.phase == Phase::Neg {
+                "'"
+            } else {
+                ""
+            },
             f.cubes()[row.wire.cube_index]
         )
     };
 
     println!("vertices:");
     for (i, row) in rows.iter().enumerate() {
-        let cands: Vec<String> =
-            row.candidates.iter().map(|k| format!("k{}", k + 1)).collect();
+        let cands: Vec<String> = row
+            .candidates
+            .iter()
+            .map(|k| format!("k{}", k + 1))
+            .collect();
         println!("  {} with candidate {{{}}}", label(i), cands.join(", "));
     }
 
@@ -45,7 +52,12 @@ fn main() {
                 .map(|k| format!("k{}", k + 1))
                 .collect();
             if !inter.is_empty() {
-                println!("  {} -- {}  ∩ = {{{}}}", label(i), label(j), inter.join(", "));
+                println!(
+                    "  {} -- {}  ∩ = {{{}}}",
+                    label(i),
+                    label(j),
+                    inter.join(", ")
+                );
             }
         }
     }
@@ -55,8 +67,11 @@ fn main() {
     cliques.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
     for c in &cliques {
         let members: Vec<String> = c.members.iter().map(|&i| label(i)).collect();
-        let core: Vec<String> =
-            c.core_cube_indices.iter().map(|k| format!("k{}", k + 1)).collect();
+        let core: Vec<String> = c
+            .core_cube_indices
+            .iter()
+            .map(|k| format!("k{}", k + 1))
+            .collect();
         println!(
             "  clique {{{}}} -> core divisor {{{}}} (expects {} removals)",
             members.join(", "),

@@ -3,12 +3,146 @@
 //! each planted divisor node — at 0 the divisor is usable as-is (basic
 //! suffices); every extra cube hides the core deeper, and only divisor
 //! decomposition (Section IV) can recover it.
+//!
+//! The binary also times the incremental [`SubstEngine`] sweep against the
+//! legacy per-pair path on a ≥ 200-node generated workload and writes the
+//! numbers to `BENCH_sweep.json` so the perf trajectory is tracked across
+//! PRs. "Candidates/s" counts every (target, divisor) pair the sweep
+//! disposed of per wall-clock second — for the engine that includes pairs
+//! the support-overlap index rejected without ever materialising them.
+//!
+//! [`SubstEngine`]: boolsubst_core::SubstEngine
+
+use std::time::Instant;
 
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
-use boolsubst_core::subst::{boolean_substitute, SubstOptions};
+use boolsubst_core::subst::{
+    boolean_substitute, boolean_substitute_legacy, SubstOptions, SubstStats,
+};
 use boolsubst_core::verify::networks_equivalent;
-use boolsubst_workloads::generator::{planted_network, PlantedParams};
+use boolsubst_network::{write_blif, Network};
+use boolsubst_workloads::generator::{
+    planted_network, random_network, GeneratorParams, PlantedParams,
+};
 use boolsubst_workloads::scripts::script_a;
+
+/// One legacy-vs-engine measurement on a fixed workload and mode.
+struct SweepRow {
+    mode: &'static str,
+    nodes: usize,
+    pairs: usize,
+    legacy_secs: f64,
+    engine_secs: f64,
+    legacy_cand_per_s: f64,
+    engine_cand_per_s: f64,
+    speedup: f64,
+    substitutions: usize,
+    literal_gain: i64,
+}
+
+fn timed(net: &Network, opts: &SubstOptions, legacy: bool) -> (f64, SubstStats, String) {
+    let mut trial = net.clone();
+    let start = Instant::now();
+    let stats = if legacy {
+        boolean_substitute_legacy(&mut trial, opts)
+    } else {
+        boolean_substitute(&mut trial, opts)
+    };
+    (start.elapsed().as_secs_f64(), stats, write_blif(&trial))
+}
+
+fn measure(net: &Network, mode: &'static str, opts: &SubstOptions) -> SweepRow {
+    let (legacy_secs, legacy, legacy_blif) = timed(net, opts, true);
+    let (engine_secs, engine, engine_blif) = timed(net, opts, false);
+    assert_eq!(
+        engine_blif, legacy_blif,
+        "{mode}: engine diverged from legacy"
+    );
+    assert_eq!(
+        engine.substitutions, legacy.substitutions,
+        "{mode}: substitutions"
+    );
+    // Pairs the sweep is responsible for: the legacy path feeds every
+    // snapshot pair through the filter chain; the engine disposes of the
+    // index-rejected remainder in O(1) amortised.
+    let legacy_pairs = legacy.candidates_enumerated;
+    let engine_pairs = engine.candidates_enumerated + engine.filtered_by_index;
+    let legacy_rate = legacy_pairs as f64 / legacy_secs;
+    let engine_rate = engine_pairs as f64 / engine_secs;
+    SweepRow {
+        mode,
+        nodes: net.internal_ids().count(),
+        pairs: legacy_pairs,
+        legacy_secs,
+        engine_secs,
+        legacy_cand_per_s: legacy_rate,
+        engine_cand_per_s: engine_rate,
+        speedup: engine_rate / legacy_rate,
+        substitutions: engine.substitutions,
+        literal_gain: engine.literal_gain,
+    }
+}
+
+fn json_row(r: &SweepRow) -> String {
+    format!(
+        "  {{\"mode\": \"{}\", \"nodes\": {}, \"pairs\": {}, \
+         \"legacy_secs\": {:.6}, \"engine_secs\": {:.6}, \
+         \"legacy_candidates_per_s\": {:.1}, \"engine_candidates_per_s\": {:.1}, \
+         \"speedup\": {:.2}, \"substitutions\": {}, \"literal_gain\": {}}}",
+        r.mode,
+        r.nodes,
+        r.pairs,
+        r.legacy_secs,
+        r.engine_secs,
+        r.legacy_cand_per_s,
+        r.engine_cand_per_s,
+        r.speedup,
+        r.substitutions,
+        r.literal_gain
+    )
+}
+
+fn engine_vs_legacy() {
+    let params = GeneratorParams {
+        inputs: 16,
+        nodes: 220,
+        ..GeneratorParams::default()
+    };
+    let net = random_network(9001, &params);
+    println!(
+        "\nEngine vs legacy sweep — {} internal nodes\n",
+        net.internal_ids().count()
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>14} {:>14} {:>8}",
+        "mode", "pairs", "legacy s", "engine s", "legacy c/s", "engine c/s", "speedup"
+    );
+    let modes: [(&'static str, SubstOptions); 3] = [
+        ("basic", SubstOptions::basic()),
+        ("extended", SubstOptions::extended()),
+        ("extended_gdc", SubstOptions::extended_gdc()),
+    ];
+    let rows: Vec<SweepRow> = modes
+        .iter()
+        .map(|(name, opts)| measure(&net, name, opts))
+        .collect();
+    for r in &rows {
+        println!(
+            "{:<14} {:>10} {:>12.3} {:>12.3} {:>14.0} {:>14.0} {:>7.2}x",
+            r.mode,
+            r.pairs,
+            r.legacy_secs,
+            r.engine_secs,
+            r.legacy_cand_per_s,
+            r.engine_cand_per_s,
+            r.speedup
+        );
+    }
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    std::fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
+    println!("\nwrote BENCH_sweep.json");
+}
 
 fn main() {
     println!("Crossover sweep — divisor padding vs method (total factored literals)\n");
@@ -62,4 +196,5 @@ fn main() {
          with padding — at 0 the two coincide, past the crossover only the\n\
          decomposing divider can reach the buried cores)"
     );
+    engine_vs_legacy();
 }

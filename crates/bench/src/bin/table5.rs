@@ -17,7 +17,13 @@ fn flow(net: &Network, resub: &dyn Fn(&mut Network)) -> (Cell, bool) {
     let cpu = start.elapsed().as_secs_f64();
     n.check_invariants();
     let ok = networks_equivalent(net, &n);
-    (Cell { lits: network_factored_literals(&n), cpu }, ok)
+    (
+        Cell {
+            lits: network_factored_literals(&n),
+            cpu,
+        },
+        ok,
+    )
 }
 
 fn main() {

@@ -29,7 +29,11 @@ fn main() {
         });
         let alg_cpu = t0.elapsed().as_secs_f64();
         cpus[0] += alg_cpu;
-        assert!(networks_equivalent(&net, &alg), "algebraic flow broke {}", net.name());
+        assert!(
+            networks_equivalent(&net, &alg),
+            "algebraic flow broke {}",
+            net.name()
+        );
 
         let mut boo = net.clone();
         let t1 = Instant::now();
@@ -38,7 +42,11 @@ fn main() {
         });
         let boo_cpu = t1.elapsed().as_secs_f64();
         cpus[1] += boo_cpu;
-        assert!(networks_equivalent(&net, &boo), "boolean flow broke {}", net.name());
+        assert!(
+            networks_equivalent(&net, &boo),
+            "boolean flow broke {}",
+            net.name()
+        );
 
         let mut dc = boo.clone();
         let t2 = Instant::now();
@@ -47,7 +55,11 @@ fn main() {
         // The +DC column's cost is the Boolean flow plus the DC pass.
         let dc_cpu = boo_cpu + t2.elapsed().as_secs_f64();
         cpus[2] += dc_cpu;
-        assert!(networks_equivalent(&net, &dc), "dc pass broke {}", net.name());
+        assert!(
+            networks_equivalent(&net, &dc),
+            "dc pass broke {}",
+            net.name()
+        );
 
         let cells = [
             network_factored_literals(&alg),
@@ -76,6 +88,13 @@ fn main() {
     let pct = |x: usize| 100.0 * (sums[0] as f64 - x as f64) / (sums[0] as f64).max(1.0);
     println!(
         "{:<10} {:>8} | {:>9.1}% {:>7} | {:>9.1}% {:>7} | {:>9.1}% {:>7}",
-        "improve", "", pct(sums[1]), "", pct(sums[2]), "", pct(sums[3]), ""
+        "improve",
+        "",
+        pct(sums[1]),
+        "",
+        pct(sums[2]),
+        "",
+        pct(sums[3]),
+        ""
     );
 }

@@ -3,6 +3,8 @@
 //! resubstitution methods on identically-prepared circuits and prints
 //! rows in the paper's format.
 
+pub mod timing;
+
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
 use boolsubst_core::subst::{boolean_substitute, SubstOptions};
 use boolsubst_core::verify::networks_equivalent;
@@ -54,7 +56,10 @@ pub fn run_methods(prepared: &Network) -> TableRow {
         let cpu = start.elapsed().as_secs_f64();
         net.check_invariants();
         verified &= networks_equivalent(prepared, &net);
-        Cell { lits: network_factored_literals(&net), cpu }
+        Cell {
+            lits: network_factored_literals(&net),
+            cpu,
+        }
     };
 
     let resub = timed(&|net| {
@@ -175,7 +180,10 @@ mod tests {
         assert!(row.verified, "all methods must be BDD-equivalent");
         assert!(row.resub.lits <= row.initial);
         assert!(row.basic.lits <= row.initial);
-        assert!(row.ext.lits <= row.basic.lits, "ext may only improve on basic");
+        assert!(
+            row.ext.lits <= row.basic.lits,
+            "ext may only improve on basic"
+        );
         assert!(row.ext_gdc.lits <= row.initial);
     }
 

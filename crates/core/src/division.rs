@@ -12,8 +12,7 @@
 
 use crate::sos::is_sos_of;
 use boolsubst_atpg::{
-    remove_redundant_wires_with, CandidateWire, Circuit, GateId, ImplyOptions,
-    RemovalOptions,
+    remove_redundant_wires_with, CandidateWire, Circuit, GateId, ImplyOptions, RemovalOptions,
 };
 use boolsubst_cube::{Cover, Cube, Lit, Phase};
 
@@ -36,7 +35,11 @@ impl DivisionOptions {
     /// Paper configuration: plain direct implications, two passes.
     #[must_use]
     pub fn paper_default() -> DivisionOptions {
-        DivisionOptions { imply: ImplyOptions::default(), max_passes: 2, exact_budget: 0 }
+        DivisionOptions {
+            imply: ImplyOptions::default(),
+            max_passes: 2,
+            exact_budget: 0,
+        }
     }
 
     /// Exact configuration: implications plus a bounded exact search for
@@ -151,7 +154,13 @@ impl Region {
         circuit.add_output(f_out);
 
         let _ = divisor_gates;
-        Region { circuit, lit_gates, kept_gates, fprime_or, bold }
+        Region {
+            circuit,
+            lit_gates,
+            kept_gates,
+            fprime_or,
+            bold,
+        }
     }
 
     /// Candidate wires inside the `f'` region: every literal wire into a
@@ -167,9 +176,15 @@ impl Region {
                 };
                 out.push(CandidateWire { sink: gate, driver });
             }
-            out.push(CandidateWire { sink: self.fprime_or, driver: gate });
+            out.push(CandidateWire {
+                sink: self.fprime_or,
+                driver: gate,
+            });
         }
-        out.push(CandidateWire { sink: self.bold, driver: self.fprime_or });
+        out.push(CandidateWire {
+            sink: self.bold,
+            driver: self.fprime_or,
+        });
         out
     }
 
@@ -186,9 +201,7 @@ impl Region {
                 // Map the gate back to a literal.
                 if let Some(v) = self.lit_gates.iter().position(|&(p, _)| p == lit_in) {
                     cube.restrict(Lit::pos(v));
-                } else if let Some(v) =
-                    self.lit_gates.iter().position(|&(_, ng)| ng == lit_in)
-                {
+                } else if let Some(v) = self.lit_gates.iter().position(|&(_, ng)| ng == lit_in) {
                     cube.restrict(Lit::neg(v));
                 }
             }
@@ -237,14 +250,20 @@ pub fn basic_divide_covers(f: &Cover, d: &Cover, opts: &DivisionOptions) -> Divi
             checks: 0,
         };
     }
-    debug_assert!(is_sos_of(d, &kept), "divisor must be an SOS of the kept part");
+    debug_assert!(
+        is_sos_of(d, &kept),
+        "divisor must be an SOS of the kept part"
+    );
 
     let mut region = Region::build(&kept, d, &remainder);
     let candidates = region.candidate_wires(&kept);
     let outcome = remove_redundant_wires_with(
         &mut region.circuit,
         &candidates,
-        &RemovalOptions { imply: opts.imply, exact_budget: opts.exact_budget },
+        &RemovalOptions {
+            imply: opts.imply,
+            exact_budget: opts.exact_budget,
+        },
         opts.max_passes.max(1) + 1,
     );
     let quotient = region.read_quotient(f.num_vars());
@@ -322,7 +341,12 @@ mod tests {
         let f = parse_sop(n, fs).expect("f");
         let d = parse_sop(n, ds).expect("d");
         let r = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
-        assert!(r.verify(&f, &d), "f != d·q + r for f={fs}, d={ds}: q={}, r={}", r.quotient, r.remainder);
+        assert!(
+            r.verify(&f, &d),
+            "f != d·q + r for f={fs}, d={ds}: q={}, r={}",
+            r.quotient,
+            r.remainder
+        );
         (f, d, r)
     }
 
@@ -336,7 +360,13 @@ mod tests {
         // Known optimum: q = a + b, r = bc' absorbed? The paper's result
         // is q = a + b with remainder folded; our RAR removes enough to
         // reach cost ≤ algebraic (q=a, r=bc' : cost 1+1+2=4).
-        assert!(r.sop_cost() <= 4, "cost {} too high: q={} r={}", r.sop_cost(), r.quotient, r.remainder);
+        assert!(
+            r.sop_cost() <= 4,
+            "cost {} too high: q={} r={}",
+            r.sop_cost(),
+            r.quotient,
+            r.remainder
+        );
     }
 
     #[test]
@@ -371,8 +401,14 @@ mod tests {
     fn divide_by_self_gives_one() {
         let (_f, _d, r) = divide(3, "ab + c", "ab + c");
         assert!(r.succeeded());
-        assert!(r.quotient.cubes().iter().any(boolsubst_cube::Cube::is_universe),
-            "quotient should be 1, got {}", r.quotient);
+        assert!(
+            r.quotient
+                .cubes()
+                .iter()
+                .any(boolsubst_cube::Cube::is_universe),
+            "quotient should be 1, got {}",
+            r.quotient
+        );
     }
 
     #[test]
@@ -381,7 +417,11 @@ mod tests {
         // q = a (5 lits with remainder). Boolean gets 4.
         let (f, d, r) = divide(3, "ab + ac + bc'", "ab + c");
         let alg = boolsubst_algebraic_weak_divide_cost(&f, &d);
-        assert!(r.sop_cost() <= alg, "boolean {} vs algebraic {alg}", r.sop_cost());
+        assert!(
+            r.sop_cost() <= alg,
+            "boolean {} vs algebraic {alg}",
+            r.sop_cost()
+        );
     }
 
     /// SOP cost of the algebraic division (for comparison in tests).

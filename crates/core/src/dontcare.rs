@@ -130,7 +130,11 @@ pub fn odc_cover(net: &Network, node: NodeId, max_fanins: usize) -> Option<Cover
         if reach_and_care == bdd.zero() {
             let mut cube = Cube::universe(k);
             for i in 0..k {
-                let phase = if (m >> i) & 1 == 1 { Phase::Pos } else { Phase::Neg };
+                let phase = if (m >> i) & 1 == 1 {
+                    Phase::Pos
+                } else {
+                    Phase::Neg
+                };
                 cube.restrict(Lit { var: i, phase });
             }
             dc.push(cube);
@@ -144,13 +148,13 @@ pub fn odc_cover(net: &Network, node: NodeId, max_fanins: usize) -> Option<Cover
 /// network's input ordering, matched by name). Empty when there is no
 /// `.exdc` or its inputs don't line up.
 fn external_dc_bdds(net: &Network, bdd: &mut Bdd) -> Vec<(String, Ref)> {
-    let Some(dc) = net.exdc() else { return Vec::new() };
-    let main_inputs: Vec<&str> =
-        net.inputs().iter().map(|&i| net.node(i).name()).collect();
+    let Some(dc) = net.exdc() else {
+        return Vec::new();
+    };
+    let main_inputs: Vec<&str> = net.inputs().iter().map(|&i| net.node(i).name()).collect();
     let mut node_fn: Vec<Option<Ref>> = vec![None; dc.id_bound()];
     for &pi in dc.inputs() {
-        let Some(pos) = main_inputs.iter().position(|n| *n == dc.node(pi).name())
-        else {
+        let Some(pos) = main_inputs.iter().position(|n| *n == dc.node(pi).name()) else {
             return Vec::new();
         };
         node_fn[pi.index()] = Some(bdd.var(pos));
@@ -305,12 +309,10 @@ pub fn full_simplify(net: &mut Network, opts: &DontCareOptions) -> DontCareStats
                     let fanins = node.fanins().to_vec();
                     let new_cover = simplify(&cover, &dc, SimplifyOptions::default());
                     if new_cover.literal_count() < cover.literal_count() {
-                        stats.literals_saved +=
-                            cover.literal_count() - new_cover.literal_count();
+                        stats.literals_saved += cover.literal_count() - new_cover.literal_count();
                         stats.odc_reductions += 1;
                         let support = new_cover.support();
-                        let kept: Vec<NodeId> =
-                            support.iter().map(|&v| fanins[v]).collect();
+                        let kept: Vec<NodeId> = support.iter().map(|&v| fanins[v]).collect();
                         let mut map = vec![0usize; fanins.len()];
                         for (k, &v) in support.iter().enumerate() {
                             map[v] = k;
@@ -340,8 +342,7 @@ pub fn full_simplify(net: &mut Network, opts: &DontCareOptions) -> DontCareStats
                         // Check the rewrite does not create a cycle (a
                         // grand-fanin could pass through another path).
                         let support = new_joint.support();
-                        let kept: Vec<NodeId> =
-                            support.iter().map(|&v| vars[v]).collect();
+                        let kept: Vec<NodeId> = support.iter().map(|&v| vars[v]).collect();
                         let tfo = net.tfo(id);
                         if kept.iter().any(|f| tfo.contains(f) || *f == id) {
                             continue;
@@ -351,8 +352,7 @@ pub fn full_simplify(net: &mut Network, opts: &DontCareOptions) -> DontCareStats
                             rmap[v] = k;
                         }
                         let new_cover = new_joint.remapped(kept.len(), &rmap);
-                        stats.literals_saved +=
-                            cover.literal_count() - new_cover.literal_count();
+                        stats.literals_saved += cover.literal_count() - new_cover.literal_count();
                         stats.sdc_reductions += 1;
                         net.replace_function(id, kept, new_cover)
                             .expect("sdc simplification fits");
@@ -387,9 +387,9 @@ mod tests {
         let dc = odc_cover(&net, g, 8).expect("small");
         // Fanin assignments with a = 0 are unobservable for g.
         assert!(
-            dc.cubes().iter().any(|c| {
-                matches!(c.var_state(0), boolsubst_cube::VarState::Neg)
-            }),
+            dc.cubes()
+                .iter()
+                .any(|c| { matches!(c.var_state(0), boolsubst_cube::VarState::Neg) }),
             "expected a'-cubes in the ODC, got {dc}"
         );
         let golden = net.clone();
@@ -503,13 +503,19 @@ mod tests {
         let mut odc_only = net.clone();
         let s1 = full_simplify(
             &mut odc_only,
-            &DontCareOptions { use_sdc: false, ..Default::default() },
+            &DontCareOptions {
+                use_sdc: false,
+                ..Default::default()
+            },
         );
         assert_eq!(s1.sdc_reductions, 0);
         let mut sdc_only = net.clone();
         let s2 = full_simplify(
             &mut sdc_only,
-            &DontCareOptions { use_odc: false, ..Default::default() },
+            &DontCareOptions {
+                use_odc: false,
+                ..Default::default()
+            },
         );
         assert_eq!(s2.odc_reductions, 0);
     }

@@ -1,0 +1,378 @@
+//! The incremental substitution engine: a persistent sweep session that
+//! replaces the legacy per-pair recomputation with maintained state.
+//!
+//! [`crate::subst::boolean_substitute_legacy`] answers every structural
+//! question from scratch: each (target, divisor) pair recomputes the
+//! target's transitive fanout (a full-graph traversal), every target
+//! enumerates *all* internal nodes as divisor candidates, and the GDC mode
+//! re-materializes the entire network as a gate circuit per pair. All of
+//! that is loop-invariant or nearly so, which makes the sweep quadratic in
+//! practice.
+//!
+//! [`SubstEngine`] keeps session state instead:
+//!
+//! * a [`SideTables`] instance — incrementally maintained fanout lists,
+//!   levels, and memoized transitive fanouts, patched locally after each
+//!   accepted rewrite rather than recomputed per query;
+//! * a **support-overlap candidate index** — the only divisors worth
+//!   trying are fanouts of the target's fanins (exactly the legacy
+//!   support-overlap filter, applied in reverse), so candidate enumeration
+//!   is proportional to the local fanout neighbourhood, not the network;
+//! * a per-target **shadow circuit** ([`ShadowBase`]) for the GDC mode —
+//!   the network minus the target's cone is materialized once per target
+//!   and each attempt patches only the dirty region;
+//! * stage-level [`SubstStats`] observability.
+//!
+//! The engine is pinned to the legacy sweep: it visits the same surviving
+//! pairs in the same order and therefore accepts bit-identical rewrites
+//! (`tests/engine_parity.rs`). The index only skips pairs the legacy
+//! filters reject before any side effect, and after an acceptance the
+//! candidate set is re-enumerated from the target's *new* fanins, resuming
+//! past the accepted divisor — reproducing the legacy visit sequence
+//! exactly.
+
+use crate::netcircuit::ShadowBase;
+use crate::subst::{try_pair_core, Acceptance, GdcScope, SubstMode, SubstOptions, SubstStats};
+use boolsubst_algebraic::JointSpace;
+use boolsubst_cube::Cover;
+use boolsubst_network::{Network, NodeId, SideTables};
+use std::time::Instant;
+
+fn nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The cached per-target GDC snapshot, tagged with the network version it
+/// is valid for.
+struct ShadowEntry {
+    target: NodeId,
+    version: u64,
+    base: ShadowBase,
+}
+
+/// A persistent Boolean-substitution session over one network.
+///
+/// Construct once, then [`run`](SubstEngine::run) the sweep; the side
+/// tables, candidate index, and shadow circuits live for the whole session
+/// and are patched across passes instead of rebuilt.
+pub struct SubstEngine<'a> {
+    net: &'a mut Network,
+    opts: SubstOptions,
+    side: SideTables,
+    stats: SubstStats,
+    shadow: Option<ShadowEntry>,
+}
+
+impl<'a> SubstEngine<'a> {
+    /// Opens a session: builds the structural side tables for the
+    /// network's current state.
+    pub fn new(net: &'a mut Network, opts: SubstOptions) -> SubstEngine<'a> {
+        let side = SideTables::build(net);
+        SubstEngine {
+            net,
+            opts,
+            side,
+            stats: SubstStats::default(),
+            shadow: None,
+        }
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &SubstStats {
+        &self.stats
+    }
+
+    /// Runs up to `opts.max_passes` sweeps, stopping early when a pass
+    /// accepts nothing. Returns the accumulated statistics.
+    pub fn run(&mut self) -> SubstStats {
+        for _ in 0..self.opts.max_passes.max(1) {
+            self.stats.passes += 1;
+            let before = self.stats.substitutions;
+            self.run_pass();
+            if self.stats.substitutions == before {
+                break;
+            }
+        }
+        self.stats
+    }
+
+    /// One sweep over all targets, largest cover first (matching the
+    /// legacy order).
+    fn run_pass(&mut self) {
+        let t0 = Instant::now();
+        let mut targets: Vec<NodeId> = self.net.internal_ids().collect();
+        targets.sort_by_key(|&id| {
+            std::cmp::Reverse(self.net.node(id).cover().map_or(0, Cover::literal_count))
+        });
+        self.stats.enumerate_nanos += nanos(t0);
+        for target in targets {
+            if self.net.node_opt(target).is_none() {
+                continue;
+            }
+            self.visit_target(target);
+        }
+    }
+
+    /// Divisor candidates for `target`: the fanouts of its fanins, which
+    /// is exactly the set passing the legacy support-overlap filter.
+    /// Restricted to ids below `bound` (the divisor snapshot the legacy
+    /// sweep takes at target-visit time — mid-visit core nodes are
+    /// excluded) and above `cursor` (resume point after an acceptance).
+    /// Sorted ascending to match the legacy visit order.
+    fn candidates(&self, target: NodeId, bound: usize, cursor: Option<NodeId>) -> Vec<NodeId> {
+        let net = &*self.net;
+        let mut out: Vec<NodeId> = Vec::new();
+        for &f in net.node(target).fanins() {
+            for &o in self.side.fanouts(net, f) {
+                if o.index() < bound && cursor.is_none_or(|c| o > c) {
+                    out.push(o);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Internal nodes the legacy sweep would visit in the same range;
+    /// the difference to the candidate list is what the index skipped.
+    fn count_skipped(&mut self, candidates: usize, bound: usize, cursor: Option<NodeId>) {
+        let eligible = self
+            .net
+            .internal_ids()
+            .filter(|id| id.index() < bound && cursor.is_none_or(|c| *id > c))
+            .count();
+        self.stats.filtered_by_index += eligible.saturating_sub(candidates);
+    }
+
+    fn visit_target(&mut self, target: NodeId) {
+        let bound = self.net.id_bound();
+        match self.opts.acceptance {
+            Acceptance::FirstGain => {
+                let mut cursor: Option<NodeId> = None;
+                'resume: loop {
+                    let t0 = Instant::now();
+                    let cands = self.candidates(target, bound, cursor);
+                    self.count_skipped(cands.len(), bound, cursor);
+                    self.stats.enumerate_nanos += nanos(t0);
+                    for divisor in cands {
+                        let before = self.stats.substitutions;
+                        self.attempt(target, divisor);
+                        if self.stats.substitutions != before {
+                            // The target's fanins changed: re-enumerate
+                            // candidates and resume past this divisor,
+                            // like the legacy loop continuing in place.
+                            cursor = Some(divisor);
+                            continue 'resume;
+                        }
+                    }
+                    break;
+                }
+            }
+            Acceptance::BestGain => {
+                let t0 = Instant::now();
+                let cands = self.candidates(target, bound, None);
+                self.count_skipped(cands.len(), bound, None);
+                self.stats.enumerate_nanos += nanos(t0);
+                // Dry-run every candidate on a scratch copy, then apply
+                // only the best one for real.
+                let mut best: Option<(NodeId, i64)> = None;
+                for &divisor in &cands {
+                    let mut scratch = self.net.clone();
+                    let mut scratch_stats = SubstStats::default();
+                    if let Some(gain) = crate::subst::try_pair(
+                        &mut scratch,
+                        target,
+                        divisor,
+                        &self.opts,
+                        &mut scratch_stats,
+                    ) {
+                        if best.is_none_or(|(_, g)| gain > g) {
+                            best = Some((divisor, gain));
+                        }
+                    }
+                }
+                if let Some((divisor, _)) = best {
+                    self.attempt(target, divisor);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the per-target shadow snapshot if the cached one is for a
+    /// different target or a stale network version.
+    fn ensure_shadow(&mut self, target: NodeId) {
+        let valid = self
+            .shadow
+            .as_ref()
+            .is_some_and(|e| e.target == target && e.version == self.net.version());
+        if valid {
+            self.stats.shadow_cache_hits += 1;
+            return;
+        }
+        let tfo = self.side.tfo(self.net, target).clone();
+        let base = ShadowBase::prepare(self.net, target, &tfo);
+        self.shadow = Some(ShadowEntry {
+            target,
+            version: self.net.version(),
+            base,
+        });
+        self.stats.shadow_cache_misses += 1;
+    }
+
+    /// One engine-side pair attempt: cached filters, then the shared
+    /// division core, then local side-table patching on acceptance.
+    fn attempt(&mut self, target: NodeId, divisor: NodeId) -> Option<i64> {
+        let t0 = Instant::now();
+        self.stats.candidates_enumerated += 1;
+        // Candidates are fanouts, hence internal; only the self-pair and
+        // existing-fanin checks remain from the legacy structural filter.
+        if target == divisor || self.net.node(target).fanins().contains(&divisor) {
+            self.stats.filtered_structural += 1;
+            self.stats.filter_nanos += nanos(t0);
+            return None;
+        }
+        if self.side.in_tfo(self.net, divisor, target) {
+            self.stats.filtered_tfo += 1;
+            self.stats.filter_nanos += nanos(t0);
+            return None;
+        }
+        let d_cover_len = self.net.node(divisor).cover().expect("internal").len();
+        if d_cover_len == 0 || d_cover_len > self.opts.max_divisor_cubes {
+            self.stats.filtered_divisor_size += 1;
+            self.stats.filter_nanos += nanos(t0);
+            return None;
+        }
+        let space = JointSpace::union_of_fanins(self.net, &[target, divisor]);
+        if space.len() > self.opts.max_joint_vars {
+            self.stats.filtered_joint_space += 1;
+            self.stats.filter_nanos += nanos(t0);
+            return None;
+        }
+        self.stats.filter_nanos += nanos(t0);
+
+        if self.opts.mode == SubstMode::ExtendedGdc {
+            self.ensure_shadow(target);
+        }
+        let t1 = Instant::now();
+        let v0 = self.net.version();
+        let old_tgt = self.net.node(target).fanins().to_vec();
+        let old_div = self.net.node(divisor).fanins().to_vec();
+        let old_bound = self.net.id_bound();
+        let result = {
+            let scope = match &self.shadow {
+                Some(e) if self.opts.mode == SubstMode::ExtendedGdc => GdcScope::Shadow(&e.base),
+                _ => GdcScope::Rebuild,
+            };
+            try_pair_core(
+                &mut *self.net,
+                target,
+                divisor,
+                &space,
+                &self.opts,
+                &mut self.stats,
+                &scope,
+            )
+        };
+        self.stats.divide_nanos += nanos(t1);
+
+        if self.net.version() != v0 {
+            let t2 = Instant::now();
+            self.side.sync_new_nodes(self.net);
+            let div_changed = self.net.node(divisor).fanins() != old_div.as_slice();
+            if div_changed {
+                self.side.apply_replace(self.net, divisor, &old_div);
+            }
+            self.side.apply_replace(self.net, target, &old_tgt);
+            if div_changed || self.net.id_bound() != old_bound {
+                // Extended rewrite: snapshot nodes changed, drop the base.
+                self.shadow = None;
+            } else if let Some(e) = &mut self.shadow {
+                // Target-only rewrite: the snapshot excludes the target,
+                // so it is still exact — just retag its version.
+                e.version = self.net.version();
+            }
+            self.stats.apply_nanos += nanos(t2);
+        }
+        result
+    }
+}
+
+/// Convenience wrapper mirroring [`boolean_substitute_legacy`] for
+/// benchmarks that want an engine-backed run with explicit session reuse.
+pub fn boolean_substitute_engine(net: &mut Network, opts: &SubstOptions) -> SubstStats {
+    SubstEngine::new(net, *opts).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subst::{boolean_substitute, boolean_substitute_legacy};
+    use boolsubst_cube::parse_sop;
+    use boolsubst_network::write_blif;
+
+    fn small_net() -> Network {
+        let mut net = Network::new("engine_t");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let f = net
+            .add_node(
+                "f",
+                vec![a, b, c],
+                parse_sop(3, "ab + ac + bc'").expect("p"),
+            )
+            .expect("f");
+        let d = net
+            .add_node("d", vec![a, b, c], parse_sop(3, "ab + c").expect("p"))
+            .expect("d");
+        net.add_output("f", f).expect("o");
+        net.add_output("d", d).expect("o");
+        net
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_paper_example() {
+        for opts in [
+            SubstOptions::basic(),
+            SubstOptions::extended(),
+            SubstOptions::extended_gdc(),
+        ] {
+            let mut legacy_net = small_net();
+            let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
+            let mut engine_net = small_net();
+            let engine = boolean_substitute(&mut engine_net, &opts);
+            assert_eq!(
+                engine.substitutions, legacy.substitutions,
+                "{:?}",
+                opts.mode
+            );
+            assert_eq!(engine.literal_gain, legacy.literal_gain, "{:?}", opts.mode);
+            assert_eq!(
+                engine.divisions_tried, legacy.divisions_tried,
+                "{:?}",
+                opts.mode
+            );
+            assert_eq!(
+                write_blif(&engine_net),
+                write_blif(&legacy_net),
+                "{:?} rewrites diverged",
+                opts.mode
+            );
+        }
+    }
+
+    #[test]
+    fn engine_reports_stage_stats() {
+        let mut net = small_net();
+        let stats = SubstEngine::new(&mut net, SubstOptions::basic()).run();
+        assert!(stats.passes >= 1);
+        assert!(stats.candidates_enumerated >= 1);
+        assert!(stats.divisions_tried >= 1);
+        // Display formats without panicking and mentions the key stages.
+        let text = stats.to_string();
+        assert!(text.contains("divisions tried"));
+        assert!(text.contains("literal gain"));
+    }
+}

@@ -5,9 +5,7 @@
 //! is selected by a maximal-clique search on the intersection graph.
 
 use crate::division::{basic_divide_covers, DivisionOptions, DivisionResult};
-use boolsubst_atpg::{
-    check_fault, Circuit, Fault, FaultStatus, GateId, Value, Wire,
-};
+use boolsubst_atpg::{check_fault, Circuit, Fault, FaultStatus, GateId, Value, Wire};
 use boolsubst_cube::{Cover, Lit, Phase};
 
 /// A dividend wire: literal `lit` inside cube `cube_index` of `f`.
@@ -115,7 +113,12 @@ impl VoteCircuit {
         // Keep the divisor's OR for structural fidelity with Fig. 3(a);
         // it also lets backward implications relate the cubes.
         let _d_or = circuit.add_or(divisor_cube_gates.clone());
-        VoteCircuit { circuit, lit_gates, f_cube_gates, divisor_cube_gates }
+        VoteCircuit {
+            circuit,
+            lit_gates,
+            f_cube_gates,
+            divisor_cube_gates,
+        }
     }
 }
 
@@ -146,8 +149,14 @@ pub fn compute_vote_table(f: &Cover, d: &Cover, opts: &DivisionOptions) -> VoteT
             else {
                 continue;
             };
-            let fault = Fault::sa1(Wire { gate: cube_gate, pin });
-            let wire = DividendWire { cube_index: ci, lit };
+            let fault = Fault::sa1(Wire {
+                gate: cube_gate,
+                pin,
+            });
+            let wire = DividendWire {
+                cube_index: ci,
+                lit,
+            };
             match check_fault(&vc.circuit, fault, opts.imply) {
                 FaultStatus::Untestable(_) => rows.push(VoteRow {
                     wire,
@@ -160,17 +169,18 @@ pub fn compute_vote_table(f: &Cover, d: &Cover, opts: &DivisionOptions) -> VoteT
                         .divisor_cube_gates
                         .iter()
                         .enumerate()
-                        .filter_map(|(ki, &g)| {
-                            (values[g.index()] == Value::Zero).then_some(ki)
-                        })
+                        .filter_map(|(ki, &g)| (values[g.index()] == Value::Zero).then_some(ki))
                         .collect();
                     // SOS validity: some candidate cube contains this
                     // wire's cube, so the wire's cube stays in the kept
                     // region once the candidate is the core divisor.
-                    let sos_valid = candidates
-                        .iter()
-                        .any(|&ki| d.cubes()[ki].contains(cube));
-                    rows.push(VoteRow { wire, candidates, always_removable: false, sos_valid });
+                    let sos_valid = candidates.iter().any(|&ki| d.cubes()[ki].contains(cube));
+                    rows.push(VoteRow {
+                        wire,
+                        candidates,
+                        always_removable: false,
+                        sos_valid,
+                    });
                 }
             }
         }
@@ -237,7 +247,11 @@ pub fn enumerate_cliques(table: &VoteTable, limit: usize) -> Vec<CliqueChoice> {
         // member's SOS condition against the common core (it owns the
         // dividend cover, which is needed for that check).
         let score = members.len();
-        out.push(CliqueChoice { members, core_cube_indices, score });
+        out.push(CliqueChoice {
+            members,
+            core_cube_indices,
+            score,
+        });
     }
     out
 }
@@ -452,7 +466,10 @@ fn select_core_and_divide_with(
     let (core_cube_indices, expected_removals, division) = best?;
     let core = Cover::from_cubes(
         f.num_vars(),
-        core_cube_indices.iter().map(|&k| d.cubes()[k].clone()).collect(),
+        core_cube_indices
+            .iter()
+            .map(|&k| d.cubes()[k].clone())
+            .collect(),
     );
     Some(ExtendedDivision {
         core_cube_indices,
@@ -514,18 +531,25 @@ pub fn compute_vote_tables_pooled(
         divisor_gates.push(gates);
     }
 
-    let mut tables: Vec<VoteTable> =
-        divisors.iter().map(|_| VoteTable { rows: Vec::new() }).collect();
+    let mut tables: Vec<VoteTable> = divisors
+        .iter()
+        .map(|_| VoteTable { rows: Vec::new() })
+        .collect();
     for (ci, cube) in f.cubes().iter().enumerate() {
         let cube_gate = f_cube_gates[ci];
         for lit in cube.lits() {
             let driver = lit_gate(&lit_gates, lit);
-            let Some(pin) = circuit.fanins(cube_gate).iter().position(|&g| g == driver)
-            else {
+            let Some(pin) = circuit.fanins(cube_gate).iter().position(|&g| g == driver) else {
                 continue;
             };
-            let fault = Fault::sa1(Wire { gate: cube_gate, pin });
-            let wire = DividendWire { cube_index: ci, lit };
+            let fault = Fault::sa1(Wire {
+                gate: cube_gate,
+                pin,
+            });
+            let wire = DividendWire {
+                cube_index: ci,
+                lit,
+            };
             match check_fault(&circuit, fault, opts.imply) {
                 FaultStatus::Untestable(_) => {
                     for table in &mut tables {
@@ -538,18 +562,13 @@ pub fn compute_vote_tables_pooled(
                     }
                 }
                 FaultStatus::PossiblyTestable(values) => {
-                    for ((table, gates), d) in
-                        tables.iter_mut().zip(&divisor_gates).zip(divisors)
-                    {
+                    for ((table, gates), d) in tables.iter_mut().zip(&divisor_gates).zip(divisors) {
                         let candidates: Vec<usize> = gates
                             .iter()
                             .enumerate()
-                            .filter_map(|(ki, &g)| {
-                                (values[g.index()] == Value::Zero).then_some(ki)
-                            })
+                            .filter_map(|(ki, &g)| (values[g.index()] == Value::Zero).then_some(ki))
                             .collect();
-                        let sos_valid =
-                            candidates.iter().any(|&ki| d.cubes()[ki].contains(cube));
+                        let sos_valid = candidates.iter().any(|&ki| d.cubes()[ki].contains(cube));
                         table.rows.push(VoteRow {
                             wire,
                             candidates,
@@ -672,8 +691,8 @@ mod tests {
         // should extract core ab + c.
         let f = parse_sop(5, "ab + ac").expect("f");
         let d = parse_sop(5, "ab + c + e").expect("d");
-        let ext = extended_divide_covers(&f, &d, &DivisionOptions::paper_default())
-            .expect("core found");
+        let ext =
+            extended_divide_covers(&f, &d, &DivisionOptions::paper_default()).expect("core found");
         // Core must contain the cubes ab and c (indices 0 and 1) to
         // remove the most wires; e (index 2) must be dropped.
         assert!(ext.core_cube_indices.contains(&0));
@@ -720,9 +739,7 @@ mod tests {
         // divisor whose POS structure embeds a useful core.
         let f = parse_sop(5, "ab + ac + bc'").expect("f");
         let d = parse_sop(5, "ab + c + de").expect("d");
-        if let Some(ext) =
-            extended_divide_covers_pos(&f, &d, &DivisionOptions::paper_default())
-        {
+        if let Some(ext) = extended_divide_covers_pos(&f, &d, &DivisionOptions::paper_default()) {
             // The division is exact in the complement domain:
             let fc = f.complement();
             assert!(ext.division.verify(&fc, &ext.core));
@@ -748,19 +765,28 @@ mod tests {
         // clique is rejected.
         let rows = vec![
             VoteRow {
-                wire: DividendWire { cube_index: 0, lit: Lit::pos(0) },
+                wire: DividendWire {
+                    cube_index: 0,
+                    lit: Lit::pos(0),
+                },
                 candidates: vec![0, 1],
                 always_removable: false,
                 sos_valid: true,
             },
             VoteRow {
-                wire: DividendWire { cube_index: 1, lit: Lit::pos(1) },
+                wire: DividendWire {
+                    cube_index: 1,
+                    lit: Lit::pos(1),
+                },
                 candidates: vec![1, 2],
                 always_removable: false,
                 sos_valid: true,
             },
             VoteRow {
-                wire: DividendWire { cube_index: 2, lit: Lit::pos(2) },
+                wire: DividendWire {
+                    cube_index: 2,
+                    lit: Lit::pos(2),
+                },
                 candidates: vec![0, 2],
                 always_removable: false,
                 sos_valid: true,
@@ -773,7 +799,10 @@ mod tests {
                 !c.core_cube_indices.is_empty(),
                 "clique with empty common intersection survived"
             );
-            assert!(c.members.len() <= 2, "the 3-clique has empty common intersection");
+            assert!(
+                c.members.len() <= 2,
+                "the 3-clique has empty common intersection"
+            );
         }
     }
 }

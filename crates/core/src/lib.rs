@@ -12,6 +12,8 @@
 //!   decomposition;
 //! * [`subst`] — the network-level substitution driver with the paper's
 //!   three configurations (`basic`, `ext`, `ext-GDC`);
+//! * [`engine`] — the incremental sweep session: cached side tables,
+//!   support-overlap candidate indexing, shadow circuits, stage stats;
 //! * [`netcircuit`] — whole-network gate materialization for the global
 //!   don't-care mode;
 //! * [`verify`] — the BDD equivalence oracle every test leans on.
@@ -33,6 +35,7 @@
 
 pub mod division;
 pub mod dontcare;
+pub mod engine;
 pub mod extended;
 pub mod netcircuit;
 pub mod paper;
@@ -40,21 +43,20 @@ pub mod sos;
 pub mod subst;
 pub mod verify;
 
-pub use dontcare::{
-    full_simplify, odc_cover, sdc_space_and_cover, DontCareOptions, DontCareStats,
-};
 pub use division::{
-    basic_divide_covers, pos_divide_covers, split_remainder, DivisionOptions,
-    DivisionResult, PosDivisionResult,
+    basic_divide_covers, pos_divide_covers, split_remainder, DivisionOptions, DivisionResult,
+    PosDivisionResult,
 };
+pub use dontcare::{full_simplify, odc_cover, sdc_space_and_cover, DontCareOptions, DontCareStats};
+pub use engine::SubstEngine;
 pub use extended::{
-    compute_vote_table, compute_vote_tables_pooled, enumerate_cliques,
-    extended_divide_covers, extended_divide_covers_pos, extended_divide_covers_with,
-    extended_divide_pooled,
-    CliqueChoice, CoreSelection, DividendWire,
-    ExtendedDivision, VoteRow, VoteTable, CLIQUE_LIMIT,
+    compute_vote_table, compute_vote_tables_pooled, enumerate_cliques, extended_divide_covers,
+    extended_divide_covers_pos, extended_divide_covers_with, extended_divide_pooled, CliqueChoice,
+    CoreSelection, DividendWire, ExtendedDivision, VoteRow, VoteTable, CLIQUE_LIMIT,
 };
-pub use netcircuit::{network_from_circuit, NetCircuit, NetworkRegion};
+pub use netcircuit::{network_from_circuit, NetCircuit, NetworkRegion, ShadowBase};
 pub use sos::{is_pos_of_compl, is_sos_of, lemma1_holds, lemma2_holds};
-pub use subst::{boolean_substitute, Acceptance, SubstMode, SubstOptions, SubstStats};
+pub use subst::{
+    boolean_substitute, boolean_substitute_legacy, Acceptance, SubstMode, SubstOptions, SubstStats,
+};
 pub use verify::{network_bdds, networks_equivalent, networks_equivalent_modulo_dc};

@@ -7,7 +7,7 @@
 use boolsubst_atpg::{Circuit, GateId};
 use boolsubst_cube::{Cover, Cube, Lit, Phase};
 use boolsubst_network::{Network, NodeId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A network materialized as gates.
 #[derive(Debug)]
@@ -36,17 +36,20 @@ pub struct NetworkRegion {
     pub bold: GateId,
 }
 
-struct Builder<'n> {
-    net: &'n Network,
+/// The mutable state of circuit materialization: the circuit under
+/// construction, the node → output-gate map, and the shared NOT cache.
+/// Clone-able so a per-target prefix can be snapshotted once and patched
+/// per division attempt (see [`ShadowBase`]).
+#[derive(Debug, Clone)]
+pub(crate) struct BuilderState {
     circuit: Circuit,
     node_gate: Vec<Option<GateId>>,
     not_cache: HashMap<GateId, GateId>,
 }
 
-impl<'n> Builder<'n> {
-    fn new(net: &'n Network) -> Builder<'n> {
-        let mut b = Builder {
-            net,
+impl BuilderState {
+    fn new(net: &Network) -> BuilderState {
+        let mut b = BuilderState {
             circuit: Circuit::new(),
             node_gate: vec![None; net.id_bound()],
             not_cache: HashMap::new(),
@@ -78,8 +81,8 @@ impl<'n> Builder<'n> {
 
     /// Builds the standard AND–OR structure for a node's cover; returns
     /// the output gate.
-    fn build_node(&mut self, id: NodeId) -> GateId {
-        let node = self.net.node(id);
+    fn build_node(&mut self, net: &Network, id: NodeId) -> GateId {
+        let node = net.node(id);
         if node.is_input() {
             return self.node_gate[id.index()].expect("inputs pre-created");
         }
@@ -98,43 +101,195 @@ impl<'n> Builder<'n> {
             .collect();
         self.circuit.add_or(cube_gates)
     }
+}
 
-    /// Topological order of the network with the extra edge
-    /// `divisor → target` (callers guarantee this cannot cycle, since the
-    /// divisor is not in the target's transitive fanout).
-    fn order_with_edge(&self, divisor: NodeId, target: NodeId) -> Vec<NodeId> {
-        let bound = self.net.id_bound();
-        let mut indegree = vec![0usize; bound];
-        let mut live = 0usize;
-        for id in self.net.node_ids() {
-            live += 1;
-            indegree[id.index()] = self.net.node(id).fanins().len();
+/// Topological order of the network with the extra edge
+/// `divisor → target` (callers guarantee this cannot cycle, since the
+/// divisor is not in the target's transitive fanout).
+fn order_with_edge(net: &Network, divisor: NodeId, target: NodeId) -> Vec<NodeId> {
+    let bound = net.id_bound();
+    let mut indegree = vec![0usize; bound];
+    let mut live = 0usize;
+    for id in net.node_ids() {
+        live += 1;
+        indegree[id.index()] = net.node(id).fanins().len();
+    }
+    indegree[target.index()] += 1; // the extra edge
+    let fanouts = net.fanouts();
+    let mut queue: Vec<NodeId> = net
+        .node_ids()
+        .filter(|id| indegree[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(live);
+    while let Some(id) = queue.pop() {
+        order.push(id);
+        let relax = |o: NodeId, indegree: &mut Vec<usize>, queue: &mut Vec<NodeId>| {
+            indegree[o.index()] -= 1;
+            if indegree[o.index()] == 0 {
+                queue.push(o);
+            }
+        };
+        for &o in &fanouts[id.index()] {
+            relax(o, &mut indegree, &mut queue);
         }
-        indegree[target.index()] += 1; // the extra edge
-        let fanouts = self.net.fanouts();
-        let mut queue: Vec<NodeId> = self
-            .net
-            .node_ids()
-            .filter(|id| indegree[id.index()] == 0)
-            .collect();
-        let mut order = Vec::with_capacity(live);
-        while let Some(id) = queue.pop() {
-            order.push(id);
-            let relax = |o: NodeId, indegree: &mut Vec<usize>, queue: &mut Vec<NodeId>| {
-                indegree[o.index()] -= 1;
-                if indegree[o.index()] == 0 {
-                    queue.push(o);
+        if id == divisor {
+            relax(target, &mut indegree, &mut queue);
+        }
+    }
+    assert_eq!(order.len(), live, "extra edge created a cycle");
+    order
+}
+
+/// Gate handles produced by [`build_division`].
+struct DivisionGates {
+    lit_gates: Vec<(GateId, Option<GateId>)>,
+    kept_gates: Vec<GateId>,
+    fprime_or: GateId,
+    bold: GateId,
+    target_out: GateId,
+}
+
+/// Appends the paper's division configuration for the target:
+/// `target = (OR(kept) AND divisor) OR remainder`, with per-region NOT
+/// gates for negative joint-space literals (deliberately *not* shared
+/// through the global NOT cache — region NOTs are removal candidates).
+fn build_division(
+    state: &mut BuilderState,
+    var_nodes: &[NodeId],
+    divisor: NodeId,
+    kept: &Cover,
+    remainder: &Cover,
+) -> DivisionGates {
+    let mut lit_gates: Vec<(GateId, Option<GateId>)> = var_nodes
+        .iter()
+        .map(|&v| {
+            let pos = state.node_gate[v.index()].expect("joint var built first");
+            (pos, None)
+        })
+        .collect();
+    let lit = |state: &mut BuilderState, lg: &mut Vec<(GateId, Option<GateId>)>, l: Lit| {
+        let (pos, neg) = lg[l.var];
+        match l.phase {
+            Phase::Pos => pos,
+            Phase::Neg => {
+                if let Some(n) = neg {
+                    n
+                } else {
+                    let n = state.circuit.add_not(pos);
+                    lg[l.var].1 = Some(n);
+                    n
                 }
-            };
-            for &o in &fanouts[id.index()] {
-                relax(o, &mut indegree, &mut queue);
-            }
-            if id == divisor {
-                relax(target, &mut indegree, &mut queue);
             }
         }
-        assert_eq!(order.len(), live, "extra edge created a cycle");
-        order
+    };
+    let kept_gates: Vec<GateId> = kept
+        .cubes()
+        .iter()
+        .map(|c| {
+            let ins: Vec<GateId> = c.lits().map(|l| lit(state, &mut lit_gates, l)).collect();
+            state.circuit.add_and(ins)
+        })
+        .collect();
+    let fprime_or = state.circuit.add_or(kept_gates.clone());
+    let d_gate = state.node_gate[divisor.index()].expect("divisor built before target");
+    let bold = state.circuit.add_and(vec![fprime_or, d_gate]);
+    let mut f_ins = vec![bold];
+    for c in remainder.cubes() {
+        let ins: Vec<GateId> = c.lits().map(|l| lit(state, &mut lit_gates, l)).collect();
+        f_ins.push(state.circuit.add_and(ins));
+    }
+    let target_out = state.circuit.add_or(f_ins);
+    DivisionGates {
+        lit_gates,
+        kept_gates,
+        fprime_or,
+        bold,
+        target_out,
+    }
+}
+
+/// A per-target snapshot of the materialized circuit for the GDC mode:
+/// every node *except* the target and its transitive fanout, built once.
+/// Each division attempt clones the snapshot and appends only the dirty
+/// region — the division structure plus the target's fanout cone — instead
+/// of rebuilding the whole network per (target, divisor) pair.
+///
+/// The snapshot stays valid as long as no node outside the target is
+/// edited: accepting a plain (target-only) substitution does not
+/// invalidate it, because the target is not part of the snapshot.
+#[derive(Debug, Clone)]
+pub struct ShadowBase {
+    state: BuilderState,
+    target: NodeId,
+    /// The target's transitive fanout in topological order, rebuilt on
+    /// every attempt (the division rewires the target, so its cone gets
+    /// fresh gates).
+    tfo_order: Vec<NodeId>,
+}
+
+impl ShadowBase {
+    /// Builds the snapshot: all nodes outside `{target} ∪ tfo` in
+    /// topological order. `tfo` must be the target's transitive fanout —
+    /// its complement is fanin-closed, so every snapshot node's fanins are
+    /// in the snapshot.
+    #[must_use]
+    pub fn prepare(net: &Network, target: NodeId, tfo: &HashSet<NodeId>) -> ShadowBase {
+        let mut state = BuilderState::new(net);
+        let mut tfo_order = Vec::new();
+        for id in net.topo_order() {
+            if id == target {
+                continue;
+            }
+            if tfo.contains(&id) {
+                tfo_order.push(id);
+                continue;
+            }
+            let g = state.build_node(net, id);
+            state.node_gate[id.index()] = Some(g);
+        }
+        ShadowBase {
+            state,
+            target,
+            tfo_order,
+        }
+    }
+
+    /// Materializes one division attempt on top of the snapshot: clone,
+    /// append the division structure for the target, rebuild the target's
+    /// fanout cone, attach the primary outputs. The result is isomorphic
+    /// to [`NetworkRegion::build`] for the same pair (gate numbering
+    /// differs; structure and therefore RAR verdicts do not).
+    #[must_use]
+    pub fn region(
+        &self,
+        net: &Network,
+        divisor: NodeId,
+        var_nodes: Vec<NodeId>,
+        kept: &Cover,
+        remainder: &Cover,
+    ) -> NetworkRegion {
+        let mut state = self.state.clone();
+        let gates = build_division(&mut state, &var_nodes, divisor, kept, remainder);
+        state.node_gate[self.target.index()] = Some(gates.target_out);
+        for &id in &self.tfo_order {
+            let g = state.build_node(net, id);
+            state.node_gate[id.index()] = Some(g);
+        }
+        for (_, o) in net.outputs() {
+            let g = state.node_gate[o.index()].expect("output driver built");
+            state.circuit.add_output(g);
+        }
+        NetworkRegion {
+            netc: NetCircuit {
+                circuit: state.circuit,
+                node_gate: state.node_gate,
+            },
+            var_nodes,
+            lit_gates: gates.lit_gates,
+            kept_gates: gates.kept_gates,
+            fprime_or: gates.fprime_or,
+            bold: gates.bold,
+        }
     }
 }
 
@@ -143,16 +298,19 @@ impl NetCircuit {
     /// outputs.
     #[must_use]
     pub fn build(net: &Network) -> NetCircuit {
-        let mut b = Builder::new(net);
+        let mut b = BuilderState::new(net);
         for id in net.topo_order() {
-            let g = b.build_node(id);
+            let g = b.build_node(net, id);
             b.node_gate[id.index()] = Some(g);
         }
         for (_, o) in net.outputs() {
             let g = b.node_gate[o.index()].expect("output driver built");
             b.circuit.add_output(g);
         }
-        NetCircuit { circuit: b.circuit, node_gate: b.node_gate }
+        NetCircuit {
+            circuit: b.circuit,
+            node_gate: b.node_gate,
+        }
     }
 }
 
@@ -181,75 +339,34 @@ impl NetworkRegion {
             !net.tfo(target).contains(&divisor),
             "divisor must not depend on target"
         );
-        let mut b = Builder::new(net);
-        let order = b.order_with_edge(divisor, target);
-        let mut lit_gates: Vec<(GateId, Option<GateId>)> = Vec::new();
-        let mut kept_gates: Vec<GateId> = Vec::new();
-        let mut fprime_or: Option<GateId> = None;
-        let mut bold: Option<GateId> = None;
+        let mut b = BuilderState::new(net);
+        let order = order_with_edge(net, divisor, target);
+        let mut gates: Option<DivisionGates> = None;
         for id in order {
             if id != target {
-                let g = b.build_node(id);
+                let g = b.build_node(net, id);
                 b.node_gate[id.index()] = Some(g);
                 continue;
             }
-            // Division structure for the target.
-            lit_gates = var_nodes
-                .iter()
-                .map(|&v| {
-                    let pos = b.node_gate[v.index()].expect("joint var built first");
-                    (pos, None)
-                })
-                .collect();
-            let lit = |b: &mut Builder, lg: &mut Vec<(GateId, Option<GateId>)>, l: Lit| {
-                let (pos, neg) = lg[l.var];
-                match l.phase {
-                    Phase::Pos => pos,
-                    Phase::Neg => {
-                        if let Some(n) = neg {
-                            n
-                        } else {
-                            let n = b.circuit.add_not(pos);
-                            lg[l.var].1 = Some(n);
-                            n
-                        }
-                    }
-                }
-            };
-            kept_gates = kept
-                .cubes()
-                .iter()
-                .map(|c| {
-                    let ins: Vec<GateId> =
-                        c.lits().map(|l| lit(&mut b, &mut lit_gates, l)).collect();
-                    b.circuit.add_and(ins)
-                })
-                .collect();
-            let f_or = b.circuit.add_or(kept_gates.clone());
-            fprime_or = Some(f_or);
-            let d_gate = b.node_gate[divisor.index()].expect("divisor built before target");
-            let bold_and = b.circuit.add_and(vec![f_or, d_gate]);
-            bold = Some(bold_and);
-            let mut f_ins = vec![bold_and];
-            for c in remainder.cubes() {
-                let ins: Vec<GateId> =
-                    c.lits().map(|l| lit(&mut b, &mut lit_gates, l)).collect();
-                f_ins.push(b.circuit.add_and(ins));
-            }
-            let f_out = b.circuit.add_or(f_ins);
-            b.node_gate[target.index()] = Some(f_out);
+            let dg = build_division(&mut b, &var_nodes, divisor, kept, remainder);
+            b.node_gate[target.index()] = Some(dg.target_out);
+            gates = Some(dg);
         }
         for (_, o) in net.outputs() {
             let g = b.node_gate[o.index()].expect("output driver built");
             b.circuit.add_output(g);
         }
+        let gates = gates.expect("target processed");
         NetworkRegion {
-            netc: NetCircuit { circuit: b.circuit, node_gate: b.node_gate },
+            netc: NetCircuit {
+                circuit: b.circuit,
+                node_gate: b.node_gate,
+            },
             var_nodes,
-            lit_gates,
-            kept_gates,
-            fprime_or: fprime_or.expect("target processed"),
-            bold: bold.expect("target processed"),
+            lit_gates: gates.lit_gates,
+            kept_gates: gates.kept_gates,
+            fprime_or: gates.fprime_or,
+            bold: gates.bold,
         }
     }
 
@@ -267,9 +384,15 @@ impl NetworkRegion {
                 };
                 out.push(CandidateWire { sink: gate, driver });
             }
-            out.push(CandidateWire { sink: self.fprime_or, driver: gate });
+            out.push(CandidateWire {
+                sink: self.fprime_or,
+                driver: gate,
+            });
         }
-        out.push(CandidateWire { sink: self.bold, driver: self.fprime_or });
+        out.push(CandidateWire {
+            sink: self.bold,
+            driver: self.fprime_or,
+        });
         out
     }
 
@@ -291,8 +414,10 @@ impl NetworkRegion {
             for &lit_in in self.netc.circuit.fanins(cube_gate) {
                 if let Some(v) = self.lit_gates.iter().position(|&(p, _)| p == lit_in) {
                     cube.restrict(Lit::pos(v));
-                } else if let Some(v) =
-                    self.lit_gates.iter().position(|&(_, ng)| ng == Some(lit_in))
+                } else if let Some(v) = self
+                    .lit_gates
+                    .iter()
+                    .position(|&(_, ng)| ng == Some(lit_in))
                 {
                     cube.restrict(Lit::neg(v));
                 }
@@ -303,7 +428,6 @@ impl NetworkRegion {
         q
     }
 }
-
 
 /// Converts a gate-level circuit back into a [`Network`]: every gate
 /// becomes a node (`AND` = one cube, `OR` = one cube per fanin, `NOT` =
@@ -409,7 +533,11 @@ mod tests {
             .add_node("d", vec![a, b, c], parse_sop(3, "ab + c").expect("p"))
             .expect("d");
         let f = net
-            .add_node("f", vec![a, b, c], parse_sop(3, "ab + ac + bc'").expect("p"))
+            .add_node(
+                "f",
+                vec![a, b, c],
+                parse_sop(3, "ab + ac + bc'").expect("p"),
+            )
             .expect("f");
         net.add_output("f", f).expect("o");
         net.add_output("d", d).expect("o");

@@ -5,11 +5,12 @@
 
 use crate::division::{basic_divide_covers, pos_divide_covers, DivisionOptions};
 use crate::extended::extended_divide_covers;
-use crate::netcircuit::NetworkRegion;
+use crate::netcircuit::{NetworkRegion, ShadowBase};
 use boolsubst_algebraic::{factored_literals, JointSpace};
 use boolsubst_atpg::{remove_redundant_wires_with, RemovalOptions};
 use boolsubst_cube::{Cover, Lit, Phase};
 use boolsubst_network::{Network, NodeId};
+use std::fmt;
 
 /// Which of the paper's configurations to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,13 +75,19 @@ impl SubstOptions {
     /// The paper's `ext.` configuration.
     #[must_use]
     pub fn extended() -> SubstOptions {
-        SubstOptions { mode: SubstMode::Extended, ..SubstOptions::basic() }
+        SubstOptions {
+            mode: SubstMode::Extended,
+            ..SubstOptions::basic()
+        }
     }
 
     /// The paper's `ext. GDC` configuration (global don't cares).
     #[must_use]
     pub fn extended_gdc() -> SubstOptions {
-        SubstOptions { mode: SubstMode::ExtendedGdc, ..SubstOptions::basic() }
+        SubstOptions {
+            mode: SubstMode::ExtendedGdc,
+            ..SubstOptions::basic()
+        }
     }
 
     /// Extension beyond the paper: extended division with a bounded exact
@@ -95,10 +102,19 @@ impl SubstOptions {
     }
 }
 
-/// Statistics of a substitution run.
+/// Statistics of a substitution run, with stage-level observability.
+///
+/// The acceptance-relevant fields (`substitutions`, `pos_substitutions`,
+/// `extended_decompositions`, `literal_gain`, `divisions_tried`) are
+/// identical between [`boolean_substitute`] (the [`crate::engine::SubstEngine`]
+/// path) and [`boolean_substitute_legacy`]. The stage counters describe
+/// *how* each path got there and differ by construction: the legacy sweep
+/// enumerates every (target, divisor) pair and rejects most of them one
+/// filter at a time, while the engine's support-overlap index never
+/// surfaces those pairs in the first place (`filtered_by_index`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SubstStats {
-    /// Division attempts.
+    /// Division attempts (pairs surviving every filter).
     pub divisions_tried: usize,
     /// Accepted substitutions (SOP form).
     pub substitutions: usize,
@@ -108,6 +124,104 @@ pub struct SubstStats {
     pub extended_decompositions: usize,
     /// Total factored-literal gain.
     pub literal_gain: i64,
+    /// Sweeps over the network actually run.
+    pub passes: usize,
+    /// Candidate pairs individually examined.
+    pub candidates_enumerated: usize,
+    /// Pairs the support-overlap index skipped without examining
+    /// (engine path only; approximate across mid-target re-enumerations).
+    pub filtered_by_index: usize,
+    /// Pairs rejected as self/input/existing-fanin pairs.
+    pub filtered_structural: usize,
+    /// Pairs rejected because the divisor lies in the target's transitive
+    /// fanout (substituting would create a cycle).
+    pub filtered_tfo: usize,
+    /// Pairs rejected by the divisor cube-count bound.
+    pub filtered_divisor_size: usize,
+    /// Pairs rejected by the joint-variable-space bound.
+    pub filtered_joint_space: usize,
+    /// Pairs rejected because the supports do not overlap (legacy path
+    /// only — the engine's index implies overlap).
+    pub filtered_support: usize,
+    /// Fault checks run by whole-network (GDC) redundancy removal.
+    pub rar_checks: usize,
+    /// GDC attempts that reused the per-target shadow-circuit snapshot.
+    pub shadow_cache_hits: usize,
+    /// GDC shadow-circuit snapshots built from scratch.
+    pub shadow_cache_misses: usize,
+    /// Wall time enumerating targets and candidates (engine path).
+    pub enumerate_nanos: u64,
+    /// Wall time in the cheap per-pair filters (engine path).
+    pub filter_nanos: u64,
+    /// Wall time dividing and evaluating gains (engine path).
+    pub divide_nanos: u64,
+    /// Wall time patching side tables after acceptances (engine path).
+    pub apply_nanos: u64,
+}
+
+impl fmt::Display for SubstStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn ms(nanos: u64) -> f64 {
+            nanos as f64 / 1.0e6
+        }
+        writeln!(f, "substitution statistics")?;
+        writeln!(f, "  passes                 {:>8}", self.passes)?;
+        writeln!(
+            f,
+            "  candidates examined    {:>8}",
+            self.candidates_enumerated
+        )?;
+        writeln!(f, "  skipped by index       {:>8}", self.filtered_by_index)?;
+        writeln!(
+            f,
+            "  filtered               {:>8}  (structural {}, tfo {}, divisor-size {}, joint-space {}, support {})",
+            self.filtered_structural
+                + self.filtered_tfo
+                + self.filtered_divisor_size
+                + self.filtered_joint_space
+                + self.filtered_support,
+            self.filtered_structural,
+            self.filtered_tfo,
+            self.filtered_divisor_size,
+            self.filtered_joint_space,
+            self.filtered_support,
+        )?;
+        writeln!(f, "  divisions tried        {:>8}", self.divisions_tried)?;
+        writeln!(
+            f,
+            "  accepted               {:>8}  (pos {}, extended {})",
+            self.substitutions, self.pos_substitutions, self.extended_decompositions,
+        )?;
+        writeln!(f, "  literal gain           {:>8}", self.literal_gain)?;
+        writeln!(f, "  RAR checks (GDC)       {:>8}", self.rar_checks)?;
+        writeln!(
+            f,
+            "  shadow circuit         {:>8}  hits / {} misses",
+            self.shadow_cache_hits, self.shadow_cache_misses,
+        )?;
+        write!(
+            f,
+            "  time (ms)              enumerate {:.2}, filter {:.2}, divide {:.2}, apply {:.2}",
+            ms(self.enumerate_nanos),
+            ms(self.filter_nanos),
+            ms(self.divide_nanos),
+            ms(self.apply_nanos),
+        )
+    }
+}
+
+/// Projects a cover onto its support: drops unused variables and returns
+/// the surviving fanins (`fanins[v]` for each support variable `v`) plus
+/// the remapped cover.
+fn project(cover: &Cover, fanins: &[NodeId]) -> (Vec<NodeId>, Cover) {
+    let support = cover.support();
+    let kept: Vec<NodeId> = support.iter().map(|&v| fanins[v]).collect();
+    let mut map = vec![0usize; cover.num_vars()];
+    for (new_idx, &v) in support.iter().enumerate() {
+        map[v] = new_idx;
+    }
+    let remapped = cover.remapped(kept.len(), &map);
+    (kept, remapped)
 }
 
 /// Builds the new cover for `target` after substitution: `q·x + r` over
@@ -123,21 +237,17 @@ fn assemble(
     let mut new_cover = Cover::new(n + 1);
     for c in quotient.cubes() {
         let mut c = c.extended(n + 1);
-        c.restrict(Lit { var: n, phase: divisor_phase });
+        c.restrict(Lit {
+            var: n,
+            phase: divisor_phase,
+        });
         new_cover.push(c);
     }
     new_cover.extend_cover(&remainder.extended(n + 1));
     new_cover.remove_contained_cubes();
     let mut fanins = space.vars.clone();
     fanins.push(divisor);
-    let support = new_cover.support();
-    let kept: Vec<NodeId> = support.iter().map(|&v| fanins[v]).collect();
-    let mut map = vec![0usize; n + 1];
-    for (new_idx, &v) in support.iter().enumerate() {
-        map[v] = new_idx;
-    }
-    let remapped = new_cover.remapped(kept.len(), &map);
-    (kept, remapped)
+    project(&new_cover, &fanins)
 }
 
 fn factored_gain(net: &Network, target: NodeId, new_cover: &Cover) -> i64 {
@@ -145,30 +255,48 @@ fn factored_gain(net: &Network, target: NodeId, new_cover: &Cover) -> i64 {
     old - factored_literals(new_cover) as i64
 }
 
-/// One substitution attempt of `divisor` into `target`. Applies the first
-/// strategy with positive gain (the paper's locally greedy acceptance) and
-/// returns the gain, or `None` if nothing helped.
-fn try_pair(
+/// How the GDC mode materializes the whole-network circuit for one
+/// division attempt.
+pub(crate) enum GdcScope<'a> {
+    /// Rebuild the circuit from scratch per attempt (the pre-engine
+    /// behaviour, kept as the parity baseline).
+    Rebuild,
+    /// Clone a per-target snapshot and patch only the dirty region.
+    Shadow(&'a ShadowBase),
+}
+
+/// One substitution attempt of `divisor` into `target` with the legacy
+/// per-pair filters. Applies the first strategy with positive gain (the
+/// paper's locally greedy acceptance) and returns the gain, or `None` if
+/// nothing helped.
+pub(crate) fn try_pair(
     net: &mut Network,
     target: NodeId,
     divisor: NodeId,
     opts: &SubstOptions,
     stats: &mut SubstStats,
 ) -> Option<i64> {
+    stats.candidates_enumerated += 1;
     if target == divisor
         || net.node(target).is_input()
         || net.node(divisor).is_input()
         || net.node(target).fanins().contains(&divisor)
-        || net.tfo(target).contains(&divisor)
     {
+        stats.filtered_structural += 1;
+        return None;
+    }
+    if net.tfo(target).contains(&divisor) {
+        stats.filtered_tfo += 1;
         return None;
     }
     let d_cover_len = net.node(divisor).cover().expect("internal").len();
     if d_cover_len == 0 || d_cover_len > opts.max_divisor_cubes {
+        stats.filtered_divisor_size += 1;
         return None;
     }
     let space = JointSpace::union_of_fanins(net, &[target, divisor]);
     if space.len() > opts.max_joint_vars {
+        stats.filtered_joint_space += 1;
         return None;
     }
     // Cheap relevance filter: supports must overlap.
@@ -179,21 +307,56 @@ fn try_pair(
         .iter()
         .any(|f| t_fanins.contains(f))
     {
+        stats.filtered_support += 1;
         return None;
     }
+    try_pair_core(
+        net,
+        target,
+        divisor,
+        &space,
+        opts,
+        stats,
+        &GdcScope::Rebuild,
+    )
+}
+
+/// The filter-free heart of a substitution attempt: divides `target` by
+/// `divisor` over the precomputed joint `space` and applies the first
+/// strategy with positive gain. Callers guarantee the pair already passed
+/// the structural, cycle, size, and support-overlap filters.
+pub(crate) fn try_pair_core(
+    net: &mut Network,
+    target: NodeId,
+    divisor: NodeId,
+    space: &JointSpace,
+    opts: &SubstOptions,
+    stats: &mut SubstStats,
+    gdc: &GdcScope<'_>,
+) -> Option<i64> {
     let f = space.cover_of(net, target);
     let d = space.cover_of(net, divisor);
     stats.divisions_tried += 1;
 
     // --- SOP basic division (local or GDC scope) ---
     let division = if opts.mode == SubstMode::ExtendedGdc {
-        divide_in_network(net, target, divisor, &space, &f, &d, &opts.division)
+        divide_in_network(
+            net,
+            target,
+            divisor,
+            space,
+            &f,
+            &d,
+            &opts.division,
+            gdc,
+            stats,
+        )
     } else {
         let r = basic_divide_covers(&f, &d, &opts.division);
         r.succeeded().then_some((r.quotient, r.remainder))
     };
     if let Some((quotient, remainder)) = division {
-        let (fanins, cover) = assemble(&space, divisor, &quotient, &remainder, Phase::Pos);
+        let (fanins, cover) = assemble(space, divisor, &quotient, &remainder, Phase::Pos);
         let gain = factored_gain(net, target, &cover);
         if gain > 0 {
             net.replace_function(target, fanins, cover)
@@ -211,7 +374,7 @@ fn try_pair(
             let r = basic_divide_covers(&f, &d_compl, &opts.division);
             if r.succeeded() {
                 let (fanins, cover) =
-                    assemble(&space, divisor, &r.quotient, &r.remainder, Phase::Neg);
+                    assemble(space, divisor, &r.quotient, &r.remainder, Phase::Neg);
                 let gain = factored_gain(net, target, &cover);
                 if gain > 0 {
                     net.replace_function(target, fanins, cover)
@@ -229,15 +392,13 @@ fn try_pair(
         if let Some(ext) = extended_divide_covers(&f, &d, &opts.division) {
             // Core == whole divisor means basic already covered it.
             if ext.core_cube_indices.len() < d.len() && ext.division.succeeded() {
-                let gain = plan_extended(net, target, divisor, &space, &ext);
-                if let Some((gain, apply)) = gain {
-                    if gain > 0 {
-                        apply(net);
-                        stats.substitutions += 1;
-                        stats.extended_decompositions += 1;
-                        stats.literal_gain += gain;
-                        return Some(gain);
-                    }
+                if let Some(plan) = plan_extended(net, target, divisor, space, &ext) {
+                    let gain = plan.gain;
+                    plan.apply(net);
+                    stats.substitutions += 1;
+                    stats.extended_decompositions += 1;
+                    stats.literal_gain += gain;
+                    return Some(gain);
                 }
             }
         }
@@ -247,10 +408,7 @@ fn try_pair(
     if opts.try_pos {
         let fc = f.complement();
         let dc = d.complement();
-        if !dc.is_empty()
-            && dc.len() <= opts.max_divisor_cubes
-            && fc.len() <= 4 * f.len().max(4)
-        {
+        if !dc.is_empty() && dc.len() <= opts.max_divisor_cubes && fc.len() <= 4 * f.len().max(4) {
             let r = pos_divide_covers(&f, &d, &opts.division);
             if r.succeeded() {
                 // f = (d + q)·r ⇔ f' = d'·q̃ + r̃; rebuild f as the
@@ -259,7 +417,10 @@ fn try_pair(
                 let mut compl_form = Cover::new(n + 1);
                 for c in r.quotient_compl.cubes() {
                     let mut c = c.extended(n + 1);
-                    c.restrict(Lit { var: n, phase: Phase::Neg });
+                    c.restrict(Lit {
+                        var: n,
+                        phase: Phase::Neg,
+                    });
                     compl_form.push(c);
                 }
                 compl_form.extend_cover(&r.remainder_compl.extended(n + 1));
@@ -268,8 +429,7 @@ fn try_pair(
                     let mut fanins = space.vars.clone();
                     fanins.push(divisor);
                     let support = new_cover.support();
-                    let kept: Vec<NodeId> =
-                        support.iter().map(|&v| fanins[v]).collect();
+                    let kept: Vec<NodeId> = support.iter().map(|&v| fanins[v]).collect();
                     let mut map = vec![0usize; n + 1];
                     for (new_idx, &v) in support.iter().enumerate() {
                         map[v] = new_idx;
@@ -291,17 +451,75 @@ fn try_pair(
     None
 }
 
-/// Plans an extended-division rewrite: create the core node, re-express the
-/// divisor as `core + rest`, substitute the core into the target. Returns
-/// the total factored-literal gain and a closure applying the rewrite.
-#[allow(clippy::type_complexity)]
-fn plan_extended<'a>(
+/// A planned extended-division rewrite: create the core node, re-express
+/// the divisor as `core + rest`, substitute the core into the target.
+/// Produced by [`plan_extended`]; applied with [`ExtendedPlan::apply`].
+/// Splitting planning from application lets the sweep evaluate the gain
+/// without mutating the network.
+pub(crate) struct ExtendedPlan {
+    /// Total factored-literal gain across target, divisor, and core
+    /// (always positive — zero-gain plans are not produced).
+    pub gain: i64,
+    target: NodeId,
+    divisor: NodeId,
+    space_vars: Vec<NodeId>,
+    core: Cover,
+    rest: Cover,
+    quotient: Cover,
+    remainder: Cover,
+}
+
+impl ExtendedPlan {
+    /// Applies the rewrite; returns the id of the fresh core node.
+    pub fn apply(self, net: &mut Network) -> NodeId {
+        let n = self.space_vars.len();
+        // 1. Core node over its support.
+        let (core_fanins, core_local) = project(&self.core, &self.space_vars);
+        let name = net.fresh_name();
+        let m = net
+            .add_node(name, core_fanins, core_local)
+            .expect("fresh core node");
+
+        // 2. Divisor = rest + x_core.
+        let mut div_fanins = self.space_vars.clone();
+        div_fanins.push(m);
+        let mut div_cover = Cover::new(n + 1);
+        for c in self.rest.cubes() {
+            div_cover.push(c.extended(n + 1));
+        }
+        let mut xc = boolsubst_cube::Cube::universe(n + 1);
+        xc.restrict(Lit::pos(n));
+        div_cover.push(xc);
+        let (kept, div_cover) = project(&div_cover, &div_fanins);
+        net.replace_function(self.divisor, kept, div_cover)
+            .expect("divisor decomposition must be applicable");
+
+        // 3. Target = q·x_core + r.
+        let mut tgt_fanins = self.space_vars;
+        tgt_fanins.push(m);
+        let mut tgt_cover = Cover::new(n + 1);
+        for c in self.quotient.cubes() {
+            let mut c = c.extended(n + 1);
+            c.restrict(Lit::pos(n));
+            tgt_cover.push(c);
+        }
+        tgt_cover.extend_cover(&self.remainder.extended(n + 1));
+        let (kept, tgt_cover) = project(&tgt_cover, &tgt_fanins);
+        net.replace_function(self.target, kept, tgt_cover)
+            .expect("target substitution must be applicable");
+        m
+    }
+}
+
+/// Plans an extended-division rewrite; returns `None` when the total
+/// factored-literal gain would not be positive.
+fn plan_extended(
     net: &Network,
     target: NodeId,
     divisor: NodeId,
-    space: &'a JointSpace,
-    ext: &'a crate::extended::ExtendedDivision,
-) -> Option<(i64, Box<dyn FnOnce(&mut Network) + 'a>)> {
+    space: &JointSpace,
+    ext: &crate::extended::ExtendedDivision,
+) -> Option<ExtendedPlan> {
     let d_cover = space.cover_of(net, divisor);
     let rest: Cover = Cover::from_cubes(
         space.len(),
@@ -309,7 +527,8 @@ fn plan_extended<'a>(
             .cubes()
             .iter()
             .enumerate()
-            .filter(|&(i, _c)| !ext.core_cube_indices.contains(&i)).map(|(_i, c)| c.clone())
+            .filter(|&(i, _c)| !ext.core_cube_indices.contains(&i))
+            .map(|(_i, c)| c.clone())
             .collect(),
     );
     // New target function: q·x_core + r.
@@ -352,68 +571,25 @@ fn plan_extended<'a>(
         return None;
     }
 
-    let space_vars = space.vars.clone();
-    let apply = Box::new(move |net: &mut Network| {
-        // 1. Core node over its support.
-        let support = core.support();
-        let core_fanins: Vec<NodeId> = support.iter().map(|&v| space_vars[v]).collect();
-        let mut map = vec![0usize; core.num_vars()];
-        for (new_idx, &v) in support.iter().enumerate() {
-            map[v] = new_idx;
-        }
-        let core_local = core.remapped(core_fanins.len(), &map);
-        let name = net.fresh_name();
-        let m = net
-            .add_node(name, core_fanins, core_local)
-            .expect("fresh core node");
-
-        // 2. Divisor = rest + x_core.
-        let mut div_fanins = space_vars.clone();
-        div_fanins.push(m);
-        let mut div_cover = Cover::new(space_vars.len() + 1);
-        for c in rest.cubes() {
-            div_cover.push(c.extended(space_vars.len() + 1));
-        }
-        let mut xc = boolsubst_cube::Cube::universe(space_vars.len() + 1);
-        xc.restrict(Lit::pos(space_vars.len()));
-        div_cover.push(xc);
-        let support = div_cover.support();
-        let kept: Vec<NodeId> = support.iter().map(|&v| div_fanins[v]).collect();
-        let mut map = vec![0usize; space_vars.len() + 1];
-        for (new_idx, &v) in support.iter().enumerate() {
-            map[v] = new_idx;
-        }
-        let div_cover = div_cover.remapped(kept.len(), &map);
-        net.replace_function(divisor, kept, div_cover)
-            .expect("divisor decomposition must be applicable");
-
-        // 3. Target = q·x_core + r.
-        let mut tgt_fanins = space_vars.clone();
-        tgt_fanins.push(m);
-        let mut tgt_cover = Cover::new(space_vars.len() + 1);
-        for c in quotient.cubes() {
-            let mut c = c.extended(space_vars.len() + 1);
-            c.restrict(Lit::pos(space_vars.len()));
-            tgt_cover.push(c);
-        }
-        tgt_cover.extend_cover(&remainder.extended(space_vars.len() + 1));
-        let support = tgt_cover.support();
-        let kept: Vec<NodeId> = support.iter().map(|&v| tgt_fanins[v]).collect();
-        let mut map = vec![0usize; space_vars.len() + 1];
-        for (new_idx, &v) in support.iter().enumerate() {
-            map[v] = new_idx;
-        }
-        let tgt_cover = tgt_cover.remapped(kept.len(), &map);
-        net.replace_function(target, kept, tgt_cover)
-            .expect("target substitution must be applicable");
-    });
-    Some((gain, apply))
+    Some(ExtendedPlan {
+        gain,
+        target,
+        divisor,
+        space_vars: space.vars.clone(),
+        core,
+        rest,
+        quotient,
+        remainder,
+    })
 }
 
 /// Basic division with whole-network implication scope (the GDC mode):
-/// builds the full circuit with the target in the division configuration,
-/// observes the primary outputs, and removes every provably redundant
-/// region wire.
+/// materializes the full circuit with the target in the division
+/// configuration, observes the primary outputs, and removes every provably
+/// redundant region wire. The circuit comes either from a per-pair rebuild
+/// or from patching a per-target shadow snapshot, per `gdc`; both produce
+/// isomorphic circuits, so the removal verdicts agree.
+#[allow(clippy::too_many_arguments)]
 fn divide_in_network(
     net: &Network,
     target: NodeId,
@@ -422,26 +598,30 @@ fn divide_in_network(
     f: &Cover,
     d: &Cover,
     opts: &DivisionOptions,
+    gdc: &GdcScope<'_>,
+    stats: &mut SubstStats,
 ) -> Option<(Cover, Cover)> {
     let (kept, remainder) = crate::division::split_remainder(f, d);
     if kept.is_empty() {
         return None;
     }
-    let mut region = NetworkRegion::build(
-        net,
-        target,
-        divisor,
-        space.vars.clone(),
-        &kept,
-        &remainder,
-    );
+    let mut region = match gdc {
+        GdcScope::Rebuild => {
+            NetworkRegion::build(net, target, divisor, space.vars.clone(), &kept, &remainder)
+        }
+        GdcScope::Shadow(base) => base.region(net, divisor, space.vars.clone(), &kept, &remainder),
+    };
     let candidates = region.candidate_wires(&kept);
-    let _ = remove_redundant_wires_with(
+    let outcome = remove_redundant_wires_with(
         &mut region.netc.circuit,
         &candidates,
-        &RemovalOptions { imply: opts.imply, exact_budget: opts.exact_budget },
+        &RemovalOptions {
+            imply: opts.imply,
+            exact_budget: opts.exact_budget,
+        },
         opts.max_passes.max(1) + 1,
     );
+    stats.rar_checks += outcome.checks;
     let quotient = region.read_quotient();
     (!quotient.is_empty()).then_some((quotient, remainder))
 }
@@ -450,9 +630,20 @@ fn divide_in_network(
 /// visited from largest cover to smallest (bigger nodes benefit most);
 /// for each target every other internal node is tried as a divisor, and
 /// the first strategy with positive factored-literal gain is taken.
+///
+/// Delegates to the incremental [`crate::engine::SubstEngine`]; the
+/// accepted rewrites are identical to [`boolean_substitute_legacy`].
 pub fn boolean_substitute(net: &mut Network, opts: &SubstOptions) -> SubstStats {
+    crate::engine::SubstEngine::new(net, *opts).run()
+}
+
+/// The pre-engine per-pair sweep: every (target, divisor) pair is visited
+/// and every structural query recomputed on the spot. Kept as the parity
+/// baseline the engine is pinned against (and for A/B benchmarking).
+pub fn boolean_substitute_legacy(net: &mut Network, opts: &SubstOptions) -> SubstStats {
     let mut stats = SubstStats::default();
     for _ in 0..opts.max_passes.max(1) {
+        stats.passes += 1;
         let before = stats.substitutions;
         let mut targets: Vec<NodeId> = net.internal_ids().collect();
         targets.sort_by_key(|&id| {
@@ -466,9 +657,7 @@ pub fn boolean_substitute(net: &mut Network, opts: &SubstOptions) -> SubstStats 
             match opts.acceptance {
                 Acceptance::FirstGain => {
                     for divisor in divisors {
-                        if net.node_opt(target).is_none()
-                            || net.node_opt(divisor).is_none()
-                        {
+                        if net.node_opt(target).is_none() || net.node_opt(divisor).is_none() {
                             continue;
                         }
                         let _ = try_pair(net, target, divisor, opts, &mut stats);
@@ -516,7 +705,11 @@ mod tests {
         let b = net.add_input("b").expect("b");
         let c = net.add_input("c").expect("c");
         let f = net
-            .add_node("f", vec![a, b, c], parse_sop(3, "ab + ac + bc'").expect("p"))
+            .add_node(
+                "f",
+                vec![a, b, c],
+                parse_sop(3, "ab + ac + bc'").expect("p"),
+            )
             .expect("f");
         let d = net
             .add_node("d", vec![a, b, c], parse_sop(3, "ab + c").expect("p"))
@@ -554,10 +747,18 @@ mod tests {
         let e = net.add_input("e").expect("e");
         let z = net.add_input("z").expect("z");
         let f = net
-            .add_node("f", vec![a, b, c, z], parse_sop(4, "ab + c + d").expect("p"))
+            .add_node(
+                "f",
+                vec![a, b, c, z],
+                parse_sop(4, "ab + c + d").expect("p"),
+            )
             .expect("f");
         let d = net
-            .add_node("d", vec![a, b, c, e], parse_sop(4, "ab + c + d").expect("p"))
+            .add_node(
+                "d",
+                vec![a, b, c, e],
+                parse_sop(4, "ab + c + d").expect("p"),
+            )
             .expect("d");
         net.add_output("f", f).expect("o");
         net.add_output("d", d).expect("o");

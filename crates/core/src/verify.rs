@@ -122,7 +122,6 @@ pub fn networks_equivalent(a: &Network, b: &Network) -> bool {
     oa == ob
 }
 
-
 /// Equivalence *modulo external don't cares*: outputs may differ only on
 /// input combinations marked don't-care by either network's attached
 /// `.exdc` network (matched to outputs by name). Falls back to exact
@@ -147,7 +146,10 @@ pub fn networks_equivalent_modulo_dc(a: &Network, b: &Network) -> bool {
     let n = a_inputs.len();
     let mut bdd = Bdd::new(n);
     let var_of_name = |name: &str| -> usize {
-        a_inputs.iter().position(|m| *m == name).expect("checked subset")
+        a_inputs
+            .iter()
+            .position(|m| *m == name)
+            .expect("checked subset")
     };
 
     // Builds all output BDDs of `net` with inputs mapped by name.
@@ -187,8 +189,12 @@ pub fn networks_equivalent_modulo_dc(a: &Network, b: &Network) -> bool {
         )
     };
 
-    let Some(oa) = build_outputs(&mut bdd, a) else { return false };
-    let Some(ob) = build_outputs(&mut bdd, b) else { return false };
+    let Some(oa) = build_outputs(&mut bdd, a) else {
+        return false;
+    };
+    let Some(ob) = build_outputs(&mut bdd, b) else {
+        return false;
+    };
     let dc_a = a.exdc().and_then(|dc| build_outputs(&mut bdd, dc));
     let dc_b = b.exdc().and_then(|dc| build_outputs(&mut bdd, dc));
     if (a.exdc().is_some() && dc_a.is_none()) || (b.exdc().is_some() && dc_b.is_none()) {
@@ -203,8 +209,12 @@ pub fn networks_equivalent_modulo_dc(a: &Network, b: &Network) -> bool {
     names.sort();
     names.dedup();
     for name in names {
-        let Some(fa) = find(&Some(oa.clone()), name) else { return false };
-        let Some(fb) = find(&Some(ob.clone()), name) else { return false };
+        let Some(fa) = find(&Some(oa.clone()), name) else {
+            return false;
+        };
+        let Some(fb) = find(&Some(ob.clone()), name) else {
+            return false;
+        };
         let mut dc = bdd.zero();
         if let Some(d) = find(&dc_a, name) {
             dc = bdd.or(dc, d);
@@ -240,28 +250,27 @@ mod tests {
         )
         .expect("x");
         // Same function, flat.
-        let y = parse_blif(
-            ".model y\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n",
-        )
-        .expect("y");
+        let y =
+            parse_blif(".model y\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n--1 1\n.end\n")
+                .expect("y");
         assert!(networks_equivalent(&x, &y));
     }
 
     #[test]
     fn different_functions_detected() {
-        let x = parse_blif(".model x\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
-            .expect("x");
-        let y = parse_blif(".model y\n.inputs a b\n.outputs f\n.names a b f\n1- 1\n.end\n")
-            .expect("y");
+        let x =
+            parse_blif(".model x\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n").expect("x");
+        let y =
+            parse_blif(".model y\n.inputs a b\n.outputs f\n.names a b f\n1- 1\n.end\n").expect("y");
         assert!(!networks_equivalent(&x, &y));
     }
 
     #[test]
     fn input_order_immaterial() {
-        let x = parse_blif(".model x\n.inputs a b\n.outputs f\n.names a b f\n10 1\n.end\n")
-            .expect("x");
-        let y = parse_blif(".model y\n.inputs b a\n.outputs f\n.names a b f\n10 1\n.end\n")
-            .expect("y");
+        let x =
+            parse_blif(".model x\n.inputs a b\n.outputs f\n.names a b f\n10 1\n.end\n").expect("x");
+        let y =
+            parse_blif(".model y\n.inputs b a\n.outputs f\n.names a b f\n10 1\n.end\n").expect("y");
         assert!(networks_equivalent(&x, &y));
     }
 
@@ -273,26 +282,20 @@ mod tests {
             ".model x\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.exdc\n.names a b f\n00 1\n.end\n",
         )
         .expect("x");
-        let y = parse_blif(
-            ".model y\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 1\n.end\n",
-        )
-        .expect("y");
+        let y = parse_blif(".model y\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 1\n.end\n")
+            .expect("y");
         assert!(!networks_equivalent(&x, &y));
         assert!(networks_equivalent_modulo_dc(&x, &y));
         // A difference outside the DC is still caught.
-        let z = parse_blif(
-            ".model z\n.inputs a b\n.outputs f\n.names a b f\n1- 1\n.end\n",
-        )
-        .expect("z");
+        let z =
+            parse_blif(".model z\n.inputs a b\n.outputs f\n.names a b f\n1- 1\n.end\n").expect("z");
         assert!(!networks_equivalent_modulo_dc(&x, &z));
     }
 
     #[test]
     fn modulo_dc_without_dc_is_exact() {
-        let x = parse_blif(".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
-            .expect("x");
-        let y = parse_blif(".model y\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
-            .expect("y");
+        let x = parse_blif(".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n").expect("x");
+        let y = parse_blif(".model y\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n").expect("y");
         assert!(networks_equivalent_modulo_dc(&x, &y));
     }
 

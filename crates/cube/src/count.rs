@@ -14,7 +14,10 @@ impl Cover {
     /// overflow `u128`).
     #[must_use]
     pub fn minterm_count(&self) -> u128 {
-        assert!(self.num_vars() <= 127, "minterm_count limited to 127 variables");
+        assert!(
+            self.num_vars() <= 127,
+            "minterm_count limited to 127 variables"
+        );
         let mut disjoint: Vec<Cube> = Vec::new();
         for cube in self.cubes() {
             // Pieces of `cube` not covered by the already-collected
@@ -67,15 +70,27 @@ fn sharp_cube(a: &Cube, b: &Cube) -> Vec<Cube> {
         match (sa, sb) {
             (VarState::DontCare, VarState::Pos) => {
                 let mut piece = rest.clone();
-                piece.restrict(Lit { var: v, phase: Phase::Neg });
+                piece.restrict(Lit {
+                    var: v,
+                    phase: Phase::Neg,
+                });
                 out.push(piece);
-                rest.restrict(Lit { var: v, phase: Phase::Pos });
+                rest.restrict(Lit {
+                    var: v,
+                    phase: Phase::Pos,
+                });
             }
             (VarState::DontCare, VarState::Neg) => {
                 let mut piece = rest.clone();
-                piece.restrict(Lit { var: v, phase: Phase::Pos });
+                piece.restrict(Lit {
+                    var: v,
+                    phase: Phase::Pos,
+                });
                 out.push(piece);
-                rest.restrict(Lit { var: v, phase: Phase::Neg });
+                rest.restrict(Lit {
+                    var: v,
+                    phase: Phase::Neg,
+                });
             }
             _ => {}
         }

@@ -16,13 +16,19 @@ impl Cover {
     /// The empty (constant-0) cover over `num_vars` variables.
     #[must_use]
     pub fn new(num_vars: usize) -> Cover {
-        Cover { cubes: Vec::new(), num_vars }
+        Cover {
+            cubes: Vec::new(),
+            num_vars,
+        }
     }
 
     /// The constant-1 cover (single universal cube).
     #[must_use]
     pub fn one(num_vars: usize) -> Cover {
-        Cover { cubes: vec![Cube::universe(num_vars)], num_vars }
+        Cover {
+            cubes: vec![Cube::universe(num_vars)],
+            num_vars,
+        }
     }
 
     /// Builds a cover from cubes.
@@ -145,7 +151,10 @@ impl Cover {
             .iter()
             .filter_map(|c| c.cofactor_lit(l))
             .collect();
-        Cover { cubes, num_vars: self.num_vars }
+        Cover {
+            cubes,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Cofactor of the cover with respect to cube `c`.
@@ -156,7 +165,10 @@ impl Cover {
     #[must_use]
     pub fn cofactor(&self, c: &Cube) -> Cover {
         let cubes = self.cubes.iter().filter_map(|x| x.cofactor(c)).collect();
-        Cover { cubes, num_vars: self.num_vars }
+        Cover {
+            cubes,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Removes cubes contained in another cube of the cover (single-cube
@@ -221,7 +233,10 @@ impl Cover {
             .iter()
             .map(|c| c.remapped(new_num_vars, map))
             .collect();
-        Cover { cubes, num_vars: new_num_vars }
+        Cover {
+            cubes,
+            num_vars: new_num_vars,
+        }
     }
 
     /// Grows the universe to `new_num_vars`, keeping all literals.
@@ -231,8 +246,15 @@ impl Cover {
     /// Panics if `new_num_vars < num_vars`.
     #[must_use]
     pub fn extended(&self, new_num_vars: usize) -> Cover {
-        let cubes = self.cubes.iter().map(|c| c.extended(new_num_vars)).collect();
-        Cover { cubes, num_vars: new_num_vars }
+        let cubes = self
+            .cubes
+            .iter()
+            .map(|c| c.extended(new_num_vars))
+            .collect();
+        Cover {
+            cubes,
+            num_vars: new_num_vars,
+        }
     }
 }
 

@@ -41,19 +41,28 @@ impl Lit {
     /// Creates a positive literal for variable `var`.
     #[must_use]
     pub fn pos(var: usize) -> Lit {
-        Lit { var, phase: Phase::Pos }
+        Lit {
+            var,
+            phase: Phase::Pos,
+        }
     }
 
     /// Creates a negative literal for variable `var`.
     #[must_use]
     pub fn neg(var: usize) -> Lit {
-        Lit { var, phase: Phase::Neg }
+        Lit {
+            var,
+            phase: Phase::Neg,
+        }
     }
 
     /// Returns this literal with the phase flipped.
     #[must_use]
     pub fn negated(self) -> Lit {
-        Lit { var: self.var, phase: self.phase.flipped() }
+        Lit {
+            var: self.var,
+            phase: self.phase.flipped(),
+        }
     }
 }
 
@@ -217,7 +226,11 @@ impl Cube {
         let mut vars_left = self.num_vars;
         for &w in &self.words {
             let n = vars_left.min(VARS_PER_WORD);
-            let mask = if n == VARS_PER_WORD { !0u64 } else { (1u64 << (2 * n)) - 1 };
+            let mask = if n == VARS_PER_WORD {
+                !0u64
+            } else {
+                (1u64 << (2 * n)) - 1
+            };
             count += (2 * n) - ((w & mask).count_ones() as usize);
             vars_left -= n;
             if vars_left == 0 {
@@ -255,7 +268,10 @@ impl Cube {
             .zip(&other.words)
             .map(|(a, b)| a & b)
             .collect();
-        Cube { words, num_vars: self.num_vars }
+        Cube {
+            words,
+            num_vars: self.num_vars,
+        }
     }
 
     /// True if `self` contains `other` (every minterm of `other` is in
@@ -370,7 +386,10 @@ impl Cube {
     pub fn remapped(&self, new_num_vars: usize, map: &[usize]) -> Cube {
         let mut out = Cube::universe(new_num_vars);
         for l in self.lits() {
-            out.restrict(Lit { var: map[l.var], phase: l.phase });
+            out.restrict(Lit {
+                var: map[l.var],
+                phase: l.phase,
+            });
         }
         out
     }
@@ -522,6 +541,9 @@ mod tests {
         let c = Cube::from_lits(3, &[Lit::pos(0), Lit::neg(1)]);
         assert_eq!(c.to_string(), "ab'");
         assert_eq!(Cube::universe(2).to_string(), "1");
-        assert_eq!(Cube::from_lits(1, &[Lit::pos(0), Lit::neg(0)]).to_string(), "0");
+        assert_eq!(
+            Cube::from_lits(1, &[Lit::pos(0), Lit::neg(0)]).to_string(),
+            "0"
+        );
     }
 }

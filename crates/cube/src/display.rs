@@ -41,7 +41,9 @@ pub fn parse_sop(num_vars: usize, text: &str) -> Result<Cover, ParseSopError> {
     for term in text.split('+') {
         let term = term.trim();
         if term.is_empty() {
-            return Err(ParseSopError { msg: "empty product term".into() });
+            return Err(ParseSopError {
+                msg: "empty product term".into(),
+            });
         }
         if term == "0" {
             continue;
@@ -56,7 +58,9 @@ pub fn parse_sop(num_vars: usize, text: &str) -> Result<Cover, ParseSopError> {
         while i < chars.len() {
             let c = chars[i];
             if !c.is_ascii_lowercase() {
-                return Err(ParseSopError { msg: format!("unexpected character {c:?}") });
+                return Err(ParseSopError {
+                    msg: format!("unexpected character {c:?}"),
+                });
             }
             let var = (c as u8 - b'a') as usize;
             if var >= num_vars {

@@ -16,7 +16,10 @@ pub struct SimplifyOptions {
 
 impl Default for SimplifyOptions {
     fn default() -> SimplifyOptions {
-        SimplifyOptions { max_iterations: 4, reduce: true }
+        SimplifyOptions {
+            max_iterations: 4,
+            reduce: true,
+        }
     }
 }
 
@@ -71,7 +74,11 @@ pub fn simplify(onset: &Cover, dcset: &Cover, opts: SimplifyOptions) -> Cover {
 /// Convenience wrapper: minimize with no don't cares and default options.
 #[must_use]
 pub fn simplify_exact_cover(onset: &Cover) -> Cover {
-    simplify(onset, &Cover::new(onset.num_vars()), SimplifyOptions::default())
+    simplify(
+        onset,
+        &Cover::new(onset.num_vars()),
+        SimplifyOptions::default(),
+    )
 }
 
 /// EXPAND: raise each cube to a prime of `upper = onset + dcset` by
@@ -120,7 +127,8 @@ fn irredundant(f: &mut Cover, dcset: &Cover) {
         .cubes()
         .iter()
         .enumerate()
-        .filter(|&(i, _c)| keep[i]).map(|(_i, c)| c.clone())
+        .filter(|&(i, _c)| keep[i])
+        .map(|(_i, c)| c.clone())
         .collect();
     *f = Cover::from_cubes(f.num_vars(), cubes);
 }

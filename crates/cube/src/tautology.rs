@@ -118,9 +118,7 @@ fn taut_rec(f: &Cover) -> bool {
         .map(|(v, _)| v);
 
     match split {
-        Some(v) => {
-            taut_rec(&f.cofactor_lit(Lit::pos(v))) && taut_rec(&f.cofactor_lit(Lit::neg(v)))
-        }
+        Some(v) => taut_rec(&f.cofactor_lit(Lit::pos(v))) && taut_rec(&f.cofactor_lit(Lit::neg(v))),
         None => {
             // No binate variable and no unate variable: every cube is the
             // universal cube (handled above) — unreachable for nonempty
@@ -157,7 +155,9 @@ mod tests {
     #[test]
     fn simple_tautologies() {
         assert!(parse_sop(1, "a + a'").expect("parse").is_tautology());
-        assert!(parse_sop(2, "a + a'b + a'b'").expect("parse").is_tautology());
+        assert!(parse_sop(2, "a + a'b + a'b'")
+            .expect("parse")
+            .is_tautology());
         assert!(parse_sop(2, "1").expect("parse").is_tautology());
     }
 

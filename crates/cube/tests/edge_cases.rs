@@ -2,8 +2,8 @@
 //! universes, wide universes crossing word boundaries, and API contracts.
 
 use boolsubst_cube::{
-    is_tautology_exhaustive, parse_sop, simplify, simplify_exact_cover, supercube, Cover,
-    Cube, Lit, Phase, SimplifyOptions, VarState,
+    is_tautology_exhaustive, parse_sop, simplify, simplify_exact_cover, supercube, Cover, Cube,
+    Lit, Phase, SimplifyOptions, VarState,
 };
 
 #[test]
@@ -102,7 +102,11 @@ fn tautology_on_wide_random_covers_matches_exhaustive() {
             let mut cube = Cube::universe(10);
             for _ in 0..(next() % 3 + 1) {
                 let v = (next() % 10) as usize;
-                let phase = if next() % 2 == 0 { Phase::Pos } else { Phase::Neg };
+                let phase = if next() % 2 == 0 {
+                    Phase::Pos
+                } else {
+                    Phase::Neg
+                };
                 cube.restrict(Lit { var: v, phase });
             }
             cover.push(cube);

@@ -15,7 +15,10 @@ pub struct ParseBlifError {
 
 impl ParseBlifError {
     fn new(line: usize, msg: impl Into<String>) -> ParseBlifError {
-        ParseBlifError { line, msg: msg.into() }
+        ParseBlifError {
+            line,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -118,7 +121,11 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
                     if signals.is_empty() {
                         return Err(ParseBlifError::new(line_no, ".names with no signals"));
                     }
-                    current = Some(RawNames { line: line_no, signals, rows: Vec::new() });
+                    current = Some(RawNames {
+                        line: line_no,
+                        signals,
+                        rows: Vec::new(),
+                    });
                 }
                 ".end" => break,
                 other => {
@@ -140,7 +147,9 @@ pub fn parse_blif(text: &str) -> Result<Network, ParseBlifError> {
             if out.len() != 1 || !matches!(out, "0" | "1") {
                 return Err(ParseBlifError::new(line_no, "cover output must be 0 or 1"));
             }
-            block.rows.push((pattern, out.chars().next().expect("checked")));
+            block
+                .rows
+                .push((pattern, out.chars().next().expect("checked")));
         } else {
             return Err(ParseBlifError::new(line_no, "cover row outside .names"));
         }
@@ -180,7 +189,11 @@ fn parse_exdc_section(
                     if signals.is_empty() {
                         return Err(ParseBlifError::new(*line_no, ".names with no signals"));
                     }
-                    current = Some(RawNames { line: *line_no, signals, rows: Vec::new() });
+                    current = Some(RawNames {
+                        line: *line_no,
+                        signals,
+                        rows: Vec::new(),
+                    });
                 }
                 ".end" => break,
                 other => {
@@ -200,9 +213,14 @@ fn parse_exdc_section(
             if out.len() != 1 || !matches!(out, "0" | "1") {
                 return Err(ParseBlifError::new(*line_no, "cover output must be 0 or 1"));
             }
-            block.rows.push((pattern, out.chars().next().expect("checked")));
+            block
+                .rows
+                .push((pattern, out.chars().next().expect("checked")));
         } else {
-            return Err(ParseBlifError::new(*line_no, "cover row outside .names in .exdc"));
+            return Err(ParseBlifError::new(
+                *line_no,
+                "cover row outside .names in .exdc",
+            ));
         }
     }
     if let Some(block) = current.take() {

@@ -44,10 +44,8 @@ mod tests {
 
     #[test]
     fn dot_contains_all_nodes_and_edges() {
-        let net = parse_blif(
-            ".model d\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n",
-        )
-        .expect("parse");
+        let net = parse_blif(".model d\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
+            .expect("parse");
         let dot = to_dot(&net);
         assert!(dot.contains("digraph \"d\""));
         assert!(dot.contains("\"a\" [shape=box]"));

@@ -30,11 +30,13 @@
 mod blif;
 mod dot;
 mod net;
+mod side;
 mod transform;
 
 pub use blif::{parse_blif, write_blif, ParseBlifError};
 pub use dot::to_dot;
 pub use net::{Network, NetworkError, Node, NodeFunc, NodeId};
+pub use side::SideTables;
 pub use transform::COLLAPSE_CUBE_LIMIT;
 
 /// Compares two networks on `rounds` random input vectors (plus the
@@ -47,7 +49,11 @@ pub use transform::COLLAPSE_CUBE_LIMIT;
 #[must_use]
 pub fn random_sim_equivalent(a: &Network, b: &Network, rounds: usize, seed: u64) -> bool {
     assert_eq!(a.inputs().len(), b.inputs().len(), "input count mismatch");
-    assert_eq!(a.outputs().len(), b.outputs().len(), "output count mismatch");
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "output count mismatch"
+    );
     let n = a.inputs().len();
     // xorshift64* PRNG: deterministic and dependency-free.
     let mut state = seed | 1;

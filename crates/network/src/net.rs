@@ -101,7 +101,11 @@ impl fmt::Display for NetworkError {
             NetworkError::WouldCycle(n) => {
                 write!(f, "edit on node {n:?} would create a combinational cycle")
             }
-            NetworkError::ArityMismatch { name, fanins, cover_vars } => write!(
+            NetworkError::ArityMismatch {
+                name,
+                fanins,
+                cover_vars,
+            } => write!(
                 f,
                 "node {name:?} has {fanins} fanins but its cover has {cover_vars} variables"
             ),
@@ -123,13 +127,19 @@ pub struct Network {
     pub(crate) outputs: Vec<(String, NodeId)>,
     pub(crate) by_name: HashMap<String, NodeId>,
     pub(crate) exdc: Option<Box<Network>>,
+    /// Bumped on every structural mutation (node added/removed, fanins or
+    /// cover replaced). Lets side tables detect when they are stale.
+    pub(crate) version: u64,
 }
 
 impl Network {
     /// Creates an empty network with the given model name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Network {
-        Network { name: name.into(), ..Network::default() }
+        Network {
+            name: name.into(),
+            ..Network::default()
+        }
     }
 
     /// Model name.
@@ -153,8 +163,7 @@ impl Network {
     /// Returns [`NetworkError::UnknownNode`] if the don't-care network's
     /// primary inputs are not a subset of this network's input names.
     pub fn set_exdc(&mut self, dc: Network) -> Result<(), NetworkError> {
-        let my_inputs: Vec<&str> =
-            self.inputs.iter().map(|&i| self.node(i).name()).collect();
+        let my_inputs: Vec<&str> = self.inputs.iter().map(|&i| self.node(i).name()).collect();
         for &pi in dc.inputs() {
             let n = dc.node(pi).name();
             if !my_inputs.contains(&n) {
@@ -174,7 +183,14 @@ impl Network {
     /// Returns [`NetworkError::DuplicateName`] if the name is taken.
     pub fn add_input(&mut self, name: impl Into<String>) -> Result<NodeId, NetworkError> {
         let name = name.into();
-        let id = self.alloc(Node { name: name.clone(), fanins: Vec::new(), func: NodeFunc::PrimaryInput }, &name)?;
+        let id = self.alloc(
+            Node {
+                name: name.clone(),
+                fanins: Vec::new(),
+                func: NodeFunc::PrimaryInput,
+            },
+            &name,
+        )?;
         self.inputs.push(id);
         Ok(id)
     }
@@ -198,7 +214,14 @@ impl Network {
                 return Err(NetworkError::UnknownNode(format!("{f}")));
             }
         }
-        self.alloc(Node { name: name.clone(), fanins, func: NodeFunc::Internal(cover) }, &name)
+        self.alloc(
+            Node {
+                name: name.clone(),
+                fanins,
+                func: NodeFunc::Internal(cover),
+            },
+            &name,
+        )
     }
 
     fn validate_function(name: &str, fanins: &[NodeId], cover: &Cover) -> Result<(), NetworkError> {
@@ -224,7 +247,17 @@ impl Network {
         let id = NodeId(self.nodes.len());
         self.by_name.insert(name.to_string(), id);
         self.nodes.push(Some(node));
+        self.version += 1;
         Ok(id)
+    }
+
+    /// Structural edit counter: incremented every time a node is added or
+    /// removed or a function is replaced. Side tables (fanouts, levels,
+    /// transitive fanouts) record the version they were synchronised at and
+    /// refuse to answer queries against a newer network.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Generates a fresh internal node name (`[t<k>]`).
@@ -349,7 +382,9 @@ impl Network {
     ) -> Result<(), NetworkError> {
         let name = self.node(id).name().to_string();
         if self.node(id).is_input() {
-            return Err(NetworkError::UnknownNode(format!("{name} is a primary input")));
+            return Err(NetworkError::UnknownNode(format!(
+                "{name} is a primary input"
+            )));
         }
         Self::validate_function(&name, &fanins, &cover)?;
         for &f in &fanins {
@@ -363,6 +398,7 @@ impl Network {
         let node = self.nodes[id.0].as_mut().expect("node removed");
         node.fanins = fanins;
         node.func = NodeFunc::Internal(cover);
+        self.version += 1;
         Ok(())
     }
 
@@ -376,17 +412,22 @@ impl Network {
     pub fn remove_node(&mut self, id: NodeId) -> Result<(), NetworkError> {
         let name = self.node(id).name().to_string();
         if self.outputs.iter().any(|(_, o)| *o == id) {
-            return Err(NetworkError::WouldCycle(format!("{name} is a primary output")));
+            return Err(NetworkError::WouldCycle(format!(
+                "{name} is a primary output"
+            )));
         }
         let fanouts = self.fanouts();
         if !fanouts[id.0].is_empty() {
-            return Err(NetworkError::WouldCycle(format!("{name} still has fanouts")));
+            return Err(NetworkError::WouldCycle(format!(
+                "{name} still has fanouts"
+            )));
         }
         self.by_name.remove(&name);
         if let Some(pos) = self.inputs.iter().position(|&i| i == id) {
             self.inputs.remove(pos);
         }
         self.nodes[id.0] = None;
+        self.version += 1;
         Ok(())
     }
 
@@ -404,8 +445,7 @@ impl Network {
             live += 1;
             indegree[id.0] = self.node(id).fanins().len();
         }
-        let mut queue: Vec<NodeId> =
-            self.node_ids().filter(|id| indegree[id.0] == 0).collect();
+        let mut queue: Vec<NodeId> = self.node_ids().filter(|id| indegree[id.0] == 0).collect();
         let fanouts = self.fanouts();
         let mut order = Vec::with_capacity(live);
         while let Some(id) = queue.pop() {
@@ -481,8 +521,7 @@ impl Network {
         for id in self.topo_order() {
             let node = self.node(id);
             if let Some(cover) = node.cover() {
-                let assignment: Vec<bool> =
-                    node.fanins().iter().map(|f| values[f.0]).collect();
+                let assignment: Vec<bool> = node.fanins().iter().map(|f| values[f.0]).collect();
                 values[id.0] = cover.eval(&assignment);
             }
         }
@@ -518,7 +557,11 @@ impl Network {
                 );
             }
             for &f in node.fanins() {
-                assert!(self.node_opt(f).is_some(), "dangling fanin at {}", node.name());
+                assert!(
+                    self.node_opt(f).is_some(),
+                    "dangling fanin at {}",
+                    node.name()
+                );
             }
         }
         let _ = self.topo_order(); // panics on cycles
@@ -563,7 +606,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut net = Network::new("x");
         net.add_input("a").expect("first");
-        assert!(matches!(net.add_input("a"), Err(NetworkError::DuplicateName(_))));
+        assert!(matches!(
+            net.add_input("a"),
+            Err(NetworkError::DuplicateName(_))
+        ));
     }
 
     #[test]

@@ -38,8 +38,11 @@ impl Network {
 
         // New fanin list: outer's fanins minus `inner`, then inner's fanins
         // not already present.
-        let mut new_fanins: Vec<NodeId> =
-            outer_fanins.iter().copied().filter(|&f| f != inner).collect();
+        let mut new_fanins: Vec<NodeId> = outer_fanins
+            .iter()
+            .copied()
+            .filter(|&f| f != inner)
+            .collect();
         for &f in &inner_fanins {
             if !new_fanins.contains(&f) {
                 new_fanins.push(f);
@@ -55,8 +58,10 @@ impl Network {
             .collect();
         let remap_outer = |c: &Cover| -> Cover {
             // Variable k never appears after cofactoring, so MAX is safe.
-            let map: Vec<usize> =
-                outer_map.iter().map(|&m| if m == usize::MAX { 0 } else { m }).collect();
+            let map: Vec<usize> = outer_map
+                .iter()
+                .map(|&m| if m == usize::MAX { 0 } else { m })
+                .collect();
             c.remapped(n_new, &map)
         };
         let inner_map: Vec<usize> = inner_fanins.iter().map(|&f| position(f)).collect();
@@ -109,10 +114,7 @@ impl Network {
                 if fanout_ids.is_empty() {
                     continue;
                 }
-                let uses: usize = fanout_ids
-                    .iter()
-                    .map(|&o| literal_uses(self, o, id))
-                    .sum();
+                let uses: usize = fanout_ids.iter().map(|&o| literal_uses(self, o, id)).sum();
                 let lits = self.node(id).cover().expect("internal").literal_count() as i64;
                 let value = lits * uses as i64 - lits - uses as i64;
                 if value > threshold {
@@ -222,7 +224,13 @@ impl Network {
         let mut covers: Vec<Option<Cover>> = vec![None; self.nodes.len()];
         for (i, &pi) in self.inputs.iter().enumerate() {
             let mut c = Cover::new(n);
-            c.push(Cube::from_lits(n, &[Lit { var: i, phase: Phase::Pos }]));
+            c.push(Cube::from_lits(
+                n,
+                &[Lit {
+                    var: i,
+                    phase: Phase::Pos,
+                }],
+            ));
             covers[pi.index()] = Some(c);
         }
         for id in self.topo_order() {
@@ -253,7 +261,10 @@ impl Network {
         self.outputs
             .iter()
             .map(|(name, o)| {
-                (name.clone(), covers[o.index()].clone().expect("driver computed"))
+                (
+                    name.clone(),
+                    covers[o.index()].clone().expect("driver computed"),
+                )
             })
             .collect()
     }

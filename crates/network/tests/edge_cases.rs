@@ -7,7 +7,9 @@ use boolsubst_network::{parse_blif, random_sim_equivalent, to_dot, write_blif, N
 fn constant_only_network() {
     let mut net = Network::new("konst");
     let one = net.add_node("one", Vec::new(), Cover::one(0)).expect("one");
-    let zero = net.add_node("zero", Vec::new(), Cover::new(0)).expect("zero");
+    let zero = net
+        .add_node("zero", Vec::new(), Cover::new(0))
+        .expect("zero");
     net.add_output("one", one).expect("o");
     net.add_output("zero", zero).expect("o");
     net.check_invariants();

@@ -77,7 +77,10 @@ pub fn symmetric_rd(n: usize) -> Network {
         let pi = net.add_input(format!("x{i}")).expect("input");
         columns[0].push(pi);
     }
-    let xor2 = cover1(2, &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]]);
+    let xor2 = cover1(
+        2,
+        &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]],
+    );
     let and2 = cover1(2, &[&[Lit::pos(0), Lit::pos(1)]]);
     let xor3 = cover1(
         3,
@@ -152,7 +155,10 @@ pub fn symmetric_rd(n: usize) -> Network {
 pub fn parity(n: usize) -> Network {
     assert!(n >= 2, "parity needs at least two inputs");
     let mut net = Network::new(format!("parity{n}"));
-    let xor2 = cover1(2, &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]]);
+    let xor2 = cover1(
+        2,
+        &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]],
+    );
     let mut level: Vec<NodeId> = (0..n)
         .map(|i| net.add_input(format!("x{i}")).expect("input"))
         .collect();
@@ -192,7 +198,10 @@ pub fn comparator(n: usize) -> Network {
         .map(|i| net.add_input(format!("b{i}")).expect("input"))
         .collect();
     // eq_i = a_i xnor b_i ; lt_i = a_i' b_i
-    let xnor = cover1(2, &[&[Lit::pos(0), Lit::pos(1)], &[Lit::neg(0), Lit::neg(1)]]);
+    let xnor = cover1(
+        2,
+        &[&[Lit::pos(0), Lit::pos(1)], &[Lit::neg(0), Lit::neg(1)]],
+    );
     let ltc = cover1(2, &[&[Lit::neg(0), Lit::pos(1)]]);
     let mut eq_chain: Option<NodeId> = None;
     let mut lt_acc: Option<NodeId> = None;
@@ -230,8 +239,10 @@ pub fn comparator(n: usize) -> Network {
             _ => unreachable!("chains advance together"),
         }
     }
-    net.add_output("lt", lt_acc.expect("nonempty")).expect("output");
-    net.add_output("eq", eq_chain.expect("nonempty")).expect("output");
+    net.add_output("lt", lt_acc.expect("nonempty"))
+        .expect("output");
+    net.add_output("eq", eq_chain.expect("nonempty"))
+        .expect("output");
     net
 }
 
@@ -251,7 +262,11 @@ pub fn decoder(k: usize) -> Network {
     for m in 0..(1usize << k) {
         let mut lits = vec![Lit::pos(k)]; // enable is fanin k
         for (i, _) in sel.iter().enumerate() {
-            lits.push(if (m >> i) & 1 == 1 { Lit::pos(i) } else { Lit::neg(i) });
+            lits.push(if (m >> i) & 1 == 1 {
+                Lit::pos(i)
+            } else {
+                Lit::neg(i)
+            });
         }
         let mut fanins = sel.clone();
         fanins.push(en);
@@ -288,7 +303,11 @@ pub fn mux_tree(k: usize) -> Network {
         let mut next = Vec::new();
         for pair in level.chunks(2) {
             let g = net
-                .add_node(format!("m{counter}"), vec![*s, pair[0], pair[1]], mux.clone())
+                .add_node(
+                    format!("m{counter}"),
+                    vec![*s, pair[0], pair[1]],
+                    mux.clone(),
+                )
                 .expect("mux node");
             counter += 1;
             next.push(g);
@@ -319,7 +338,10 @@ pub fn alu_slice(n: usize) -> Network {
     let op1 = net.add_input("op1").expect("input");
     let and2 = cover1(2, &[&[Lit::pos(0), Lit::pos(1)]]);
     let or2 = cover1(2, &[&[Lit::pos(0)], &[Lit::pos(1)]]);
-    let xor2 = cover1(2, &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]]);
+    let xor2 = cover1(
+        2,
+        &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]],
+    );
     let maj3 = cover1(
         3,
         &[
@@ -381,7 +403,6 @@ pub fn alu_slice(n: usize) -> Network {
     net
 }
 
-
 /// n-input priority encoder: outputs the index (binary) of the
 /// highest-numbered asserted input plus a `valid` flag.
 ///
@@ -404,7 +425,11 @@ pub fn priority_encoder(n: usize) -> Network {
             lits.push(Lit::neg(j));
         }
         let g = net
-            .add_node(format!("grant{i}"), fanins.clone(), cover1(fanins.len(), &[&lits]))
+            .add_node(
+                format!("grant{i}"),
+                fanins.clone(),
+                cover1(fanins.len(), &[&lits]),
+            )
             .expect("grant node");
         grants.push(g);
     }
@@ -421,7 +446,11 @@ pub fn priority_encoder(n: usize) -> Network {
         let cubes: Vec<Vec<Lit>> = (0..sources.len()).map(|k| vec![Lit::pos(k)]).collect();
         let cube_refs: Vec<&[Lit]> = cubes.iter().map(Vec::as_slice).collect();
         let node = net
-            .add_node(format!("y{b}"), sources.clone(), cover1(sources.len(), &cube_refs))
+            .add_node(
+                format!("y{b}"),
+                sources.clone(),
+                cover1(sources.len(), &cube_refs),
+            )
             .expect("encoder bit");
         net.add_output(format!("y{b}"), node).expect("output");
     }
@@ -449,7 +478,10 @@ pub fn gray_roundtrip(n: usize) -> Network {
     let ins: Vec<NodeId> = (0..n)
         .map(|i| net.add_input(format!("b{i}")).expect("input"))
         .collect();
-    let xor2 = cover1(2, &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]]);
+    let xor2 = cover1(
+        2,
+        &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]],
+    );
     // Gray: g_i = b_i ⊕ b_{i+1} (msb copies through).
     let mut gray = Vec::with_capacity(n);
     for i in 0..n {
@@ -589,7 +621,6 @@ pub fn carry_select_adder(n: usize) -> Network {
     net
 }
 
-
 /// The ISCAS-85 C17 benchmark — the classic six-NAND-gate circuit, encoded
 /// exactly (NAND as the SOP `a' + b'` over two fanins).
 #[must_use]
@@ -603,9 +634,15 @@ pub fn c17() -> Network {
     let nand = cover1(2, &[&[Lit::neg(0)], &[Lit::neg(1)]]);
     let g10 = net.add_node("10", vec![n1, n3], nand.clone()).expect("g10");
     let g11 = net.add_node("11", vec![n3, n6], nand.clone()).expect("g11");
-    let g16 = net.add_node("16", vec![n2, g11], nand.clone()).expect("g16");
-    let g19 = net.add_node("19", vec![g11, n7], nand.clone()).expect("g19");
-    let g22 = net.add_node("22", vec![g10, g16], nand.clone()).expect("g22");
+    let g16 = net
+        .add_node("16", vec![n2, g11], nand.clone())
+        .expect("g16");
+    let g19 = net
+        .add_node("19", vec![g11, n7], nand.clone())
+        .expect("g19");
+    let g22 = net
+        .add_node("22", vec![g10, g16], nand.clone())
+        .expect("g22");
     let g23 = net.add_node("23", vec![g16, g19], nand).expect("g23");
     net.add_output("22", g22).expect("output");
     net.add_output("23", g23).expect("output");

@@ -43,7 +43,11 @@ impl Rng {
     /// Creates the generator from a seed (0 is mapped to a fixed value).
     #[must_use]
     pub fn new(seed: u64) -> Rng {
-        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        Rng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw value.
@@ -72,7 +76,10 @@ impl Rng {
 /// Panics if the parameters are degenerate (no inputs or nodes).
 #[must_use]
 pub fn random_network(seed: u64, params: &GeneratorParams) -> Network {
-    assert!(params.inputs >= 2 && params.nodes >= 1, "degenerate parameters");
+    assert!(
+        params.inputs >= 2 && params.nodes >= 1,
+        "degenerate parameters"
+    );
     let mut rng = Rng::new(seed);
     let mut net = Network::new(format!("rnd{seed}"));
     let mut pool: Vec<NodeId> = (0..params.inputs)
@@ -105,7 +112,11 @@ pub fn random_network(seed: u64, params: &GeneratorParams) -> Network {
             let lits = 1 + rng.below(n);
             for _ in 0..lits {
                 let v = rng.below(n);
-                let phase = if rng.below(100) < 35 { Phase::Neg } else { Phase::Pos };
+                let phase = if rng.below(100) < 35 {
+                    Phase::Neg
+                } else {
+                    Phase::Pos
+                };
                 cube.restrict(Lit { var: v, phase });
             }
             if !cube.is_empty() {
@@ -120,7 +131,11 @@ pub fn random_network(seed: u64, params: &GeneratorParams) -> Network {
             let mut special = base;
             special.restrict(Lit {
                 var: rng.below(n),
-                phase: if rng.below(2) == 0 { Phase::Pos } else { Phase::Neg },
+                phase: if rng.below(2) == 0 {
+                    Phase::Pos
+                } else {
+                    Phase::Neg
+                },
             });
             if !special.is_empty() {
                 cover.push(special);
@@ -153,7 +168,6 @@ pub fn random_network(seed: u64, params: &GeneratorParams) -> Network {
     net
 }
 
-
 /// Parameters for [`planted_network`].
 #[derive(Debug, Clone, Copy)]
 pub struct PlantedParams {
@@ -170,7 +184,12 @@ pub struct PlantedParams {
 
 impl Default for PlantedParams {
     fn default() -> PlantedParams {
-        PlantedParams { inputs: 10, hidden: 3, targets: 8, divisor_extra_cubes: 1 }
+        PlantedParams {
+            inputs: 10,
+            hidden: 3,
+            targets: 8,
+            divisor_extra_cubes: 1,
+        }
     }
 }
 
@@ -179,8 +198,15 @@ fn random_cube(rng: &mut Rng, n: usize, min_lits: usize, max_lits: usize) -> Cub
         let mut cube = Cube::universe(n);
         let lits = min_lits + rng.below(max_lits - min_lits + 1);
         for _ in 0..lits {
-            let phase = if rng.below(100) < 30 { Phase::Neg } else { Phase::Pos };
-            cube.restrict(Lit { var: rng.below(n), phase });
+            let phase = if rng.below(100) < 30 {
+                Phase::Neg
+            } else {
+                Phase::Pos
+            };
+            cube.restrict(Lit {
+                var: rng.below(n),
+                phase,
+            });
         }
         if !cube.is_empty() && cube.literal_count() >= min_lits {
             return cube;

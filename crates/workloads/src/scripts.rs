@@ -17,9 +17,7 @@ pub fn simplify_network(net: &mut Network) {
         let fanins = node.fanins().to_vec();
         let dc = Cover::new(cover.num_vars());
         let simplified = simplify(&cover, &dc, SimplifyOptions::default());
-        if simplified.literal_count() < cover.literal_count()
-            || simplified.len() < cover.len()
-        {
+        if simplified.literal_count() < cover.literal_count() || simplified.len() < cover.len() {
             net.replace_function(id, fanins, simplified)
                 .expect("simplify preserves structure");
         }

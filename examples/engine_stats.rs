@@ -1,0 +1,18 @@
+//! Run the incremental substitution engine on a generated network and
+//! print the stage-level statistics table (`SubstStats` implements
+//! `Display`).
+//!
+//! ```bash
+//! cargo run --example engine_stats
+//! ```
+
+use boolsubst::core::subst::{boolean_substitute, SubstOptions};
+use boolsubst::workloads::generator::{random_network, GeneratorParams};
+
+fn main() {
+    let mut net = random_network(42, &GeneratorParams::default());
+    let before = net.sop_literals();
+    let stats = boolean_substitute(&mut net, &SubstOptions::extended_gdc());
+    println!("SOP literals: {} -> {}\n", before, net.sop_literals());
+    println!("{stats}");
+}

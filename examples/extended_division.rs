@@ -44,15 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = boolean_substitute(&mut net, &SubstOptions::extended());
     println!("network substitution: {stats:?}");
-    println!("equivalent after rewrite: {}", networks_equivalent(&golden, &net));
+    println!(
+        "equivalent after rewrite: {}",
+        networks_equivalent(&golden, &net)
+    );
     println!("nodes now: {}", net.internal_ids().count());
     for id in net.internal_ids() {
         let node = net.node(id);
-        let fanins: Vec<&str> = node
-            .fanins()
-            .iter()
-            .map(|&x| net.node(x).name())
-            .collect();
+        let fanins: Vec<&str> = node.fanins().iter().map(|&x| net.node(x).name()).collect();
         println!(
             "  {} = {} over {:?}",
             node.name(),

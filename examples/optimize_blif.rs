@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     script_a(&mut net);
-    println!("after Script A: {} factored literals", network_factored_literals(&net));
+    println!(
+        "after Script A: {} factored literals",
+        network_factored_literals(&net)
+    );
 
     for (name, opts) in [
         ("basic", SubstOptions::basic()),

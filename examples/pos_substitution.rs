@@ -18,10 +18,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result = pos_divide_covers(&f, &d, &DivisionOptions::paper_default());
     println!("POS division f = (d + q)·r with");
-    println!("  q = ({})'  [complement-domain cover: {}]",
-        result.quotient_compl, result.quotient_compl);
-    println!("  r = ({})'  [complement-domain cover: {}]",
-        result.remainder_compl, result.remainder_compl);
+    println!(
+        "  q = ({})'  [complement-domain cover: {}]",
+        result.quotient_compl, result.quotient_compl
+    );
+    println!(
+        "  r = ({})'  [complement-domain cover: {}]",
+        result.remainder_compl, result.remainder_compl
+    );
     println!("  exact: {}", result.verify(&f, &d));
     assert!(result.verify(&f, &d));
 

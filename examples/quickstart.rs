@@ -18,12 +18,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("f = {f}");
     println!("d = {d}");
-    println!("Boolean division: f = d·({}) + {}", result.quotient, result.remainder);
+    println!(
+        "Boolean division: f = d·({}) + {}",
+        result.quotient, result.remainder
+    );
     println!("  wires removed by RAR: {}", result.wires_removed);
     println!("  exact (f == d·q + r):  {}", result.verify(&f, &d));
     println!("  divided-form literal cost: {}", result.sop_cost());
 
     assert!(result.verify(&f, &d));
-    assert!(result.sop_cost() <= 4, "Boolean division should reach 4 literals");
+    assert!(
+        result.sop_cost() <= 4,
+        "Boolean division should reach 4 literals"
+    );
     Ok(())
 }

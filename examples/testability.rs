@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     boolean_substitute(&mut net, &SubstOptions::extended_gdc());
     full_simplify(&mut net, &DontCareOptions::default());
     net.sweep();
-    assert!(networks_equivalent(&golden, &net), "optimization must be exact");
+    assert!(
+        networks_equivalent(&golden, &net),
+        "optimization must be exact"
+    );
 
     let (after_total, after_redundant) = report("optimized", &net);
     println!(

@@ -3,6 +3,7 @@
 //! and play with cover-level division.
 
 use boolsubst::algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
+use boolsubst::atpg::{fault_coverage, rar_optimize, RarOptions};
 use boolsubst::core::dontcare::{full_simplify, DontCareOptions};
 use boolsubst::core::netcircuit::{network_from_circuit, NetCircuit};
 use boolsubst::core::subst::{boolean_substitute, SubstOptions};
@@ -11,7 +12,6 @@ use boolsubst::core::{
     basic_divide_covers, extended_divide_covers, pos_divide_covers, DivisionOptions,
 };
 use boolsubst::cube::parse_sop;
-use boolsubst::atpg::{fault_coverage, rar_optimize, RarOptions};
 use boolsubst::network::{parse_blif, write_blif, Network};
 use boolsubst::workloads::scripts;
 use std::process::ExitCode;
@@ -111,7 +111,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             boolean_substitute(&mut net, &SubstOptions::extended_gdc());
         }
         other => {
-            return Err(format!("unknown mode {other:?} (use resub|basic|ext|ext-gdc)"));
+            return Err(format!(
+                "unknown mode {other:?} (use resub|basic|ext|ext-gdc)"
+            ));
         }
     }
     if dc {
@@ -122,9 +124,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         );
     }
     let after = network_factored_literals(&net);
-    eprintln!(
-        "{input}: {before} -> {after_script} (script) -> {after} factored literals"
-    );
+    eprintln!("{input}: {before} -> {after_script} (script) -> {after} factored literals");
     if verify {
         if networks_equivalent_modulo_dc(&golden, &net) {
             eprintln!("verified: outputs unchanged (BDD)");
@@ -209,7 +209,10 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
     println!("detected:  {}", report.detected);
     println!("redundant: {}", report.redundant);
     println!("aborted:   {}", report.aborted);
-    println!("coverage:  {:.2}% of testable faults", 100.0 * report.coverage());
+    println!(
+        "coverage:  {:.2}% of testable faults",
+        100.0 * report.coverage()
+    );
     Ok(())
 }
 
@@ -273,7 +276,9 @@ fn cmd_divide(args: &[String]) -> Result<(), String> {
     let [nv, fs, ds] = positional.as_slice() else {
         return Err("divide needs: <num_vars> <f-sop> <d-sop>".into());
     };
-    let n: usize = nv.parse().map_err(|_| format!("bad variable count {nv:?}"))?;
+    let n: usize = nv
+        .parse()
+        .map_err(|_| format!("bad variable count {nv:?}"))?;
     let f = parse_sop(n, fs).map_err(|e| e.to_string())?;
     let d = parse_sop(n, ds).map_err(|e| e.to_string())?;
     let opts = DivisionOptions::paper_default();

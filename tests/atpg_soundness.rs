@@ -2,10 +2,14 @@
 //! "untestable" verdict is checked against the exhaustive oracle, and
 //! redundancy removal never changes an observed function. Also covers the
 //! recursive-learning strengthening.
+//!
+//! Gated behind the `proptest` cargo feature so the default build stays
+//! hermetic (no registry access); see CONTRIBUTING.md to enable.
+#![cfg(feature = "proptest")]
 
 use boolsubst::atpg::{
-    check_fault, is_testable_exhaustive, remove_redundant_wires, CandidateWire, Circuit,
-    Fault, GateId, ImplyOptions, Wire,
+    check_fault, is_testable_exhaustive, remove_redundant_wires, CandidateWire, Circuit, Fault,
+    GateId, ImplyOptions, Wire,
 };
 use proptest::prelude::*;
 

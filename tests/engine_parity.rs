@@ -1,0 +1,207 @@
+//! Pins the incremental `SubstEngine` to the legacy per-pair sweep: on the
+//! same input network, both paths must accept bit-identical rewrites (same
+//! BLIF output), agree on the acceptance-relevant statistics, and — like
+//! any substitution — preserve every primary-output function exactly.
+
+use boolsubst::core::subst::{boolean_substitute, boolean_substitute_legacy};
+use boolsubst::core::{Acceptance, SubstOptions};
+use boolsubst::network::{write_blif, Network};
+use boolsubst::workloads::generator::{
+    planted_network, random_network, GeneratorParams, PlantedParams,
+};
+
+fn modes() -> Vec<(&'static str, SubstOptions)> {
+    vec![
+        ("basic", SubstOptions::basic()),
+        ("extended", SubstOptions::extended()),
+        ("extended_gdc", SubstOptions::extended_gdc()),
+    ]
+}
+
+/// Exhaustive primary-output equivalence for networks with few inputs.
+fn outputs_preserved(before: &Network, after: &Network) {
+    let n = before.inputs().len();
+    assert!(n <= 16, "exhaustive sweep needs few inputs");
+    for m in 0u32..(1 << n) {
+        let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+        assert_eq!(
+            before.eval_outputs(&ins),
+            after.eval_outputs(&ins),
+            "output mismatch at input {m:b}"
+        );
+    }
+}
+
+#[test]
+fn engine_matches_legacy_on_random_networks() {
+    for seed in [11u64, 23, 47] {
+        let base = random_network(seed, &GeneratorParams::default());
+        for (name, opts) in modes() {
+            let mut legacy_net = base.clone();
+            let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
+            let mut engine_net = base.clone();
+            let engine = boolean_substitute(&mut engine_net, &opts);
+            assert_eq!(
+                write_blif(&engine_net),
+                write_blif(&legacy_net),
+                "seed {seed} {name}: engine and legacy rewrites diverged"
+            );
+            assert_eq!(
+                engine.substitutions, legacy.substitutions,
+                "seed {seed} {name}: substitutions"
+            );
+            assert_eq!(
+                engine.literal_gain, legacy.literal_gain,
+                "seed {seed} {name}: literal gain"
+            );
+            assert_eq!(
+                engine.divisions_tried, legacy.divisions_tried,
+                "seed {seed} {name}: divisions tried"
+            );
+            assert_eq!(
+                engine.pos_substitutions, legacy.pos_substitutions,
+                "seed {seed} {name}: POS substitutions"
+            );
+            assert_eq!(
+                engine.extended_decompositions, legacy.extended_decompositions,
+                "seed {seed} {name}: extended decompositions"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_matches_legacy_on_planted_networks() {
+    for seed in [5u64, 9] {
+        let base = planted_network(
+            seed,
+            &PlantedParams {
+                inputs: 8,
+                hidden: 2,
+                targets: 5,
+                divisor_extra_cubes: 1,
+            },
+        );
+        for (name, opts) in modes() {
+            let mut legacy_net = base.clone();
+            let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
+            let mut engine_net = base.clone();
+            let engine = boolean_substitute(&mut engine_net, &opts);
+            assert_eq!(
+                write_blif(&engine_net),
+                write_blif(&legacy_net),
+                "seed {seed} {name}: rewrites diverged"
+            );
+            assert_eq!(
+                engine.substitutions, legacy.substitutions,
+                "seed {seed} {name}"
+            );
+            assert_eq!(
+                engine.literal_gain, legacy.literal_gain,
+                "seed {seed} {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_preserves_output_functions_exhaustively() {
+    // GeneratorParams::default() is 8 inputs / 24 nodes: 256 vectors.
+    for seed in [3u64, 71] {
+        let base = random_network(seed, &GeneratorParams::default());
+        for (name, opts) in modes() {
+            let mut net = base.clone();
+            let stats = boolean_substitute(&mut net, &opts);
+            net.check_invariants();
+            outputs_preserved(&base, &net);
+            // The run must at least have examined candidates.
+            assert!(
+                stats.candidates_enumerated > 0,
+                "seed {seed} {name}: no candidates"
+            );
+        }
+    }
+}
+
+/// Satellite check for the hoisted TFO filter: the cached reachability
+/// answer (levels short-circuit + memoized TFO sets) must agree with a
+/// fresh `net.tfo()` recomputation for every (target, divisor) pair —
+/// before any edit, and again after an accepted substitution invalidated
+/// part of the cache.
+#[test]
+fn cached_tfo_filter_matches_recomputed_decisions() {
+    use boolsubst::network::SideTables;
+    let mut net = random_network(13, &GeneratorParams::default());
+    let mut side = SideTables::build(&net);
+    let check_all = |net: &Network, side: &mut SideTables| {
+        let ids: Vec<_> = net.internal_ids().collect();
+        for &t in &ids {
+            let tfo = net.tfo(t);
+            for &d in &ids {
+                assert_eq!(
+                    side.in_tfo(net, d, t),
+                    tfo.contains(&d),
+                    "cached reject/accept diverged for target {t}, divisor {d}"
+                );
+            }
+        }
+    };
+    check_all(&net, &mut side);
+
+    // Rewire one node the way an accepted substitution would (a fanin
+    // swap), patch the tables, and require identical decisions again.
+    let target = net
+        .internal_ids()
+        .find(|&id| {
+            net.node(id).fanins().len() >= 2
+                && net
+                    .node(id)
+                    .fanins()
+                    .iter()
+                    .any(|f| net.node(*f).is_input())
+        })
+        .expect("rewirable node");
+    let old_fanins = net.node(target).fanins().to_vec();
+    let kept: Vec<_> = old_fanins
+        .iter()
+        .copied()
+        .filter(|f| net.node(*f).is_input())
+        .collect();
+    let cover = {
+        // OR of the kept inputs — arity matches, function is irrelevant.
+        let mut c = boolsubst::cube::Cover::new(kept.len());
+        for v in 0..kept.len() {
+            let mut cube = boolsubst::cube::Cube::universe(kept.len());
+            cube.restrict(boolsubst::cube::Lit::pos(v));
+            c.push(cube);
+        }
+        c
+    };
+    net.replace_function(target, kept, cover).expect("rewire");
+    side.apply_replace(&net, target, &old_fanins);
+    check_all(&net, &mut side);
+}
+
+#[test]
+fn engine_matches_legacy_under_best_gain_and_multipass() {
+    let base = random_network(29, &GeneratorParams::default());
+    for acceptance in [Acceptance::FirstGain, Acceptance::BestGain] {
+        let opts = SubstOptions {
+            acceptance,
+            max_passes: 3,
+            ..SubstOptions::extended()
+        };
+        let mut legacy_net = base.clone();
+        let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
+        let mut engine_net = base.clone();
+        let engine = boolean_substitute(&mut engine_net, &opts);
+        assert_eq!(
+            write_blif(&engine_net),
+            write_blif(&legacy_net),
+            "{acceptance:?}: rewrites diverged"
+        );
+        assert_eq!(engine.substitutions, legacy.substitutions, "{acceptance:?}");
+        assert_eq!(engine.literal_gain, legacy.literal_gain, "{acceptance:?}");
+        assert_eq!(engine.passes, legacy.passes, "{acceptance:?}");
+    }
+}

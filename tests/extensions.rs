@@ -81,7 +81,10 @@ fn best_gain_never_worse_than_first_gain_on_planted() {
         let mut best = net.clone();
         boolean_substitute(
             &mut best,
-            &SubstOptions { acceptance: Acceptance::BestGain, ..SubstOptions::extended() },
+            &SubstOptions {
+                acceptance: Acceptance::BestGain,
+                ..SubstOptions::extended()
+            },
         );
         assert!(networks_equivalent(&net, &first));
         assert!(networks_equivalent(&net, &best));
@@ -90,7 +93,10 @@ fn best_gain_never_worse_than_first_gain_on_planted() {
     }
     // Not guaranteed per circuit (greedy interactions), but over the batch
     // best-gain should not lose.
-    assert!(total_best <= total_first + 2, "best {total_best} vs first {total_first}");
+    assert!(
+        total_best <= total_first + 2,
+        "best {total_best} vs first {total_first}"
+    );
 }
 
 #[test]
@@ -124,7 +130,10 @@ fn optimization_reduces_redundant_faults() {
         let c = NetCircuit::build(&net).circuit;
         fault_coverage(&c, 64, 1, 50_000).redundant
     };
-    assert!(after <= before, "redundant faults grew: {before} -> {after}");
+    assert!(
+        after <= before,
+        "redundant faults grew: {before} -> {after}"
+    );
 }
 
 #[test]
@@ -142,5 +151,8 @@ fn full_boolean_flow_beats_no_flow() {
         total_raw += network_factored_literals(&net);
         total_flow += network_factored_literals(&flow);
     }
-    assert!(total_flow < total_raw, "flow {total_flow} vs raw {total_raw}");
+    assert!(
+        total_flow < total_raw,
+        "flow {total_flow} vs raw {total_raw}"
+    );
 }

@@ -79,8 +79,8 @@ fn table1_vote_filtering() {
 fn fig4_core_choice() {
     let f = parse_sop(5, "ab + ac + bc'").expect("f");
     let d = parse_sop(5, "ab + c + de").expect("d");
-    let ext = extended_divide_covers(&f, &d, &DivisionOptions::paper_default())
-        .expect("core exists");
+    let ext =
+        extended_divide_covers(&f, &d, &DivisionOptions::paper_default()).expect("core exists");
     assert_eq!(ext.core.to_string(), "ab + c");
     assert_eq!(ext.division.quotient.to_string(), "a");
     assert_eq!(ext.division.remainder.to_string(), "bc'");

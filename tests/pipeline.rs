@@ -77,8 +77,7 @@ fn boolean_beats_or_matches_algebraic_on_planted_suite() {
     let mut total_alg = 0usize;
     let mut total_bool = 0usize;
     for seed in [41u64, 42, 43, 44] {
-        let mut net =
-            generator::planted_network(seed, &generator::PlantedParams::default());
+        let mut net = generator::planted_network(seed, &generator::PlantedParams::default());
         script_a(&mut net);
         let mut alg = net.clone();
         algebraic_resub(&mut alg, &ResubOptions::default());
@@ -99,7 +98,10 @@ fn boolean_beats_or_matches_algebraic_on_planted_suite() {
 fn full_script_algebraic_flow_with_each_method() {
     let net = generator::planted_network(
         17,
-        &generator::PlantedParams { targets: 6, ..Default::default() },
+        &generator::PlantedParams {
+            targets: 6,
+            ..Default::default()
+        },
     );
     for mode in [SubstOptions::basic(), SubstOptions::extended()] {
         let mut trial = net.clone();
@@ -135,8 +137,7 @@ fn gdc_uses_observability_dont_cares_soundly() {
     // GDC mode may change individual node functions but never the
     // primary outputs.
     for seed in [51u64, 52, 53] {
-        let mut net =
-            generator::planted_network(seed, &generator::PlantedParams::default());
+        let mut net = generator::planted_network(seed, &generator::PlantedParams::default());
         script_a(&mut net);
         let mut trial = net.clone();
         boolean_substitute(&mut trial, &SubstOptions::extended_gdc());
@@ -154,12 +155,19 @@ fn multi_pass_substitution_converges() {
     let mut two = net.clone();
     boolean_substitute(
         &mut two,
-        &SubstOptions { max_passes: 3, ..SubstOptions::extended() },
+        &SubstOptions {
+            max_passes: 3,
+            ..SubstOptions::extended()
+        },
     );
     two.check_invariants();
     assert!(networks_equivalent(&golden, &two));
     // A fourth pass finds nothing more.
     let before = network_factored_literals(&two);
     boolean_substitute(&mut two, &SubstOptions::extended());
-    assert_eq!(network_factored_literals(&two), before, "driver did not converge");
+    assert_eq!(
+        network_factored_literals(&two),
+        before,
+        "driver did not converge"
+    );
 }

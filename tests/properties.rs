@@ -1,11 +1,15 @@
 //! Property-based tests (proptest) for the core invariants: division
 //! exactness, SOS/POS lemmas, two-level minimization envelopes, factoring
 //! equivalence and algebraic reconstruction.
+//!
+//! Gated behind the `proptest` cargo feature so the default build stays
+//! hermetic (no registry access); see CONTRIBUTING.md to enable.
+#![cfg(feature = "proptest")]
 
 use boolsubst::algebraic::{factor, factored_literals, weak_divide, FactorTree};
 use boolsubst::core::{
-    basic_divide_covers, extended_divide_covers, is_sos_of, lemma1_holds,
-    pos_divide_covers, DivisionOptions,
+    basic_divide_covers, extended_divide_covers, is_sos_of, lemma1_holds, pos_divide_covers,
+    DivisionOptions,
 };
 use boolsubst::cube::{simplify, Cover, Cube, Lit, Phase, SimplifyOptions};
 use proptest::prelude::*;
@@ -20,7 +24,10 @@ fn cube_strategy() -> impl Strategy<Value = Cube> {
             // Avoid creating empty cubes: second phase of the same
             // variable is ignored by keeping the first mention only.
             if matches!(cube.var_state(v), boolsubst::cube::VarState::DontCare) {
-                cube.restrict(Lit { var: v, phase: if pos { Phase::Pos } else { Phase::Neg } });
+                cube.restrict(Lit {
+                    var: v,
+                    phase: if pos { Phase::Pos } else { Phase::Neg },
+                });
             }
         }
         cube
