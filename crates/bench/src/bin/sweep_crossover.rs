@@ -38,17 +38,52 @@ struct SweepRow {
     speedup: f64,
     substitutions: usize,
     literal_gain: i64,
+    sim_pairs_screened: usize,
+    sim_pairs_refuted: usize,
+    sim_false_passes: usize,
+    sim_refinements: usize,
+    sim_patterns: usize,
 }
 
+/// Timing policy: the reported time is the minimum over repeated runs —
+/// the standard guard against scheduler and frequency noise. Every
+/// measurement takes at least [`MIN_REPS`] samples and keeps sampling
+/// until [`MIN_BUDGET_SECS`] of total run time (capped at [`MAX_REPS`]),
+/// so a fast subject gets proportionally more chances to catch a quiet
+/// window than a slow one. The substitution itself is deterministic, so
+/// stats and BLIF are identical across repetitions (asserted).
+const MIN_REPS: usize = 3;
+const MAX_REPS: usize = 25;
+const MIN_BUDGET_SECS: f64 = 0.75;
+
 fn timed(net: &Network, opts: &SubstOptions, legacy: bool) -> (f64, SubstStats, String) {
-    let mut trial = net.clone();
-    let start = Instant::now();
-    let stats = if legacy {
-        boolean_substitute_legacy(&mut trial, opts)
-    } else {
-        boolean_substitute(&mut trial, opts)
-    };
-    (start.elapsed().as_secs_f64(), stats, write_blif(&trial))
+    let mut best: Option<(f64, SubstStats, String)> = None;
+    let mut spent = 0.0f64;
+    for rep in 0..MAX_REPS {
+        if rep >= MIN_REPS && spent >= MIN_BUDGET_SECS {
+            break;
+        }
+        let mut trial = net.clone();
+        let start = Instant::now();
+        let stats = if legacy {
+            boolean_substitute_legacy(&mut trial, opts)
+        } else {
+            boolean_substitute(&mut trial, opts)
+        };
+        let secs = start.elapsed().as_secs_f64();
+        spent += secs;
+        let blif = write_blif(&trial);
+        match &best {
+            Some((b, _, prev)) => {
+                assert_eq!(prev, &blif, "non-deterministic substitution");
+                if secs < *b {
+                    best = Some((secs, stats, blif));
+                }
+            }
+            None => best = Some((secs, stats, blif)),
+        }
+    }
+    best.expect("MIN_REPS >= 1")
 }
 
 fn measure(net: &Network, mode: &'static str, opts: &SubstOptions) -> SweepRow {
@@ -80,6 +115,11 @@ fn measure(net: &Network, mode: &'static str, opts: &SubstOptions) -> SweepRow {
         speedup: engine_rate / legacy_rate,
         substitutions: engine.substitutions,
         literal_gain: engine.literal_gain,
+        sim_pairs_screened: engine.sim_pairs_screened,
+        sim_pairs_refuted: engine.sim_pairs_refuted,
+        sim_false_passes: engine.sim_false_passes,
+        sim_refinements: engine.sim_refinements,
+        sim_patterns: engine.sim_patterns,
     }
 }
 
@@ -88,7 +128,10 @@ fn json_row(r: &SweepRow) -> String {
         "  {{\"mode\": \"{}\", \"nodes\": {}, \"pairs\": {}, \
          \"legacy_secs\": {:.6}, \"engine_secs\": {:.6}, \
          \"legacy_candidates_per_s\": {:.1}, \"engine_candidates_per_s\": {:.1}, \
-         \"speedup\": {:.2}, \"substitutions\": {}, \"literal_gain\": {}}}",
+         \"speedup\": {:.2}, \"substitutions\": {}, \"literal_gain\": {}, \
+         \"sim_pairs_screened\": {}, \"sim_pairs_refuted\": {}, \
+         \"sim_false_passes\": {}, \"sim_refinements\": {}, \
+         \"sim_patterns\": {}}}",
         r.mode,
         r.nodes,
         r.pairs,
@@ -98,14 +141,19 @@ fn json_row(r: &SweepRow) -> String {
         r.engine_cand_per_s,
         r.speedup,
         r.substitutions,
-        r.literal_gain
+        r.literal_gain,
+        r.sim_pairs_screened,
+        r.sim_pairs_refuted,
+        r.sim_false_passes,
+        r.sim_refinements,
+        r.sim_patterns
     )
 }
 
-fn engine_vs_legacy() {
+fn engine_vs_legacy(smoke: bool) {
     let params = GeneratorParams {
         inputs: 16,
-        nodes: 220,
+        nodes: if smoke { 60 } else { 220 },
         ..GeneratorParams::default()
     };
     let net = random_network(9001, &params);
@@ -145,15 +193,24 @@ fn engine_vs_legacy() {
 }
 
 fn main() {
+    // --smoke: a CI-sized run — one padding level, one seed, and a small
+    // engine-vs-legacy workload — exercising the full measurement and
+    // BENCH_sweep.json plumbing in seconds.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (paddings, seeds): (Vec<usize>, Vec<u64>) = if smoke {
+        (vec![1], vec![301])
+    } else {
+        ((0..=3).collect(), vec![301, 302, 303, 304, 305])
+    };
     println!("Crossover sweep — divisor padding vs method (total factored literals)\n");
     println!(
         "{:<8} {:>8} | {:>7} | {:>7} | {:>7} | {:>9}",
         "padding", "initial", "resub", "basic", "ext.", "ext-basic"
     );
-    for extra in 0..=3usize {
+    for &extra in &paddings {
         let mut initial = 0usize;
         let mut cells = [0usize; 3];
-        for seed in [301u64, 302, 303, 304, 305] {
+        for &seed in &seeds {
             let mut net = planted_network(
                 seed,
                 &PlantedParams {
@@ -196,5 +253,5 @@ fn main() {
          with padding — at 0 the two coincide, past the crossover only the\n\
          decomposing divider can reach the buried cores)"
     );
-    engine_vs_legacy();
+    engine_vs_legacy(smoke);
 }

@@ -321,10 +321,26 @@ impl PosDivisionResult {
 /// would be an empty divisor).
 #[must_use]
 pub fn pos_divide_covers(f: &Cover, d: &Cover, opts: &DivisionOptions) -> PosDivisionResult {
-    let fc = f.complement();
-    let dc = d.complement();
+    pos_divide_precomplemented(&f.complement(), &d.complement(), opts)
+}
+
+/// [`pos_divide_covers`] for callers that already hold the complements
+/// `fc = f'` and `dc = d'` (the substitution loop computes both to gate
+/// the attempt, so re-deriving them here would double the complementation
+/// cost per candidate pair).
+///
+/// # Panics
+///
+/// Panics if the universes differ or `dc` is empty (a tautological
+/// divisor).
+#[must_use]
+pub fn pos_divide_precomplemented(
+    fc: &Cover,
+    dc: &Cover,
+    opts: &DivisionOptions,
+) -> PosDivisionResult {
     assert!(!dc.is_empty(), "POS division by a tautological divisor");
-    let r = basic_divide_covers(&fc, &dc, opts);
+    let r = basic_divide_covers(fc, dc, opts);
     PosDivisionResult {
         quotient_compl: r.quotient,
         remainder_compl: r.remainder,

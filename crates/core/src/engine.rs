@@ -36,9 +36,10 @@ use crate::subst::{try_pair_core, Acceptance, GdcScope, SubstMode, SubstOptions,
 use boolsubst_algebraic::JointSpace;
 use boolsubst_cube::Cover;
 use boolsubst_network::{Network, NodeId, SideTables};
+use boolsubst_sim::SimFilter;
 use std::time::Instant;
 
-fn nanos(since: Instant) -> u64 {
+pub(crate) fn nanos(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -61,6 +62,9 @@ pub struct SubstEngine<'a> {
     side: SideTables,
     stats: SubstStats,
     shadow: Option<ShadowEntry>,
+    /// Simulation-signature pre-filter (built when `opts.sim.enabled`);
+    /// patched alongside the side tables after every acceptance.
+    sim: Option<SimFilter>,
 }
 
 impl<'a> SubstEngine<'a> {
@@ -68,12 +72,19 @@ impl<'a> SubstEngine<'a> {
     /// network's current state.
     pub fn new(net: &'a mut Network, opts: SubstOptions) -> SubstEngine<'a> {
         let side = SideTables::build(net);
+        let mut stats = SubstStats::default();
+        let t0 = Instant::now();
+        let sim = opts.sim.enabled.then(|| SimFilter::new(net, &opts.sim));
+        if sim.is_some() {
+            stats.sim_nanos += nanos(t0);
+        }
         SubstEngine {
             net,
             opts,
             side,
-            stats: SubstStats::default(),
+            stats,
             shadow: None,
+            sim,
         }
     }
 
@@ -93,6 +104,11 @@ impl<'a> SubstEngine<'a> {
             if self.stats.substitutions == before {
                 break;
             }
+        }
+        if let Some(sim) = &self.sim {
+            self.stats.sim_patterns = sim.patterns();
+            self.stats.sim_words = sim.words();
+            self.stats.sim_refinements = sim.refinements();
         }
         self.stats
     }
@@ -255,11 +271,19 @@ impl<'a> SubstEngine<'a> {
         if self.opts.mode == SubstMode::ExtendedGdc {
             self.ensure_shadow(target);
         }
+        if let Some(sim) = self.sim.as_mut() {
+            // Fold any patterns harvested by earlier refinements into the
+            // signatures before they are screened against.
+            let ts = Instant::now();
+            sim.flush(self.net);
+            self.stats.sim_nanos += nanos(ts);
+        }
         let t1 = Instant::now();
         let v0 = self.net.version();
         let old_tgt = self.net.node(target).fanins().to_vec();
         let old_div = self.net.node(divisor).fanins().to_vec();
         let old_bound = self.net.id_bound();
+        let false_passes0 = self.stats.sim_false_passes;
         let result = {
             let scope = match &self.shadow {
                 Some(e) if self.opts.mode == SubstMode::ExtendedGdc => GdcScope::Shadow(&e.base),
@@ -273,9 +297,21 @@ impl<'a> SubstEngine<'a> {
                 &self.opts,
                 &mut self.stats,
                 &scope,
+                self.sim.as_ref(),
             )
         };
         self.stats.divide_nanos += nanos(t1);
+
+        if result.is_none() && self.stats.sim_false_passes > false_passes0 {
+            // Counterexample-guided refinement: the screen passed a pair
+            // the proofs rejected — try to harvest a distinguishing
+            // pattern so similar pairs are refuted without proof work.
+            if let Some(sim) = self.sim.as_mut() {
+                let ts = Instant::now();
+                sim.refine_from_false_pass(self.net, target, divisor);
+                self.stats.sim_nanos += nanos(ts);
+            }
+        }
 
         if self.net.version() != v0 {
             let t2 = Instant::now();
@@ -294,12 +330,17 @@ impl<'a> SubstEngine<'a> {
                 e.version = self.net.version();
             }
             self.stats.apply_nanos += nanos(t2);
+            if let Some(sim) = self.sim.as_mut() {
+                let ts = Instant::now();
+                sim.patch(self.net, &self.side, &[target, divisor]);
+                self.stats.sim_nanos += nanos(ts);
+            }
         }
         result
     }
 }
 
-/// Convenience wrapper mirroring [`boolean_substitute_legacy`] for
+/// Convenience wrapper mirroring [`crate::subst::boolean_substitute_legacy`] for
 /// benchmarks that want an engine-backed run with explicit session reuse.
 pub fn boolean_substitute_engine(net: &mut Network, opts: &SubstOptions) -> SubstStats {
     SubstEngine::new(net, *opts).run()

@@ -131,10 +131,47 @@ impl VoteCircuit {
 /// Panics if the universes differ.
 #[must_use]
 pub fn compute_vote_table(f: &Cover, d: &Cover, opts: &DivisionOptions) -> VoteTable {
+    compute_vote_table_masked(f, d, opts, None)
+}
+
+/// [`compute_vote_table`] with an optional per-cube skip mask: no fault
+/// check is run (and no row emitted) for the wires of a cube with
+/// `skip_cube[ci]` set.
+///
+/// Intended for callers holding a *proof* that cube `ci` of `f` is not
+/// contained in any cube of `d` (e.g. a simulation-signature witness): such
+/// a cube's rows could never be `sos_valid`, so [`VoteTable::valid_rows`]
+/// — and therefore core selection — is identical to the unmasked table,
+/// with the per-wire ATPG work saved. Do **not** combine a mask with
+/// [`CoreSelection::NoSosFilter`], which resurrects invalid rows.
+///
+/// Whenever a mask is supplied (even an all-`false` one) the same
+/// reasoning is applied syntactically as well: cubes contained in no
+/// divisor cube are skipped outright, since `sos_valid` demands a
+/// candidate cube that *syntactically* contains the wire's cube. The
+/// unmasked [`compute_vote_table`] keeps every row so that
+/// `NoSosFilter` callers still see the full table.
+///
+/// # Panics
+///
+/// Panics if the universes differ or the mask length is not `f.len()`.
+#[must_use]
+pub fn compute_vote_table_masked(
+    f: &Cover,
+    d: &Cover,
+    opts: &DivisionOptions,
+    skip_cube: Option<&[bool]>,
+) -> VoteTable {
     assert_eq!(f.num_vars(), d.num_vars(), "universe mismatch");
+    if let Some(mask) = skip_cube {
+        assert_eq!(mask.len(), f.len(), "skip mask length mismatch");
+    }
     let vc = VoteCircuit::build(f, d);
     let mut rows = Vec::new();
     for (ci, cube) in f.cubes().iter().enumerate() {
+        if skip_cube.is_some_and(|mask| mask[ci] || !d.cubes().iter().any(|k| k.contains(cube))) {
+            continue;
+        }
         let cube_gate = vc.f_cube_gates[ci];
         for lit in cube.lits() {
             let driver = match lit.phase {
@@ -355,6 +392,28 @@ pub fn extended_divide_covers_with(
         }
     }
     select_core_and_divide_with(f, d, table, opts, selection)
+}
+
+/// [`extended_divide_covers`] with a per-cube skip mask (see
+/// [`compute_vote_table_masked`] for the mask contract): fault checks are
+/// run only for unmasked cubes, and the selected core — hence the division
+/// result — is identical to the unmasked call. Always uses the default
+/// [`CoreSelection`] (a mask is unsound under `NoSosFilter`).
+///
+/// # Panics
+///
+/// Panics if the universes differ, `d` is empty, or the mask length is
+/// not `f.len()`.
+#[must_use]
+pub fn extended_divide_covers_masked(
+    f: &Cover,
+    d: &Cover,
+    opts: &DivisionOptions,
+    skip_cube: &[bool],
+) -> Option<ExtendedDivision> {
+    assert!(!d.is_empty(), "division by the empty cover");
+    let table = compute_vote_table_masked(f, d, opts, Some(skip_cube));
+    select_core_and_divide_with(f, d, table, opts, CoreSelection::default())
 }
 
 /// Core-divisor selection and final division for an already-computed vote

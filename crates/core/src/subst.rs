@@ -3,14 +3,16 @@
 //! positive factored-literal gain — the paper's three experimental
 //! configurations (`basic`, `ext`, `ext-GDC`) plus the POS-form attempts.
 
-use crate::division::{basic_divide_covers, pos_divide_covers, DivisionOptions};
+use crate::division::{basic_divide_covers, pos_divide_precomplemented, DivisionOptions};
 use crate::extended::extended_divide_covers;
 use crate::netcircuit::{NetworkRegion, ShadowBase};
 use boolsubst_algebraic::{factored_literals, JointSpace};
 use boolsubst_atpg::{remove_redundant_wires_with, RemovalOptions};
 use boolsubst_cube::{Cover, Lit, Phase};
 use boolsubst_network::{Network, NodeId};
+use boolsubst_sim::{CoverScreen, SimConfig, SimFilter};
 use std::fmt;
+use std::time::Instant;
 
 /// Which of the paper's configurations to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,10 @@ pub struct SubstOptions {
     pub max_passes: usize,
     /// Acceptance policy (paper: first positive gain).
     pub acceptance: Acceptance,
+    /// Simulation-signature pre-filter (engine path only). Refute-only:
+    /// the screen never rejects a pair the proofs would accept, so the
+    /// accepted rewrites are identical with the filter on or off.
+    pub sim: SimConfig,
 }
 
 impl SubstOptions {
@@ -69,6 +75,7 @@ impl SubstOptions {
             max_joint_vars: 48,
             max_passes: 1,
             acceptance: Acceptance::FirstGain,
+            sim: SimConfig::default(),
         }
     }
 
@@ -149,6 +156,24 @@ pub struct SubstStats {
     pub shadow_cache_hits: usize,
     /// GDC shadow-circuit snapshots built from scratch.
     pub shadow_cache_misses: usize,
+    /// Pairs screened by the simulation filter (engine path with
+    /// [`SubstOptions::sim`] enabled).
+    pub sim_pairs_screened: usize,
+    /// Pairs rejected purely by signature witnesses — every applicable
+    /// strategy refuted, no proof work run.
+    pub sim_pairs_refuted: usize,
+    /// Pairs the screen let through to at least one proof stage that the
+    /// full check then rejected anyway (refinement fuel).
+    pub sim_false_passes: usize,
+    /// Counterexample patterns harvested into the pattern pool.
+    pub sim_refinements: usize,
+    /// Dividend cubes whose extended-division fault checks were skipped:
+    /// the vote table is seeded only from wires surviving the screen.
+    pub sim_ext_wires_skipped: usize,
+    /// Patterns in the pool at the end of the run.
+    pub sim_patterns: usize,
+    /// Signature width in 64-bit words.
+    pub sim_words: usize,
     /// Wall time enumerating targets and candidates (engine path).
     pub enumerate_nanos: u64,
     /// Wall time in the cheap per-pair filters (engine path).
@@ -157,6 +182,9 @@ pub struct SubstStats {
     pub divide_nanos: u64,
     /// Wall time patching side tables after acceptances (engine path).
     pub apply_nanos: u64,
+    /// Wall time screening pairs, refining the pool, and patching
+    /// signatures (engine path).
+    pub sim_nanos: u64,
 }
 
 impl fmt::Display for SubstStats {
@@ -199,13 +227,28 @@ impl fmt::Display for SubstStats {
             "  shadow circuit         {:>8}  hits / {} misses",
             self.shadow_cache_hits, self.shadow_cache_misses,
         )?;
+        writeln!(
+            f,
+            "  sim screen             {:>8}  (refuted {}, false-pass {}, refined {}, ext-wires skipped {})",
+            self.sim_pairs_screened,
+            self.sim_pairs_refuted,
+            self.sim_false_passes,
+            self.sim_refinements,
+            self.sim_ext_wires_skipped,
+        )?;
+        writeln!(
+            f,
+            "  sim pool               {:>8}  patterns x {} words",
+            self.sim_patterns, self.sim_words,
+        )?;
         write!(
             f,
-            "  time (ms)              enumerate {:.2}, filter {:.2}, divide {:.2}, apply {:.2}",
+            "  time (ms)              enumerate {:.2}, filter {:.2}, divide {:.2}, apply {:.2}, sim {:.2}",
             ms(self.enumerate_nanos),
             ms(self.filter_nanos),
             ms(self.divide_nanos),
             ms(self.apply_nanos),
+            ms(self.sim_nanos),
         )
     }
 }
@@ -318,6 +361,7 @@ pub(crate) fn try_pair(
         opts,
         stats,
         &GdcScope::Rebuild,
+        None,
     )
 }
 
@@ -325,6 +369,14 @@ pub(crate) fn try_pair(
 /// `divisor` over the precomputed joint `space` and applies the first
 /// strategy with positive gain. Callers guarantee the pair already passed
 /// the structural, cycle, size, and support-overlap filters.
+///
+/// When `sim` is given, the dividend is screened against the divisor's
+/// simulation signature first and refuted strategies skip their proof
+/// work. The screen is refute-only (a witness pattern is a concrete
+/// counterexample), so every skipped strategy would have returned no gain
+/// anyway: the accepted rewrites — and the pinned acceptance stats — are
+/// identical with and without a filter.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn try_pair_core(
     net: &mut Network,
     target: NodeId,
@@ -333,13 +385,36 @@ pub(crate) fn try_pair_core(
     opts: &SubstOptions,
     stats: &mut SubstStats,
     gdc: &GdcScope<'_>,
+    sim: Option<&SimFilter>,
 ) -> Option<i64> {
     let f = space.cover_of(net, target);
     let d = space.cover_of(net, divisor);
     stats.divisions_tried += 1;
 
+    // Refute-only screen of the SOP dividend: per cube, a witness pattern
+    // with cube = 1 ∧ d = 0 disproves containment in any divisor cube
+    // (kills the kept split of basic/GDC division and the cube's vote-table
+    // row); cube = 1 ∧ d = 1 disproves containment in the complement.
+    let screen = sim.map(|s| {
+        let t0 = Instant::now();
+        let sc = s.screen_cover(net, &f, &space.vars, divisor);
+        stats.sim_nanos += crate::engine::nanos(t0);
+        stats.sim_pairs_screened += 1;
+        sc
+    });
+    let skip_sop = screen
+        .as_ref()
+        .is_some_and(CoverScreen::refutes_containment_in_divisor);
+    let skip_compl = screen
+        .as_ref()
+        .is_some_and(CoverScreen::refutes_containment_in_complement);
+    let mut ran_proof = false;
+
     // --- SOP basic division (local or GDC scope) ---
-    let division = if opts.mode == SubstMode::ExtendedGdc {
+    let division = if skip_sop {
+        None
+    } else if opts.mode == SubstMode::ExtendedGdc {
+        ran_proof = true;
         divide_in_network(
             net,
             target,
@@ -352,6 +427,7 @@ pub(crate) fn try_pair_core(
             stats,
         )
     } else {
+        ran_proof = true;
         let r = basic_divide_covers(&f, &d, &opts.division);
         r.succeeded().then_some((r.quotient, r.remainder))
     };
@@ -368,10 +444,14 @@ pub(crate) fn try_pair_core(
     }
 
     // --- SOP division by the divisor's complement (the `-d` flavour) ---
-    {
-        let d_compl = d.complement();
+    // The complement is shared with the POS attempt below; divisors are
+    // capped at `max_divisor_cubes`, so it is the cheap one of the pair.
+    let mut d_compl_cache: Option<Cover> = None;
+    if !skip_compl {
+        let d_compl = &*d_compl_cache.insert(d.complement());
         if !d_compl.is_empty() && d_compl.len() <= opts.max_divisor_cubes {
-            let r = basic_divide_covers(&f, &d_compl, &opts.division);
+            ran_proof = true;
+            let r = basic_divide_covers(&f, d_compl, &opts.division);
             if r.succeeded() {
                 let (fanins, cover) =
                     assemble(space, divisor, &r.quotient, &r.remainder, Phase::Neg);
@@ -388,8 +468,19 @@ pub(crate) fn try_pair_core(
     }
 
     // --- Extended division: decompose the divisor ---
-    if opts.mode != SubstMode::Basic {
-        if let Some(ext) = extended_divide_covers(&f, &d, &opts.division) {
+    // A fully refuted dividend (skip_sop) cannot have any sos-valid
+    // vote-table row, so extended division is skipped outright; otherwise
+    // refuted cubes are masked out of the fault-check work.
+    if opts.mode != SubstMode::Basic && !skip_sop {
+        ran_proof = true;
+        let ext = match &screen {
+            Some(sc) => {
+                stats.sim_ext_wires_skipped += sc.wit_div0.iter().filter(|&&w| w).count();
+                crate::extended::extended_divide_covers_masked(&f, &d, &opts.division, &sc.wit_div0)
+            }
+            None => extended_divide_covers(&f, &d, &opts.division),
+        };
+        if let Some(ext) = ext {
             // Core == whole divisor means basic already covered it.
             if ext.core_cube_indices.len() < d.len() && ext.division.succeeded() {
                 if let Some(plan) = plan_extended(net, target, divisor, space, &ext) {
@@ -407,9 +498,23 @@ pub(crate) fn try_pair_core(
     // --- POS-form attempt ---
     if opts.try_pos {
         let fc = f.complement();
-        let dc = d.complement();
+        let dc = d_compl_cache.unwrap_or_else(|| d.complement());
         if !dc.is_empty() && dc.len() <= opts.max_divisor_cubes && fc.len() <= 4 * f.len().max(4) {
-            let r = pos_divide_covers(&f, &d, &opts.division);
+            // POS divides f' by d'. A kept cube of f' must lie inside a
+            // cube of d', so a witness with f'-cube = 1 ∧ d = 1 refutes it
+            // (a d'-cube at 1 forces d = 0): screening f' against d with
+            // the div1 witnesses screens the POS kept split exactly.
+            let pos_refuted = sim.is_some_and(|s| {
+                let t0 = Instant::now();
+                let sc = s.screen_cover(net, &fc, &space.vars, divisor);
+                stats.sim_nanos += crate::engine::nanos(t0);
+                sc.refutes_containment_in_complement()
+            });
+            if pos_refuted {
+                return finish_unhelped(stats, sim.is_some(), ran_proof);
+            }
+            ran_proof = true;
+            let r = pos_divide_precomplemented(&fc, &dc, &opts.division);
             if r.succeeded() {
                 // f = (d + q)·r ⇔ f' = d'·q̃ + r̃; rebuild f as the
                 // complement of the divided complement, with x_d'.
@@ -446,6 +551,21 @@ pub(crate) fn try_pair_core(
                     }
                 }
             }
+        }
+    }
+    finish_unhelped(stats, sim.is_some(), ran_proof)
+}
+
+/// Books a pair that produced no gain: with a filter present it either
+/// counts as a pure signature refutation (no proof stage ran) or as a
+/// false pass (at least one proof ran and rejected — refinement fuel for
+/// the engine).
+fn finish_unhelped(stats: &mut SubstStats, screened: bool, ran_proof: bool) -> Option<i64> {
+    if screened {
+        if ran_proof {
+            stats.sim_false_passes += 1;
+        } else {
+            stats.sim_pairs_refuted += 1;
         }
     }
     None

@@ -35,8 +35,8 @@ mod transform;
 
 pub use blif::{parse_blif, write_blif, ParseBlifError};
 pub use dot::to_dot;
-pub use net::{Network, NetworkError, Node, NodeFunc, NodeId};
-pub use side::SideTables;
+pub use net::{EvalScratch, Network, NetworkError, Node, NodeFunc, NodeId};
+pub use side::{SideTables, VersionStamp};
 pub use transform::COLLAPSE_CUBE_LIMIT;
 
 /// Compares two networks on `rounds` random input vectors (plus the
@@ -75,7 +75,9 @@ pub fn random_sim_equivalent(a: &Network, b: &Network, rounds: usize, seed: u64)
         }
         vectors.push(v);
     }
+    let mut sa = EvalScratch::default();
+    let mut sb = EvalScratch::default();
     vectors
         .iter()
-        .all(|v| a.eval_outputs(v) == b.eval_outputs(v))
+        .all(|v| a.eval_outputs_into(v, &mut sa) == b.eval_outputs_into(v, &mut sb))
 }

@@ -118,6 +118,33 @@ impl fmt::Display for NetworkError {
 
 impl std::error::Error for NetworkError {}
 
+/// Reusable buffers for [`Network::eval_into`] / [`Network::eval_outputs_into`].
+///
+/// Holds the dense value table, the per-node fanin assignment buffer, and a
+/// topological order cached against [`Network::version`], so repeated
+/// evaluation of the same network allocates nothing after the first call.
+///
+/// A scratch is bound to the network it was last used with: the cached
+/// order is keyed only on the version counter, so reusing one scratch
+/// across *different* networks can silently evaluate in a stale order.
+/// Use one scratch per network.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    values: Vec<bool>,
+    assignment: Vec<bool>,
+    order: Vec<NodeId>,
+    order_version: Option<u64>,
+}
+
+impl EvalScratch {
+    /// The value table written by the last [`Network::eval_into`] call,
+    /// indexed by [`NodeId::index`]. Empty before the first evaluation.
+    #[must_use]
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
 /// A combinational multilevel Boolean network.
 #[derive(Debug, Clone, Default)]
 pub struct Network {
@@ -508,24 +535,48 @@ impl Network {
     /// Evaluates all nodes under a primary-input assignment, returning a
     /// dense value table indexed by [`NodeId::index`].
     ///
+    /// Allocates fresh buffers (and recomputes the topological order) on
+    /// every call; loops that evaluate many vectors should hold an
+    /// [`EvalScratch`] and call [`Network::eval_into`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != self.inputs().len()`.
     #[must_use]
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut scratch = EvalScratch::default();
+        self.eval_into(inputs, &mut scratch).to_vec()
+    }
+
+    /// Buffered variant of [`Network::eval`]: writes the dense value table
+    /// into `scratch` (reusing its allocations and, while the network is
+    /// unedited, its cached topological order) and returns it as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.inputs().len()`.
+    pub fn eval_into<'s>(&self, inputs: &[bool], scratch: &'s mut EvalScratch) -> &'s [bool] {
         assert_eq!(inputs.len(), self.inputs.len(), "wrong input count");
-        let mut values = vec![false; self.nodes.len()];
-        for (&id, &v) in self.inputs.iter().zip(inputs) {
-            values[id.0] = v;
+        if scratch.order_version != Some(self.version) {
+            scratch.order = self.topo_order();
+            scratch.order_version = Some(self.version);
         }
-        for id in self.topo_order() {
+        scratch.values.clear();
+        scratch.values.resize(self.nodes.len(), false);
+        for (&id, &v) in self.inputs.iter().zip(inputs) {
+            scratch.values[id.0] = v;
+        }
+        for &id in &scratch.order {
             let node = self.node(id);
             if let Some(cover) = node.cover() {
-                let assignment: Vec<bool> = node.fanins().iter().map(|f| values[f.0]).collect();
-                values[id.0] = cover.eval(&assignment);
+                scratch.assignment.clear();
+                scratch
+                    .assignment
+                    .extend(node.fanins().iter().map(|f| scratch.values[f.0]));
+                scratch.values[id.0] = cover.eval(&scratch.assignment);
             }
         }
-        values
+        &scratch.values
     }
 
     /// Evaluates only the primary outputs under an input assignment.
@@ -535,8 +586,22 @@ impl Network {
     /// Panics if `inputs.len() != self.inputs().len()`.
     #[must_use]
     pub fn eval_outputs(&self, inputs: &[bool]) -> Vec<bool> {
-        let values = self.eval(inputs);
-        self.outputs.iter().map(|(_, id)| values[id.0]).collect()
+        let mut scratch = EvalScratch::default();
+        self.eval_outputs_into(inputs, &mut scratch)
+    }
+
+    /// Buffered variant of [`Network::eval_outputs`]; see
+    /// [`Network::eval_into`] for the scratch contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.inputs().len()`.
+    pub fn eval_outputs_into(&self, inputs: &[bool], scratch: &mut EvalScratch) -> Vec<bool> {
+        self.eval_into(inputs, scratch);
+        self.outputs
+            .iter()
+            .map(|(_, id)| scratch.values[id.0])
+            .collect()
     }
 
     /// Structural sanity check used by tests: every fanin exists, covers

@@ -21,14 +21,61 @@
 use crate::net::{Network, NodeId};
 use std::collections::{HashMap, HashSet};
 
+/// The version-checked synchronisation stamp shared by every incremental
+/// side structure ([`SideTables`], the simulation signature table in
+/// `boolsubst-sim`, ...).
+///
+/// A stamp records the [`Network::version`] its owner was last
+/// synchronised with. Queries call [`VersionStamp::check`] so that a
+/// forgotten patch is a panic instead of a silently wrong answer; patch
+/// routines call [`VersionStamp::mark`] once the owner is up to date.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionStamp {
+    synced: u64,
+}
+
+impl VersionStamp {
+    /// A stamp synchronised with the network's current state.
+    #[must_use]
+    pub fn new(net: &Network) -> VersionStamp {
+        VersionStamp {
+            synced: net.version(),
+        }
+    }
+
+    /// True if no edit has happened since the last [`VersionStamp::mark`].
+    #[must_use]
+    pub fn is_synced(&self, net: &Network) -> bool {
+        self.synced == net.version()
+    }
+
+    /// Asserts freshness; `what` names the owning structure in the panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network was edited since the last synchronisation.
+    pub fn check(&self, net: &Network, what: &str) {
+        assert_eq!(
+            self.synced,
+            net.version(),
+            "{what} out of sync: network was edited without patching"
+        );
+    }
+
+    /// Records that the owner is synchronised with the current version.
+    pub fn mark(&mut self, net: &Network) {
+        self.synced = net.version();
+    }
+}
+
 /// Session-lifetime caches of fanouts, levels, and transitive fanouts.
 ///
 /// See the module docs for the maintenance contract. All dense tables are
 /// indexed by [`NodeId::index`].
 #[derive(Debug, Clone)]
 pub struct SideTables {
-    /// `Network::version` these tables were last synchronised with.
-    synced: u64,
+    /// Stamp recording the `Network::version` these tables reflect.
+    stamp: VersionStamp,
     fanouts: Vec<Vec<NodeId>>,
     levels: Vec<u32>,
     tfo: HashMap<NodeId, HashSet<NodeId>>,
@@ -45,7 +92,7 @@ impl SideTables {
         let fanouts = net.fanouts();
         let levels = compute_levels(net, &fanouts);
         SideTables {
-            synced: net.version(),
+            stamp: VersionStamp::new(net),
             fanouts,
             levels,
             tfo: HashMap::new(),
@@ -55,17 +102,13 @@ impl SideTables {
     }
 
     fn assert_synced(&self, net: &Network) {
-        assert_eq!(
-            self.synced,
-            net.version(),
-            "SideTables out of sync: network was edited without apply_replace/sync_new_nodes"
-        );
+        self.stamp.check(net, "SideTables");
     }
 
     /// True if no edit has happened since the last synchronisation.
     #[must_use]
     pub fn is_synced(&self, net: &Network) -> bool {
-        self.synced == net.version()
+        self.stamp.is_synced(net)
     }
 
     /// Fanout list of `id` (nodes that list `id` as a fanin).
@@ -143,7 +186,7 @@ impl SideTables {
     pub fn sync_new_nodes(&mut self, net: &Network) {
         let old_bound = self.fanouts.len();
         if net.id_bound() == old_bound {
-            self.synced = net.version();
+            self.stamp.mark(net);
             return;
         }
         self.fanouts.resize(net.id_bound(), Vec::new());
@@ -169,7 +212,7 @@ impl SideTables {
         // A cached TFO that reaches a new node's fanin now also reaches the
         // new node: drop it.
         self.invalidate_touching(&touched);
-        self.synced = net.version();
+        self.stamp.mark(net);
     }
 
     /// Patches the tables after `net.replace_function(id, ...)` succeeded.
@@ -215,7 +258,7 @@ impl SideTables {
             .collect();
         touched.insert(id);
         self.invalidate_touching(&touched);
-        self.synced = net.version();
+        self.stamp.mark(net);
     }
 
     /// Patches the tables after `net.remove_node(id)` succeeded. The node
@@ -228,7 +271,7 @@ impl SideTables {
             self.fanouts[f.index()].retain(|&o| o != id);
         }
         self.tfo.remove(&id);
-        self.synced = net.version();
+        self.stamp.mark(net);
     }
 
     fn invalidate_touching(&mut self, touched: &HashSet<NodeId>) {

@@ -332,9 +332,11 @@ mod tests {
         let n = x.inputs().len();
         assert_eq!(n, y.inputs().len());
         assert!(n <= 16);
+        let mut sx = crate::net::EvalScratch::default();
+        let mut sy = crate::net::EvalScratch::default();
         for m in 0u32..(1 << n) {
             let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
-            if x.eval_outputs(&inputs) != y.eval_outputs(&inputs) {
+            if x.eval_outputs_into(&inputs, &mut sx) != y.eval_outputs_into(&inputs, &mut sy) {
                 return false;
             }
         }

@@ -1,0 +1,392 @@
+//! The engine-facing filter: screening and counterexample refinement.
+
+use crate::pool::{xorshift, PatternPool};
+use crate::table::SimTable;
+use crate::SimConfig;
+use boolsubst_cube::{Cover, Phase};
+use boolsubst_network::{EvalScratch, Network, NodeId, SideTables};
+use std::collections::HashMap;
+
+/// Per-cube witness flags for one `(cover, divisor)` screen.
+///
+/// For cube `c` of the screened cover, `wit_div0[i]` records that some
+/// pool pattern sets `c = 1` while the divisor evaluates to 0 — a
+/// counterexample to "`c` is contained in a cube of the divisor", since a
+/// containing cube would force the divisor on wherever `c` holds.
+/// `wit_div1[i]` is the symmetric witness against containment in a cube
+/// of the divisor's *complement*.
+#[derive(Debug, Clone)]
+pub struct CoverScreen {
+    /// Witness `cube = 1 ∧ divisor = 0` found, per cube.
+    pub wit_div0: Vec<bool>,
+    /// Witness `cube = 1 ∧ divisor = 1` found, per cube.
+    pub wit_div1: Vec<bool>,
+}
+
+impl CoverScreen {
+    /// Every cube carries a `divisor = 0` witness: the whole cover is
+    /// provably not contained cube-wise in the divisor, so the kept split
+    /// of a basic (or extended) division against this divisor is empty.
+    #[must_use]
+    pub fn refutes_containment_in_divisor(&self) -> bool {
+        self.wit_div0.iter().all(|&w| w)
+    }
+
+    /// Every cube carries a `divisor = 1` witness: symmetric refutation
+    /// against the divisor's complement.
+    #[must_use]
+    pub fn refutes_containment_in_complement(&self) -> bool {
+        self.wit_div1.iter().all(|&w| w)
+    }
+}
+
+/// The engine's simulation filter: pattern pool, signature table, and the
+/// counterexample-refinement machinery, behind one façade.
+#[derive(Debug, Clone)]
+pub struct SimFilter {
+    config: SimConfig,
+    pool: PatternPool,
+    table: SimTable,
+    scratch: EvalScratch,
+    rng: u64,
+    refinements: usize,
+    /// Refinement *attempts*, successful or not. Bounded separately from
+    /// `refinements` so that pairs whose witness genuinely does not exist
+    /// (e.g. true containments that merely yielded no gain) cannot burn
+    /// justification and simulation work on every false pass.
+    attempts: usize,
+    /// Lowest signature word invalidated by pool growth since the last
+    /// [`SimFilter::flush`].
+    pending_from: Option<usize>,
+}
+
+impl SimFilter {
+    /// Builds the pool and simulates the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.exhaustive` is set and the network has more than
+    /// 16 primary inputs.
+    #[must_use]
+    pub fn new(net: &Network, config: &SimConfig) -> SimFilter {
+        let n = net.inputs().len();
+        let pool = if config.exhaustive {
+            PatternPool::exhaustive(n)
+        } else {
+            let reserve = config.reserve_words.min(config.words.saturating_sub(1));
+            let base = config.words.max(1) - reserve;
+            PatternPool::random(n, base, reserve, config.seed)
+        };
+        let table = SimTable::build(net, &pool);
+        SimFilter {
+            config: *config,
+            pool,
+            table,
+            scratch: EvalScratch::default(),
+            rng: config.seed ^ 0x9E37_79B9_7F4A_7C15,
+            refinements: 0,
+            attempts: 0,
+            pending_from: None,
+        }
+    }
+
+    /// Number of patterns currently in the pool.
+    #[must_use]
+    pub fn patterns(&self) -> usize {
+        self.pool.patterns()
+    }
+
+    /// Signature width in words.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.pool.words()
+    }
+
+    /// Number of counterexample patterns harvested so far.
+    #[must_use]
+    pub fn refinements(&self) -> usize {
+        self.refinements
+    }
+
+    /// Direct access to a node's signature (primarily for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is stale.
+    #[must_use]
+    pub fn node_sig(&self, net: &Network, id: NodeId) -> &[u64] {
+        self.table.sig(net, id)
+    }
+
+    /// Re-simulates the tail words invalidated by harvested patterns.
+    /// Must be called before screening once patterns were added; a no-op
+    /// otherwise.
+    pub fn flush(&mut self, net: &Network) {
+        if let Some(from) = self.pending_from.take() {
+            self.table.resim_tail(net, &self.pool, from);
+        }
+    }
+
+    /// Patches the signature table after an engine edit; `side` must
+    /// already be synchronised. `seeds` are the rewired node ids.
+    pub fn patch(&mut self, net: &Network, side: &SideTables, seeds: &[NodeId]) {
+        self.table.patch(net, side, &self.pool, seeds);
+    }
+
+    /// Screens `cover` (over variables `vars`, e.g. a joint-space dividend
+    /// or a node's local cover over its fanins) against `divisor`'s
+    /// signature. Refute-only: a set flag is a proof, a clear flag means
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is stale or patterns are pending a
+    /// [`SimFilter::flush`].
+    #[must_use]
+    pub fn screen_cover(
+        &self,
+        net: &Network,
+        cover: &Cover,
+        vars: &[NodeId],
+        divisor: NodeId,
+    ) -> CoverScreen {
+        assert!(self.pending_from.is_none(), "flush() patterns first");
+        let words = self.pool.words();
+        let d = self.table.sig(net, divisor);
+        let mut wit_div0 = vec![false; cover.len()];
+        let mut wit_div1 = vec![false; cover.len()];
+        for (ci, cube) in cover.cubes().iter().enumerate() {
+            let mut w0 = false;
+            let mut w1 = false;
+            'words: for (w, &dw) in d.iter().enumerate().take(words) {
+                // Start from the validity mask so complemented literals
+                // cannot leak set bits beyond the pool.
+                let mut acc = self.pool.mask(w);
+                if acc == 0 {
+                    continue;
+                }
+                for lit in cube.lits() {
+                    let s = self.table.sig(net, vars[lit.var])[w];
+                    acc &= match lit.phase {
+                        Phase::Pos => s,
+                        Phase::Neg => !s,
+                    };
+                    if acc == 0 {
+                        continue 'words;
+                    }
+                }
+                w0 |= acc & !dw != 0;
+                w1 |= acc & dw != 0;
+                if w0 && w1 {
+                    break;
+                }
+            }
+            wit_div0[ci] = w0;
+            wit_div1[ci] = w1;
+        }
+        CoverScreen { wit_div0, wit_div1 }
+    }
+
+    /// Counterexample-guided refinement after a *false pass*: the screen
+    /// let the pair `(target, divisor)` through, but the full check
+    /// rejected it. Tries to harvest one input pattern that sets an
+    /// unwitnessed cube of `target` to 1 with `divisor` at 0, so the next
+    /// screen of a similar pair refutes without proof work.
+    ///
+    /// Justification is greedy and bounded; every candidate pattern is
+    /// verified by simulation before entering the pool, so a wrong guess
+    /// costs a miss, never soundness. Returns true if the pool grew.
+    pub fn refine_from_false_pass(
+        &mut self,
+        net: &Network,
+        target: NodeId,
+        divisor: NodeId,
+    ) -> bool {
+        if self.refinements >= self.config.max_refinements
+            || self.attempts >= self.config.max_refinements
+            || self.pool.patterns() >= self.pool.capacity()
+        {
+            return false;
+        }
+        self.attempts += 1;
+        self.flush(net);
+        let node = net.node(target);
+        let Some(cover) = node.cover() else {
+            return false;
+        };
+        let fanins = node.fanins().to_vec();
+        let screen = self.screen_cover(net, cover, &fanins, divisor);
+        let Some(ci) = screen.wit_div0.iter().position(|&w| !w) else {
+            return false;
+        };
+        let cube = cover.cubes()[ci].clone();
+
+        // Justify "cube = 1" backwards to the primary inputs.
+        let mut desired: HashMap<NodeId, bool> = HashMap::new();
+        let mut budget = 256usize;
+        for lit in cube.lits() {
+            let want = matches!(lit.phase, Phase::Pos);
+            if !justify(net, fanins[lit.var], want, &mut desired, &mut budget) {
+                return false;
+            }
+        }
+
+        // Fill the unconstrained inputs randomly and verify by simulation:
+        // accept only a pattern that really exhibits cube = 1 ∧ d = 0.
+        let n = net.inputs().len();
+        for _ in 0..2 {
+            let inputs: Vec<bool> = net
+                .inputs()
+                .iter()
+                .map(|pi| {
+                    desired
+                        .get(pi)
+                        .copied()
+                        .unwrap_or_else(|| xorshift(&mut self.rng) & 1 == 1)
+                })
+                .collect();
+            debug_assert_eq!(inputs.len(), n);
+            let values = net.eval_into(&inputs, &mut self.scratch);
+            let cube_on = cube
+                .lits()
+                .all(|l| values[fanins[l.var].index()] == matches!(l.phase, Phase::Pos));
+            if cube_on && !values[divisor.index()] {
+                if let Some(w) = self.pool.add_pattern(&inputs) {
+                    self.pending_from = Some(self.pending_from.map_or(w, |p| p.min(w)));
+                    self.refinements += 1;
+                    return true;
+                }
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Greedy bounded backward justification of `node = value`. Records the
+/// chosen assignments in `desired`; conflicts or an exhausted budget fail
+/// the whole attempt (the caller's simulation check is the safety net).
+fn justify(
+    net: &Network,
+    node: NodeId,
+    value: bool,
+    desired: &mut HashMap<NodeId, bool>,
+    budget: &mut usize,
+) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    if let Some(&v) = desired.get(&node) {
+        return v == value;
+    }
+    desired.insert(node, value);
+    let n = net.node(node);
+    let Some(cover) = n.cover() else {
+        return true; // primary input: freely assignable
+    };
+    let fanins = n.fanins();
+    if value {
+        // Satisfy the first cube (greedy: no backtracking across cubes).
+        let Some(cube) = cover.cubes().first() else {
+            return false; // constant-0 node cannot be driven to 1
+        };
+        cube.lits().all(|l| {
+            justify(
+                net,
+                fanins[l.var],
+                matches!(l.phase, Phase::Pos),
+                desired,
+                budget,
+            )
+        })
+    } else {
+        // Falsify every cube: find or create one opposing literal each.
+        'cubes: for cube in cover.cubes() {
+            for l in cube.lits() {
+                let want = matches!(l.phase, Phase::Pos);
+                if desired.get(&fanins[l.var]) == Some(&!want) {
+                    continue 'cubes;
+                }
+            }
+            for l in cube.lits() {
+                let want = matches!(l.phase, Phase::Pos);
+                if !desired.contains_key(&fanins[l.var])
+                    && justify(net, fanins[l.var], !want, desired, budget)
+                {
+                    continue 'cubes;
+                }
+            }
+            return false; // cube forced on by prior choices
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+
+    /// f is a single wide cube over eight inputs and g = a', so `f = 1`
+    /// forces `g = 0`: the div0 witness exists only where all eight
+    /// inputs are 1 — rare enough (1 in 256) that a small random pool
+    /// plausibly misses it.
+    fn craft() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new("craft");
+        let pis: Vec<NodeId> = ('a'..='h')
+            .map(|c| net.add_input(c.to_string()).expect("pi"))
+            .collect();
+        let f = net
+            .add_node("t", pis.clone(), parse_sop(8, "abcdefgh").expect("p"))
+            .expect("t");
+        let g = net
+            .add_node("dvr", vec![pis[0]], parse_sop(1, "a'").expect("p"))
+            .expect("dvr");
+        net.add_output("t", f).expect("of");
+        net.add_output("dvr", g).expect("og");
+        (net, f, g)
+    }
+
+    #[test]
+    fn exhaustive_screen_is_exact_on_craft() {
+        let (net, f, g) = craft();
+        let filter = SimFilter::new(&net, &SimConfig::exhaustive());
+        let cover = net.node(f).cover().expect("cover").clone();
+        let fanins = net.node(f).fanins().to_vec();
+        let screen = filter.screen_cover(&net, &cover, &fanins, g);
+        // abc = 1 forces g = a' = 0: the div0 witness exists, div1 cannot.
+        assert!(screen.refutes_containment_in_divisor());
+        assert!(!screen.refutes_containment_in_complement());
+    }
+
+    #[test]
+    fn refinement_grows_pool_when_witness_missing() {
+        let (net, f, g) = craft();
+        // One seeded word, one reserve word. Seed chosen so the 64 random
+        // patterns miss a = b = c = 1 (verified by the assert below).
+        let config = SimConfig {
+            words: 2,
+            reserve_words: 1,
+            seed: 0x00C0_FFEE,
+            ..SimConfig::default()
+        };
+        let mut filter = SimFilter::new(&net, &config);
+        let cover = net.node(f).cover().expect("cover").clone();
+        let fanins = net.node(f).fanins().to_vec();
+        let before = filter.screen_cover(&net, &cover, &fanins, g);
+        assert!(
+            !before.refutes_containment_in_divisor(),
+            "seed must miss the witness for this regression test"
+        );
+        let patterns_before = filter.patterns();
+        assert!(filter.refine_from_false_pass(&net, f, g));
+        assert_eq!(filter.patterns(), patterns_before + 1);
+        filter.flush(&net);
+        let after = filter.screen_cover(&net, &cover, &fanins, g);
+        assert!(
+            after.refutes_containment_in_divisor(),
+            "harvested pattern must sharpen the screen"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+#![warn(missing_docs)]
+//! # boolsubst-sim — word-parallel simulation signatures
+//!
+//! Bit-parallel simulation of a [`boolsubst_network::Network`] over a
+//! seeded, deterministic pattern pool: every node carries a *signature* of
+//! `64 × words` sampled output bits, computed 64 patterns at a time with
+//! plain `u64` logic ops. The substitution engine uses the signatures as a
+//! **refute-only** pre-filter for division candidates:
+//!
+//! - a universally quantified claim ("cube `c` of the dividend is
+//!   contained in some cube of the divisor `d`") is *refuted* by a single
+//!   witness pattern with `c = 1 ∧ d = 0`;
+//! - no sampled witness proves nothing, so every pair that survives the
+//!   screen still runs the full implication/ATPG proof.
+//!
+//! Because a refutation is an exact evaluation of both functions on a
+//! concrete assignment, the screen is sound for *any* pattern pool: the
+//! pool's quality only affects how many incompatible pairs are caught
+//! early, never correctness. That also makes counterexample-guided
+//! refinement safe — when the screen passes a pair the full check then
+//! rejects (a *false pass*), [`SimFilter::refine_from_false_pass`]
+//! harvests a distinguishing assignment into the pool, sharpening the
+//! filter as the sweep runs.
+//!
+//! The signature table is maintained incrementally across engine edits
+//! with the same version-checked patch protocol as
+//! [`boolsubst_network::SideTables`] (see [`SimTable::patch`]): stale
+//! queries panic instead of returning wrong bits.
+
+mod filter;
+mod pool;
+mod table;
+
+pub use filter::{CoverScreen, SimFilter};
+pub use pool::PatternPool;
+pub use table::SimTable;
+
+/// Configuration for the simulation filter.
+///
+/// `Copy` so it can ride inside the engine's `SubstOptions`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Master switch; when false the engine builds no filter at all.
+    pub enabled: bool,
+    /// Total signature width in 64-bit words (including reserve).
+    pub words: usize,
+    /// Tail words kept empty at start as capacity for harvested
+    /// counterexample patterns. Clamped to `words - 1`.
+    pub reserve_words: usize,
+    /// Seed for the deterministic pattern pool and refinement fills.
+    pub seed: u64,
+    /// Ignore `words`/`reserve_words` and enumerate all `2^n` input
+    /// minterms (networks with at most 16 inputs). Intended for tests:
+    /// an exhaustive pool makes the refute-only screen *exact*.
+    pub exhaustive: bool,
+    /// Upper bound on harvested counterexample patterns per run.
+    pub max_refinements: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            enabled: true,
+            words: 4,
+            reserve_words: 1,
+            seed: 0x5EED_B001_0001,
+            exhaustive: false,
+            max_refinements: 64,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A disabled configuration (engine runs unfiltered).
+    #[must_use]
+    pub fn disabled() -> SimConfig {
+        SimConfig {
+            enabled: false,
+            ..SimConfig::default()
+        }
+    }
+
+    /// An exhaustive configuration: all `2^n` minterms, no reserve.
+    #[must_use]
+    pub fn exhaustive() -> SimConfig {
+        SimConfig {
+            exhaustive: true,
+            ..SimConfig::default()
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Seeded deterministic pattern pool: per-input signature words.
+
+/// A pool of input patterns stored column-wise: one signature (a `Vec` of
+/// `u64` words, 64 patterns per word) per primary input, in
+/// `Network::inputs()` order. Bit `b` of word `w` across all inputs spells
+/// out pattern number `w * 64 + b`.
+///
+/// The pool starts with `64 × (words - reserve)` seeded patterns and grows
+/// one pattern at a time via [`PatternPool::add_pattern`] (counterexample
+/// refinement) until all `64 × words` slots are used. Bits beyond
+/// [`PatternPool::patterns`] are kept zero in every signature; the
+/// per-word validity mask is [`PatternPool::mask`].
+#[derive(Debug, Clone)]
+pub struct PatternPool {
+    words: usize,
+    filled: usize,
+    sigs: Vec<Vec<u64>>,
+}
+
+/// xorshift64* step — the same dependency-free PRNG used across the repo.
+pub(crate) fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state >> 12;
+    *state ^= *state << 25;
+    *state ^= *state >> 27;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl PatternPool {
+    /// A pool of `64 * base_words` seeded random patterns with
+    /// `reserve_words * 64` extra slots of growth capacity.
+    ///
+    /// Seeded words cycle through three bit densities — 1/2, 3/4, 1/4 —
+    /// so that wide cubes (which a uniform pattern almost never turns on)
+    /// still fire in the biased words and can collect refutation
+    /// witnesses. Word 0 is always the uniform one.
+    #[must_use]
+    pub fn random(num_inputs: usize, base_words: usize, reserve_words: usize, seed: u64) -> Self {
+        let base_words = base_words.max(1);
+        let words = base_words + reserve_words;
+        let mut state = seed | 1;
+        let sigs = (0..num_inputs)
+            .map(|_| {
+                (0..words)
+                    .map(|w| {
+                        if w >= base_words {
+                            return 0;
+                        }
+                        let a = xorshift(&mut state);
+                        match w % 3 {
+                            1 => a | xorshift(&mut state),
+                            2 => a & xorshift(&mut state),
+                            _ => a,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        PatternPool {
+            words,
+            filled: base_words * 64,
+            sigs,
+        }
+    }
+
+    /// A pool enumerating all `2^num_inputs` minterms: pattern `m` assigns
+    /// input `k` the value `(m >> k) & 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 16` (the pool would not fit in memory).
+    #[must_use]
+    pub fn exhaustive(num_inputs: usize) -> Self {
+        assert!(num_inputs <= 16, "exhaustive pool needs <= 16 inputs");
+        let patterns = 1usize << num_inputs;
+        let words = patterns.div_ceil(64);
+        let sigs = (0..num_inputs)
+            .map(|k| {
+                (0..words)
+                    .map(|w| {
+                        let mut word = 0u64;
+                        for b in 0..64 {
+                            let m = w * 64 + b;
+                            if m < patterns && (m >> k) & 1 == 1 {
+                                word |= 1 << b;
+                            }
+                        }
+                        word
+                    })
+                    .collect()
+            })
+            .collect();
+        PatternPool {
+            words,
+            filled: patterns,
+            sigs,
+        }
+    }
+
+    /// Signature width in words.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of patterns currently in the pool.
+    #[must_use]
+    pub fn patterns(&self) -> usize {
+        self.filled
+    }
+
+    /// Maximum number of patterns the pool can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.words * 64
+    }
+
+    /// Validity mask for word `w`: bit `b` is set iff pattern `w*64 + b`
+    /// exists. Signatures must stay zero outside this mask so that
+    /// complemented signatures can be re-masked with a single AND.
+    #[must_use]
+    pub fn mask(&self, w: usize) -> u64 {
+        let lo = w * 64;
+        if self.filled >= lo + 64 {
+            !0
+        } else if self.filled <= lo {
+            0
+        } else {
+            (1u64 << (self.filled - lo)) - 1
+        }
+    }
+
+    /// Signature words of the `k`-th primary input.
+    #[must_use]
+    pub fn input_sig(&self, k: usize) -> &[u64] {
+        &self.sigs[k]
+    }
+
+    /// Appends one pattern (`assignment[k]` is the value of input `k`).
+    /// Returns the word index the pattern landed in, or `None` when the
+    /// pool is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the pool's input count.
+    pub fn add_pattern(&mut self, assignment: &[bool]) -> Option<usize> {
+        assert_eq!(assignment.len(), self.sigs.len(), "wrong input count");
+        if self.filled >= self.capacity() {
+            return None;
+        }
+        let w = self.filled / 64;
+        let b = self.filled % 64;
+        for (sig, &v) in self.sigs.iter_mut().zip(assignment) {
+            if v {
+                sig[w] |= 1 << b;
+            }
+        }
+        self.filled += 1;
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_pool_spells_minterms() {
+        let pool = PatternPool::exhaustive(3);
+        assert_eq!(pool.patterns(), 8);
+        assert_eq!(pool.words(), 1);
+        assert_eq!(pool.mask(0), 0xFF);
+        // Pattern m assigns input k the bit (m >> k) & 1.
+        for m in 0..8usize {
+            for k in 0..3 {
+                let want = (m >> k) & 1 == 1;
+                let got = (pool.input_sig(k)[0] >> m) & 1 == 1;
+                assert_eq!(got, want, "minterm {m} input {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_pattern_grows_into_reserve() {
+        let mut pool = PatternPool::random(2, 1, 1, 42);
+        assert_eq!(pool.patterns(), 64);
+        assert_eq!(pool.capacity(), 128);
+        assert_eq!(pool.mask(1), 0);
+        let w = pool.add_pattern(&[true, false]).expect("capacity");
+        assert_eq!(w, 1);
+        assert_eq!(pool.patterns(), 65);
+        assert_eq!(pool.mask(1), 1);
+        assert_eq!(pool.input_sig(0)[1] & 1, 1);
+        assert_eq!(pool.input_sig(1)[1] & 1, 0);
+    }
+
+    #[test]
+    fn pool_is_full_at_capacity() {
+        let mut pool = PatternPool::random(1, 1, 0, 7);
+        assert_eq!(pool.patterns(), pool.capacity());
+        assert!(pool.add_pattern(&[true]).is_none());
+    }
+}

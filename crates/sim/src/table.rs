@@ -1,0 +1,294 @@
+//! Per-node signature table with version-checked incremental re-simulation.
+
+use crate::pool::PatternPool;
+use boolsubst_cube::Phase;
+use boolsubst_network::{Network, NodeId, SideTables, VersionStamp};
+use std::collections::{BTreeSet, HashMap};
+
+/// Dense table of simulation signatures, one `words`-wide row per
+/// [`NodeId::index`].
+///
+/// Maintenance mirrors [`SideTables`]: the table is built once per sweep
+/// session and *patched* after each accepted edit ([`SimTable::patch`]
+/// re-simulates only the invalidated cone, in level order, stopping where
+/// signatures come out unchanged). Every query goes through the shared
+/// [`VersionStamp`], so a stale read is a panic, not a wrong filter
+/// decision.
+#[derive(Debug, Clone)]
+pub struct SimTable {
+    stamp: VersionStamp,
+    words: usize,
+    sigs: Vec<u64>,
+    /// Position of each primary input in `Network::inputs()` order.
+    input_pos: HashMap<NodeId, usize>,
+    /// Cached topological order for whole-table passes, keyed on the
+    /// network version (orders survive pool growth but not edits).
+    order: Vec<NodeId>,
+    order_version: u64,
+}
+
+impl SimTable {
+    /// Simulates the whole network over the pool's patterns.
+    #[must_use]
+    pub fn build(net: &Network, pool: &PatternPool) -> SimTable {
+        let words = pool.words();
+        let mut table = SimTable {
+            stamp: VersionStamp::new(net),
+            words,
+            sigs: vec![0; net.id_bound() * words],
+            input_pos: net
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(k, &id)| (id, k))
+                .collect(),
+            order: net.topo_order(),
+            order_version: net.version(),
+        };
+        for i in 0..table.order.len() {
+            let id = table.order[i];
+            table.recompute(net, pool, id, 0);
+        }
+        table
+    }
+
+    /// Signature width in words.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The signature row of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is stale.
+    #[must_use]
+    pub fn sig(&self, net: &Network, id: NodeId) -> &[u64] {
+        self.stamp.check(net, "SimTable");
+        self.row(id)
+    }
+
+    fn row(&self, id: NodeId) -> &[u64] {
+        &self.sigs[id.index() * self.words..(id.index() + 1) * self.words]
+    }
+
+    /// Recomputes words `from..words` of `id`'s signature from its fanins'
+    /// current rows; returns true if any word changed.
+    fn recompute(&mut self, net: &Network, pool: &PatternPool, id: NodeId, from: usize) -> bool {
+        let node = net.node(id);
+        let base = id.index() * self.words;
+        let mut changed = false;
+        match node.cover() {
+            None => {
+                let k = self.input_pos[&id];
+                let src = pool.input_sig(k);
+                for (w, &s) in src.iter().enumerate().take(self.words).skip(from) {
+                    if self.sigs[base + w] != s {
+                        self.sigs[base + w] = s;
+                        changed = true;
+                    }
+                }
+            }
+            Some(cover) => {
+                let fanins = node.fanins();
+                for w in from..self.words {
+                    let mask = pool.mask(w);
+                    let mut or = 0u64;
+                    for cube in cover.cubes() {
+                        // Starting from the validity mask keeps bits beyond
+                        // the pool zero even through complemented literals.
+                        let mut acc = mask;
+                        for lit in cube.lits() {
+                            let s = self.sigs[fanins[lit.var].index() * self.words + w];
+                            acc &= match lit.phase {
+                                Phase::Pos => s,
+                                Phase::Neg => !s,
+                            };
+                            if acc == 0 {
+                                break;
+                            }
+                        }
+                        or |= acc;
+                    }
+                    if self.sigs[base + w] != or {
+                        self.sigs[base + w] = or;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Re-simulates words `from..words` for every node (used after the
+    /// pattern pool grew into a previously empty or partial word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is stale or the pool width changed.
+    pub fn resim_tail(&mut self, net: &Network, pool: &PatternPool, from: usize) {
+        self.stamp.check(net, "SimTable");
+        assert_eq!(pool.words(), self.words, "pool width changed");
+        if self.order_version != net.version() {
+            self.order = net.topo_order();
+            self.order_version = net.version();
+        }
+        for i in 0..self.order.len() {
+            let id = self.order[i];
+            self.recompute(net, pool, id, from);
+        }
+    }
+
+    /// Patches the table after an engine edit: extends it over freshly
+    /// created nodes and re-simulates the cone downstream of `seeds` (the
+    /// rewired nodes) in level order, pruning wherever a recomputed
+    /// signature is unchanged. `side` must already be synchronised with
+    /// the network.
+    pub fn patch(
+        &mut self,
+        net: &Network,
+        side: &SideTables,
+        pool: &PatternPool,
+        seeds: &[NodeId],
+    ) {
+        let old_bound = self.sigs.len() / self.words;
+        if net.id_bound() > old_bound {
+            self.sigs.resize(net.id_bound() * self.words, 0);
+        }
+        // (level, id) ordering guarantees every fanin is final before a
+        // node is popped: insertions only ever target strictly higher
+        // levels than the node being processed.
+        let mut work: BTreeSet<(u32, NodeId)> = BTreeSet::new();
+        for id in net.node_ids() {
+            if id.index() >= old_bound {
+                work.insert((side.level(net, id), id));
+            }
+        }
+        for &s in seeds {
+            if net.node_opt(s).is_some() {
+                work.insert((side.level(net, s), s));
+            }
+        }
+        let fresh_bound = old_bound;
+        while let Some((_, id)) = work.pop_first() {
+            let changed = self.recompute(net, pool, id, 0);
+            if changed || id.index() >= fresh_bound {
+                for &o in side.fanouts(net, id) {
+                    work.insert((side.level(net, o), o));
+                }
+            }
+        }
+        self.stamp.mark(net);
+    }
+
+    /// True if no edit has happened since the last synchronisation.
+    #[must_use]
+    pub fn is_synced(&self, net: &Network) -> bool {
+        self.stamp.is_synced(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+    use boolsubst_network::EvalScratch;
+
+    fn sample() -> Network {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let g = net
+            .add_node("g", vec![a, b], parse_sop(2, "ab").expect("p"))
+            .expect("g");
+        let h = net
+            .add_node("h", vec![g, c], parse_sop(2, "a + b'").expect("p"))
+            .expect("h");
+        net.add_output("h", h).expect("o");
+        net
+    }
+
+    /// Every signature bit must equal a scalar evaluation of the node on
+    /// the corresponding pool pattern.
+    fn assert_matches_eval(net: &Network, pool: &PatternPool, table: &SimTable) {
+        let n = net.inputs().len();
+        let mut scratch = EvalScratch::default();
+        for m in 0..pool.patterns() {
+            let inputs: Vec<bool> = (0..n)
+                .map(|k| (pool.input_sig(k)[m / 64] >> (m % 64)) & 1 == 1)
+                .collect();
+            let values = net.eval_into(&inputs, &mut scratch).to_vec();
+            for id in net.node_ids() {
+                let bit = (table.sig(net, id)[m / 64] >> (m % 64)) & 1 == 1;
+                assert_eq!(bit, values[id.index()], "node {id} pattern {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_matches_scalar_eval() {
+        let net = sample();
+        for pool in [PatternPool::random(3, 2, 0, 99), PatternPool::exhaustive(3)] {
+            let table = SimTable::build(&net, &pool);
+            assert_matches_eval(&net, &pool, &table);
+        }
+    }
+
+    #[test]
+    fn patch_matches_rebuild() {
+        let mut net = sample();
+        let pool = PatternPool::exhaustive(3);
+        let mut side = SideTables::build(&net);
+        let mut table = SimTable::build(&net, &pool);
+        // Rewire h from (g, c) to (a, c) and add a new node, the way an
+        // accepted substitution would.
+        let a = net.inputs()[0];
+        let c = net.inputs()[2];
+        let h = *net
+            .internal_ids()
+            .collect::<Vec<_>>()
+            .last()
+            .expect("internal");
+        let m = net
+            .add_node("m", vec![a, c], parse_sop(2, "ab'").expect("p"))
+            .expect("m");
+        let old = net.node(h).fanins().to_vec();
+        net.replace_function(h, vec![m, c], parse_sop(2, "a + b").expect("p"))
+            .expect("replace");
+        side.sync_new_nodes(&net);
+        side.apply_replace(&net, h, &old);
+        table.patch(&net, &side, &pool, &[h]);
+        assert_matches_eval(&net, &pool, &table);
+        let rebuilt = SimTable::build(&net, &pool);
+        for id in net.node_ids() {
+            assert_eq!(table.sig(&net, id), rebuilt.sig(&net, id), "node {id}");
+        }
+    }
+
+    #[test]
+    fn stale_query_panics() {
+        let mut net = sample();
+        let pool = PatternPool::exhaustive(3);
+        let table = SimTable::build(&net, &pool);
+        let a = net.inputs()[0];
+        let g = net.internal_ids().next().expect("internal");
+        net.replace_function(g, vec![a], parse_sop(1, "a'").expect("p"))
+            .expect("replace");
+        let result = std::panic::catch_unwind(|| table.sig(&net, a).len());
+        assert!(result.is_err(), "stale sig query must panic");
+    }
+
+    #[test]
+    fn resim_tail_picks_up_new_patterns() {
+        let net = sample();
+        let mut pool = PatternPool::random(3, 1, 1, 5);
+        let mut table = SimTable::build(&net, &pool);
+        let w = pool
+            .add_pattern(&[true, true, false])
+            .expect("reserve capacity");
+        table.resim_tail(&net, &pool, w);
+        assert_matches_eval(&net, &pool, &table);
+    }
+}

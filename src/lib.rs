@@ -27,4 +27,5 @@ pub use boolsubst_bdd as bdd;
 pub use boolsubst_core as core;
 pub use boolsubst_cube as cube;
 pub use boolsubst_network as network;
+pub use boolsubst_sim as sim;
 pub use boolsubst_workloads as workloads;

@@ -1,0 +1,110 @@
+//! BLIF round-trip over the named benchmark suite: writing a network and
+//! parsing the text back must reproduce the structure exactly (write is a
+//! fixpoint) and the primary-output functions on sampled input vectors.
+
+use boolsubst::network::{parse_blif, EvalScratch, Network};
+use boolsubst::workloads::benchmarks::standard_suite;
+use std::collections::BTreeMap;
+
+/// Name-keyed structural fingerprint: primary inputs and outputs in
+/// order, plus each internal node's ordered fanin names and cover text.
+type Fingerprint = (
+    Vec<String>,
+    Vec<String>,
+    BTreeMap<String, (Vec<String>, String)>,
+);
+
+fn structure(net: &Network) -> Fingerprint {
+    let inputs: Vec<String> = net
+        .inputs()
+        .iter()
+        .map(|&id| net.node(id).name().to_string())
+        .collect();
+    let outputs: Vec<String> = net
+        .outputs()
+        .iter()
+        .map(|(name, id)| format!("{name}={}", net.node(*id).name()))
+        .collect();
+    let nodes: BTreeMap<String, (Vec<String>, String)> = net
+        .internal_ids()
+        .map(|id| {
+            let node = net.node(id);
+            let fanins = node
+                .fanins()
+                .iter()
+                .map(|&f| net.node(f).name().to_string())
+                .collect();
+            let cover = node.cover().expect("internal").to_string();
+            (node.name().to_string(), (fanins, cover))
+        })
+        .collect();
+    (inputs, outputs, nodes)
+}
+
+/// xorshift64* — the repo's dependency-free PRNG.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state >> 12;
+    *state ^= *state << 25;
+    *state ^= *state >> 27;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+#[test]
+fn blif_roundtrip_preserves_structure_and_outputs() {
+    for net in standard_suite() {
+        let name = net.name().to_string();
+        let text = boolsubst::network::write_blif(&net);
+        let parsed = parse_blif(&text).unwrap_or_else(|e| panic!("{name}: reparse failed: {e:?}"));
+        parsed.check_invariants();
+
+        // The writer may normalize (it inserts an alias buffer when an
+        // output's name differs from its driver node's), so one round of
+        // write∘parse must be a structural fixpoint: re-writing the parsed
+        // network and parsing again changes nothing, keyed by node name
+        // (node ids are assigned in file order and carry no meaning).
+        let text2 = boolsubst::network::write_blif(&parsed);
+        let parsed2 =
+            parse_blif(&text2).unwrap_or_else(|e| panic!("{name}: re-reparse failed: {e:?}"));
+        assert_eq!(
+            structure(&parsed2),
+            structure(&parsed),
+            "{name}: structure not a fixpoint"
+        );
+        assert_eq!(
+            parsed.inputs().len(),
+            net.inputs().len(),
+            "{name}: input count"
+        );
+        assert_eq!(
+            parsed.outputs().len(),
+            net.outputs().len(),
+            "{name}: output count"
+        );
+
+        // Function: primary outputs agree on sampled vectors (exhaustive
+        // for small input counts), evaluated through reused scratch
+        // buffers on both sides.
+        let n = net.inputs().len();
+        let mut s1 = EvalScratch::default();
+        let mut s2 = EvalScratch::default();
+        let mut check = |ins: &[bool]| {
+            assert_eq!(
+                net.eval_outputs_into(ins, &mut s1),
+                parsed.eval_outputs_into(ins, &mut s2),
+                "{name}: outputs diverged on {ins:?}"
+            );
+        };
+        if n <= 10 {
+            for m in 0u32..(1 << n) {
+                let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                check(&ins);
+            }
+        } else {
+            let mut rng = 0xB11F_0000_0001u64;
+            for _ in 0..256 {
+                let ins: Vec<bool> = (0..n).map(|_| xorshift(&mut rng) & 1 == 1).collect();
+                check(&ins);
+            }
+        }
+    }
+}

@@ -171,4 +171,41 @@ proptest! {
             boolsubst::cube::is_tautology_exhaustive(&f)
         );
     }
+
+    /// The simulation screen is refute-only: whenever every dividend cube
+    /// carries a `divisor = 0` witness, the kept split of basic division
+    /// is empty (and symmetrically, complement witnesses empty the kept
+    /// split against the divisor's complement) — for any pattern pool.
+    #[test]
+    fn sim_screen_refutations_are_sound(f in cover_strategy(6), d in cover_strategy(4)) {
+        use boolsubst::network::Network;
+        use boolsubst::sim::{SimConfig, SimFilter};
+        let mut net = Network::new("prop");
+        let pis: Vec<_> = (0..VARS)
+            .map(|i| net.add_input(format!("x{i}")).expect("pi"))
+            .collect();
+        let tf = net.add_node("tf", pis.clone(), f.clone()).expect("tf");
+        let td = net.add_node("td", pis.clone(), d.clone()).expect("td");
+        net.add_output("tf", tf).expect("of");
+        net.add_output("td", td).expect("od");
+        let configs = [
+            SimConfig::exhaustive(),
+            SimConfig { words: 1, ..SimConfig::default() },
+        ];
+        for config in configs {
+            let filter = SimFilter::new(&net, &config);
+            let screen = filter.screen_cover(&net, &f, &pis, td);
+            if screen.refutes_containment_in_divisor() {
+                let (kept, _) = boolsubst::core::split_remainder(&f, &d);
+                prop_assert!(kept.is_empty(), "refuted kept split non-empty");
+            }
+            if screen.refutes_containment_in_complement() {
+                let dc = d.complement();
+                if !dc.is_empty() {
+                    let (kept, _) = boolsubst::core::split_remainder(&f, &dc);
+                    prop_assert!(kept.is_empty(), "complement kept split non-empty");
+                }
+            }
+        }
+    }
 }
