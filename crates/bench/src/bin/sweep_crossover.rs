@@ -17,10 +17,14 @@ use std::time::Instant;
 
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
 use boolsubst_core::subst::{
-    boolean_substitute, boolean_substitute_legacy, SubstOptions, SubstStats,
+    boolean_substitute, boolean_substitute_legacy, boolean_substitute_traced, SubstOptions,
+    SubstStats,
 };
 use boolsubst_core::verify::networks_equivalent;
 use boolsubst_network::{write_blif, Network};
+use boolsubst_trace::export::{chrome_trace_string, jsonl_string};
+use boolsubst_trace::json::{json_array_pretty, JsonObj};
+use boolsubst_trace::Tracer;
 use boolsubst_workloads::generator::{
     planted_network, random_network, GeneratorParams, PlantedParams,
 };
@@ -124,33 +128,64 @@ fn measure(net: &Network, mode: &'static str, opts: &SubstOptions) -> SweepRow {
 }
 
 fn json_row(r: &SweepRow) -> String {
-    format!(
-        "  {{\"mode\": \"{}\", \"nodes\": {}, \"pairs\": {}, \
-         \"legacy_secs\": {:.6}, \"engine_secs\": {:.6}, \
-         \"legacy_candidates_per_s\": {:.1}, \"engine_candidates_per_s\": {:.1}, \
-         \"speedup\": {:.2}, \"substitutions\": {}, \"literal_gain\": {}, \
-         \"sim_pairs_screened\": {}, \"sim_pairs_refuted\": {}, \
-         \"sim_false_passes\": {}, \"sim_refinements\": {}, \
-         \"sim_patterns\": {}}}",
-        r.mode,
-        r.nodes,
-        r.pairs,
-        r.legacy_secs,
-        r.engine_secs,
-        r.legacy_cand_per_s,
-        r.engine_cand_per_s,
-        r.speedup,
-        r.substitutions,
-        r.literal_gain,
-        r.sim_pairs_screened,
-        r.sim_pairs_refuted,
-        r.sim_false_passes,
-        r.sim_refinements,
-        r.sim_patterns
-    )
+    fn u(v: usize) -> u64 {
+        u64::try_from(v).unwrap_or(u64::MAX)
+    }
+    JsonObj::new()
+        .str("mode", r.mode)
+        .u64("nodes", u(r.nodes))
+        .u64("pairs", u(r.pairs))
+        .f64("legacy_secs", r.legacy_secs, 6)
+        .f64("engine_secs", r.engine_secs, 6)
+        .f64("legacy_candidates_per_s", r.legacy_cand_per_s, 1)
+        .f64("engine_candidates_per_s", r.engine_cand_per_s, 1)
+        .f64("speedup", r.speedup, 2)
+        .u64("substitutions", u(r.substitutions))
+        .i64("literal_gain", r.literal_gain)
+        .u64("sim_pairs_screened", u(r.sim_pairs_screened))
+        .u64("sim_pairs_refuted", u(r.sim_pairs_refuted))
+        .u64("sim_false_passes", u(r.sim_false_passes))
+        .u64("sim_refinements", u(r.sim_refinements))
+        .u64("sim_patterns", u(r.sim_patterns))
+        .finish()
 }
 
-fn engine_vs_legacy(smoke: bool) {
+/// Re-runs each mode once with a [`Tracer`] attached and writes the
+/// requested exports: one JSONL stream (modes concatenated; each starts
+/// with its own `meta` line) and/or one Chrome trace (one "process" per
+/// mode). Also prints the per-mode [`boolsubst_trace::TraceReport`]s and
+/// the three modes' stats merged via [`SubstStats::merge`].
+fn traced_runs(net: &Network, trace_path: Option<&str>, chrome_path: Option<&str>) {
+    let modes: [(&str, SubstOptions); 3] = [
+        ("basic", SubstOptions::basic()),
+        ("ext", SubstOptions::extended()),
+        ("ext-gdc", SubstOptions::extended_gdc()),
+    ];
+    let mut tracers: Vec<Tracer> = Vec::new();
+    let mut merged = SubstStats::default();
+    for (name, opts) in modes {
+        let mut trial = net.clone();
+        let mut tracer = Tracer::new(name);
+        let stats = boolean_substitute_traced(&mut trial, &opts, &mut tracer);
+        merged.merge(&stats);
+        println!("\n{}", tracer.report());
+        tracers.push(tracer);
+    }
+    println!("\nmerged stats across modes:\n{merged}");
+    println!("merged json: {}", merged.to_json());
+    if let Some(path) = trace_path {
+        let text: String = tracers.iter().map(jsonl_string).collect();
+        std::fs::write(path, text).expect("write JSONL trace");
+        println!("wrote {path}");
+    }
+    if let Some(path) = chrome_path {
+        let refs: Vec<&Tracer> = tracers.iter().collect();
+        std::fs::write(path, chrome_trace_string(&refs)).expect("write Chrome trace");
+        println!("wrote {path}");
+    }
+}
+
+fn engine_vs_legacy(smoke: bool) -> Network {
     let params = GeneratorParams {
         inputs: 16,
         nodes: if smoke { 60 } else { 220 },
@@ -186,17 +221,30 @@ fn engine_vs_legacy(smoke: bool) {
             r.speedup
         );
     }
-    let body: Vec<String> = rows.iter().map(json_row).collect();
-    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    let json = json_array_pretty(rows.iter().map(json_row));
     std::fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
     println!("\nwrote BENCH_sweep.json");
+    net
 }
 
 fn main() {
     // --smoke: a CI-sized run — one padding level, one seed, and a small
     // engine-vs-legacy workload — exercising the full measurement and
     // BENCH_sweep.json plumbing in seconds.
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    // --trace <out.jsonl> / --chrome-trace <out.json>: after the timing
+    // comparison, re-run each mode with a tracer attached and export the
+    // recorded spans (JSONL events / chrome://tracing format).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a path"))
+                .as_str()
+        })
+    };
+    let trace_path = flag_value("--trace");
+    let chrome_path = flag_value("--chrome-trace");
     let (paddings, seeds): (Vec<usize>, Vec<u64>) = if smoke {
         (vec![1], vec![301])
     } else {
@@ -253,5 +301,8 @@ fn main() {
          with padding — at 0 the two coincide, past the crossover only the\n\
          decomposing divider can reach the buried cores)"
     );
-    engine_vs_legacy(smoke);
+    let net = engine_vs_legacy(smoke);
+    if trace_path.is_some() || chrome_path.is_some() {
+        traced_runs(&net, trace_path, chrome_path);
+    }
 }

@@ -1,0 +1,173 @@
+//! CI validator for the trace exporters: checks that a JSONL event log
+//! and/or a Chrome trace-event file are well-formed without any external
+//! tooling.
+//!
+//! ```bash
+//! trace_validate --jsonl trace.jsonl --chrome trace.json
+//! ```
+//!
+//! Exits non-zero with a diagnostic on the first violation. Checks:
+//!
+//! * JSONL: non-empty; every line parses as a JSON object with a known
+//!   `type`; the first line of each mode block is a `meta` line; pair
+//!   lines carry a known outcome name and all five stage-nanos fields.
+//! * Chrome: the whole file parses as a JSON array; every event is a
+//!   `ph: "M"` metadata or `ph: "X"` complete event with numeric
+//!   `ts`/`dur`; `ts` is monotonically non-decreasing per `(pid, tid)`.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use boolsubst_trace::json::Json;
+use boolsubst_trace::Outcome;
+
+const STAGE_FIELDS: [&str; 5] = [
+    "enumerate_ns",
+    "filter_ns",
+    "sim_ns",
+    "divide_ns",
+    "apply_ns",
+];
+
+fn validate_jsonl(text: &str) -> Result<(), String> {
+    let mut lines = 0usize;
+    let mut pairs = 0usize;
+    let mut first = true;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"type\"", i + 1))?;
+        if first && ty != "meta" {
+            return Err(format!("line {}: stream must open with a meta line", i + 1));
+        }
+        first = false;
+        match ty {
+            "meta" => {
+                v.get("mode")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: meta without mode", i + 1))?;
+            }
+            "pair" => {
+                pairs += 1;
+                let name = v
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: pair without outcome", i + 1))?;
+                if Outcome::from_name(name).is_none() {
+                    return Err(format!("line {}: unknown outcome {name:?}", i + 1));
+                }
+                for field in STAGE_FIELDS {
+                    if v.get(field).and_then(Json::as_u64).is_none() {
+                        return Err(format!("line {}: pair missing {field}", i + 1));
+                    }
+                }
+            }
+            "pass" | "shadow_build" | "sim_refine" => {
+                if v.get("dur_ns").and_then(Json::as_u64).is_none() {
+                    return Err(format!("line {}: {ty} missing dur_ns", i + 1));
+                }
+            }
+            other => return Err(format!("line {}: unknown type {other:?}", i + 1)),
+        }
+    }
+    if lines == 0 {
+        return Err("empty JSONL stream".into());
+    }
+    println!("jsonl ok: {lines} lines, {pairs} pair spans");
+    Ok(())
+}
+
+fn validate_chrome(text: &str) -> Result<(), String> {
+    let v = Json::parse(text).map_err(|e| format!("chrome trace: {e}"))?;
+    let rows = v.as_array().ok_or("chrome trace is not a JSON array")?;
+    if rows.is_empty() {
+        return Err("chrome trace is empty".into());
+    }
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut complete = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        let ph = row
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = row
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = row
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        match ph {
+            "M" => {}
+            "X" => {
+                complete += 1;
+                let ts = row
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without numeric ts"))?;
+                let dur = row
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without numeric dur"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                let key = (pid, tid);
+                if let Some(&prev) = last_ts.get(&key) {
+                    if ts < prev {
+                        return Err(format!(
+                            "event {i}: ts {ts} < {prev} regresses on pid {pid} tid {tid}"
+                        ));
+                    }
+                }
+                last_ts.insert(key, ts);
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    if complete == 0 {
+        return Err("chrome trace has no complete (ph=X) events".into());
+    }
+    println!("chrome ok: {} events, {complete} complete", rows.len());
+    Ok(())
+}
+
+type Validator = fn(&str) -> Result<(), String>;
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut checked = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let (flag, validate): (&str, Validator) = match a.as_str() {
+            "--jsonl" => ("--jsonl", validate_jsonl),
+            "--chrome" => ("--chrome", validate_chrome),
+            other => return Err(format!("unknown argument {other:?}")),
+        };
+        let path = it.next().ok_or_else(|| format!("{flag} needs a path"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        validate(&text).map_err(|e| format!("{path}: {e}"))?;
+        checked = true;
+    }
+    if !checked {
+        return Err("usage: trace_validate [--jsonl <trace.jsonl>] [--chrome <trace.json>]".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("trace_validate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -37,10 +37,25 @@ use boolsubst_algebraic::JointSpace;
 use boolsubst_cube::Cover;
 use boolsubst_network::{Network, NodeId, SideTables};
 use boolsubst_sim::SimFilter;
+use boolsubst_trace::{Outcome, Stage, Tracer};
 use std::time::Instant;
 
 pub(crate) fn nanos(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Node ids as the tracer's compact u32 representation.
+fn id32(id: NodeId) -> u32 {
+    u32::try_from(id.index()).unwrap_or(u32::MAX)
+}
+
+/// Display names for every live node, indexed by raw slot id.
+fn node_names(net: &Network) -> Vec<String> {
+    let mut names = vec![String::new(); net.id_bound()];
+    for id in net.node_ids() {
+        names[id.index()] = net.node(id).name().to_string();
+    }
+    names
 }
 
 /// The cached per-target GDC snapshot, tagged with the network version it
@@ -65,6 +80,11 @@ pub struct SubstEngine<'a> {
     /// Simulation-signature pre-filter (built when `opts.sim.enabled`);
     /// patched alongside the side tables after every acceptance.
     sim: Option<SimFilter>,
+    /// Structured trace recorder; `None` unless attached via
+    /// [`SubstEngine::with_tracer`]. The disabled path does no trace work
+    /// beyond these `Option` checks, and attaching a tracer never changes
+    /// the accepted rewrites.
+    tracer: Option<&'a mut Tracer>,
 }
 
 impl<'a> SubstEngine<'a> {
@@ -85,7 +105,22 @@ impl<'a> SubstEngine<'a> {
             stats,
             shadow: None,
             sim,
+            tracer: None,
         }
+    }
+
+    /// Opens a session with a trace recorder attached: every pair
+    /// attempt, pass, shadow build, and sim refinement is recorded on
+    /// `tracer`, labelled with the network's node names.
+    pub fn with_tracer(
+        net: &'a mut Network,
+        opts: SubstOptions,
+        tracer: &'a mut Tracer,
+    ) -> SubstEngine<'a> {
+        let mut engine = SubstEngine::new(net, opts);
+        tracer.set_node_names(node_names(engine.net));
+        engine.tracer = Some(tracer);
+        engine
     }
 
     /// Statistics accumulated so far.
@@ -100,7 +135,17 @@ impl<'a> SubstEngine<'a> {
         for _ in 0..self.opts.max_passes.max(1) {
             self.stats.passes += 1;
             let before = self.stats.substitutions;
+            let gain_before = self.stats.literal_gain;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.begin_pass(u32::try_from(self.stats.passes).unwrap_or(u32::MAX));
+            }
             self.run_pass();
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.end_pass(
+                    (self.stats.substitutions - before) as u64,
+                    self.stats.literal_gain - gain_before,
+                );
+            }
             if self.stats.substitutions == before {
                 break;
             }
@@ -109,6 +154,11 @@ impl<'a> SubstEngine<'a> {
             self.stats.sim_patterns = sim.patterns();
             self.stats.sim_words = sim.words();
             self.stats.sim_refinements = sim.refinements();
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            // Extended rewrites mint fresh core nodes mid-run; refresh the
+            // name table so exported spans label them properly.
+            t.set_node_names(node_names(self.net));
         }
         self.stats
     }
@@ -121,7 +171,11 @@ impl<'a> SubstEngine<'a> {
         targets.sort_by_key(|&id| {
             std::cmp::Reverse(self.net.node(id).cover().map_or(0, Cover::literal_count))
         });
-        self.stats.enumerate_nanos += nanos(t0);
+        let dt = nanos(t0);
+        self.stats.enumerate_nanos += dt;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.stage(Stage::Enumerate, dt);
+        }
         for target in targets {
             if self.net.node_opt(target).is_none() {
                 continue;
@@ -171,7 +225,11 @@ impl<'a> SubstEngine<'a> {
                     let t0 = Instant::now();
                     let cands = self.candidates(target, bound, cursor);
                     self.count_skipped(cands.len(), bound, cursor);
-                    self.stats.enumerate_nanos += nanos(t0);
+                    let dt = nanos(t0);
+                    self.stats.enumerate_nanos += dt;
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.stage(Stage::Enumerate, dt);
+                    }
                     for divisor in cands {
                         let before = self.stats.substitutions;
                         self.attempt(target, divisor);
@@ -190,7 +248,11 @@ impl<'a> SubstEngine<'a> {
                 let t0 = Instant::now();
                 let cands = self.candidates(target, bound, None);
                 self.count_skipped(cands.len(), bound, None);
-                self.stats.enumerate_nanos += nanos(t0);
+                let dt = nanos(t0);
+                self.stats.enumerate_nanos += dt;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.stage(Stage::Enumerate, dt);
+                }
                 // Dry-run every candidate on a scratch copy, then apply
                 // only the best one for real.
                 let mut best: Option<(NodeId, i64)> = None;
@@ -227,6 +289,7 @@ impl<'a> SubstEngine<'a> {
             self.stats.shadow_cache_hits += 1;
             return;
         }
+        let t0 = Instant::now();
         let tfo = self.side.tfo(self.net, target).clone();
         let base = ShadowBase::prepare(self.net, target, &tfo);
         self.shadow = Some(ShadowEntry {
@@ -235,38 +298,59 @@ impl<'a> SubstEngine<'a> {
             base,
         });
         self.stats.shadow_cache_misses += 1;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.shadow_build(id32(target), nanos(t0));
+        }
     }
 
     /// One engine-side pair attempt: cached filters, then the shared
     /// division core, then local side-table patching on acceptance.
+    /// Books a filter reject: counts the stage time and, when tracing,
+    /// closes the open pair span with the reject outcome.
+    fn filter_reject(&mut self, t0: Instant, outcome: Outcome) {
+        let dt = nanos(t0);
+        self.stats.filter_nanos += dt;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.stage(Stage::Filter, dt);
+            t.end_pair_with(outcome, 0);
+        }
+    }
+
     fn attempt(&mut self, target: NodeId, divisor: NodeId) -> Option<i64> {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.begin_pair(id32(target), id32(divisor));
+        }
         let t0 = Instant::now();
         self.stats.candidates_enumerated += 1;
         // Candidates are fanouts, hence internal; only the self-pair and
         // existing-fanin checks remain from the legacy structural filter.
         if target == divisor || self.net.node(target).fanins().contains(&divisor) {
             self.stats.filtered_structural += 1;
-            self.stats.filter_nanos += nanos(t0);
+            self.filter_reject(t0, Outcome::RejectedStructural);
             return None;
         }
         if self.side.in_tfo(self.net, divisor, target) {
             self.stats.filtered_tfo += 1;
-            self.stats.filter_nanos += nanos(t0);
+            self.filter_reject(t0, Outcome::RejectedTfo);
             return None;
         }
         let d_cover_len = self.net.node(divisor).cover().expect("internal").len();
         if d_cover_len == 0 || d_cover_len > self.opts.max_divisor_cubes {
             self.stats.filtered_divisor_size += 1;
-            self.stats.filter_nanos += nanos(t0);
+            self.filter_reject(t0, Outcome::RejectedDivisorSize);
             return None;
         }
         let space = JointSpace::union_of_fanins(self.net, &[target, divisor]);
         if space.len() > self.opts.max_joint_vars {
             self.stats.filtered_joint_space += 1;
-            self.stats.filter_nanos += nanos(t0);
+            self.filter_reject(t0, Outcome::RejectedJointSpace);
             return None;
         }
-        self.stats.filter_nanos += nanos(t0);
+        let dt = nanos(t0);
+        self.stats.filter_nanos += dt;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.stage(Stage::Filter, dt);
+        }
 
         if self.opts.mode == SubstMode::ExtendedGdc {
             self.ensure_shadow(target);
@@ -276,7 +360,11 @@ impl<'a> SubstEngine<'a> {
             // signatures before they are screened against.
             let ts = Instant::now();
             sim.flush(self.net);
-            self.stats.sim_nanos += nanos(ts);
+            let dts = nanos(ts);
+            self.stats.sim_nanos += dts;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.stage(Stage::Sim, dts);
+            }
         }
         let t1 = Instant::now();
         let v0 = self.net.version();
@@ -284,6 +372,8 @@ impl<'a> SubstEngine<'a> {
         let old_div = self.net.node(divisor).fanins().to_vec();
         let old_bound = self.net.id_bound();
         let false_passes0 = self.stats.sim_false_passes;
+        let sim_nanos0 = self.stats.sim_nanos;
+        let rar_checks0 = self.stats.rar_checks;
         let result = {
             let scope = match &self.shadow {
                 Some(e) if self.opts.mode == SubstMode::ExtendedGdc => GdcScope::Shadow(&e.base),
@@ -298,9 +388,19 @@ impl<'a> SubstEngine<'a> {
                 &mut self.stats,
                 &scope,
                 self.sim.as_ref(),
+                self.tracer.as_deref_mut(),
             )
         };
-        self.stats.divide_nanos += nanos(t1);
+        let dt1 = nanos(t1);
+        self.stats.divide_nanos += dt1;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            // The core's screen time lands in `sim_nanos`; attribute it to
+            // the sim stage and only the remainder to division proper.
+            let sim_delta = self.stats.sim_nanos - sim_nanos0;
+            t.stage(Stage::Sim, sim_delta);
+            t.stage(Stage::Divide, dt1.saturating_sub(sim_delta));
+            t.set_rar_checks((self.stats.rar_checks - rar_checks0) as u64);
+        }
 
         if result.is_none() && self.stats.sim_false_passes > false_passes0 {
             // Counterexample-guided refinement: the screen passed a pair
@@ -308,8 +408,15 @@ impl<'a> SubstEngine<'a> {
             // pattern so similar pairs are refuted without proof work.
             if let Some(sim) = self.sim.as_mut() {
                 let ts = Instant::now();
+                let refinements0 = sim.refinements();
                 sim.refine_from_false_pass(self.net, target, divisor);
-                self.stats.sim_nanos += nanos(ts);
+                let dts = nanos(ts);
+                self.stats.sim_nanos += dts;
+                let grew = sim.refinements() > refinements0;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.stage(Stage::Sim, dts);
+                    t.sim_refine(id32(target), id32(divisor), grew, dts);
+                }
             }
         }
 
@@ -329,12 +436,23 @@ impl<'a> SubstEngine<'a> {
                 // so it is still exact — just retag its version.
                 e.version = self.net.version();
             }
-            self.stats.apply_nanos += nanos(t2);
+            let dt2 = nanos(t2);
+            self.stats.apply_nanos += dt2;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.stage(Stage::Apply, dt2);
+            }
             if let Some(sim) = self.sim.as_mut() {
                 let ts = Instant::now();
                 sim.patch(self.net, &self.side, &[target, divisor]);
-                self.stats.sim_nanos += nanos(ts);
+                let dts = nanos(ts);
+                self.stats.sim_nanos += dts;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.stage(Stage::Sim, dts);
+                }
             }
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.end_pair(result.unwrap_or(0));
         }
         result
     }

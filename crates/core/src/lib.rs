@@ -58,6 +58,7 @@ pub use extended::{
 pub use netcircuit::{network_from_circuit, NetCircuit, NetworkRegion, ShadowBase};
 pub use sos::{is_pos_of_compl, is_sos_of, lemma1_holds, lemma2_holds};
 pub use subst::{
-    boolean_substitute, boolean_substitute_legacy, Acceptance, SubstMode, SubstOptions, SubstStats,
+    boolean_substitute, boolean_substitute_legacy, boolean_substitute_traced, Acceptance,
+    SubstMode, SubstOptions, SubstStats,
 };
 pub use verify::{network_bdds, networks_equivalent, networks_equivalent_modulo_dc};

@@ -11,6 +11,8 @@ use boolsubst_atpg::{remove_redundant_wires_with, RemovalOptions};
 use boolsubst_cube::{Cover, Lit, Phase};
 use boolsubst_network::{Network, NodeId};
 use boolsubst_sim::{CoverScreen, SimConfig, SimFilter};
+use boolsubst_trace::json::JsonObj;
+use boolsubst_trace::{Outcome, Tracer};
 use std::fmt;
 use std::time::Instant;
 
@@ -24,6 +26,18 @@ pub enum SubstMode {
     /// Extended division with *global* internal don't cares: the
     /// redundancy-removal implications range over the whole circuit.
     ExtendedGdc,
+}
+
+impl SubstMode {
+    /// Stable lowercase label, matching the CLI's `--mode` values.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SubstMode::Basic => "basic",
+            SubstMode::Extended => "ext",
+            SubstMode::ExtendedGdc => "ext-gdc",
+        }
+    }
 }
 
 /// When to accept a substitution during the sweep — the paper's
@@ -253,6 +267,107 @@ impl fmt::Display for SubstStats {
     }
 }
 
+impl SubstStats {
+    /// Accumulates `other` into `self` field by field, saturating on
+    /// overflow. Lets callers combine runs (benchmark reps, the three
+    /// paper modes) without hand-listing every counter at each call site.
+    /// The pool-snapshot fields (`sim_patterns`, `sim_words`) sum like the
+    /// rest — a merged value reads as "total pool capacity touched".
+    pub fn merge(&mut self, other: &SubstStats) {
+        self.divisions_tried = self.divisions_tried.saturating_add(other.divisions_tried);
+        self.substitutions = self.substitutions.saturating_add(other.substitutions);
+        self.pos_substitutions = self
+            .pos_substitutions
+            .saturating_add(other.pos_substitutions);
+        self.extended_decompositions = self
+            .extended_decompositions
+            .saturating_add(other.extended_decompositions);
+        self.literal_gain = self.literal_gain.saturating_add(other.literal_gain);
+        self.passes = self.passes.saturating_add(other.passes);
+        self.candidates_enumerated = self
+            .candidates_enumerated
+            .saturating_add(other.candidates_enumerated);
+        self.filtered_by_index = self
+            .filtered_by_index
+            .saturating_add(other.filtered_by_index);
+        self.filtered_structural = self
+            .filtered_structural
+            .saturating_add(other.filtered_structural);
+        self.filtered_tfo = self.filtered_tfo.saturating_add(other.filtered_tfo);
+        self.filtered_divisor_size = self
+            .filtered_divisor_size
+            .saturating_add(other.filtered_divisor_size);
+        self.filtered_joint_space = self
+            .filtered_joint_space
+            .saturating_add(other.filtered_joint_space);
+        self.filtered_support = self.filtered_support.saturating_add(other.filtered_support);
+        self.rar_checks = self.rar_checks.saturating_add(other.rar_checks);
+        self.shadow_cache_hits = self
+            .shadow_cache_hits
+            .saturating_add(other.shadow_cache_hits);
+        self.shadow_cache_misses = self
+            .shadow_cache_misses
+            .saturating_add(other.shadow_cache_misses);
+        self.sim_pairs_screened = self
+            .sim_pairs_screened
+            .saturating_add(other.sim_pairs_screened);
+        self.sim_pairs_refuted = self
+            .sim_pairs_refuted
+            .saturating_add(other.sim_pairs_refuted);
+        self.sim_false_passes = self.sim_false_passes.saturating_add(other.sim_false_passes);
+        self.sim_refinements = self.sim_refinements.saturating_add(other.sim_refinements);
+        self.sim_ext_wires_skipped = self
+            .sim_ext_wires_skipped
+            .saturating_add(other.sim_ext_wires_skipped);
+        self.sim_patterns = self.sim_patterns.saturating_add(other.sim_patterns);
+        self.sim_words = self.sim_words.saturating_add(other.sim_words);
+        self.enumerate_nanos = self.enumerate_nanos.saturating_add(other.enumerate_nanos);
+        self.filter_nanos = self.filter_nanos.saturating_add(other.filter_nanos);
+        self.divide_nanos = self.divide_nanos.saturating_add(other.divide_nanos);
+        self.apply_nanos = self.apply_nanos.saturating_add(other.apply_nanos);
+        self.sim_nanos = self.sim_nanos.saturating_add(other.sim_nanos);
+    }
+
+    /// Single-line JSON object with every counter, via the shared
+    /// [`JsonObj`] writer. Field names match the struct fields.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn u(v: usize) -> u64 {
+            u64::try_from(v).unwrap_or(u64::MAX)
+        }
+        JsonObj::new()
+            .u64("divisions_tried", u(self.divisions_tried))
+            .u64("substitutions", u(self.substitutions))
+            .u64("pos_substitutions", u(self.pos_substitutions))
+            .u64("extended_decompositions", u(self.extended_decompositions))
+            .i64("literal_gain", self.literal_gain)
+            .u64("passes", u(self.passes))
+            .u64("candidates_enumerated", u(self.candidates_enumerated))
+            .u64("filtered_by_index", u(self.filtered_by_index))
+            .u64("filtered_structural", u(self.filtered_structural))
+            .u64("filtered_tfo", u(self.filtered_tfo))
+            .u64("filtered_divisor_size", u(self.filtered_divisor_size))
+            .u64("filtered_joint_space", u(self.filtered_joint_space))
+            .u64("filtered_support", u(self.filtered_support))
+            .u64("rar_checks", u(self.rar_checks))
+            .u64("shadow_cache_hits", u(self.shadow_cache_hits))
+            .u64("shadow_cache_misses", u(self.shadow_cache_misses))
+            .u64("sim_pairs_screened", u(self.sim_pairs_screened))
+            .u64("sim_pairs_refuted", u(self.sim_pairs_refuted))
+            .u64("sim_false_passes", u(self.sim_false_passes))
+            .u64("sim_refinements", u(self.sim_refinements))
+            .u64("sim_ext_wires_skipped", u(self.sim_ext_wires_skipped))
+            .u64("sim_patterns", u(self.sim_patterns))
+            .u64("sim_words", u(self.sim_words))
+            .u64("enumerate_nanos", self.enumerate_nanos)
+            .u64("filter_nanos", self.filter_nanos)
+            .u64("divide_nanos", self.divide_nanos)
+            .u64("apply_nanos", self.apply_nanos)
+            .u64("sim_nanos", self.sim_nanos)
+            .finish()
+    }
+}
+
 /// Projects a cover onto its support: drops unused variables and returns
 /// the surviving fanins (`fanins[v]` for each support variable `v`) plus
 /// the remapped cover.
@@ -362,7 +477,15 @@ pub(crate) fn try_pair(
         stats,
         &GdcScope::Rebuild,
         None,
+        None,
     )
+}
+
+/// Notes the decided outcome on the attached tracer, if any.
+fn note(tracer: &mut Option<&mut Tracer>, outcome: Outcome) {
+    if let Some(t) = tracer.as_deref_mut() {
+        t.note_outcome(outcome);
+    }
 }
 
 /// The filter-free heart of a substitution attempt: divides `target` by
@@ -386,6 +509,7 @@ pub(crate) fn try_pair_core(
     stats: &mut SubstStats,
     gdc: &GdcScope<'_>,
     sim: Option<&SimFilter>,
+    mut tracer: Option<&mut Tracer>,
 ) -> Option<i64> {
     let f = space.cover_of(net, target);
     let d = space.cover_of(net, divisor);
@@ -439,6 +563,7 @@ pub(crate) fn try_pair_core(
                 .expect("substitution must be applicable");
             stats.substitutions += 1;
             stats.literal_gain += gain;
+            note(&mut tracer, Outcome::AcceptedSop);
             return Some(gain);
         }
     }
@@ -461,6 +586,7 @@ pub(crate) fn try_pair_core(
                         .expect("complement substitution must be applicable");
                     stats.substitutions += 1;
                     stats.literal_gain += gain;
+                    note(&mut tracer, Outcome::AcceptedSop);
                     return Some(gain);
                 }
             }
@@ -489,6 +615,7 @@ pub(crate) fn try_pair_core(
                     stats.substitutions += 1;
                     stats.extended_decompositions += 1;
                     stats.literal_gain += gain;
+                    note(&mut tracer, Outcome::AcceptedExtended);
                     return Some(gain);
                 }
             }
@@ -511,7 +638,7 @@ pub(crate) fn try_pair_core(
                 sc.refutes_containment_in_complement()
             });
             if pos_refuted {
-                return finish_unhelped(stats, sim.is_some(), ran_proof);
+                return finish_unhelped(stats, sim.is_some(), ran_proof, tracer);
             }
             ran_proof = true;
             let r = pos_divide_precomplemented(&fc, &dc, &opts.division);
@@ -547,25 +674,33 @@ pub(crate) fn try_pair_core(
                         stats.substitutions += 1;
                         stats.pos_substitutions += 1;
                         stats.literal_gain += gain;
+                        note(&mut tracer, Outcome::AcceptedPos);
                         return Some(gain);
                     }
                 }
             }
         }
     }
-    finish_unhelped(stats, sim.is_some(), ran_proof)
+    finish_unhelped(stats, sim.is_some(), ran_proof, tracer)
 }
 
 /// Books a pair that produced no gain: with a filter present it either
 /// counts as a pure signature refutation (no proof stage ran) or as a
 /// false pass (at least one proof ran and rejected — refinement fuel for
-/// the engine).
-fn finish_unhelped(stats: &mut SubstStats, screened: bool, ran_proof: bool) -> Option<i64> {
+/// the engine). A pure refutation is noted on the tracer; a false pass
+/// keeps the default no-gain outcome.
+fn finish_unhelped(
+    stats: &mut SubstStats,
+    screened: bool,
+    ran_proof: bool,
+    mut tracer: Option<&mut Tracer>,
+) -> Option<i64> {
     if screened {
         if ran_proof {
             stats.sim_false_passes += 1;
         } else {
             stats.sim_pairs_refuted += 1;
+            note(&mut tracer, Outcome::RejectedSimRefuted);
         }
     }
     None
@@ -755,6 +890,18 @@ fn divide_in_network(
 /// accepted rewrites are identical to [`boolean_substitute_legacy`].
 pub fn boolean_substitute(net: &mut Network, opts: &SubstOptions) -> SubstStats {
     crate::engine::SubstEngine::new(net, *opts).run()
+}
+
+/// [`boolean_substitute`] with a [`Tracer`] attached: every pair attempt,
+/// pass, shadow build, and sim refinement is recorded on `tracer`.
+/// Attaching a tracer never changes the accepted rewrites — the traced
+/// and untraced runs are bit-identical (`tests/engine_parity.rs`).
+pub fn boolean_substitute_traced(
+    net: &mut Network,
+    opts: &SubstOptions,
+    tracer: &mut Tracer,
+) -> SubstStats {
+    crate::engine::SubstEngine::with_tracer(net, *opts, tracer).run()
 }
 
 /// The pre-engine per-pair sweep: every (target, divisor) pair is visited

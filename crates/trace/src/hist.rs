@@ -1,0 +1,216 @@
+//! Log2-bucketed latency histograms: fixed size, no allocation on the
+//! record path, exact counts per power-of-two bucket.
+
+/// Number of buckets: one exact-zero bucket plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a nanosecond sample: bucket 0 holds exact zeros,
+/// bucket `i >= 1` holds the range `[2^(i-1), 2^i - 1]`.
+#[must_use]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        64 - ns.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+#[must_use]
+pub fn bucket_floor(i: usize) -> u64 {
+    assert!(i < BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+#[must_use]
+pub fn bucket_ceil(i: usize) -> u64 {
+    assert!(i < BUCKETS);
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A log2 latency histogram with saturating totals.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples, in nanoseconds.
+    #[must_use]
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no sample was recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw count of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BUCKETS`.
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Upper bound of the bucket containing the `q` quantile
+    /// (`0.0 ..= 1.0`); 0 for an empty histogram. The bound is the
+    /// coarsest correct answer a log2 histogram can give.
+    #[must_use]
+    pub fn quantile_ceil(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_ceil(i);
+            }
+        }
+        bucket_ceil(BUCKETS - 1)
+    }
+
+    /// Upper bound of the largest non-empty bucket; 0 when empty.
+    #[must_use]
+    pub fn max_ceil(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map_or(0, bucket_ceil)
+    }
+
+    /// Iterates `(bucket_index, count)` over non-empty buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0)
+            .map(|(i, &b)| (i, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        // The exact-zero bucket.
+        assert_eq!(bucket_index(0), 0);
+        // 1 opens bucket 1.
+        assert_eq!(bucket_index(1), 1);
+        // Powers of two open a new bucket; one below stays in the old.
+        for k in 1..=63u32 {
+            let p = 1u64 << k;
+            assert_eq!(bucket_index(p), k as usize + 1, "2^{k}");
+            assert_eq!(bucket_index(p - 1), k as usize, "2^{k} - 1");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Floor/ceil bracket their own index.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i);
+            assert_eq!(bucket_index(bucket_ceil(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ceil(0.5), 0);
+        assert_eq!(h.max_ceil(), 0);
+        for ns in [0u64, 1, 1, 2, 3, 4, 1024] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum_ns(), 1035);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2); // the two 1s
+        assert_eq!(h.bucket(2), 2); // 2 and 3
+        assert_eq!(h.bucket(3), 1); // 4
+        assert_eq!(h.bucket(11), 1); // 1024
+                                     // Median sample is the 4th of 7 -> the [2,3] bucket.
+        assert_eq!(h.quantile_ceil(0.5), 3);
+        assert_eq!(h.quantile_ceil(1.0), bucket_ceil(11));
+        assert_eq!(h.max_ceil(), bucket_ceil(11));
+        assert_eq!(h.nonzero_buckets().count(), 5);
+    }
+
+    #[test]
+    fn merge_adds_samples() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(5);
+        b.record(0);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket(0), 1);
+        assert_eq!(a.bucket(64), 1);
+        assert_eq!(a.sum_ns(), u64::MAX, "sum saturates");
+    }
+}

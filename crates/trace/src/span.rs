@@ -1,0 +1,311 @@
+//! The span/event data model: what one traced substitution run is made of.
+
+/// The engine's pipeline stages, matching the five stage-nanos counters of
+/// the aggregate stats block. Histogram samples and per-pair attribution
+/// both use this axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Target ordering and candidate enumeration (outside pair spans).
+    Enumerate,
+    /// The cheap per-pair structural/cycle/size filters.
+    Filter,
+    /// Simulation-signature work: screening, pool refinement, patching.
+    Sim,
+    /// Division proper: proofs, RAR/ATPG checks, gain evaluation.
+    Divide,
+    /// Side-table and signature patching after an accepted rewrite.
+    Apply,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Enumerate,
+        Stage::Filter,
+        Stage::Sim,
+        Stage::Divide,
+        Stage::Apply,
+    ];
+
+    /// Stable lowercase label used by both exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Enumerate => "enumerate",
+            Stage::Filter => "filter",
+            Stage::Sim => "sim",
+            Stage::Divide => "divide",
+            Stage::Apply => "apply",
+        }
+    }
+
+    /// Dense index into per-stage arrays (`0..Stage::ALL.len()`).
+    #[must_use]
+    pub fn idx(self) -> usize {
+        match self {
+            Stage::Enumerate => 0,
+            Stage::Filter => 1,
+            Stage::Sim => 2,
+            Stage::Divide => 3,
+            Stage::Apply => 4,
+        }
+    }
+}
+
+/// How one (target, divisor) pair attempt ended. Covers every reject
+/// reason counted by the engine's stats block plus the three acceptance
+/// kinds, so a funnel over outcomes reconciles exactly with the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Accepted: SOP division (direct or by the divisor's complement).
+    AcceptedSop,
+    /// Accepted: product-of-sums-form substitution.
+    AcceptedPos,
+    /// Accepted: extended division decomposed the divisor.
+    AcceptedExtended,
+    /// Rejected by the self-pair/existing-fanin structural filter.
+    RejectedStructural,
+    /// Rejected: the divisor lies in the target's transitive fanout.
+    RejectedTfo,
+    /// Rejected by the divisor cube-count bound.
+    RejectedDivisorSize,
+    /// Rejected by the joint-variable-space bound.
+    RejectedJointSpace,
+    /// Rejected by the support-overlap filter (legacy sweep only — the
+    /// engine's candidate index implies overlap; kept for completeness).
+    RejectedSupport,
+    /// Rejected purely by simulation-signature witnesses, no proof ran.
+    RejectedSimRefuted,
+    /// Survived every filter but no division strategy produced gain.
+    RejectedNoGain,
+}
+
+impl Outcome {
+    /// Every outcome, acceptance kinds first.
+    pub const ALL: [Outcome; 10] = [
+        Outcome::AcceptedSop,
+        Outcome::AcceptedPos,
+        Outcome::AcceptedExtended,
+        Outcome::RejectedStructural,
+        Outcome::RejectedTfo,
+        Outcome::RejectedDivisorSize,
+        Outcome::RejectedJointSpace,
+        Outcome::RejectedSupport,
+        Outcome::RejectedSimRefuted,
+        Outcome::RejectedNoGain,
+    ];
+
+    /// Number of distinct outcomes (`Outcome::ALL.len()`).
+    pub const COUNT: usize = Outcome::ALL.len();
+
+    /// Stable snake_case label used by both exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::AcceptedSop => "accept_sop",
+            Outcome::AcceptedPos => "accept_pos",
+            Outcome::AcceptedExtended => "accept_extended",
+            Outcome::RejectedStructural => "reject_structural",
+            Outcome::RejectedTfo => "reject_tfo",
+            Outcome::RejectedDivisorSize => "reject_divisor_size",
+            Outcome::RejectedJointSpace => "reject_joint_space",
+            Outcome::RejectedSupport => "reject_support",
+            Outcome::RejectedSimRefuted => "reject_sim_refuted",
+            Outcome::RejectedNoGain => "reject_no_gain",
+        }
+    }
+
+    /// Inverse of [`Outcome::name`] (exporter tests, the CI validator).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.name() == name)
+    }
+
+    /// Whether the pair was accepted (a rewrite was applied).
+    #[must_use]
+    pub fn accepted(self) -> bool {
+        matches!(
+            self,
+            Outcome::AcceptedSop | Outcome::AcceptedPos | Outcome::AcceptedExtended
+        )
+    }
+
+    /// Dense index into per-outcome arrays (`0..Outcome::COUNT`).
+    #[must_use]
+    pub fn idx(self) -> usize {
+        match self {
+            Outcome::AcceptedSop => 0,
+            Outcome::AcceptedPos => 1,
+            Outcome::AcceptedExtended => 2,
+            Outcome::RejectedStructural => 3,
+            Outcome::RejectedTfo => 4,
+            Outcome::RejectedDivisorSize => 5,
+            Outcome::RejectedJointSpace => 6,
+            Outcome::RejectedSupport => 7,
+            Outcome::RejectedSimRefuted => 8,
+            Outcome::RejectedNoGain => 9,
+        }
+    }
+}
+
+/// Per-stage nanosecond attribution of one pair span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageNanos {
+    /// Candidate-enumeration time (usually 0 inside a pair span).
+    pub enumerate: u64,
+    /// Cheap filter time.
+    pub filter: u64,
+    /// Simulation screen/refine/patch time.
+    pub sim: u64,
+    /// Division/proof time (simulation screen time already subtracted).
+    pub divide: u64,
+    /// Post-acceptance side-table patch time.
+    pub apply: u64,
+}
+
+impl StageNanos {
+    /// Adds `ns` to the given stage, saturating.
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        let slot = match stage {
+            Stage::Enumerate => &mut self.enumerate,
+            Stage::Filter => &mut self.filter,
+            Stage::Sim => &mut self.sim,
+            Stage::Divide => &mut self.divide,
+            Stage::Apply => &mut self.apply,
+        };
+        *slot = slot.saturating_add(ns);
+    }
+
+    /// Reads one stage's nanos.
+    #[must_use]
+    pub fn get(self, stage: Stage) -> u64 {
+        match stage {
+            Stage::Enumerate => self.enumerate,
+            Stage::Filter => self.filter,
+            Stage::Sim => self.sim,
+            Stage::Divide => self.divide,
+            Stage::Apply => self.apply,
+        }
+    }
+
+    /// Sum over all stages, saturating.
+    #[must_use]
+    pub fn total(self) -> u64 {
+        Stage::ALL
+            .into_iter()
+            .fold(0u64, |acc, s| acc.saturating_add(self.get(s)))
+    }
+}
+
+/// One traced (target, divisor) attempt: where the time went and how the
+/// pair was disposed of. Timestamps are nanoseconds relative to the
+/// tracer's epoch (its construction instant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairSpan {
+    /// 1-based sweep pass the attempt ran in.
+    pub pass: u32,
+    /// Target node id (raw slot index).
+    pub target: u32,
+    /// Divisor node id (raw slot index).
+    pub divisor: u32,
+    /// Span start, nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// Wall-clock span duration (includes untimed gaps such as GDC
+    /// shadow-snapshot builds, so it can exceed the stage sum).
+    pub dur_ns: u64,
+    /// Per-stage attribution.
+    pub stages: StageNanos,
+    /// How the attempt ended.
+    pub outcome: Outcome,
+    /// Factored-literal gain of the accepted rewrite (0 on rejects).
+    pub gain: i64,
+    /// RAR/ATPG fault checks the GDC-mode division ran for this pair.
+    pub rar_checks: u64,
+}
+
+/// One sweep pass over all targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassSpan {
+    /// 1-based pass number.
+    pub pass: u32,
+    /// Pass start, nanoseconds since the tracer epoch.
+    pub start_ns: u64,
+    /// Pass duration.
+    pub dur_ns: u64,
+    /// Pair attempts examined during the pass.
+    pub pairs: u64,
+    /// Substitutions accepted during the pass.
+    pub substitutions: u64,
+    /// Factored-literal gain accumulated during the pass.
+    pub literal_gain: i64,
+}
+
+/// Everything the ring buffer records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A completed sweep pass.
+    Pass(PassSpan),
+    /// A completed pair attempt.
+    Pair(PairSpan),
+    /// A GDC shadow-circuit snapshot was built from scratch.
+    ShadowBuild {
+        /// Pass the build happened in.
+        pass: u32,
+        /// Target whose cone was excluded from the snapshot.
+        target: u32,
+        /// Build start, nanoseconds since the tracer epoch.
+        start_ns: u64,
+        /// Build duration.
+        dur_ns: u64,
+    },
+    /// A counterexample-refinement attempt after a sim-filter false pass.
+    SimRefine {
+        /// Pass the refinement happened in.
+        pass: u32,
+        /// Target of the falsely passed pair.
+        target: u32,
+        /// Divisor of the falsely passed pair.
+        divisor: u32,
+        /// Attempt start, nanoseconds since the tracer epoch.
+        start_ns: u64,
+        /// Attempt duration.
+        dur_ns: u64,
+        /// Whether a harvested pattern actually grew the pool.
+        grew: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_names_roundtrip() {
+        for o in Outcome::ALL {
+            assert_eq!(Outcome::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Outcome::from_name("nope"), None);
+    }
+
+    #[test]
+    fn outcome_indices_are_dense_and_unique() {
+        let mut seen = [false; Outcome::COUNT];
+        for o in Outcome::ALL {
+            assert!(!seen[o.idx()], "duplicate index for {o:?}");
+            seen[o.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stage_nanos_attribution() {
+        let mut s = StageNanos::default();
+        s.add(Stage::Sim, 5);
+        s.add(Stage::Sim, 7);
+        s.add(Stage::Divide, 100);
+        assert_eq!(s.get(Stage::Sim), 12);
+        assert_eq!(s.total(), 112);
+        s.add(Stage::Apply, u64::MAX);
+        assert_eq!(s.total(), u64::MAX, "total saturates");
+    }
+}

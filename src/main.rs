@@ -6,13 +6,15 @@ use boolsubst::algebraic::{algebraic_resub, network_factored_literals, ResubOpti
 use boolsubst::atpg::{fault_coverage, rar_optimize, RarOptions};
 use boolsubst::core::dontcare::{full_simplify, DontCareOptions};
 use boolsubst::core::netcircuit::{network_from_circuit, NetCircuit};
-use boolsubst::core::subst::{boolean_substitute, SubstOptions};
+use boolsubst::core::subst::{boolean_substitute, boolean_substitute_traced, SubstOptions};
 use boolsubst::core::verify::{networks_equivalent, networks_equivalent_modulo_dc};
 use boolsubst::core::{
     basic_divide_covers, extended_divide_covers, pos_divide_covers, DivisionOptions,
 };
 use boolsubst::cube::parse_sop;
 use boolsubst::network::{parse_blif, write_blif, Network};
+use boolsubst::trace::export::{chrome_trace_string, jsonl_string};
+use boolsubst::trace::Tracer;
 use boolsubst::workloads::scripts;
 use std::process::ExitCode;
 
@@ -22,6 +24,7 @@ boolsubst — Boolean division and substitution via redundancy addition/removal
 USAGE:
   boolsubst optimize <in.blif> [--mode resub|basic|ext|ext-gdc]
                      [--script none|a|b|c] [--dc] [-o <out.blif>] [--no-verify]
+                     [--trace <out.jsonl>] [--chrome-trace <out.json>]
   boolsubst stats <in.blif>
   boolsubst check <a.blif> <b.blif>
   boolsubst faults <in.blif> [--vectors <n>] [--budget <n>]
@@ -69,6 +72,8 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let mut script = "none";
     let mut verify = true;
     let mut dc = false;
+    let mut trace_path: Option<&str> = None;
+    let mut chrome_path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +84,10 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             }
             "--no-verify" => verify = false,
             "--dc" => dc = true,
+            "--trace" => trace_path = Some(it.next().ok_or("--trace needs a path")?),
+            "--chrome-trace" => {
+                chrome_path = Some(it.next().ok_or("--chrome-trace needs a path")?);
+            }
             other if input.is_none() => input = Some(other),
             other => return Err(format!("unexpected argument {other:?}")),
         }
@@ -97,23 +106,43 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     }
     let after_script = network_factored_literals(&net);
 
-    match mode {
+    let tracing = trace_path.is_some() || chrome_path.is_some();
+    let subst_opts = match mode {
         "resub" => {
+            if tracing {
+                return Err(
+                    "--trace/--chrome-trace need a substitution mode (basic|ext|ext-gdc)".into(),
+                );
+            }
             algebraic_resub(&mut net, &ResubOptions::default());
+            None
         }
-        "basic" => {
-            boolean_substitute(&mut net, &SubstOptions::basic());
-        }
-        "ext" => {
-            boolean_substitute(&mut net, &SubstOptions::extended());
-        }
-        "ext-gdc" => {
-            boolean_substitute(&mut net, &SubstOptions::extended_gdc());
-        }
+        "basic" => Some(SubstOptions::basic()),
+        "ext" => Some(SubstOptions::extended()),
+        "ext-gdc" => Some(SubstOptions::extended_gdc()),
         other => {
             return Err(format!(
                 "unknown mode {other:?} (use resub|basic|ext|ext-gdc)"
             ));
+        }
+    };
+    if let Some(opts) = subst_opts {
+        if tracing {
+            let mut tracer = Tracer::new(mode);
+            boolean_substitute_traced(&mut net, &opts, &mut tracer);
+            eprintln!("{}", tracer.report());
+            if let Some(path) = trace_path {
+                std::fs::write(path, jsonl_string(&tracer))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if let Some(path) = chrome_path {
+                std::fs::write(path, chrome_trace_string(&[&tracer]))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+        } else {
+            boolean_substitute(&mut net, &opts);
         }
     }
     if dc {

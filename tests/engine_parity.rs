@@ -205,3 +205,45 @@ fn engine_matches_legacy_under_best_gain_and_multipass() {
         assert_eq!(engine.passes, legacy.passes, "{acceptance:?}");
     }
 }
+
+/// Attaching a tracer must be pure observation: the traced engine run
+/// produces a bit-identical network and identical work counters compared
+/// to the untraced run (only the `*_nanos` wall-clock fields may differ).
+#[test]
+fn tracer_attachment_is_invisible() {
+    use boolsubst::core::subst::boolean_substitute_traced;
+    use boolsubst::trace::Tracer;
+
+    for seed in [11u64, 47] {
+        let base = random_network(seed, &GeneratorParams::default());
+        for (name, opts) in modes() {
+            let mut plain_net = base.clone();
+            let plain = boolean_substitute(&mut plain_net, &opts);
+            let mut traced_net = base.clone();
+            let mut tracer = Tracer::new(name);
+            let traced = boolean_substitute_traced(&mut traced_net, &opts, &mut tracer);
+            assert_eq!(
+                write_blif(&traced_net),
+                write_blif(&plain_net),
+                "seed {seed} {name}: tracer changed the rewrites"
+            );
+            // Compare every counter; timing fields are run-dependent.
+            let mut scrubbed = traced;
+            scrubbed.enumerate_nanos = plain.enumerate_nanos;
+            scrubbed.filter_nanos = plain.filter_nanos;
+            scrubbed.sim_nanos = plain.sim_nanos;
+            scrubbed.divide_nanos = plain.divide_nanos;
+            scrubbed.apply_nanos = plain.apply_nanos;
+            assert_eq!(
+                format!("{scrubbed:?}"),
+                format!("{plain:?}"),
+                "seed {seed} {name}: tracer changed the stats"
+            );
+            assert_eq!(
+                tracer.pairs() as usize,
+                traced.candidates_enumerated,
+                "seed {seed} {name}: tracer missed pairs"
+            );
+        }
+    }
+}
