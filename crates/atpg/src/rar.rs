@@ -101,6 +101,7 @@ pub fn rar_optimize(circuit: &mut Circuit, opts: &RarOptions) -> RarStats {
             &RemovalOptions {
                 imply: opts.imply,
                 exact_budget: 0,
+                max_checks: 0,
             },
             2,
         );
@@ -147,6 +148,7 @@ pub fn rar_optimize(circuit: &mut Circuit, opts: &RarOptions) -> RarStats {
                     &RemovalOptions {
                         imply: opts.imply,
                         exact_budget: 0,
+                        max_checks: 0,
                     },
                     2,
                 );

@@ -25,6 +25,9 @@ pub struct RemovalOptions {
     /// additionally tried with the bounded exact search ([`check_fault_exact`])
     /// under this decision-node budget.
     pub exact_budget: usize,
+    /// When non-zero, the removal loop stops (soundly: a less-simplified
+    /// but correct circuit) once this many fault checks have run.
+    pub max_checks: usize,
 }
 
 /// Statistics and results of a removal run.
@@ -34,6 +37,9 @@ pub struct RemovalOutcome {
     pub removed: Vec<CandidateWire>,
     /// Number of fault checks performed.
     pub checks: usize,
+    /// Whether the run stopped early because [`RemovalOptions::max_checks`]
+    /// was exhausted (remaining candidates were left untried).
+    pub budget_exhausted: bool,
 }
 
 /// Greedily removes candidate wires proven redundant. Iterates until a
@@ -58,6 +64,7 @@ pub fn remove_redundant_wires(
         &RemovalOptions {
             imply: opts,
             exact_budget: 0,
+            max_checks: 0,
         },
         max_passes,
     )
@@ -81,6 +88,11 @@ pub fn remove_redundant_wires_with(
         let mut removed_this_pass = false;
         let mut still: Vec<CandidateWire> = Vec::with_capacity(live.len());
         for cand in live {
+            if opts.max_checks > 0 && outcome.checks >= opts.max_checks {
+                outcome.budget_exhausted = true;
+                still.push(cand);
+                continue;
+            }
             let kind = circuit.kind(cand.sink);
             let stuck = match kind {
                 GateKind::And => true,
@@ -118,7 +130,7 @@ pub fn remove_redundant_wires_with(
             }
         }
         live = still;
-        if !removed_this_pass {
+        if outcome.budget_exhausted || !removed_this_pass {
             break;
         }
     }
@@ -314,6 +326,72 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A check budget stops the loop early — soundly: the circuit keeps
+    /// its function, the outcome reports exhaustion, and exactly
+    /// `max_checks` checks ran.
+    #[test]
+    fn check_budget_stops_early_and_preserves_function() {
+        let mut c = Circuit::new();
+        let a = c.add_input();
+        let b = c.add_input();
+        let cc = c.add_input();
+        let d_ab = c.add_and(vec![a, b]);
+        let d = c.add_or(vec![d_ab, cc]);
+        let f_ab = c.add_and(vec![a, b]);
+        let f_ac = c.add_and(vec![a, cc]);
+        let fprime = c.add_or(vec![f_ab, f_ac]);
+        let bold = c.add_and(vec![fprime, d]);
+        c.add_output(bold);
+        let candidates = vec![
+            CandidateWire {
+                sink: f_ab,
+                driver: a,
+            },
+            CandidateWire {
+                sink: f_ab,
+                driver: b,
+            },
+            CandidateWire {
+                sink: f_ac,
+                driver: a,
+            },
+            CandidateWire {
+                sink: f_ac,
+                driver: cc,
+            },
+        ];
+        let before: Vec<bool> = (0u32..8)
+            .map(|m| {
+                let ins: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+                c.eval(&ins)[bold.index()]
+            })
+            .collect();
+        let outcome = remove_redundant_wires_with(
+            &mut c,
+            &candidates,
+            &RemovalOptions {
+                imply: ImplyOptions::default(),
+                exact_budget: 0,
+                max_checks: 2,
+            },
+            4,
+        );
+        assert!(outcome.budget_exhausted, "budget must be reported");
+        assert_eq!(outcome.checks, 2, "stops exactly at the budget");
+        for (m, want) in before.iter().enumerate() {
+            let ins: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                c.eval(&ins)[bold.index()],
+                *want,
+                "function changed at minterm {m}"
+            );
+        }
+
+        // An unlimited budget on the same circuit reports no exhaustion.
+        let outcome = remove_redundant_wires(&mut c, &candidates, ImplyOptions::default(), 4);
+        assert!(!outcome.budget_exhausted);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct DivisionOptions {
     /// with this decision budget (the extreme end of the paper's
     /// implication-effort knob).
     pub exact_budget: usize,
+    /// When non-zero, redundancy removal stops after this many fault
+    /// checks per division (sound early exit: the quotient is merely less
+    /// simplified). 0 means unlimited.
+    pub max_checks: usize,
 }
 
 impl DivisionOptions {
@@ -39,6 +43,7 @@ impl DivisionOptions {
             imply: ImplyOptions::default(),
             max_passes: 2,
             exact_budget: 0,
+            max_checks: 0,
         }
     }
 
@@ -50,6 +55,7 @@ impl DivisionOptions {
             imply: ImplyOptions::default(),
             max_passes: 2,
             exact_budget: budget,
+            max_checks: 0,
         }
     }
 }
@@ -66,6 +72,9 @@ pub struct DivisionResult {
     pub wires_removed: usize,
     /// Number of fault checks performed.
     pub checks: usize,
+    /// Whether redundancy removal stopped early on the per-division check
+    /// budget ([`DivisionOptions::max_checks`]).
+    pub budget_exhausted: bool,
 }
 
 impl DivisionResult {
@@ -248,6 +257,7 @@ pub fn basic_divide_covers(f: &Cover, d: &Cover, opts: &DivisionOptions) -> Divi
             remainder,
             wires_removed: 0,
             checks: 0,
+            budget_exhausted: false,
         };
     }
     debug_assert!(
@@ -263,6 +273,7 @@ pub fn basic_divide_covers(f: &Cover, d: &Cover, opts: &DivisionOptions) -> Divi
         &RemovalOptions {
             imply: opts.imply,
             exact_budget: opts.exact_budget,
+            max_checks: opts.max_checks,
         },
         opts.max_passes.max(1) + 1,
     );
@@ -272,6 +283,7 @@ pub fn basic_divide_covers(f: &Cover, d: &Cover, opts: &DivisionOptions) -> Divi
         remainder,
         wires_removed: outcome.removed.len(),
         checks: outcome.checks,
+        budget_exhausted: outcome.budget_exhausted,
     }
 }
 
@@ -521,6 +533,50 @@ mod tests {
         }
     }
 
+    /// A tight per-division check budget stops removal early but keeps
+    /// the `f = d·q + r` identity: the quotient is merely less simplified.
+    #[test]
+    fn check_budget_exhaustion_is_sound_and_reported() {
+        let f = parse_sop(3, "ab + ac + bc'").expect("f");
+        let d = parse_sop(3, "ab + c").expect("d");
+        let tight = basic_divide_covers(
+            &f,
+            &d,
+            &DivisionOptions {
+                max_checks: 1,
+                ..DivisionOptions::paper_default()
+            },
+        );
+        assert!(tight.budget_exhausted, "budget must be reported");
+        assert_eq!(tight.checks, 1);
+        assert!(tight.verify(&f, &d), "early-stopped division stays exact");
+
+        let full = basic_divide_covers(&f, &d, &DivisionOptions::paper_default());
+        assert!(!full.budget_exhausted);
+        assert!(
+            full.sop_cost() <= tight.sop_cost(),
+            "the budget can only cost quality, never correctness"
+        );
+    }
+
+    /// The exact-search backstop honours the same check budget.
+    #[test]
+    fn exact_mode_respects_check_budget() {
+        let f = parse_sop(4, "ab + ac + bc' + a'd").expect("f");
+        let d = parse_sop(4, "ab + c").expect("d");
+        let tight = basic_divide_covers(
+            &f,
+            &d,
+            &DivisionOptions {
+                max_checks: 2,
+                ..DivisionOptions::exact(64)
+            },
+        );
+        assert!(tight.budget_exhausted);
+        assert_eq!(tight.checks, 2);
+        assert!(tight.verify(&f, &d));
+    }
+
     #[test]
     fn learning_can_only_help() {
         let f = parse_sop(4, "ab + ac + bc' + a'd").expect("f");
@@ -533,6 +589,7 @@ mod tests {
                 imply: ImplyOptions { learn_depth: 1 },
                 max_passes: 2,
                 exact_budget: 0,
+                max_checks: 0,
             },
         );
         assert!(learned.verify(&f, &d));

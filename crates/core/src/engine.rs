@@ -33,11 +33,15 @@
 
 use crate::netcircuit::ShadowBase;
 use crate::subst::{try_pair_core, Acceptance, GdcScope, SubstMode, SubstOptions, SubstStats};
+use crate::txn::TxnSnapshot;
 use boolsubst_algebraic::JointSpace;
 use boolsubst_cube::Cover;
+use boolsubst_guard::{Guard, GuardConfig};
 use boolsubst_network::{Network, NodeId, SideTables};
 use boolsubst_sim::SimFilter;
 use boolsubst_trace::{Outcome, Stage, Tracer};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 pub(crate) fn nanos(since: Instant) -> u64 {
@@ -85,6 +89,14 @@ pub struct SubstEngine<'a> {
     /// beyond these `Option` checks, and attaching a tracer never changes
     /// the accepted rewrites.
     tracer: Option<&'a mut Tracer>,
+    /// Post-apply equivalence guard (built when `opts.checked`). A
+    /// rewrite the guard refutes is rolled back via [`TxnSnapshot`] and
+    /// the pair quarantined; a healthy engine never trips it, so the
+    /// checked sweep stays bit-identical to the unchecked one.
+    guard: Option<Guard>,
+    /// Pairs whose rewrites were refuted or whose attempts faulted; never
+    /// retried for the rest of the session.
+    quarantine: HashSet<(NodeId, NodeId)>,
 }
 
 impl<'a> SubstEngine<'a> {
@@ -98,6 +110,7 @@ impl<'a> SubstEngine<'a> {
         if sim.is_some() {
             stats.sim_nanos += nanos(t0);
         }
+        let guard = opts.checked.then(|| Guard::new(GuardConfig::default()));
         SubstEngine {
             net,
             opts,
@@ -106,6 +119,8 @@ impl<'a> SubstEngine<'a> {
             shadow: None,
             sim,
             tracer: None,
+            guard,
+            quarantine: HashSet::new(),
         }
     }
 
@@ -133,6 +148,9 @@ impl<'a> SubstEngine<'a> {
     /// accepts nothing. Returns the accumulated statistics.
     pub fn run(&mut self) -> SubstStats {
         for _ in 0..self.opts.max_passes.max(1) {
+            if self.deadline_expired() {
+                break;
+            }
             self.stats.passes += 1;
             let before = self.stats.substitutions;
             let gain_before = self.stats.literal_gain;
@@ -177,11 +195,66 @@ impl<'a> SubstEngine<'a> {
             t.stage(Stage::Enumerate, dt);
         }
         for target in targets {
+            if self.deadline_expired() {
+                return;
+            }
             if self.net.node_opt(target).is_none() {
                 continue;
             }
             self.visit_target(target);
         }
+    }
+
+    /// True (and latches `stats.interrupted`) once the wall-clock
+    /// deadline has passed. The sweep only consults this between pair
+    /// attempts, so an expiring deadline always leaves a valid network —
+    /// just one with fewer rewrites applied.
+    fn deadline_expired(&mut self) -> bool {
+        if self.stats.interrupted {
+            return true;
+        }
+        if self.opts.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.stats.interrupted = true;
+        }
+        self.stats.interrupted
+    }
+
+    /// Adds a pair to the quarantine set (once), counting it in stats.
+    fn quarantine_pair(&mut self, target: NodeId, divisor: NodeId) {
+        if self.quarantine.insert((target, divisor)) {
+            self.stats.quarantined += 1;
+        }
+    }
+
+    /// Rolls the live network back to `snap` and restores the acceptance
+    /// counters captured before the attempt (`stats0`); work counters
+    /// (divisions tried, filter tallies, timings) are kept, since that
+    /// work really happened.
+    fn recover(&mut self, snap: &TxnSnapshot, stats0: &SubstStats) {
+        // Rollback only replays covers captured from live nodes and
+        // deletes nodes minted after the snapshot; the sweep never
+        // deletes pre-existing nodes, so this cannot fail in practice.
+        let rolled = snap.rollback(self.net);
+        debug_assert!(rolled.is_ok(), "rollback failed: {rolled:?}");
+        self.stats.substitutions = stats0.substitutions;
+        self.stats.pos_substitutions = stats0.pos_substitutions;
+        self.stats.extended_decompositions = stats0.extended_decompositions;
+        self.stats.literal_gain = stats0.literal_gain;
+    }
+
+    /// Reconstructs the pre-rewrite network (rollback applied to a clone
+    /// of the post state) and asks the guard whether the rewrite
+    /// preserved every primary-output function.
+    fn guard_passes(&mut self, snap: &TxnSnapshot) -> bool {
+        let Some(guard) = self.guard.as_mut() else {
+            return true;
+        };
+        let mut pre = self.net.clone();
+        if snap.rollback(&mut pre).is_err() {
+            // No pre-state to compare against: reject conservatively.
+            return false;
+        }
+        guard.check(&pre, self.net).passed()
     }
 
     /// Divisor candidates for `target`: the fanouts of its fanins, which
@@ -231,6 +304,9 @@ impl<'a> SubstEngine<'a> {
                         t.stage(Stage::Enumerate, dt);
                     }
                     for divisor in cands {
+                        if self.deadline_expired() {
+                            return;
+                        }
                         let before = self.stats.substitutions;
                         self.attempt(target, divisor);
                         if self.stats.substitutions != before {
@@ -257,15 +333,42 @@ impl<'a> SubstEngine<'a> {
                 // only the best one for real.
                 let mut best: Option<(NodeId, i64)> = None;
                 for &divisor in &cands {
+                    if self.deadline_expired() {
+                        return;
+                    }
                     let mut scratch = self.net.clone();
                     let mut scratch_stats = SubstStats::default();
-                    if let Some(gain) = crate::subst::try_pair(
-                        &mut scratch,
-                        target,
-                        divisor,
-                        &self.opts,
-                        &mut scratch_stats,
-                    ) {
+                    let dry = if self.opts.checked {
+                        // Dry runs mutate only the scratch clone, so a
+                        // panicking attempt is discarded wholesale; the
+                        // pair is quarantined so the real sweep skips it.
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            crate::subst::try_pair(
+                                &mut scratch,
+                                target,
+                                divisor,
+                                &self.opts,
+                                &mut scratch_stats,
+                            )
+                        }));
+                        match caught {
+                            Ok(gain) => gain,
+                            Err(_) => {
+                                self.stats.engine_faults += 1;
+                                self.quarantine_pair(target, divisor);
+                                None
+                            }
+                        }
+                    } else {
+                        crate::subst::try_pair(
+                            &mut scratch,
+                            target,
+                            divisor,
+                            &self.opts,
+                            &mut scratch_stats,
+                        )
+                    };
+                    if let Some(gain) = dry {
                         if best.is_none_or(|(_, g)| gain > g) {
                             best = Some((divisor, gain));
                         }
@@ -322,6 +425,10 @@ impl<'a> SubstEngine<'a> {
         }
         let t0 = Instant::now();
         self.stats.candidates_enumerated += 1;
+        if self.quarantine.contains(&(target, divisor)) {
+            self.filter_reject(t0, Outcome::GuardRejected);
+            return None;
+        }
         // Candidates are fanouts, hence internal; only the self-pair and
         // existing-fanin checks remain from the legacy structural filter.
         if target == divisor || self.net.node(target).fanins().contains(&divisor) {
@@ -334,7 +441,13 @@ impl<'a> SubstEngine<'a> {
             self.filter_reject(t0, Outcome::RejectedTfo);
             return None;
         }
-        let d_cover_len = self.net.node(divisor).cover().expect("internal").len();
+        // Candidates come from fanout lists, so a missing cover means the
+        // index and the network disagree — reject rather than panic.
+        let Some(d_cover_len) = self.net.node(divisor).cover().map(Cover::len) else {
+            self.stats.filtered_structural += 1;
+            self.filter_reject(t0, Outcome::RejectedStructural);
+            return None;
+        };
         if d_cover_len == 0 || d_cover_len > self.opts.max_divisor_cubes {
             self.stats.filtered_divisor_size += 1;
             self.filter_reject(t0, Outcome::RejectedDivisorSize);
@@ -355,16 +468,39 @@ impl<'a> SubstEngine<'a> {
         if self.opts.mode == SubstMode::ExtendedGdc {
             self.ensure_shadow(target);
         }
+        let mut sim_fault = false;
         if let Some(sim) = self.sim.as_mut() {
             // Fold any patterns harvested by earlier refinements into the
             // signatures before they are screened against.
             let ts = Instant::now();
             sim.flush(self.net);
+            if self.opts.checked {
+                #[cfg(feature = "chaos")]
+                if let Some(r) = crate::chaos::should_poison_signature() {
+                    sim.chaos_poison_signature(target, usize::try_from(r).unwrap_or(0));
+                }
+                // Integrity audit: recompute this pair's signature rows
+                // from their fanins and compare against the cache. A
+                // mismatch means the incremental patching went wrong
+                // somewhere — repair by rebuilding from scratch.
+                if !sim.audit(self.net, &[target, divisor]) {
+                    sim.rebuild(self.net);
+                    sim_fault = true;
+                }
+            }
             let dts = nanos(ts);
             self.stats.sim_nanos += dts;
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.stage(Stage::Sim, dts);
             }
+        }
+        if sim_fault {
+            self.stats.engine_faults += 1;
+            self.quarantine_pair(target, divisor);
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.end_pair_with(Outcome::EngineFault, 0);
+            }
+            return None;
         }
         let t1 = Instant::now();
         let v0 = self.net.version();
@@ -374,23 +510,64 @@ impl<'a> SubstEngine<'a> {
         let false_passes0 = self.stats.sim_false_passes;
         let sim_nanos0 = self.stats.sim_nanos;
         let rar_checks0 = self.stats.rar_checks;
-        let result = {
-            let scope = match &self.shadow {
-                Some(e) if self.opts.mode == SubstMode::ExtendedGdc => GdcScope::Shadow(&e.base),
-                _ => GdcScope::Rebuild,
+        // Checked mode snapshots the minimal pre-state (the two covers
+        // this pair can rewrite plus the id bound for minted nodes) so a
+        // faulting or guard-refuted attempt can be undone in O(changed).
+        let snap = self
+            .opts
+            .checked
+            .then(|| TxnSnapshot::capture(self.net, &[target, divisor]));
+        let stats0 = self.stats;
+        let mut verdict: Option<Outcome> = None;
+        let mut result = {
+            let mut core = || {
+                let scope = match &self.shadow {
+                    Some(e) if self.opts.mode == SubstMode::ExtendedGdc => {
+                        GdcScope::Shadow(&e.base)
+                    }
+                    _ => GdcScope::Rebuild,
+                };
+                try_pair_core(
+                    &mut *self.net,
+                    target,
+                    divisor,
+                    &space,
+                    &self.opts,
+                    &mut self.stats,
+                    &scope,
+                    self.sim.as_ref(),
+                    self.tracer.as_deref_mut(),
+                )
             };
-            try_pair_core(
-                &mut *self.net,
-                target,
-                divisor,
-                &space,
-                &self.opts,
-                &mut self.stats,
-                &scope,
-                self.sim.as_ref(),
-                self.tracer.as_deref_mut(),
-            )
+            if snap.is_some() {
+                match catch_unwind(AssertUnwindSafe(core)) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        verdict = Some(Outcome::EngineFault);
+                        None
+                    }
+                }
+            } else {
+                core()
+            }
         };
+        if let Some(snap) = &snap {
+            if verdict == Some(Outcome::EngineFault) {
+                // A panic escaped the division core, possibly mid-rewrite:
+                // restore the pre-state and never retry the pair.
+                self.recover(snap, &stats0);
+                self.stats.engine_faults += 1;
+                self.quarantine_pair(target, divisor);
+            } else if result.is_some() && !self.guard_passes(snap) {
+                // The rewrite changed a primary-output function: undo it
+                // and quarantine the pair, then keep sweeping.
+                self.recover(snap, &stats0);
+                self.stats.guard_rejections += 1;
+                self.quarantine_pair(target, divisor);
+                verdict = Some(Outcome::GuardRejected);
+                result = None;
+            }
+        }
         let dt1 = nanos(t1);
         self.stats.divide_nanos += dt1;
         if let Some(t) = self.tracer.as_deref_mut() {
@@ -452,7 +629,12 @@ impl<'a> SubstEngine<'a> {
             }
         }
         if let Some(t) = self.tracer.as_deref_mut() {
-            t.end_pair(result.unwrap_or(0));
+            match verdict {
+                // The core may have noted an acceptance before the guard
+                // or panic handler overturned it; the explicit close wins.
+                Some(outcome) => t.end_pair_with(outcome, 0),
+                None => t.end_pair(result.unwrap_or(0)),
+            }
         }
         result
     }

@@ -16,6 +16,8 @@
 //!   support-overlap candidate indexing, shadow circuits, stage stats;
 //! * [`netcircuit`] — whole-network gate materialization for the global
 //!   don't-care mode;
+//! * [`txn`] — transactional snapshots powering the checked-apply mode's
+//!   O(changed nodes) rollback;
 //! * [`verify`] — the BDD equivalence oracle every test leans on.
 //!
 //! ```
@@ -41,7 +43,11 @@ pub mod netcircuit;
 pub mod paper;
 pub mod sos;
 pub mod subst;
+pub mod txn;
 pub mod verify;
+
+#[cfg(feature = "chaos")]
+pub mod chaos;
 
 pub use division::{
     basic_divide_covers, pos_divide_covers, pos_divide_precomplemented, split_remainder,
@@ -61,4 +67,5 @@ pub use subst::{
     boolean_substitute, boolean_substitute_legacy, boolean_substitute_traced, Acceptance,
     SubstMode, SubstOptions, SubstStats,
 };
+pub use txn::TxnSnapshot;
 pub use verify::{network_bdds, networks_equivalent, networks_equivalent_modulo_dc};

@@ -75,6 +75,18 @@ pub struct SubstOptions {
     /// the screen never rejects a pair the proofs would accept, so the
     /// accepted rewrites are identical with the filter on or off.
     pub sim: SimConfig,
+    /// Checked apply (engine path only): every accepted rewrite is
+    /// re-verified by the post-apply guard pipeline against the
+    /// reconstructed pre-state, refuted moves are rolled back and the pair
+    /// quarantined, and per-pair work runs under panic isolation. On a
+    /// healthy engine the guards never fire, so the output is bit-identical
+    /// to an unchecked run (`tests/engine_parity.rs`). Default off.
+    pub checked: bool,
+    /// Wall-clock deadline (engine path only): once reached, the sweep
+    /// stops between pair attempts and returns the valid partial result
+    /// with [`SubstStats::interrupted`] set. Each attempt is atomic, so
+    /// the network is never left mid-rewrite. Default none.
+    pub deadline: Option<Instant>,
 }
 
 impl SubstOptions {
@@ -90,6 +102,8 @@ impl SubstOptions {
             max_passes: 1,
             acceptance: Acceptance::FirstGain,
             sim: SimConfig::default(),
+            checked: false,
+            deadline: None,
         }
     }
 
@@ -199,6 +213,20 @@ pub struct SubstStats {
     /// Wall time screening pairs, refining the pool, and patching
     /// signatures (engine path).
     pub sim_nanos: u64,
+    /// Accepted rewrites the checked-mode guard refuted and rolled back.
+    pub guard_rejections: usize,
+    /// Per-pair faults survived in checked mode: panics caught and rolled
+    /// back, typed apply errors, and detected signature corruption.
+    pub engine_faults: usize,
+    /// (target, divisor) pairs quarantined after a guard rejection or
+    /// engine fault (skipped for the rest of the run).
+    pub quarantined: usize,
+    /// Divisions whose redundancy removal stopped early on the per-pair
+    /// check budget ([`DivisionOptions::max_checks`]).
+    pub check_budget_exhausted: usize,
+    /// The run stopped early on [`SubstOptions::deadline`]: the network is
+    /// valid and equivalent, but the sweep did not finish.
+    pub interrupted: bool,
 }
 
 impl fmt::Display for SubstStats {
@@ -255,6 +283,23 @@ impl fmt::Display for SubstStats {
             "  sim pool               {:>8}  patterns x {} words",
             self.sim_patterns, self.sim_words,
         )?;
+        if self.guard_rejections
+            + self.engine_faults
+            + self.quarantined
+            + self.check_budget_exhausted
+            > 0
+            || self.interrupted
+        {
+            writeln!(
+                f,
+                "  checked apply          {:>8}  guard-rejected (faults {}, quarantined {}, budget-stops {}{})",
+                self.guard_rejections,
+                self.engine_faults,
+                self.quarantined,
+                self.check_budget_exhausted,
+                if self.interrupted { ", INTERRUPTED" } else { "" },
+            )?;
+        }
         write!(
             f,
             "  time (ms)              enumerate {:.2}, filter {:.2}, divide {:.2}, apply {:.2}, sim {:.2}",
@@ -321,6 +366,13 @@ impl SubstStats {
             .saturating_add(other.sim_ext_wires_skipped);
         self.sim_patterns = self.sim_patterns.saturating_add(other.sim_patterns);
         self.sim_words = self.sim_words.saturating_add(other.sim_words);
+        self.guard_rejections = self.guard_rejections.saturating_add(other.guard_rejections);
+        self.engine_faults = self.engine_faults.saturating_add(other.engine_faults);
+        self.quarantined = self.quarantined.saturating_add(other.quarantined);
+        self.check_budget_exhausted = self
+            .check_budget_exhausted
+            .saturating_add(other.check_budget_exhausted);
+        self.interrupted |= other.interrupted;
         self.enumerate_nanos = self.enumerate_nanos.saturating_add(other.enumerate_nanos);
         self.filter_nanos = self.filter_nanos.saturating_add(other.filter_nanos);
         self.divide_nanos = self.divide_nanos.saturating_add(other.divide_nanos);
@@ -359,6 +411,11 @@ impl SubstStats {
             .u64("sim_ext_wires_skipped", u(self.sim_ext_wires_skipped))
             .u64("sim_patterns", u(self.sim_patterns))
             .u64("sim_words", u(self.sim_words))
+            .u64("guard_rejections", u(self.guard_rejections))
+            .u64("engine_faults", u(self.engine_faults))
+            .u64("quarantined", u(self.quarantined))
+            .u64("check_budget_exhausted", u(self.check_budget_exhausted))
+            .u64("interrupted", u64::from(self.interrupted))
             .u64("enumerate_nanos", self.enumerate_nanos)
             .u64("filter_nanos", self.filter_nanos)
             .u64("divide_nanos", self.divide_nanos)
@@ -409,8 +466,12 @@ fn assemble(
 }
 
 fn factored_gain(net: &Network, target: NodeId, new_cover: &Cover) -> i64 {
-    let old = factored_literals(net.node(target).cover().expect("internal")) as i64;
-    old - factored_literals(new_cover) as i64
+    // A target without a cover is a primary input, which the filters
+    // reject; zero gain turns the impossible case into a safe reject.
+    let Some(old) = net.node(target).cover() else {
+        return 0;
+    };
+    factored_literals(old) as i64 - factored_literals(new_cover) as i64
 }
 
 /// How the GDC mode materializes the whole-network circuit for one
@@ -447,7 +508,11 @@ pub(crate) fn try_pair(
         stats.filtered_tfo += 1;
         return None;
     }
-    let d_cover_len = net.node(divisor).cover().expect("internal").len();
+    let Some(d_cover_len) = net.node(divisor).cover().map(Cover::len) else {
+        // Unreachable after the is_input filter; reject rather than panic.
+        stats.filtered_structural += 1;
+        return None;
+    };
     if d_cover_len == 0 || d_cover_len > opts.max_divisor_cubes {
         stats.filtered_divisor_size += 1;
         return None;
@@ -488,6 +553,16 @@ fn note(tracer: &mut Option<&mut Tracer>, outcome: Outcome) {
     }
 }
 
+/// Books a typed apply failure (a `replace_function`/plan error that
+/// previously aborted the process) as an engine fault and rejects the
+/// pair. Every such site is validate-then-mutate or internally rolled
+/// back, so the network is unchanged when this runs.
+fn fault_reject(stats: &mut SubstStats, tracer: &mut Option<&mut Tracer>) -> Option<i64> {
+    stats.engine_faults += 1;
+    note(tracer, Outcome::EngineFault);
+    None
+}
+
 /// The filter-free heart of a substitution attempt: divides `target` by
 /// `divisor` over the precomputed joint `space` and applies the first
 /// strategy with positive gain. Callers guarantee the pair already passed
@@ -511,6 +586,8 @@ pub(crate) fn try_pair_core(
     sim: Option<&SimFilter>,
     mut tracer: Option<&mut Tracer>,
 ) -> Option<i64> {
+    #[cfg(feature = "chaos")]
+    crate::chaos::maybe_panic(crate::chaos::PanicSite::PairEntry);
     let f = space.cover_of(net, target);
     let d = space.cover_of(net, divisor);
     stats.divisions_tried += 1;
@@ -556,14 +633,21 @@ pub(crate) fn try_pair_core(
         r.succeeded().then_some((r.quotient, r.remainder))
     };
     if let Some((quotient, remainder)) = division {
+        #[cfg(feature = "chaos")]
+        let quotient = crate::chaos::corrupt_quotient(quotient);
         let (fanins, cover) = assemble(space, divisor, &quotient, &remainder, Phase::Pos);
         let gain = factored_gain(net, target, &cover);
         if gain > 0 {
-            net.replace_function(target, fanins, cover)
-                .expect("substitution must be applicable");
+            #[cfg(feature = "chaos")]
+            let cover = crate::chaos::corrupt_cover(cover);
+            if net.replace_function(target, fanins, cover).is_err() {
+                return fault_reject(stats, &mut tracer);
+            }
             stats.substitutions += 1;
             stats.literal_gain += gain;
             note(&mut tracer, Outcome::AcceptedSop);
+            #[cfg(feature = "chaos")]
+            crate::chaos::maybe_panic(crate::chaos::PanicSite::PostApply);
             return Some(gain);
         }
     }
@@ -582,8 +666,9 @@ pub(crate) fn try_pair_core(
                     assemble(space, divisor, &r.quotient, &r.remainder, Phase::Neg);
                 let gain = factored_gain(net, target, &cover);
                 if gain > 0 {
-                    net.replace_function(target, fanins, cover)
-                        .expect("complement substitution must be applicable");
+                    if net.replace_function(target, fanins, cover).is_err() {
+                        return fault_reject(stats, &mut tracer);
+                    }
                     stats.substitutions += 1;
                     stats.literal_gain += gain;
                     note(&mut tracer, Outcome::AcceptedSop);
@@ -611,7 +696,9 @@ pub(crate) fn try_pair_core(
             if ext.core_cube_indices.len() < d.len() && ext.division.succeeded() {
                 if let Some(plan) = plan_extended(net, target, divisor, space, &ext) {
                     let gain = plan.gain;
-                    plan.apply(net);
+                    if plan.apply(net).is_err() {
+                        return fault_reject(stats, &mut tracer);
+                    }
                     stats.substitutions += 1;
                     stats.extended_decompositions += 1;
                     stats.literal_gain += gain;
@@ -669,8 +756,9 @@ pub(crate) fn try_pair_core(
                     let new_cover = new_cover.remapped(kept.len(), &map);
                     let gain = factored_gain(net, target, &new_cover);
                     if gain > 0 {
-                        net.replace_function(target, kept, new_cover)
-                            .expect("POS substitution must be applicable");
+                        if net.replace_function(target, kept, new_cover).is_err() {
+                            return fault_reject(stats, &mut tracer);
+                        }
                         stats.substitutions += 1;
                         stats.pos_substitutions += 1;
                         stats.literal_gain += gain;
@@ -726,14 +814,26 @@ pub(crate) struct ExtendedPlan {
 
 impl ExtendedPlan {
     /// Applies the rewrite; returns the id of the fresh core node.
-    pub fn apply(self, net: &mut Network) -> NodeId {
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`boolsubst_network::NetworkError`] if any of
+    /// the three edits is inapplicable (which a healthy engine never
+    /// produces). The plan is applied transactionally: on error the partial
+    /// edits are undone first, so the network is left exactly as it was —
+    /// a fail-stop path must not become a silent partial mutation.
+    pub fn apply(self, net: &mut Network) -> Result<NodeId, boolsubst_network::NetworkError> {
         let n = self.space_vars.len();
-        // 1. Core node over its support.
+        let divisor_pre = {
+            let node = net.node(self.divisor);
+            node.cover().map(|c| (node.fanins().to_vec(), c.clone()))
+        };
+        let id_bound = net.id_bound();
+
+        // 1. Core node over its support. Nothing mutated yet on error.
         let (core_fanins, core_local) = project(&self.core, &self.space_vars);
         let name = net.fresh_name();
-        let m = net
-            .add_node(name, core_fanins, core_local)
-            .expect("fresh core node");
+        let m = net.add_node(name, core_fanins, core_local)?;
 
         // 2. Divisor = rest + x_core.
         let mut div_fanins = self.space_vars.clone();
@@ -746,8 +846,12 @@ impl ExtendedPlan {
         xc.restrict(Lit::pos(n));
         div_cover.push(xc);
         let (kept, div_cover) = project(&div_cover, &div_fanins);
-        net.replace_function(self.divisor, kept, div_cover)
-            .expect("divisor decomposition must be applicable");
+        if let Err(e) = net.replace_function(self.divisor, kept, div_cover) {
+            // Only the fresh node exists; it has no fanouts yet.
+            let _ = net.remove_node(m);
+            net.truncate_dead_tail(id_bound);
+            return Err(e);
+        }
 
         // 3. Target = q·x_core + r.
         let mut tgt_fanins = self.space_vars;
@@ -760,9 +864,16 @@ impl ExtendedPlan {
         }
         tgt_cover.extend_cover(&self.remainder.extended(n + 1));
         let (kept, tgt_cover) = project(&tgt_cover, &tgt_fanins);
-        net.replace_function(self.target, kept, tgt_cover)
-            .expect("target substitution must be applicable");
-        m
+        if let Err(e) = net.replace_function(self.target, kept, tgt_cover) {
+            // Undo the divisor rewrite, then drop the now-orphaned core.
+            if let Some((fanins, cover)) = divisor_pre {
+                let _ = net.replace_function(self.divisor, fanins, cover);
+            }
+            let _ = net.remove_node(m);
+            net.truncate_dead_tail(id_bound);
+            return Err(e);
+        }
+        Ok(m)
     }
 }
 
@@ -797,7 +908,7 @@ fn plan_extended(
     //   divisor: old − (rest + 1 literal for x_core);
     //   core node: −lits(core)  ... but those literals previously lived
     //   inside the divisor, so the divisor side nets to −1.
-    let target_old = factored_literals(net.node(target).cover().expect("internal")) as i64;
+    let target_old = factored_literals(net.node(target).cover()?) as i64;
     let n = space.len();
     let mut new_target = Cover::new(n + 1);
     for c in quotient.cubes() {
@@ -808,7 +919,7 @@ fn plan_extended(
     new_target.extend_cover(&remainder.extended(n + 1));
     let target_new = factored_literals(&new_target) as i64;
 
-    let divisor_old = factored_literals(net.node(divisor).cover().expect("internal")) as i64;
+    let divisor_old = factored_literals(net.node(divisor).cover()?) as i64;
     let mut new_divisor = Cover::new(n + 1);
     for c in rest.cubes() {
         new_divisor.push(c.extended(n + 1));
@@ -873,10 +984,14 @@ fn divide_in_network(
         &RemovalOptions {
             imply: opts.imply,
             exact_budget: opts.exact_budget,
+            max_checks: opts.max_checks,
         },
         opts.max_passes.max(1) + 1,
     );
     stats.rar_checks += outcome.checks;
+    if outcome.budget_exhausted {
+        stats.check_budget_exhausted += 1;
+    }
     let quotient = region.read_quotient();
     (!quotient.is_empty()).then_some((quotient, remainder))
 }

@@ -300,6 +300,81 @@ mod tests {
     }
 
     #[test]
+    fn empty_covers_are_constant_zero() {
+        // A .names block with no rows is constant 0; both checkers must
+        // treat it as a function, not a degenerate case.
+        let x = parse_blif(".model x\n.inputs a\n.outputs f\n.names a f\n.end\n").expect("x");
+        let y = parse_blif(".model y\n.inputs a\n.outputs f\n.names f\n.end\n").expect("y");
+        assert!(networks_equivalent(&x, &y));
+        assert!(networks_equivalent_modulo_dc(&x, &y));
+        let one = parse_blif(".model o\n.inputs a\n.outputs f\n.names f\n1\n.end\n").expect("o");
+        assert!(!networks_equivalent(&x, &one));
+    }
+
+    #[test]
+    fn constant_nodes_compare_by_function() {
+        // Constant 1 vs the tautology cover a + a' — equivalent; constant
+        // 1 vs constant 0 — not.
+        let one = parse_blif(".model a\n.inputs a\n.outputs f\n.names f\n1\n.end\n").expect("a");
+        let taut =
+            parse_blif(".model b\n.inputs a\n.outputs f\n.names a f\n1 1\n0 1\n.end\n").expect("b");
+        let zero = parse_blif(".model c\n.inputs a\n.outputs f\n.names f\n.end\n").expect("c");
+        assert!(networks_equivalent(&one, &taut));
+        assert!(!networks_equivalent(&one, &zero));
+        assert!(networks_equivalent_modulo_dc(&one, &taut));
+        assert!(!networks_equivalent_modulo_dc(&one, &zero));
+    }
+
+    #[test]
+    fn output_declaration_order_is_immaterial() {
+        // Outputs are matched by name, so declaring them in a different
+        // order must not affect the verdict.
+        let x = parse_blif(
+            ".model x\n.inputs a b\n.outputs f g\n.names a b f\n11 1\n.names a b g\n1- 1\n.end\n",
+        )
+        .expect("x");
+        let y = parse_blif(
+            ".model y\n.inputs a b\n.outputs g f\n.names a b f\n11 1\n.names a b g\n1- 1\n.end\n",
+        )
+        .expect("y");
+        assert!(networks_equivalent(&x, &y));
+        assert!(networks_equivalent_modulo_dc(&x, &y));
+    }
+
+    #[test]
+    fn mismatched_output_names_are_not_equivalent() {
+        // Same functions, different interface: must be rejected, not
+        // matched positionally.
+        let x =
+            parse_blif(".model x\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n").expect("x");
+        let y =
+            parse_blif(".model y\n.inputs a b\n.outputs h\n.names a b h\n11 1\n.end\n").expect("y");
+        assert!(!networks_equivalent(&x, &y));
+        assert!(!networks_equivalent_modulo_dc(&x, &y));
+        // Extra output on one side: also a mismatch.
+        let z = parse_blif(
+            ".model z\n.inputs a b\n.outputs f g\n.names a b f\n11 1\n.names a b g\n1- 1\n.end\n",
+        )
+        .expect("z");
+        assert!(!networks_equivalent(&x, &z));
+        assert!(!networks_equivalent_modulo_dc(&x, &z));
+    }
+
+    #[test]
+    fn mismatched_input_interfaces_are_not_equivalent() {
+        let x =
+            parse_blif(".model x\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n").expect("x");
+        // Different input names (even with the same output function shape).
+        let y =
+            parse_blif(".model y\n.inputs a c\n.outputs f\n.names a c f\n11 1\n.end\n").expect("y");
+        assert!(!networks_equivalent(&x, &y));
+        // Different input count.
+        let z = parse_blif(".model z\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n").expect("z");
+        assert!(!networks_equivalent(&x, &z));
+        assert!(!networks_equivalent_modulo_dc(&x, &z));
+    }
+
+    #[test]
     fn network_bdds_match_eval() {
         let mut net = Network::new("m");
         let a = net.add_input("a").expect("a");

@@ -1,0 +1,367 @@
+#![warn(missing_docs)]
+//! # boolsubst-guard — post-apply equivalence guards for checked substitution
+//!
+//! Every substitution the engine accepts is supposed to preserve the
+//! network's primary-output functions exactly (Lemma 1/2 make the added
+//! divisor wire redundant by construction, and redundancy removal deletes
+//! only untestable wires). A bug anywhere in that chain — implication,
+//! vote-table masking, cube bookkeeping — silently miscompiles the
+//! network. This crate is the independent check the checked-apply mode
+//! runs *after* each accepted rewrite, against the reconstructed
+//! pre-state:
+//!
+//! * **Tier A (simulation)** — word-parallel signatures of every primary
+//!   output over a guard-owned [`PatternPool`], compared pre vs post. For
+//!   networks with few inputs the pool is exhaustive, making the tier a
+//!   complete equivalence check; otherwise a mismatch is a concrete
+//!   counterexample (sound refutation) while a match proves nothing.
+//! * **Tier B (exact)** — a shared-manager BDD comparison of the
+//!   primary-output functions, run when tier A sampled (inconclusive on a
+//!   pass) and the network is small enough to afford it.
+//!
+//! The guard deliberately re-implements its BDD oracle here rather than
+//! calling into `boolsubst-core`: the checked engine lives in core, so the
+//! guard must sit *below* it in the crate graph to stay an independent
+//! layer (and to keep a core bug from vouching for itself).
+
+use boolsubst_bdd::{Bdd, Ref};
+use boolsubst_cube::Phase;
+use boolsubst_network::{Network, NodeId};
+use boolsubst_sim::{PatternPool, SimTable};
+use std::collections::HashMap;
+
+/// Tunables for the guard pipeline. `Copy` so it can ride inside the
+/// engine's options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Signature width of the random pool, in 64-bit words (64 patterns
+    /// each). Used when the network has too many inputs for an exhaustive
+    /// pool.
+    pub words: usize,
+    /// Seed for the random pool (deterministic across runs).
+    pub seed: u64,
+    /// Networks with at most this many primary inputs get an exhaustive
+    /// pool, making tier A a complete check (capped at 16 by the pool).
+    pub exhaustive_inputs: usize,
+    /// Tier B (exact BDD compare) runs only when tier A sampled and the
+    /// network has at most this many live nodes. `0` disables tier B.
+    pub exact_node_limit: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig {
+            words: 4,
+            seed: 0x6A5D_0CE1_1B0A_7E0F,
+            exhaustive_inputs: 12,
+            exact_node_limit: 4096,
+        }
+    }
+}
+
+/// How one guard check concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardDecision {
+    /// All primary outputs match on an exhaustive pool: exact equivalence.
+    PassExhaustive,
+    /// Tier A sampled clean and the tier B BDD compare proved equivalence.
+    PassExact,
+    /// Tier A sampled clean; tier B was out of budget. Not a proof — but
+    /// the rewrite also passed the engine's own redundancy reasoning, so
+    /// two independent mechanisms now agree.
+    PassSampled,
+    /// A pool pattern evaluates the named output differently pre vs post:
+    /// a concrete counterexample, conclusive regardless of pool kind.
+    RefutedSim {
+        /// Name of the first mismatching primary output.
+        output: String,
+    },
+    /// The tier B BDD compare found a primary output whose function
+    /// changed (on a point the sampled pool missed).
+    RefutedExact {
+        /// Name of the first mismatching primary output.
+        output: String,
+    },
+}
+
+impl GuardDecision {
+    /// Whether the rewrite may stand.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        matches!(
+            self,
+            GuardDecision::PassExhaustive | GuardDecision::PassExact | GuardDecision::PassSampled
+        )
+    }
+
+    /// Whether the decision is a *proof* of equivalence (exhaustive pool
+    /// or BDD), as opposed to a sampled pass.
+    #[must_use]
+    pub fn exact(&self) -> bool {
+        matches!(
+            self,
+            GuardDecision::PassExhaustive | GuardDecision::PassExact
+        )
+    }
+}
+
+/// The guard pipeline: owns its pattern pools (one per input count, built
+/// lazily and reused across checks) and a few diagnostic counters.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    config: GuardConfig,
+    pools: HashMap<usize, PatternPool>,
+    checks: u64,
+    exact_runs: u64,
+}
+
+impl Guard {
+    /// Creates a guard with the given tunables.
+    #[must_use]
+    pub fn new(config: GuardConfig) -> Guard {
+        Guard {
+            config,
+            pools: HashMap::new(),
+            checks: 0,
+            exact_runs: 0,
+        }
+    }
+
+    /// Number of [`Guard::check`] calls so far.
+    #[must_use]
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of checks that escalated to the tier B BDD compare.
+    #[must_use]
+    pub fn exact_runs(&self) -> u64 {
+        self.exact_runs
+    }
+
+    /// Checks that `post` (the network after an accepted rewrite) still
+    /// computes the same primary-output functions as `pre` (the
+    /// reconstructed pre-state). The two networks must have identical
+    /// primary-input and output declarations — `pre` is a rollback of a
+    /// clone of `post`, so the engine guarantees this; a structural
+    /// mismatch is reported as a refutation rather than trusted.
+    pub fn check(&mut self, pre: &Network, post: &Network) -> GuardDecision {
+        self.checks += 1;
+        if pre.inputs().len() != post.inputs().len() || pre.outputs().len() != post.outputs().len()
+        {
+            return GuardDecision::RefutedSim {
+                output: "<interface mismatch>".to_string(),
+            };
+        }
+
+        // Tier A: word-parallel signatures over the shared pool.
+        let n = pre.inputs().len();
+        let config = self.config;
+        let pool = self.pools.entry(n).or_insert_with(|| {
+            if n <= config.exhaustive_inputs.min(16) {
+                PatternPool::exhaustive(n)
+            } else {
+                PatternPool::random(n, config.words, 0, config.seed)
+            }
+        });
+        let exhaustive = n <= config.exhaustive_inputs.min(16);
+        let pre_table = SimTable::build(pre, pool);
+        let post_table = SimTable::build(post, pool);
+        let words = pool.words();
+        for (k, (name, o)) in pre.outputs().iter().enumerate() {
+            let (post_name, post_o) = &post.outputs()[k];
+            if name != post_name {
+                return GuardDecision::RefutedSim {
+                    output: "<interface mismatch>".to_string(),
+                };
+            }
+            let a = pre_table.sig(pre, *o);
+            let b = post_table.sig(post, *post_o);
+            for w in 0..words {
+                if (a[w] ^ b[w]) & pool.mask(w) != 0 {
+                    return GuardDecision::RefutedSim {
+                        output: name.clone(),
+                    };
+                }
+            }
+        }
+        if exhaustive {
+            return GuardDecision::PassExhaustive;
+        }
+
+        // Tier B: exact BDD compare of the primary-output functions, when
+        // the network is small enough to afford it.
+        if self.config.exact_node_limit == 0 || post.len() > self.config.exact_node_limit {
+            return GuardDecision::PassSampled;
+        }
+        self.exact_runs += 1;
+        match outputs_equal_exact(pre, post) {
+            None => GuardDecision::PassExact,
+            Some(output) => GuardDecision::RefutedExact { output },
+        }
+    }
+}
+
+/// Shared-manager BDD comparison of primary-output functions. Inputs are
+/// matched positionally: `pre` is a rolled-back clone of `post`, so input
+/// `i` of one *is* input `i` of the other. Returns the name of the first
+/// differing output, or `None` when all outputs agree.
+fn outputs_equal_exact(pre: &Network, post: &Network) -> Option<String> {
+    let n = pre.inputs().len();
+    let mut bdd = Bdd::new(n);
+    let build = |bdd: &mut Bdd, net: &Network| -> Vec<Option<Ref>> {
+        let mut node_fn: Vec<Option<Ref>> = vec![None; net.id_bound()];
+        for (i, &pi) in net.inputs().iter().enumerate() {
+            node_fn[pi.index()] = Some(bdd.var(i));
+        }
+        for id in net.topo_order() {
+            let node = net.node(id);
+            let Some(cover) = node.cover() else { continue };
+            let mut acc = bdd.zero();
+            for cube in cover.cubes() {
+                let mut term = bdd.one();
+                for l in cube.lits() {
+                    let fan: NodeId = node.fanins()[l.var];
+                    let f = node_fn[fan.index()].expect("topo order");
+                    let lit = match l.phase {
+                        Phase::Pos => f,
+                        Phase::Neg => bdd.not(f),
+                    };
+                    term = bdd.and(term, lit);
+                }
+                acc = bdd.or(acc, term);
+            }
+            node_fn[id.index()] = Some(acc);
+        }
+        node_fn
+    };
+    let pre_fn = build(&mut bdd, pre);
+    let post_fn = build(&mut bdd, post);
+    for (k, (name, o)) in pre.outputs().iter().enumerate() {
+        let (_, post_o) = &post.outputs()[k];
+        let a = pre_fn[o.index()].expect("driver built");
+        let b = post_fn[post_o.index()].expect("driver built");
+        if a != b {
+            return Some(name.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+
+    fn small_pair() -> (Network, Network) {
+        let build = |flip: bool| {
+            let mut net = Network::new("g");
+            let a = net.add_input("a").expect("a");
+            let b = net.add_input("b").expect("b");
+            let sop = if flip { "a + b" } else { "ab" };
+            let f = net
+                .add_node("f", vec![a, b], parse_sop(2, sop).expect("f"))
+                .expect("f");
+            net.add_output("f", f).expect("of");
+            net
+        };
+        (build(false), build(true))
+    }
+
+    /// A 20-input conjunction vs. the same network with the output
+    /// constant-0: the functions differ only on the all-ones minterm,
+    /// which a 256-pattern random pool misses (seeded, deterministic).
+    fn wide_pair() -> (Network, Network) {
+        let build = |constant: bool| {
+            let mut net = Network::new("wide");
+            let pis: Vec<NodeId> = (0..20)
+                .map(|k| net.add_input(format!("x{k}")).expect("pi"))
+                .collect();
+            let cover = if constant {
+                boolsubst_cube::Cover::new(20)
+            } else {
+                let mut cube = boolsubst_cube::Cube::universe(20);
+                for v in 0..20 {
+                    cube.restrict(boolsubst_cube::Lit::pos(v));
+                }
+                let mut c = boolsubst_cube::Cover::new(20);
+                c.push(cube);
+                c
+            };
+            let f = net.add_node("f", pis, cover).expect("f");
+            net.add_output("f", f).expect("of");
+            net
+        };
+        (build(false), build(true))
+    }
+
+    #[test]
+    fn identical_small_networks_pass_exhaustively() {
+        let (pre, _) = small_pair();
+        let mut guard = Guard::new(GuardConfig::default());
+        assert_eq!(
+            guard.check(&pre, &pre.clone()),
+            GuardDecision::PassExhaustive
+        );
+        assert_eq!(guard.checks(), 1);
+        assert_eq!(guard.exact_runs(), 0, "exhaustive tier A needs no tier B");
+    }
+
+    #[test]
+    fn changed_output_function_is_refuted_by_tier_a() {
+        let (pre, post) = small_pair();
+        let mut guard = Guard::new(GuardConfig::default());
+        assert_eq!(
+            guard.check(&pre, &post),
+            GuardDecision::RefutedSim {
+                output: "f".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn sampled_miss_is_caught_by_tier_b() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig::default());
+        assert_eq!(
+            guard.check(&pre, &post),
+            GuardDecision::RefutedExact {
+                output: "f".to_string()
+            },
+            "the random pool must miss the all-ones minterm, the BDD must not"
+        );
+        assert_eq!(guard.exact_runs(), 1);
+    }
+
+    #[test]
+    fn tier_b_budget_zero_degrades_to_sampled_pass() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            exact_node_limit: 0,
+            ..GuardConfig::default()
+        });
+        let decision = guard.check(&pre, &post);
+        assert_eq!(decision, GuardDecision::PassSampled);
+        assert!(decision.passed());
+        assert!(!decision.exact());
+    }
+
+    #[test]
+    fn identical_wide_networks_pass_exactly() {
+        let (pre, _) = wide_pair();
+        let mut guard = Guard::new(GuardConfig::default());
+        assert_eq!(guard.check(&pre, &pre.clone()), GuardDecision::PassExact);
+    }
+
+    #[test]
+    fn pools_are_cached_per_input_count() {
+        let (pre, _) = small_pair();
+        let (wide, _) = wide_pair();
+        let mut guard = Guard::new(GuardConfig::default());
+        guard.check(&pre, &pre.clone());
+        guard.check(&wide, &wide.clone());
+        guard.check(&pre, &pre.clone());
+        assert_eq!(guard.pools.len(), 2);
+        assert_eq!(guard.checks(), 3);
+    }
+}

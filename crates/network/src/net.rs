@@ -458,6 +458,21 @@ impl Network {
         Ok(())
     }
 
+    /// Pops trailing removed slots so [`Network::id_bound`] (and therefore
+    /// [`Network::fresh_name`]) shrinks back after a transactional rollback
+    /// deleted freshly minted nodes at the tail. Never shrinks the slot
+    /// vector below `keep`, so ids allocated before the transaction stay
+    /// dense-table-compatible.
+    pub fn truncate_dead_tail(&mut self, keep: usize) {
+        let before = self.nodes.len();
+        while self.nodes.len() > keep && self.nodes.last().is_some_and(Option::is_none) {
+            self.nodes.pop();
+        }
+        if self.nodes.len() != before {
+            self.version += 1;
+        }
+    }
+
     /// Nodes in topological order (fanins before fanouts), inputs first.
     ///
     /// # Panics
@@ -721,6 +736,24 @@ mod tests {
         let (mut net, _a, _b, g, h) = tiny();
         assert!(net.remove_node(g).is_err());
         assert!(net.remove_node(h).is_err()); // primary output
+    }
+
+    #[test]
+    fn truncate_dead_tail_restores_id_bound() {
+        let (mut net, a, b, _g, _h) = tiny();
+        let keep = net.id_bound();
+        let fresh = net
+            .add_node("t0", vec![a, b], parse_sop(2, "ab").expect("parse"))
+            .expect("fresh");
+        assert_eq!(net.id_bound(), keep + 1);
+        net.remove_node(fresh).expect("remove");
+        net.truncate_dead_tail(keep);
+        assert_eq!(net.id_bound(), keep);
+        net.check_invariants();
+        // A second call is a no-op and never shrinks below `keep`.
+        let v = net.version();
+        net.truncate_dead_tail(keep);
+        assert_eq!(net.version(), v);
     }
 
     #[test]

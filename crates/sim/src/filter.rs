@@ -133,6 +133,37 @@ impl SimFilter {
         self.table.patch(net, side, &self.pool, seeds);
     }
 
+    /// Integrity audit (checked mode): re-derives each given node's cached
+    /// signature row from its fanins' rows and compares. Returns false if
+    /// any row has rotted — corruption the version-stamp protocol cannot
+    /// see, because no edit happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is stale or patterns are pending a
+    /// [`SimFilter::flush`].
+    #[must_use]
+    pub fn audit(&self, net: &Network, ids: &[NodeId]) -> bool {
+        assert!(self.pending_from.is_none(), "flush() patterns first");
+        ids.iter().all(|&id| self.table.audit(net, &self.pool, id))
+    }
+
+    /// Rebuilds the signature table from scratch (deterministic repair
+    /// after a failed audit; the pool, including harvested counterexample
+    /// patterns, is kept).
+    pub fn rebuild(&mut self, net: &Network) {
+        self.pending_from = None;
+        self.table = SimTable::build(net, &self.pool);
+    }
+
+    /// Flips one in-pool signature bit of `id` (fault injection for the
+    /// chaos suite; see [`SimTable::chaos_poison`]).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_poison_signature(&mut self, id: NodeId, pattern: usize) {
+        let p = pattern % self.pool.patterns().max(1);
+        self.table.chaos_poison(id, p);
+    }
+
     /// Screens `cover` (over variables `vars`, e.g. a joint-space dividend
     /// or a node's local cover over its fanins) against `divisor`'s
     /// signature. Refute-only: a set flag is a proof, a clear flag means

@@ -121,6 +121,60 @@ impl SimTable {
         changed
     }
 
+    /// Integrity audit: re-derives `id`'s signature from its fanins'
+    /// cached rows (or the pool, for a primary input) and compares it with
+    /// the stored row, without mutating the table. Returns false when the
+    /// cached row has rotted — the checked engine's defence against silent
+    /// signature corruption, which the version stamp cannot see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is stale.
+    #[must_use]
+    pub fn audit(&self, net: &Network, pool: &PatternPool, id: NodeId) -> bool {
+        self.stamp.check(net, "SimTable");
+        let node = net.node(id);
+        let row = self.row(id);
+        match node.cover() {
+            None => {
+                let src = pool.input_sig(self.input_pos[&id]);
+                (0..self.words).all(|w| row[w] == src[w])
+            }
+            Some(cover) => {
+                let fanins = node.fanins();
+                (0..self.words).all(|w| {
+                    let mask = pool.mask(w);
+                    let mut or = 0u64;
+                    for cube in cover.cubes() {
+                        let mut acc = mask;
+                        for lit in cube.lits() {
+                            let s = self.sigs[fanins[lit.var].index() * self.words + w];
+                            acc &= match lit.phase {
+                                Phase::Pos => s,
+                                Phase::Neg => !s,
+                            };
+                            if acc == 0 {
+                                break;
+                            }
+                        }
+                        or |= acc;
+                    }
+                    row[w] == or
+                })
+            }
+        }
+    }
+
+    /// Flips one in-pool bit of `id`'s cached signature row — fault
+    /// injection for the chaos suite. The version stamp is deliberately
+    /// left untouched: this is exactly the silent cache rot
+    /// [`SimTable::audit`] exists to catch.
+    #[cfg(feature = "chaos")]
+    pub fn chaos_poison(&mut self, id: NodeId, pattern: usize) {
+        let base = id.index() * self.words;
+        self.sigs[base + pattern / 64] ^= 1u64 << (pattern % 64);
+    }
+
     /// Re-simulates words `from..words` for every node (used after the
     /// pattern pool grew into a previously empty or partial word).
     ///
@@ -278,6 +332,33 @@ mod tests {
             .expect("replace");
         let result = std::panic::catch_unwind(|| table.sig(&net, a).len());
         assert!(result.is_err(), "stale sig query must panic");
+    }
+
+    #[test]
+    fn audit_accepts_healthy_rows() {
+        let net = sample();
+        for pool in [PatternPool::random(3, 2, 0, 7), PatternPool::exhaustive(3)] {
+            let table = SimTable::build(&net, &pool);
+            for id in net.node_ids() {
+                assert!(table.audit(&net, &pool, id), "healthy row flagged: {id}");
+            }
+        }
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn audit_detects_poisoned_row() {
+        let net = sample();
+        let pool = PatternPool::exhaustive(3);
+        let mut table = SimTable::build(&net, &pool);
+        let g = net.internal_ids().next().expect("internal");
+        assert!(table.audit(&net, &pool, g));
+        table.chaos_poison(g, 3);
+        assert!(!table.audit(&net, &pool, g), "poisoned row must be caught");
+        assert!(
+            table.is_synced(&net),
+            "poison must be invisible to the version stamp"
+        );
     }
 
     #[test]

@@ -78,11 +78,17 @@ pub enum Outcome {
     RejectedSimRefuted,
     /// Survived every filter but no division strategy produced gain.
     RejectedNoGain,
+    /// Accepted by division but refuted by the post-apply guard pipeline;
+    /// the rewrite was rolled back and the pair quarantined.
+    GuardRejected,
+    /// The per-pair work panicked (or corrupted state was detected); the
+    /// move was rolled back and the pair quarantined.
+    EngineFault,
 }
 
 impl Outcome {
     /// Every outcome, acceptance kinds first.
-    pub const ALL: [Outcome; 10] = [
+    pub const ALL: [Outcome; 12] = [
         Outcome::AcceptedSop,
         Outcome::AcceptedPos,
         Outcome::AcceptedExtended,
@@ -93,6 +99,8 @@ impl Outcome {
         Outcome::RejectedSupport,
         Outcome::RejectedSimRefuted,
         Outcome::RejectedNoGain,
+        Outcome::GuardRejected,
+        Outcome::EngineFault,
     ];
 
     /// Number of distinct outcomes (`Outcome::ALL.len()`).
@@ -112,6 +120,8 @@ impl Outcome {
             Outcome::RejectedSupport => "reject_support",
             Outcome::RejectedSimRefuted => "reject_sim_refuted",
             Outcome::RejectedNoGain => "reject_no_gain",
+            Outcome::GuardRejected => "guard_rejected",
+            Outcome::EngineFault => "engine_fault",
         }
     }
 
@@ -144,6 +154,8 @@ impl Outcome {
             Outcome::RejectedSupport => 7,
             Outcome::RejectedSimRefuted => 8,
             Outcome::RejectedNoGain => 9,
+            Outcome::GuardRejected => 10,
+            Outcome::EngineFault => 11,
         }
     }
 }

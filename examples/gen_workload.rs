@@ -1,0 +1,17 @@
+//! Prints a seeded random workload network as BLIF on stdout, so shell
+//! pipelines (and the CI smoke run) can feed the `boolsubst` binary a
+//! reproducible circuit without checking one in.
+//!
+//! Run with: `cargo run --example gen_workload [seed]`
+
+use boolsubst::network::write_blif;
+use boolsubst::workloads::generator::{random_network, GeneratorParams};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+    let net = random_network(seed, &GeneratorParams::default());
+    print!("{}", write_blif(&net));
+}

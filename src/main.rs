@@ -17,6 +17,7 @@ use boolsubst::trace::export::{chrome_trace_string, jsonl_string};
 use boolsubst::trace::Tracer;
 use boolsubst::workloads::scripts;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 boolsubst — Boolean division and substitution via redundancy addition/removal
@@ -25,6 +26,7 @@ USAGE:
   boolsubst optimize <in.blif> [--mode resub|basic|ext|ext-gdc]
                      [--script none|a|b|c] [--dc] [-o <out.blif>] [--no-verify]
                      [--trace <out.jsonl>] [--chrome-trace <out.json>]
+                     [--checked] [--deadline <secs>]
   boolsubst stats <in.blif>
   boolsubst check <a.blif> <b.blif>
   boolsubst faults <in.blif> [--vectors <n>] [--budget <n>]
@@ -74,6 +76,8 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let mut dc = false;
     let mut trace_path: Option<&str> = None;
     let mut chrome_path: Option<&str> = None;
+    let mut checked = false;
+    let mut deadline_secs: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -87,6 +91,18 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             "--trace" => trace_path = Some(it.next().ok_or("--trace needs a path")?),
             "--chrome-trace" => {
                 chrome_path = Some(it.next().ok_or("--chrome-trace needs a path")?);
+            }
+            "--checked" => checked = true,
+            "--deadline" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--deadline needs a value in seconds")?
+                    .parse()
+                    .map_err(|_| "bad --deadline value")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("bad --deadline value".into());
+                }
+                deadline_secs = Some(secs);
             }
             other if input.is_none() => input = Some(other),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -114,6 +130,11 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                     "--trace/--chrome-trace need a substitution mode (basic|ext|ext-gdc)".into(),
                 );
             }
+            if checked || deadline_secs.is_some() {
+                return Err(
+                    "--checked/--deadline need a substitution mode (basic|ext|ext-gdc)".into(),
+                );
+            }
             algebraic_resub(&mut net, &ResubOptions::default());
             None
         }
@@ -126,10 +147,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             ));
         }
     };
-    if let Some(opts) = subst_opts {
-        if tracing {
+    if let Some(mut opts) = subst_opts {
+        opts.checked = checked;
+        opts.deadline = deadline_secs.map(|s| Instant::now() + Duration::from_secs_f64(s));
+        let stats = if tracing {
             let mut tracer = Tracer::new(mode);
-            boolean_substitute_traced(&mut net, &opts, &mut tracer);
+            let stats = boolean_substitute_traced(&mut net, &opts, &mut tracer);
             eprintln!("{}", tracer.report());
             if let Some(path) = trace_path {
                 std::fs::write(path, jsonl_string(&tracer))
@@ -141,8 +164,18 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 eprintln!("wrote {path}");
             }
+            stats
         } else {
-            boolean_substitute(&mut net, &opts);
+            boolean_substitute(&mut net, &opts)
+        };
+        if checked {
+            eprintln!(
+                "checked apply: {} guard-rejected, {} engine fault(s), {} pair(s) quarantined",
+                stats.guard_rejections, stats.engine_faults, stats.quarantined
+            );
+        }
+        if stats.interrupted {
+            eprintln!("deadline hit: sweep interrupted early (partial result is still verified)");
         }
     }
     if dc {

@@ -1,0 +1,222 @@
+//! Regression tests pinning the BLIF parser's behaviour on malformed
+//! input: every case must come back as a typed `ParseBlifError` — the
+//! parser must never panic, whatever the bytes say.
+
+use boolsubst::network::parse_blif;
+use std::panic::catch_unwind;
+
+/// Parses inside `catch_unwind` and requires a typed error: a panic is a
+/// harder failure than a wrong answer here.
+fn must_reject(label: &str, text: &str) -> String {
+    let outcome = catch_unwind(|| parse_blif(text).map(|_| ()));
+    match outcome {
+        Ok(Err(e)) => e.to_string(),
+        Ok(Ok(())) => panic!("{label}: malformed input parsed successfully"),
+        Err(_) => panic!("{label}: parser panicked instead of returning Err"),
+    }
+}
+
+#[test]
+fn truncated_file_missing_output_driver_is_an_error() {
+    // The file ends mid-model: output g is declared but its .names block
+    // was cut off.
+    let text = "\
+.model trunc
+.inputs a b
+.outputs f g
+.names a b f
+11 1
+";
+    let msg = must_reject("truncated", text);
+    assert!(
+        msg.contains('g'),
+        "error should name the undriven output: {msg}"
+    );
+}
+
+#[test]
+fn truncated_cover_row_is_an_error() {
+    // Truncation mid-row: the pattern lost its output column.
+    let text = "\
+.model trunc
+.inputs a b
+.outputs f
+.names a b f
+11 1
+10
+";
+    must_reject("truncated row", text);
+}
+
+#[test]
+fn file_truncated_inside_a_continuation_is_handled() {
+    // A trailing `\` promises a continuation the file does not contain;
+    // the dangling fragment must not drive the parser off a cliff.
+    let text = ".model trunc\n.inputs a\n.outputs f\n.names a f \\";
+    must_reject("dangling continuation", text);
+}
+
+#[test]
+fn duplicate_node_names_are_an_error() {
+    let text = "\
+.model dup
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.names a b f
+00 1
+.end
+";
+    must_reject("duplicate .names output", text);
+}
+
+#[test]
+fn duplicate_input_declaration_is_an_error() {
+    let text = "\
+.model dup
+.inputs a a
+.outputs f
+.names a f
+1 1
+.end
+";
+    must_reject("duplicate input", text);
+}
+
+#[test]
+fn input_redefined_by_names_block_is_an_error() {
+    let text = "\
+.model clash
+.inputs a b
+.outputs f
+.names b a
+1 1
+.names a b f
+11 1
+.end
+";
+    must_reject("input redefined", text);
+}
+
+#[test]
+fn dangling_fanin_is_an_error() {
+    let text = "\
+.model dangle
+.inputs a b
+.outputs f
+.names a ghost f
+11 1
+.end
+";
+    let msg = must_reject("dangling fanin", text);
+    assert!(
+        msg.contains("ghost"),
+        "error should name the missing signal: {msg}"
+    );
+}
+
+#[test]
+fn combinational_cycle_is_an_error() {
+    let text = "\
+.model cyc
+.inputs a
+.outputs f
+.names a g f
+11 1
+.names a f g
+11 1
+.end
+";
+    must_reject("cycle", text);
+}
+
+#[test]
+fn oversized_cube_line_is_an_error() {
+    // Three pattern columns for a two-input .names block.
+    let text = "\
+.model wide
+.inputs a b
+.outputs f
+.names a b f
+111 1
+.end
+";
+    let msg = must_reject("oversized cube", text);
+    assert!(
+        msg.contains("width"),
+        "error should mention the width: {msg}"
+    );
+}
+
+#[test]
+fn undersized_cube_line_is_an_error() {
+    let text = "\
+.model narrow
+.inputs a b c
+.outputs f
+.names a b c f
+11 1
+.end
+";
+    must_reject("undersized cube", text);
+}
+
+#[test]
+fn bad_pattern_characters_are_an_error() {
+    let text = "\
+.model badchar
+.inputs a b
+.outputs f
+.names a b f
+1x 1
+.end
+";
+    must_reject("bad pattern char", text);
+}
+
+#[test]
+fn cover_row_outside_names_is_an_error() {
+    let text = "\
+.model stray
+.inputs a b
+.outputs f
+11 1
+.names a b f
+11 1
+.end
+";
+    must_reject("stray row", text);
+}
+
+#[test]
+fn unsupported_directives_are_an_error_not_a_panic() {
+    for directive in [".latch x y re clk 0", ".subckt sub a=b", ".gate nand2 A=a"] {
+        let text =
+            format!(".model seq\n.inputs a\n.outputs f\n{directive}\n.names a f\n1 1\n.end\n");
+        must_reject(directive, &text);
+    }
+}
+
+#[test]
+fn garbage_bytes_never_panic() {
+    // Assorted junk: each must produce Ok or Err, never a panic.
+    let cases = [
+        "",
+        ".",
+        ".names",
+        ".names \\\n",
+        "\\",
+        "- -\n- -\n",
+        ".model\n.names f\n1\n",
+        ".model m\n.outputs f\n",
+        ".model m\n.inputs a\n.outputs a\n.end\n",
+        ".exdc\n.names f\n1\n",
+        ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n",
+        ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n0 0\n.end\n",
+    ];
+    for text in cases {
+        let outcome = catch_unwind(|| parse_blif(text).map(|_| ()));
+        assert!(outcome.is_ok(), "parser panicked on {text:?}");
+    }
+}

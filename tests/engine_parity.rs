@@ -206,6 +206,98 @@ fn engine_matches_legacy_under_best_gain_and_multipass() {
     }
 }
 
+/// On a healthy engine the checked sweep accepts exactly what the
+/// unchecked sweep accepts: the guards only *veto* rewrites, and a
+/// correct rewrite is never vetoed, so `checked: true` must be
+/// bit-identical in both the network and the acceptance counters — with
+/// every failure counter at zero.
+#[test]
+fn checked_mode_is_bit_identical_on_healthy_engine() {
+    for seed in [11u64, 23, 47] {
+        let base = random_network(seed, &GeneratorParams::default());
+        for (name, opts) in modes() {
+            let mut plain_net = base.clone();
+            let plain = boolean_substitute(&mut plain_net, &opts);
+            let mut checked_net = base.clone();
+            let checked_opts = SubstOptions {
+                checked: true,
+                ..opts
+            };
+            let checked = boolean_substitute(&mut checked_net, &checked_opts);
+            assert_eq!(
+                write_blif(&checked_net),
+                write_blif(&plain_net),
+                "seed {seed} {name}: checked mode changed the rewrites"
+            );
+            assert_eq!(
+                checked.substitutions, plain.substitutions,
+                "seed {seed} {name}: substitutions"
+            );
+            assert_eq!(
+                checked.literal_gain, plain.literal_gain,
+                "seed {seed} {name}: literal gain"
+            );
+            assert_eq!(
+                checked.candidates_enumerated, plain.candidates_enumerated,
+                "seed {seed} {name}: candidates"
+            );
+            assert_eq!(checked.guard_rejections, 0, "seed {seed} {name}");
+            assert_eq!(checked.engine_faults, 0, "seed {seed} {name}");
+            assert_eq!(checked.quarantined, 0, "seed {seed} {name}");
+            assert!(!checked.interrupted, "seed {seed} {name}");
+        }
+    }
+}
+
+/// An already-expired deadline must stop the sweep before any attempt:
+/// the network comes back untouched and the stats marked interrupted.
+#[test]
+fn expired_deadline_yields_untouched_network_marked_interrupted() {
+    use std::time::Instant;
+    let base = random_network(11, &GeneratorParams::default());
+    let opts = SubstOptions {
+        deadline: Some(Instant::now()),
+        ..SubstOptions::extended()
+    };
+    let mut net = base.clone();
+    let stats = boolean_substitute(&mut net, &opts);
+    assert!(stats.interrupted, "expired deadline not reported");
+    assert_eq!(stats.substitutions, 0);
+    assert_eq!(
+        write_blif(&net),
+        write_blif(&base),
+        "interrupted sweep must leave a valid (here: untouched) network"
+    );
+    net.check_invariants();
+    outputs_preserved(&base, &net);
+}
+
+/// A deadline far in the future must be invisible: same rewrites, same
+/// stats, no interruption.
+#[test]
+fn generous_deadline_changes_nothing() {
+    use std::time::{Duration, Instant};
+    let base = random_network(23, &GeneratorParams::default());
+    for (name, opts) in modes() {
+        let mut plain_net = base.clone();
+        let plain = boolean_substitute(&mut plain_net, &opts);
+        let mut timed_net = base.clone();
+        let timed_opts = SubstOptions {
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..opts
+        };
+        let timed = boolean_substitute(&mut timed_net, &timed_opts);
+        assert!(!timed.interrupted, "{name}: generous deadline tripped");
+        assert_eq!(
+            write_blif(&timed_net),
+            write_blif(&plain_net),
+            "{name}: deadline changed the rewrites"
+        );
+        assert_eq!(timed.substitutions, plain.substitutions, "{name}");
+        assert_eq!(timed.literal_gain, plain.literal_gain, "{name}");
+    }
+}
+
 /// Attaching a tracer must be pure observation: the traced engine run
 /// produces a bit-identical network and identical work counters compared
 /// to the untraced run (only the `*_nanos` wall-clock fields may differ).
