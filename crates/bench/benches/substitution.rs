@@ -4,7 +4,7 @@
 
 use boolsubst_algebraic::{algebraic_resub, ResubOptions};
 use boolsubst_bench::timing::Harness;
-use boolsubst_core::subst::{boolean_substitute, SubstOptions};
+use boolsubst_core::{Session, SubstOptions};
 use boolsubst_network::Network;
 use boolsubst_workloads::generator::{planted_network, PlantedParams};
 use boolsubst_workloads::scripts::script_a;
@@ -40,7 +40,7 @@ fn main() {
         ] {
             group.bench(&format!("{name}/{label}"), || {
                 let mut n = net.clone();
-                boolean_substitute(&mut n, &opts);
+                Session::new(&mut n, opts.clone()).run();
                 black_box(n.sop_literals())
             });
         }

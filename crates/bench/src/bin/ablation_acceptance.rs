@@ -4,8 +4,8 @@
 //! best-gain acceptance across all three configurations.
 
 use boolsubst_algebraic::network_factored_literals;
-use boolsubst_core::subst::{boolean_substitute, Acceptance, SubstOptions};
 use boolsubst_core::verify::networks_equivalent;
+use boolsubst_core::{Acceptance, Session, SubstOptions};
 use boolsubst_workloads::scripts::script_a;
 use std::time::Instant;
 
@@ -39,13 +39,10 @@ fn main() {
         .into_iter()
         .enumerate()
         {
-            let opts = SubstOptions {
-                acceptance: acc,
-                ..mode
-            };
+            let opts = mode.with_acceptance(acc);
             let mut trial = net.clone();
             let start = Instant::now();
-            boolean_substitute(&mut trial, &opts);
+            Session::new(&mut trial, opts).run();
             cpu[i] += start.elapsed().as_secs_f64();
             assert!(
                 networks_equivalent(&net, &trial),

@@ -7,8 +7,8 @@
 use boolsubst_algebraic::network_factored_literals;
 use boolsubst_atpg::ImplyOptions;
 use boolsubst_core::division::DivisionOptions;
-use boolsubst_core::subst::{boolean_substitute, SubstOptions};
 use boolsubst_core::verify::networks_equivalent;
+use boolsubst_core::{Session, SubstOptions};
 use boolsubst_workloads::scripts::script_a;
 use std::time::Instant;
 
@@ -45,13 +45,10 @@ fn main() {
         print!("{:<10} {:>8}", net.name(), initial);
         sums[0] += initial;
         for (i, (_, division)) in efforts.iter().enumerate() {
-            let opts = SubstOptions {
-                division: *division,
-                ..SubstOptions::extended()
-            };
+            let opts = SubstOptions::extended().with_division(*division);
             let mut trial = net.clone();
             let start = Instant::now();
-            boolean_substitute(&mut trial, &opts);
+            Session::new(&mut trial, opts).run();
             cpus[i] += start.elapsed().as_secs_f64();
             assert!(networks_equivalent(&net, &trial), "broke {}", net.name());
             let lits = network_factored_literals(&trial);

@@ -16,11 +16,9 @@
 use std::time::Instant;
 
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
-use boolsubst_core::subst::{
-    boolean_substitute, boolean_substitute_legacy, boolean_substitute_traced, SubstOptions,
-    SubstStats,
-};
+use boolsubst_core::subst::boolean_substitute_legacy;
 use boolsubst_core::verify::networks_equivalent;
+use boolsubst_core::{Session, SubstOptions, SubstStats};
 use boolsubst_network::{write_blif, Network};
 use boolsubst_trace::export::{chrome_trace_string, jsonl_string};
 use boolsubst_trace::json::{json_array_pretty, JsonObj};
@@ -30,9 +28,18 @@ use boolsubst_workloads::generator::{
 };
 use boolsubst_workloads::scripts::script_a;
 
-/// One legacy-vs-engine measurement on a fixed workload and mode.
+/// One baseline-vs-subject measurement on a fixed workload and mode. For
+/// the `legacy` rows the baseline is the legacy per-pair sweep and the
+/// subject is the 1-thread engine; for the `extended_mt` scaling rows the
+/// baseline is the 1-thread engine and the subject is the engine at
+/// `threads` workers (the `legacy_*` field names are kept for continuity
+/// of the BENCH_sweep.json schema).
 struct SweepRow {
     mode: &'static str,
+    threads: usize,
+    /// CPUs the host actually offers — scaling rows are only meaningful
+    /// relative to this (a 1-CPU container can never beat 1.0x).
+    host_cpus: usize,
     nodes: usize,
     pairs: usize,
     legacy_secs: f64,
@@ -72,7 +79,7 @@ fn timed(net: &Network, opts: &SubstOptions, legacy: bool) -> (f64, SubstStats, 
         let stats = if legacy {
             boolean_substitute_legacy(&mut trial, opts)
         } else {
-            boolean_substitute(&mut trial, opts)
+            Session::new(&mut trial, opts.clone()).run()
         };
         let secs = start.elapsed().as_secs_f64();
         spent += secs;
@@ -110,6 +117,8 @@ fn measure(net: &Network, mode: &'static str, opts: &SubstOptions) -> SweepRow {
     let engine_rate = engine_pairs as f64 / engine_secs;
     SweepRow {
         mode,
+        threads: 1,
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
         nodes: net.internal_ids().count(),
         pairs: legacy_pairs,
         legacy_secs,
@@ -133,6 +142,8 @@ fn json_row(r: &SweepRow) -> String {
     }
     JsonObj::new()
         .str("mode", r.mode)
+        .u64("threads", u(r.threads))
+        .u64("host_cpus", u(r.host_cpus))
         .u64("nodes", u(r.nodes))
         .u64("pairs", u(r.pairs))
         .f64("legacy_secs", r.legacy_secs, 6)
@@ -166,7 +177,7 @@ fn traced_runs(net: &Network, trace_path: Option<&str>, chrome_path: Option<&str
     for (name, opts) in modes {
         let mut trial = net.clone();
         let mut tracer = Tracer::new(name);
-        let stats = boolean_substitute_traced(&mut trial, &opts, &mut tracer);
+        let stats = Session::new(&mut trial, opts).tracer(&mut tracer).run();
         merged.merge(&stats);
         println!("\n{}", tracer.report());
         tracers.push(tracer);
@@ -205,7 +216,7 @@ fn engine_vs_legacy(smoke: bool) -> Network {
         ("extended", SubstOptions::extended()),
         ("extended_gdc", SubstOptions::extended_gdc()),
     ];
-    let rows: Vec<SweepRow> = modes
+    let mut rows: Vec<SweepRow> = modes
         .iter()
         .map(|(name, opts)| measure(&net, name, opts))
         .collect();
@@ -221,10 +232,77 @@ fn engine_vs_legacy(smoke: bool) -> Network {
             r.speedup
         );
     }
+    rows.extend(parallel_scaling(&net));
     let json = json_array_pretty(rows.iter().map(json_row));
     std::fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
     println!("\nwrote BENCH_sweep.json");
     net
+}
+
+/// Scaling rows for the speculative parallel sweep: the extended mode at
+/// 1/2/4/8 worker threads against the 1-thread engine baseline. Every
+/// width must produce a bit-identical network (asserted) — the parallel
+/// sweep only changes wall-clock, never the rewrites.
+fn parallel_scaling(net: &Network) -> Vec<SweepRow> {
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "\nParallel speculative sweep — extended mode, epoch commits ({host_cpus} host CPU(s))\n"
+    );
+    println!(
+        "{:<14} {:>8} {:>10} {:>12} {:>14} {:>8}",
+        "mode", "threads", "pairs", "secs", "cand/s", "speedup"
+    );
+    let (base_secs, base, base_blif) = timed(net, &SubstOptions::extended(), false);
+    let base_pairs = base.candidates_enumerated + base.filtered_by_index;
+    let base_rate = base_pairs as f64 / base_secs;
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let opts = SubstOptions::extended().with_threads(threads);
+        let (secs, stats, blif) = if threads == 1 {
+            (base_secs, base, base_blif.clone())
+        } else {
+            timed(net, &opts, false)
+        };
+        assert_eq!(
+            blif, base_blif,
+            "threads={threads}: parallel sweep diverged from sequential"
+        );
+        assert_eq!(
+            stats.substitutions, base.substitutions,
+            "threads={threads}: substitutions"
+        );
+        assert_eq!(
+            stats.literal_gain, base.literal_gain,
+            "threads={threads}: literal gain"
+        );
+        let pairs = stats.candidates_enumerated + stats.filtered_by_index;
+        let rate = pairs as f64 / secs;
+        let row = SweepRow {
+            mode: "extended_mt",
+            threads,
+            host_cpus,
+            nodes: net.internal_ids().count(),
+            pairs: stats.candidates_enumerated,
+            legacy_secs: base_secs,
+            engine_secs: secs,
+            legacy_cand_per_s: base_rate,
+            engine_cand_per_s: rate,
+            speedup: rate / base_rate,
+            substitutions: stats.substitutions,
+            literal_gain: stats.literal_gain,
+            sim_pairs_screened: stats.sim_pairs_screened,
+            sim_pairs_refuted: stats.sim_pairs_refuted,
+            sim_false_passes: stats.sim_false_passes,
+            sim_refinements: stats.sim_refinements,
+            sim_patterns: stats.sim_patterns,
+        };
+        println!(
+            "{:<14} {:>8} {:>10} {:>12.3} {:>14.0} {:>7.2}x",
+            row.mode, row.threads, row.pairs, row.engine_secs, row.engine_cand_per_s, row.speedup
+        );
+        rows.push(row);
+    }
+    rows
 }
 
 fn main() {
@@ -274,10 +352,10 @@ fn main() {
                     algebraic_resub(n, &ResubOptions::default());
                 },
                 &|n| {
-                    boolean_substitute(n, &SubstOptions::basic());
+                    Session::new(n, SubstOptions::basic()).run();
                 },
                 &|n| {
-                    boolean_substitute(n, &SubstOptions::extended());
+                    Session::new(n, SubstOptions::extended()).run();
                 },
             ];
             for (i, run) in runs.iter().enumerate() {

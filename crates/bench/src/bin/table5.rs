@@ -4,8 +4,8 @@
 
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
 use boolsubst_bench::{print_table, Cell, TableRow};
-use boolsubst_core::subst::{boolean_substitute, SubstOptions};
 use boolsubst_core::verify::networks_equivalent;
+use boolsubst_core::{Session, SubstOptions};
 use boolsubst_network::Network;
 use boolsubst_workloads::scripts::script_algebraic_with;
 use std::time::Instant;
@@ -34,13 +34,13 @@ fn main() {
             algebraic_resub(n, &ResubOptions::default());
         });
         let (basic, ok2) = flow(&net, &|n| {
-            boolean_substitute(n, &SubstOptions::basic());
+            Session::new(n, SubstOptions::basic()).run();
         });
         let (ext, ok3) = flow(&net, &|n| {
-            boolean_substitute(n, &SubstOptions::extended());
+            Session::new(n, SubstOptions::extended()).run();
         });
         let (ext_gdc, ok4) = flow(&net, &|n| {
-            boolean_substitute(n, &SubstOptions::extended_gdc());
+            Session::new(n, SubstOptions::extended_gdc()).run();
         });
         rows.push(TableRow {
             name: net.name().to_string(),

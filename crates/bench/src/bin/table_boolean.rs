@@ -5,8 +5,8 @@
 
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
 use boolsubst_core::dontcare::{full_simplify, DontCareOptions};
-use boolsubst_core::subst::{boolean_substitute, SubstOptions};
 use boolsubst_core::verify::networks_equivalent;
+use boolsubst_core::{Session, SubstOptions};
 use boolsubst_workloads::scripts::{script_algebraic_with, script_boolean};
 use std::time::Instant;
 
@@ -38,7 +38,7 @@ fn main() {
         let mut boo = net.clone();
         let t1 = Instant::now();
         script_boolean(&mut boo, |n| {
-            boolean_substitute(n, &SubstOptions::extended());
+            Session::new(n, SubstOptions::extended()).run();
         });
         let boo_cpu = t1.elapsed().as_secs_f64();
         cpus[1] += boo_cpu;

@@ -6,8 +6,8 @@
 pub mod timing;
 
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
-use boolsubst_core::subst::{boolean_substitute, SubstOptions};
 use boolsubst_core::verify::networks_equivalent;
+use boolsubst_core::{Session, SubstOptions};
 use boolsubst_network::Network;
 use std::time::Instant;
 
@@ -66,13 +66,13 @@ pub fn run_methods(prepared: &Network) -> TableRow {
         algebraic_resub(net, &ResubOptions::default());
     });
     let basic = timed(&|net| {
-        boolean_substitute(net, &SubstOptions::basic());
+        Session::new(net, SubstOptions::basic()).run();
     });
     let ext = timed(&|net| {
-        boolean_substitute(net, &SubstOptions::extended());
+        Session::new(net, SubstOptions::extended()).run();
     });
     let ext_gdc = timed(&|net| {
-        boolean_substitute(net, &SubstOptions::extended_gdc());
+        Session::new(net, SubstOptions::extended_gdc()).run();
     });
 
     TableRow {

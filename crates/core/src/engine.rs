@@ -49,7 +49,7 @@ pub(crate) fn nanos(since: Instant) -> u64 {
 }
 
 /// Node ids as the tracer's compact u32 representation.
-fn id32(id: NodeId) -> u32 {
+pub(crate) fn id32(id: NodeId) -> u32 {
     u32::try_from(id.index()).unwrap_or(u32::MAX)
 }
 
@@ -64,10 +64,10 @@ fn node_names(net: &Network) -> Vec<String> {
 
 /// The cached per-target GDC snapshot, tagged with the network version it
 /// is valid for.
-struct ShadowEntry {
-    target: NodeId,
-    version: u64,
-    base: ShadowBase,
+pub(crate) struct ShadowEntry {
+    pub(crate) target: NodeId,
+    pub(crate) version: u64,
+    pub(crate) base: ShadowBase,
 }
 
 /// A persistent Boolean-substitution session over one network.
@@ -76,27 +76,27 @@ struct ShadowEntry {
 /// tables, candidate index, and shadow circuits live for the whole session
 /// and are patched across passes instead of rebuilt.
 pub struct SubstEngine<'a> {
-    net: &'a mut Network,
-    opts: SubstOptions,
-    side: SideTables,
-    stats: SubstStats,
-    shadow: Option<ShadowEntry>,
+    pub(crate) net: &'a mut Network,
+    pub(crate) opts: SubstOptions,
+    pub(crate) side: SideTables,
+    pub(crate) stats: SubstStats,
+    pub(crate) shadow: Option<ShadowEntry>,
     /// Simulation-signature pre-filter (built when `opts.sim.enabled`);
     /// patched alongside the side tables after every acceptance.
-    sim: Option<SimFilter>,
+    pub(crate) sim: Option<SimFilter>,
     /// Structured trace recorder; `None` unless attached via
     /// [`SubstEngine::with_tracer`]. The disabled path does no trace work
     /// beyond these `Option` checks, and attaching a tracer never changes
     /// the accepted rewrites.
-    tracer: Option<&'a mut Tracer>,
+    pub(crate) tracer: Option<&'a mut Tracer>,
     /// Post-apply equivalence guard (built when `opts.checked`). A
     /// rewrite the guard refutes is rolled back via [`TxnSnapshot`] and
     /// the pair quarantined; a healthy engine never trips it, so the
     /// checked sweep stays bit-identical to the unchecked one.
-    guard: Option<Guard>,
+    pub(crate) guard: Option<Guard>,
     /// Pairs whose rewrites were refuted or whose attempts faulted; never
     /// retried for the rest of the session.
-    quarantine: HashSet<(NodeId, NodeId)>,
+    pub(crate) quarantine: HashSet<(NodeId, NodeId)>,
 }
 
 impl<'a> SubstEngine<'a> {
@@ -147,7 +147,7 @@ impl<'a> SubstEngine<'a> {
     /// Runs up to `opts.max_passes` sweeps, stopping early when a pass
     /// accepts nothing. Returns the accumulated statistics.
     pub fn run(&mut self) -> SubstStats {
-        for _ in 0..self.opts.max_passes.max(1) {
+        for _ in 0..self.opts.max_passes.get() {
             if self.deadline_expired() {
                 break;
             }
@@ -209,7 +209,7 @@ impl<'a> SubstEngine<'a> {
     /// deadline has passed. The sweep only consults this between pair
     /// attempts, so an expiring deadline always leaves a valid network —
     /// just one with fewer rewrites applied.
-    fn deadline_expired(&mut self) -> bool {
+    pub(crate) fn deadline_expired(&mut self) -> bool {
         if self.stats.interrupted {
             return true;
         }
@@ -220,7 +220,7 @@ impl<'a> SubstEngine<'a> {
     }
 
     /// Adds a pair to the quarantine set (once), counting it in stats.
-    fn quarantine_pair(&mut self, target: NodeId, divisor: NodeId) {
+    pub(crate) fn quarantine_pair(&mut self, target: NodeId, divisor: NodeId) {
         if self.quarantine.insert((target, divisor)) {
             self.stats.quarantined += 1;
         }
@@ -263,7 +263,12 @@ impl<'a> SubstEngine<'a> {
     /// sweep takes at target-visit time — mid-visit core nodes are
     /// excluded) and above `cursor` (resume point after an acceptance).
     /// Sorted ascending to match the legacy visit order.
-    fn candidates(&self, target: NodeId, bound: usize, cursor: Option<NodeId>) -> Vec<NodeId> {
+    pub(crate) fn candidates(
+        &self,
+        target: NodeId,
+        bound: usize,
+        cursor: Option<NodeId>,
+    ) -> Vec<NodeId> {
         let net = &*self.net;
         let mut out: Vec<NodeId> = Vec::new();
         for &f in net.node(target).fanins() {
@@ -280,7 +285,12 @@ impl<'a> SubstEngine<'a> {
 
     /// Internal nodes the legacy sweep would visit in the same range;
     /// the difference to the candidate list is what the index skipped.
-    fn count_skipped(&mut self, candidates: usize, bound: usize, cursor: Option<NodeId>) {
+    pub(crate) fn count_skipped(
+        &mut self,
+        candidates: usize,
+        bound: usize,
+        cursor: Option<NodeId>,
+    ) {
         let eligible = self
             .net
             .internal_ids()
@@ -290,6 +300,11 @@ impl<'a> SubstEngine<'a> {
     }
 
     fn visit_target(&mut self, target: NodeId) {
+        if self.opts.threads.get() > 1 {
+            // Epoch-parallel speculative sweep; bit-identical rewrites,
+            // see `crate::parallel`.
+            return self.visit_target_parallel(target);
+        }
         let bound = self.net.id_bound();
         match self.opts.acceptance {
             Acceptance::FirstGain => {
@@ -419,7 +434,7 @@ impl<'a> SubstEngine<'a> {
         }
     }
 
-    fn attempt(&mut self, target: NodeId, divisor: NodeId) -> Option<i64> {
+    pub(crate) fn attempt(&mut self, target: NodeId, divisor: NodeId) -> Option<i64> {
         if let Some(t) = self.tracer.as_deref_mut() {
             t.begin_pair(id32(target), id32(divisor));
         }
@@ -448,7 +463,7 @@ impl<'a> SubstEngine<'a> {
             self.filter_reject(t0, Outcome::RejectedStructural);
             return None;
         };
-        if d_cover_len == 0 || d_cover_len > self.opts.max_divisor_cubes {
+        if d_cover_len == 0 || d_cover_len > self.opts.max_divisor_cubes.get() {
             self.stats.filtered_divisor_size += 1;
             self.filter_reject(t0, Outcome::RejectedDivisorSize);
             return None;
@@ -640,16 +655,11 @@ impl<'a> SubstEngine<'a> {
     }
 }
 
-/// Convenience wrapper mirroring [`crate::subst::boolean_substitute_legacy`] for
-/// benchmarks that want an engine-backed run with explicit session reuse.
-pub fn boolean_substitute_engine(net: &mut Network, opts: &SubstOptions) -> SubstStats {
-    SubstEngine::new(net, *opts).run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::subst::{boolean_substitute, boolean_substitute_legacy};
+    use crate::session::Session;
+    use crate::subst::boolean_substitute_legacy;
     use boolsubst_cube::parse_sop;
     use boolsubst_network::write_blif;
 
@@ -675,15 +685,11 @@ mod tests {
 
     #[test]
     fn engine_matches_legacy_on_paper_example() {
-        for opts in [
-            SubstOptions::basic(),
-            SubstOptions::extended(),
-            SubstOptions::extended_gdc(),
-        ] {
+        for opts in crate::subst::all_configs() {
             let mut legacy_net = small_net();
             let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
             let mut engine_net = small_net();
-            let engine = boolean_substitute(&mut engine_net, &opts);
+            let engine = Session::new(&mut engine_net, opts.clone()).run();
             assert_eq!(
                 engine.substitutions, legacy.substitutions,
                 "{:?}",

@@ -1,0 +1,90 @@
+//! Deprecated free-function entry points, kept as thin shims over
+//! [`crate::session::Session`].
+//!
+//! Everything here is `#[deprecated]`; this module is the only place in
+//! the workspace allowed to reference the old names (CI builds the rest
+//! of the tree with `-D deprecated`). The shims are exact: each one is a
+//! one-line `Session` call, so migrating is mechanical — see the README's
+//! migration table.
+
+// The shims call each other's deprecated names in doc examples and the
+// re-export below would otherwise warn against itself.
+#![allow(deprecated)]
+
+use crate::session::Session;
+use crate::subst::{SubstOptions, SubstStats};
+use boolsubst_network::Network;
+use boolsubst_trace::Tracer;
+
+/// Runs the Boolean substitution pass over the network.
+///
+/// Deprecated: use `Session::new(net, opts.clone()).run()`.
+#[deprecated(since = "0.6.0", note = "use `Session::new(net, opts).run()`")]
+pub fn boolean_substitute(net: &mut Network, opts: &SubstOptions) -> SubstStats {
+    Session::new(net, opts.clone()).run()
+}
+
+/// Runs the substitution pass with a [`Tracer`] attached.
+///
+/// Deprecated: use `Session::new(net, opts.clone()).tracer(t).run()`.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Session::new(net, opts).tracer(tracer).run()`"
+)]
+pub fn boolean_substitute_traced(
+    net: &mut Network,
+    opts: &SubstOptions,
+    tracer: &mut Tracer,
+) -> SubstStats {
+    Session::new(net, opts.clone()).tracer(tracer).run()
+}
+
+/// Engine-backed run, historically distinct from [`boolean_substitute`];
+/// the two have been the same code path since the engine became the
+/// default.
+///
+/// Deprecated: use `Session::new(net, opts.clone()).run()`.
+#[deprecated(since = "0.6.0", note = "use `Session::new(net, opts).run()`")]
+pub fn boolean_substitute_engine(net: &mut Network, opts: &SubstOptions) -> SubstStats {
+    Session::new(net, opts.clone()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+    use boolsubst_network::write_blif;
+
+    /// The shims must stay behaviourally identical to the `Session` path.
+    #[test]
+    fn shims_match_session() {
+        fn small_net() -> Network {
+            let mut net = Network::new("legacy_t");
+            let a = net.add_input("a").expect("a");
+            let b = net.add_input("b").expect("b");
+            let c = net.add_input("c").expect("c");
+            let f = net
+                .add_node(
+                    "f",
+                    vec![a, b, c],
+                    parse_sop(3, "ab + ac + bc'").expect("p"),
+                )
+                .expect("f");
+            let d = net
+                .add_node("d", vec![a, b, c], parse_sop(3, "ab + c").expect("p"))
+                .expect("d");
+            net.add_output("f", f).expect("o");
+            net.add_output("d", d).expect("o");
+            net
+        }
+        let opts = SubstOptions::extended();
+        let mut via_session = small_net();
+        let s = Session::new(&mut via_session, opts.clone()).run();
+        for shim in [boolean_substitute, boolean_substitute_engine] {
+            let mut via_shim = small_net();
+            let t = shim(&mut via_shim, &opts);
+            assert_eq!(write_blif(&via_session), write_blif(&via_shim));
+            assert_eq!(s.substitutions, t.substitutions);
+        }
+    }
+}

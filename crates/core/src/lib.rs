@@ -12,8 +12,12 @@
 //!   decomposition;
 //! * [`subst`] — the network-level substitution driver with the paper's
 //!   three configurations (`basic`, `ext`, `ext-GDC`);
-//! * [`engine`] — the incremental sweep session: cached side tables,
+//! * [`engine`] — the incremental sweep engine: cached side tables,
 //!   support-overlap candidate indexing, shadow circuits, stage stats;
+//! * [`session`] — the [`Session`] builder, the one blessed entry point
+//!   for running a sweep (tracing, thread count, options);
+//! * [`legacy`] — `#[deprecated]` shims for the pre-`Session` free
+//!   functions;
 //! * [`netcircuit`] — whole-network gate materialization for the global
 //!   don't-care mode;
 //! * [`txn`] — transactional snapshots powering the checked-apply mode's
@@ -39,8 +43,11 @@ pub mod division;
 pub mod dontcare;
 pub mod engine;
 pub mod extended;
+pub mod legacy;
 pub mod netcircuit;
 pub mod paper;
+mod parallel;
+pub mod session;
 pub mod sos;
 pub mod subst;
 pub mod txn;
@@ -62,10 +69,13 @@ pub use extended::{
     ExtendedDivision, VoteRow, VoteTable, CLIQUE_LIMIT,
 };
 pub use netcircuit::{network_from_circuit, NetCircuit, NetworkRegion, ShadowBase};
+pub use session::Session;
 pub use sos::{is_pos_of_compl, is_sos_of, lemma1_holds, lemma2_holds};
 pub use subst::{
-    boolean_substitute, boolean_substitute_legacy, boolean_substitute_traced, Acceptance,
-    SubstMode, SubstOptions, SubstStats,
+    all_configs, boolean_substitute_legacy, Acceptance, SubstMode, SubstOptions, SubstStats,
 };
+
+#[allow(deprecated)]
+pub use legacy::{boolean_substitute, boolean_substitute_engine, boolean_substitute_traced};
 pub use txn::TxnSnapshot;
 pub use verify::{network_bdds, networks_equivalent, networks_equivalent_modulo_dc};

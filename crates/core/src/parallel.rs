@@ -1,0 +1,547 @@
+//! The epoch-parallel speculative sweep: proofs fan out, commits stay
+//! serial, results stay bit-identical to the sequential engine.
+//!
+//! # Protocol
+//!
+//! Between two accepted rewrites the sequential engine never mutates the
+//! network — every rejected pair attempt is read-only. That window is an
+//! **epoch**: the committer (the engine thread) enumerates one candidate
+//! slice exactly as the sequential sweep would, then a scoped pool of
+//! workers speculatively evaluates the pairs against the shared, frozen
+//! `&Network` using the read-only halves of the machinery:
+//!
+//! * [`SideTables::in_tfo_frozen`] for the cycle filter (no memo writes),
+//! * [`SimView`] over the shared signature table for the refute-only
+//!   screen (no refinement, so nothing is ever pending),
+//! * [`plan_pair_core`] for the proof pipeline, producing a [`SubstPlan`]
+//!   instead of mutating.
+//!
+//! Workers pull indices from an atomic cursor and publish a monotone
+//! "lowest accepting index" bound; indices above the bound are skipped
+//! (their evaluation is dead — the sequential sweep would never have
+//! reached them in this enumeration). Every index at or below the final
+//! bound is guaranteed evaluated.
+//!
+//! # Commit
+//!
+//! The committer then replays the epoch in pair order: the stat deltas of
+//! every rejected pair below the winner are merged (they are exactly what
+//! the sequential engine would have recorded — the network is identical),
+//! and the winning pair is re-run **live** through the ordinary
+//! [`SubstEngine::attempt`] path. That re-validates the plan against the
+//! live network and reuses the whole txn/guard/side-patching machinery,
+//! so a stale or refuted speculation (e.g. a checked-mode guard
+//! rejection) is dropped exactly as the sequential engine would drop it,
+//! and the sweep resumes at the next pair of the same enumeration.
+//!
+//! # Determinism contract
+//!
+//! Under [`Acceptance::FirstGain`] the winner is the *lowest-index*
+//! accepting pair of each epoch, so the commit sequence — and therefore
+//! the final network — is bit-identical to the sequential engine for any
+//! thread count (`tests/parallel_parity.rs`, `tests/engine_parity.rs`).
+//! This is why `FirstGain` needs ordered commit: accepting any other
+//! index first would rewrite the target before pairs the sequential
+//! sweep evaluates earlier. Counters not derived from commits
+//! (`sim_false_passes`, `sim_refinements`, `rar_checks`) may differ from
+//! a 1-thread run because parallel sweeps do not refine the pattern pool
+//! mid-pass; they are identical across parallel runs of any width.
+//!
+//! Worker panics are always caught (parallel mode implies per-pair panic
+//! isolation): the pair is booked as an engine fault, quarantined, and
+//! the committer keeps going — a dying worker cannot poison the shared
+//! state because speculation never mutates it.
+
+use crate::engine::{id32, nanos, ShadowEntry, SubstEngine};
+use crate::netcircuit::ShadowBase;
+use crate::subst::{
+    plan_pair_core, Acceptance, GdcScope, PlanKind, SubstMode, SubstOptions, SubstPlan, SubstStats,
+};
+use boolsubst_algebraic::JointSpace;
+use boolsubst_cube::Cover;
+use boolsubst_network::{Network, NodeId, SideTables};
+use boolsubst_sim::SimView;
+use boolsubst_trace::{Outcome, PairRecord, Stage, StageNanos};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Epochs smaller than this are evaluated inline by the committer: a
+/// thread spawn costs more than a couple of pair proofs.
+const PAR_MIN_PAIRS: usize = 16;
+
+/// How one speculated pair ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecVerdict {
+    /// A division strategy produced a positive-gain plan.
+    Accept,
+    /// Every strategy rejected (or a filter did).
+    Reject,
+    /// The evaluation panicked; the pair must be quarantined.
+    Fault,
+}
+
+/// One worker-evaluated pair: the verdict, the stat delta the sequential
+/// engine would have recorded for it, and (when tracing) a replayable
+/// span record.
+struct PairEval {
+    verdict: SpecVerdict,
+    delta: SubstStats,
+    rec: Option<PairRecord>,
+}
+
+/// Speculatively evaluates one (target, divisor) pair read-only against
+/// the epoch snapshot, mirroring [`SubstEngine::attempt`]'s filter chain
+/// and stat accounting exactly — minus every mutation (no sim flush or
+/// refinement, no memo writes, no network edit). Always panic-isolated.
+#[allow(clippy::too_many_arguments)]
+fn speculate_pair(
+    net: &Network,
+    side: &SideTables,
+    quarantine: &HashSet<(NodeId, NodeId)>,
+    shadow: Option<&ShadowBase>,
+    sim: Option<SimView<'_>>,
+    opts: &SubstOptions,
+    target: NodeId,
+    divisor: NodeId,
+    record: bool,
+) -> PairEval {
+    let t_all = Instant::now();
+    let mut delta = SubstStats::default();
+    let mut stages = StageNanos::default();
+    let mut gain = 0i64;
+    delta.candidates_enumerated += 1;
+
+    let t0 = Instant::now();
+    let mut space: Option<JointSpace> = None;
+    let filtered: Option<Outcome> = 'filters: {
+        if quarantine.contains(&(target, divisor)) {
+            break 'filters Some(Outcome::GuardRejected);
+        }
+        if target == divisor || net.node(target).fanins().contains(&divisor) {
+            delta.filtered_structural += 1;
+            break 'filters Some(Outcome::RejectedStructural);
+        }
+        if side.in_tfo_frozen(net, divisor, target) {
+            delta.filtered_tfo += 1;
+            break 'filters Some(Outcome::RejectedTfo);
+        }
+        let Some(d_cover_len) = net.node(divisor).cover().map(Cover::len) else {
+            delta.filtered_structural += 1;
+            break 'filters Some(Outcome::RejectedStructural);
+        };
+        if d_cover_len == 0 || d_cover_len > opts.max_divisor_cubes.get() {
+            delta.filtered_divisor_size += 1;
+            break 'filters Some(Outcome::RejectedDivisorSize);
+        }
+        let js = JointSpace::union_of_fanins(net, &[target, divisor]);
+        if js.len() > opts.max_joint_vars {
+            delta.filtered_joint_space += 1;
+            break 'filters Some(Outcome::RejectedJointSpace);
+        }
+        space = Some(js);
+        None
+    };
+    let dt0 = nanos(t0);
+    delta.filter_nanos += dt0;
+    stages.add(Stage::Filter, dt0);
+
+    let (verdict, outcome) = if let Some(outcome) = filtered {
+        (SpecVerdict::Reject, outcome)
+    } else {
+        let space = space.expect("space is set when every filter passes");
+        let t1 = Instant::now();
+        let sim_nanos0 = delta.sim_nanos;
+        let planned = catch_unwind(AssertUnwindSafe(|| {
+            let scope = match shadow {
+                Some(base) => GdcScope::Shadow(base),
+                None => GdcScope::Rebuild,
+            };
+            plan_pair_core(
+                net,
+                target,
+                divisor,
+                &space,
+                opts,
+                &mut delta,
+                &scope,
+                sim.map(|v| v.filter()),
+                None,
+            )
+        }));
+        let dt1 = nanos(t1);
+        delta.divide_nanos += dt1;
+        let sim_delta = delta.sim_nanos - sim_nanos0;
+        stages.add(Stage::Sim, sim_delta);
+        stages.add(Stage::Divide, dt1.saturating_sub(sim_delta));
+        match planned {
+            Ok(Some(plan)) => {
+                gain = plan.gain();
+                let outcome = match &plan {
+                    SubstPlan::Replace {
+                        kind: PlanKind::Pos,
+                        ..
+                    } => Outcome::AcceptedPos,
+                    SubstPlan::Replace { .. } => Outcome::AcceptedSop,
+                    SubstPlan::Extended(_) => Outcome::AcceptedExtended,
+                };
+                (SpecVerdict::Accept, outcome)
+            }
+            Ok(None) => {
+                let outcome = if delta.sim_pairs_refuted > 0 {
+                    Outcome::RejectedSimRefuted
+                } else {
+                    Outcome::RejectedNoGain
+                };
+                (SpecVerdict::Reject, outcome)
+            }
+            Err(_) => (SpecVerdict::Fault, Outcome::EngineFault),
+        }
+    };
+    let rec = record.then(|| PairRecord {
+        target: id32(target),
+        divisor: id32(divisor),
+        dur_ns: nanos(t_all),
+        stages,
+        outcome,
+        gain,
+        rar_checks: u64::try_from(delta.rar_checks).unwrap_or(u64::MAX),
+    });
+    PairEval {
+        verdict,
+        delta,
+        rec,
+    }
+}
+
+impl SubstEngine<'_> {
+    /// Parallel replacement for the sequential target visit; dispatched
+    /// from `visit_target` when `opts.threads > 1`.
+    pub(crate) fn visit_target_parallel(&mut self, target: NodeId) {
+        match self.opts.acceptance {
+            Acceptance::FirstGain => self.parallel_first_gain(target),
+            Acceptance::BestGain => self.parallel_best_gain(target),
+        }
+    }
+
+    /// If the GDC shadow snapshot is missing or stale, builds it now so
+    /// workers can share it — but does *not* book the cache miss yet.
+    /// Returns the build duration; the miss is booked when (if) the
+    /// first filter-surviving pair consumes it, which is the moment the
+    /// sequential engine's lazy `ensure_shadow` would have built it.
+    fn prepare_epoch_shadow(&mut self, target: NodeId) -> Option<u64> {
+        if self.opts.mode != SubstMode::ExtendedGdc {
+            return None;
+        }
+        let valid = self
+            .shadow
+            .as_ref()
+            .is_some_and(|e| e.target == target && e.version == self.net.version());
+        if valid {
+            return None;
+        }
+        let t0 = Instant::now();
+        let tfo = self.side.tfo(self.net, target).clone();
+        let base = ShadowBase::prepare(self.net, target, &tfo);
+        self.shadow = Some(ShadowEntry {
+            target,
+            version: self.net.version(),
+            base,
+        });
+        Some(nanos(t0))
+    }
+
+    /// Merges one speculated (and sequentially-consumed) pair into the
+    /// live stats: the delta, the shadow-cache accounting the sequential
+    /// `ensure_shadow` would have done, fault quarantine, and the traced
+    /// span replay.
+    fn merge_speculated(
+        &mut self,
+        target: NodeId,
+        divisor: NodeId,
+        eval: PairEval,
+        pending_build: &mut Option<u64>,
+    ) {
+        // A pair that reached the division core is one the sequential
+        // engine would have called `ensure_shadow` for.
+        let survivor = eval.delta.divisions_tried > 0;
+        self.stats.merge(&eval.delta);
+        if self.opts.mode == SubstMode::ExtendedGdc && survivor {
+            if let Some(ns) = pending_build.take() {
+                self.stats.shadow_cache_misses += 1;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.shadow_build(id32(target), ns);
+                }
+            } else {
+                self.stats.shadow_cache_hits += 1;
+            }
+        }
+        if eval.verdict == SpecVerdict::Fault {
+            self.stats.engine_faults += 1;
+            self.quarantine_pair(target, divisor);
+        }
+        if let Some(rec) = eval.rec.as_ref() {
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.record_pair(rec);
+            }
+        }
+    }
+
+    /// One epoch: speculative evaluation of `cands` against the frozen
+    /// network. Returns one slot per candidate; a `None` slot was skipped
+    /// because its index lies beyond the epoch's lowest accepting index
+    /// (the sequential sweep would never have evaluated it either).
+    fn speculate_epoch(&self, target: NodeId, cands: &[NodeId]) -> Vec<Option<PairEval>> {
+        let record = self.tracer.is_some();
+        let net: &Network = self.net;
+        let side = &self.side;
+        let quarantine = &self.quarantine;
+        let opts = &self.opts;
+        let shadow: Option<&ShadowBase> = match &self.shadow {
+            Some(e) if opts.mode == SubstMode::ExtendedGdc => Some(&e.base),
+            _ => None,
+        };
+        let sim = self.sim.as_ref().map(SimView::freeze);
+        let workers = opts.threads.get().min(cands.len());
+        if workers <= 1 || cands.len() < PAR_MIN_PAIRS {
+            // Tiny epoch: a spawn costs more than the proofs. Inline
+            // evaluation with the same early exit is bit-identical.
+            let mut out: Vec<Option<PairEval>> = Vec::with_capacity(cands.len());
+            for &divisor in cands {
+                let eval = speculate_pair(
+                    net, side, quarantine, shadow, sim, opts, target, divisor, record,
+                );
+                let stop = eval.verdict == SpecVerdict::Accept;
+                out.push(Some(eval));
+                if stop {
+                    break;
+                }
+            }
+            out.resize_with(cands.len(), || None);
+            return out;
+        }
+        let next = AtomicUsize::new(0);
+        let best = AtomicUsize::new(usize::MAX);
+        let found = Mutex::new(Vec::<(usize, PairEval)>::with_capacity(cands.len()));
+        #[cfg(feature = "chaos")]
+        let chaos_cfg = crate::chaos::current_config();
+        let drain = |spawned: bool| {
+            // Chaos state is thread-local: re-arm each spawned worker
+            // with the committer's configuration so injected faults
+            // reach speculation too. The committer participates inline
+            // with its own already-armed stream.
+            #[cfg(feature = "chaos")]
+            if spawned {
+                if let Some(cfg) = chaos_cfg {
+                    crate::chaos::configure(cfg);
+                }
+            }
+            #[cfg(not(feature = "chaos"))]
+            let _ = spawned;
+            loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= cands.len() {
+                    break;
+                }
+                // Skip work the sequential sweep would never reach.
+                // `best` only ever decreases, so every index at or
+                // below the final winner is evaluated before it could
+                // be skipped.
+                if idx > best.load(Ordering::Acquire) {
+                    continue;
+                }
+                let eval = speculate_pair(
+                    net, side, quarantine, shadow, sim, opts, target, cands[idx], record,
+                );
+                if eval.verdict == SpecVerdict::Accept {
+                    best.fetch_min(idx, Ordering::AcqRel);
+                }
+                found.lock().expect("worker result lock").push((idx, eval));
+            }
+        };
+        std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(|| drain(true));
+            }
+            drain(false);
+        });
+        let mut out: Vec<Option<PairEval>> = Vec::new();
+        out.resize_with(cands.len(), || None);
+        for (idx, eval) in found.into_inner().expect("worker result lock") {
+            out[idx] = Some(eval);
+        }
+        out
+    }
+
+    /// The parallel first-gain visit: epochs of speculation, ordered
+    /// commits, sequential re-validation of each winner.
+    fn parallel_first_gain(&mut self, target: NodeId) {
+        let bound = self.net.id_bound();
+        let mut cursor: Option<NodeId> = None;
+        'resume: loop {
+            if self.deadline_expired() {
+                return;
+            }
+            let t0 = Instant::now();
+            let cands = self.candidates(target, bound, cursor);
+            self.count_skipped(cands.len(), bound, cursor);
+            let dt = nanos(t0);
+            self.stats.enumerate_nanos += dt;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.stage(Stage::Enumerate, dt);
+            }
+            // Commit-side guard rejections consume pairs without touching
+            // the network, so the sweep continues inside the *same*
+            // enumeration from `start` — exactly like the sequential
+            // candidate loop continuing in place.
+            let mut start = 0usize;
+            loop {
+                if start >= cands.len() {
+                    break 'resume;
+                }
+                if self.deadline_expired() {
+                    return;
+                }
+                let mut pending_build = self.prepare_epoch_shadow(target);
+                let slice = &cands[start..];
+                let mut evals = self.speculate_epoch(target, slice);
+                let winner = evals.iter().position(|e| {
+                    e.as_ref()
+                        .is_some_and(|ev| ev.verdict == SpecVerdict::Accept)
+                });
+                let merge_upto = winner.unwrap_or(slice.len());
+                for (i, divisor) in slice.iter().copied().enumerate().take(merge_upto) {
+                    let eval = evals[i]
+                        .take()
+                        .expect("pairs below the winner are evaluated");
+                    self.merge_speculated(target, divisor, eval, &mut pending_build);
+                }
+                let Some(w) = winner else {
+                    // No acceptance anywhere in the enumeration: the
+                    // visit is over (any unconsumed shadow build stays
+                    // uncounted, as the sequential engine never built it).
+                    break 'resume;
+                };
+                let divisor = slice[w];
+                // Sequentially re-validate and apply the winner through
+                // the ordinary attempt path (txn, guard, side patching,
+                // live tracing). If the winner is the epoch's first
+                // filter survivor, the sequential engine would have built
+                // the shadow *here* — swap the warm-cache hit `attempt`
+                // books for the miss it would have counted.
+                let pending_was = pending_build.take();
+                if let Some(ns) = pending_was {
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.shadow_build(id32(target), ns);
+                    }
+                }
+                let before = self.stats.substitutions;
+                self.attempt(target, divisor);
+                if pending_was.is_some() {
+                    self.stats.shadow_cache_hits -= 1;
+                    self.stats.shadow_cache_misses += 1;
+                }
+                if self.stats.substitutions != before {
+                    // Committed: the target's fanins changed, re-enumerate
+                    // and resume past this divisor.
+                    cursor = Some(divisor);
+                    continue 'resume;
+                }
+                // Speculation accepted but the live attempt did not
+                // (checked-mode guard rejection or fault): the pair is
+                // quarantined; keep consuming the same enumeration.
+                start += w + 1;
+            }
+        }
+    }
+
+    /// The parallel best-gain visit: dry-runs fan out over scratch
+    /// clones (their stats are discarded, as in the sequential loop),
+    /// then the lowest-index best gain is applied for real.
+    fn parallel_best_gain(&mut self, target: NodeId) {
+        let bound = self.net.id_bound();
+        let t0 = Instant::now();
+        let cands = self.candidates(target, bound, None);
+        self.count_skipped(cands.len(), bound, None);
+        let dt = nanos(t0);
+        self.stats.enumerate_nanos += dt;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.stage(Stage::Enumerate, dt);
+        }
+        if self.deadline_expired() {
+            return;
+        }
+        let results = {
+            let net: &Network = self.net;
+            let opts = &self.opts;
+            let next = AtomicUsize::new(0);
+            let found = Mutex::new(Vec::<(usize, Result<Option<i64>, ()>)>::with_capacity(
+                cands.len(),
+            ));
+            #[cfg(feature = "chaos")]
+            let chaos_cfg = crate::chaos::current_config();
+            let workers = opts.threads.get().min(cands.len()).max(1);
+            let drain = |spawned: bool| {
+                #[cfg(feature = "chaos")]
+                if spawned {
+                    if let Some(cfg) = chaos_cfg {
+                        crate::chaos::configure(cfg);
+                    }
+                }
+                #[cfg(not(feature = "chaos"))]
+                let _ = spawned;
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= cands.len() {
+                        break;
+                    }
+                    let divisor = cands[idx];
+                    let mut scratch = net.clone();
+                    let mut scratch_stats = SubstStats::default();
+                    let dry = catch_unwind(AssertUnwindSafe(|| {
+                        crate::subst::try_pair(
+                            &mut scratch,
+                            target,
+                            divisor,
+                            opts,
+                            &mut scratch_stats,
+                        )
+                    }))
+                    .map_err(|_| ());
+                    found.lock().expect("dry-run result lock").push((idx, dry));
+                }
+            };
+            std::thread::scope(|s| {
+                for _ in 1..workers {
+                    s.spawn(|| drain(true));
+                }
+                drain(false);
+            });
+            let mut results = found.into_inner().expect("dry-run result lock");
+            results.sort_unstable_by_key(|&(idx, _)| idx);
+            results
+        };
+        let mut best: Option<(NodeId, i64)> = None;
+        for (idx, dry) in results {
+            match dry {
+                Err(()) => {
+                    // A panicking dry run touched only its scratch clone;
+                    // book the fault and never retry the pair.
+                    self.stats.engine_faults += 1;
+                    self.quarantine_pair(target, cands[idx]);
+                }
+                Ok(Some(gain)) => {
+                    if best.is_none_or(|(_, g)| gain > g) {
+                        best = Some((cands[idx], gain));
+                    }
+                }
+                Ok(None) => {}
+            }
+        }
+        if let Some((divisor, _)) = best {
+            self.attempt(target, divisor);
+        }
+    }
+}

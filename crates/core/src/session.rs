@@ -1,0 +1,136 @@
+//! The unified substitution entry point: one builder for every way of
+//! running the sweep.
+//!
+//! Historically the crate grew one free function per feature —
+//! `boolean_substitute`, `boolean_substitute_traced`,
+//! `boolean_substitute_engine` — each a thin spelling of "construct a
+//! [`SubstEngine`], maybe attach things, run". [`Session`] collapses them
+//! into a single builder:
+//!
+//! ```
+//! use boolsubst_core::{Session, SubstOptions};
+//! # use boolsubst_network::Network;
+//! # use boolsubst_cube::parse_sop;
+//! # let mut net = Network::new("t");
+//! # let a = net.add_input("a").unwrap();
+//! # let b = net.add_input("b").unwrap();
+//! # let f = net.add_node("f", vec![a, b], parse_sop(2, "ab").unwrap()).unwrap();
+//! # net.add_output("f", f).unwrap();
+//! let stats = Session::new(&mut net, SubstOptions::extended())
+//!     .threads(4)
+//!     .run();
+//! ```
+//!
+//! The old free functions survive as `#[deprecated]` shims in
+//! [`crate::legacy`].
+
+use crate::engine::SubstEngine;
+use crate::subst::{SubstOptions, SubstStats};
+use boolsubst_network::Network;
+use boolsubst_trace::Tracer;
+
+/// A configured substitution run over one network: options, an optional
+/// trace recorder, and a thread count, executed by [`Session::run`].
+///
+/// The builder borrows the network mutably for its whole life, so a
+/// `Session` cannot outlive or alias the network it rewrites. Attaching a
+/// tracer never changes the accepted rewrites, and `threads(1)` (the
+/// default) is the plain sequential engine.
+pub struct Session<'n, 't> {
+    net: &'n mut Network,
+    opts: SubstOptions,
+    tracer: Option<&'t mut Tracer>,
+}
+
+impl<'n, 't> Session<'n, 't> {
+    /// Starts configuring a run of `opts` over `net`.
+    pub fn new(net: &'n mut Network, opts: SubstOptions) -> Session<'n, 't> {
+        Session {
+            net,
+            opts,
+            tracer: None,
+        }
+    }
+
+    /// Attaches a structured trace recorder: every pair attempt, pass,
+    /// shadow build, and sim refinement is recorded on `tracer`, labelled
+    /// with the network's node names.
+    #[must_use]
+    pub fn tracer(mut self, tracer: &'t mut Tracer) -> Session<'n, 't> {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Sets the worker-thread count (shorthand for
+    /// [`SubstOptions::with_threads`]); `0` is clamped to `1`.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Session<'n, 't> {
+        self.opts = self.opts.with_threads(threads);
+        self
+    }
+
+    /// Runs the sweep to completion and returns the accumulated
+    /// statistics. The network is left valid and functionally equivalent
+    /// after every possible outcome (acceptance, rejection, deadline
+    /// interrupt, checked-mode rollback).
+    pub fn run(self) -> SubstStats {
+        match self.tracer {
+            Some(tracer) => SubstEngine::with_tracer(self.net, self.opts, tracer).run(),
+            None => SubstEngine::new(self.net, self.opts).run(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subst::SubstOptions;
+    use boolsubst_cube::parse_sop;
+    use boolsubst_network::write_blif;
+    use boolsubst_trace::Tracer;
+
+    fn small_net() -> Network {
+        let mut net = Network::new("session_t");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let f = net
+            .add_node(
+                "f",
+                vec![a, b, c],
+                parse_sop(3, "ab + ac + bc'").expect("p"),
+            )
+            .expect("f");
+        let d = net
+            .add_node("d", vec![a, b, c], parse_sop(3, "ab + c").expect("p"))
+            .expect("d");
+        net.add_output("f", f).expect("o");
+        net.add_output("d", d).expect("o");
+        net
+    }
+
+    #[test]
+    fn session_matches_bare_engine() {
+        let mut a = small_net();
+        let sa = Session::new(&mut a, SubstOptions::extended()).run();
+        let mut b = small_net();
+        let sb = SubstEngine::new(&mut b, SubstOptions::extended()).run();
+        assert_eq!(write_blif(&a), write_blif(&b));
+        assert_eq!(sa.substitutions, sb.substitutions);
+        assert_eq!(sa.literal_gain, sb.literal_gain);
+    }
+
+    #[test]
+    fn session_tracer_is_invisible_to_the_result() {
+        let mut a = small_net();
+        let sa = Session::new(&mut a, SubstOptions::extended()).run();
+        let mut b = small_net();
+        let mut tracer = Tracer::new("ext");
+        let sb = Session::new(&mut b, SubstOptions::extended())
+            .tracer(&mut tracer)
+            .run();
+        assert_eq!(write_blif(&a), write_blif(&b));
+        assert_eq!(sa.substitutions, sb.substitutions);
+        assert!(tracer.pairs() > 0, "tracer saw no pairs");
+    }
+}

@@ -14,6 +14,7 @@ use boolsubst_sim::{CoverScreen, SimConfig, SimFilter};
 use boolsubst_trace::json::JsonObj;
 use boolsubst_trace::{Outcome, Tracer};
 use std::fmt;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 /// Which of the paper's configurations to run.
@@ -53,8 +54,21 @@ pub enum Acceptance {
     BestGain,
 }
 
-/// Options for [`boolean_substitute`].
-#[derive(Debug, Clone, Copy)]
+/// Options for a substitution run (see [`crate::session::Session`]).
+///
+/// Construct with one of the mode constructors ([`SubstOptions::basic`],
+/// [`SubstOptions::extended`], [`SubstOptions::extended_gdc`],
+/// [`SubstOptions::extended_exact`]) and refine with the `with_*` builder
+/// methods:
+///
+/// ```
+/// use boolsubst_core::SubstOptions;
+/// let opts = SubstOptions::basic().with_checked(true).with_threads(4);
+/// ```
+///
+/// Deliberately *not* `Copy`: the options block keeps growing non-trivial
+/// fields, so clones are explicit at every hand-off.
+#[derive(Debug, Clone)]
 pub struct SubstOptions {
     /// Configuration (paper: `basic` / `ext` / `ext GDC`).
     pub mode: SubstMode,
@@ -63,12 +77,14 @@ pub struct SubstOptions {
     /// Also attempt product-of-sum-form substitution when the SOP attempt
     /// yields no gain.
     pub try_pos: bool,
-    /// Skip divisors with more cubes than this.
-    pub max_divisor_cubes: usize,
+    /// Skip divisors with more cubes than this. Non-zero by type: a
+    /// zero bound would reject every divisor and sweep nothing.
+    pub max_divisor_cubes: NonZeroUsize,
     /// Skip pairs whose joint variable space exceeds this.
     pub max_joint_vars: usize,
-    /// Sweeps over all pairs.
-    pub max_passes: usize,
+    /// Sweeps over all pairs. Non-zero by type: a zero-pass run is
+    /// unrepresentable (the old `usize` field was silently clamped to 1).
+    pub max_passes: NonZeroUsize,
     /// Acceptance policy (paper: first positive gain).
     pub acceptance: Acceptance,
     /// Simulation-signature pre-filter (engine path only). Refute-only:
@@ -87,6 +103,19 @@ pub struct SubstOptions {
     /// with [`SubstStats::interrupted`] set. Each attempt is atomic, so
     /// the network is never left mid-rewrite. Default none.
     pub deadline: Option<Instant>,
+    /// Worker threads for the speculative sweep (engine path only).
+    /// `1` (the default) runs the plain sequential engine; `N > 1` runs
+    /// the epoch-parallel sweep, which under [`Acceptance::FirstGain`]
+    /// commits in pair order and is bit-identical to the sequential
+    /// result (`tests/parallel_parity.rs`). Parallel runs always use
+    /// per-pair panic isolation for worker proofs.
+    pub threads: NonZeroUsize,
+}
+
+/// `NonZeroUsize` from a builder argument, clamping 0 up to 1 — the same
+/// forgiving behaviour the old `usize` fields had via `.max(1)`.
+fn at_least_one(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero")
 }
 
 impl SubstOptions {
@@ -97,13 +126,14 @@ impl SubstOptions {
             mode: SubstMode::Basic,
             division: DivisionOptions::paper_default(),
             try_pos: true,
-            max_divisor_cubes: 24,
+            max_divisor_cubes: at_least_one(24),
             max_joint_vars: 48,
-            max_passes: 1,
+            max_passes: at_least_one(1),
             acceptance: Acceptance::FirstGain,
             sim: SimConfig::default(),
             checked: false,
             deadline: None,
+            threads: at_least_one(1),
         }
     }
 
@@ -135,14 +165,100 @@ impl SubstOptions {
             ..SubstOptions::basic()
         }
     }
+
+    /// Sets the acceptance policy ([`Acceptance::FirstGain`] is the
+    /// paper's; [`Acceptance::BestGain`] is the ablation alternative).
+    #[must_use]
+    pub fn with_acceptance(mut self, acceptance: Acceptance) -> SubstOptions {
+        self.acceptance = acceptance;
+        self
+    }
+
+    /// Enables or disables checked apply (guard re-verification, rollback,
+    /// quarantine, panic isolation).
+    #[must_use]
+    pub fn with_checked(mut self, checked: bool) -> SubstOptions {
+        self.checked = checked;
+        self
+    }
+
+    /// Sets a wall-clock deadline for the sweep.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> SubstOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces the simulation pre-filter configuration.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> SubstOptions {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the worker-thread count for the speculative sweep; `0` is
+    /// clamped to `1` (sequential).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> SubstOptions {
+        self.threads = at_least_one(threads);
+        self
+    }
+
+    /// Sets the number of sweeps over all pairs; `0` is clamped to `1`.
+    #[must_use]
+    pub fn with_max_passes(mut self, passes: usize) -> SubstOptions {
+        self.max_passes = at_least_one(passes);
+        self
+    }
+
+    /// Sets the divisor cube-count bound; `0` is clamped to `1`.
+    #[must_use]
+    pub fn with_max_divisor_cubes(mut self, cubes: usize) -> SubstOptions {
+        self.max_divisor_cubes = at_least_one(cubes);
+        self
+    }
+
+    /// Sets the joint-variable-space bound.
+    #[must_use]
+    pub fn with_max_joint_vars(mut self, vars: usize) -> SubstOptions {
+        self.max_joint_vars = vars;
+        self
+    }
+
+    /// Enables or disables the product-of-sums fallback attempt.
+    #[must_use]
+    pub fn with_try_pos(mut self, try_pos: bool) -> SubstOptions {
+        self.try_pos = try_pos;
+        self
+    }
+
+    /// Replaces the division options (learning depth, budgets).
+    #[must_use]
+    pub fn with_division(mut self, division: DivisionOptions) -> SubstOptions {
+        self.division = division;
+        self
+    }
+}
+
+/// The paper's three experimental configurations — `basic`, `ext`, and
+/// `ext-GDC` — as one canonical list. Tests and benches iterate over this
+/// instead of hand-copying option triples, so a new default knob lands in
+/// every parity matrix automatically.
+#[must_use]
+pub fn all_configs() -> [SubstOptions; 3] {
+    [
+        SubstOptions::basic(),
+        SubstOptions::extended(),
+        SubstOptions::extended_gdc(),
+    ]
 }
 
 /// Statistics of a substitution run, with stage-level observability.
 ///
 /// The acceptance-relevant fields (`substitutions`, `pos_substitutions`,
 /// `extended_decompositions`, `literal_gain`, `divisions_tried`) are
-/// identical between [`boolean_substitute`] (the [`crate::engine::SubstEngine`]
-/// path) and [`boolean_substitute_legacy`]. The stage counters describe
+/// identical between [`crate::session::Session`] (the
+/// [`crate::engine::SubstEngine`] path) and [`boolean_substitute_legacy`]. The stage counters describe
 /// *how* each path got there and differ by construction: the legacy sweep
 /// enumerates every (target, divisor) pair and rejects most of them one
 /// filter at a time, while the engine's support-overlap index never
@@ -513,7 +629,7 @@ pub(crate) fn try_pair(
         stats.filtered_structural += 1;
         return None;
     };
-    if d_cover_len == 0 || d_cover_len > opts.max_divisor_cubes {
+    if d_cover_len == 0 || d_cover_len > opts.max_divisor_cubes.get() {
         stats.filtered_divisor_size += 1;
         return None;
     }
@@ -563,17 +679,62 @@ fn fault_reject(stats: &mut SubstStats, tracer: &mut Option<&mut Tracer>) -> Opt
     None
 }
 
+/// What kind of single-node rewrite a [`SubstPlan::Replace`] is — decides
+/// the stat counters, the tracer outcome, and (for the chaos harness)
+/// which fault-injection sites fire on apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanKind {
+    /// SOP division by the divisor as-is (basic or GDC scope).
+    Sop,
+    /// SOP division by the divisor's complement.
+    SopCompl,
+    /// Product-of-sums-form substitution.
+    Pos,
+}
+
+/// A fully evaluated substitution decision, produced read-only by
+/// [`plan_pair_core`] and applied by [`apply_plan`]. Splitting planning
+/// from application is what lets the parallel sweep speculate proofs on
+/// shared `&Network` references and serialize only the commits.
+pub(crate) enum SubstPlan {
+    /// Replace `target`'s function with `cover` over `fanins`.
+    Replace {
+        /// Node being rewritten.
+        target: NodeId,
+        /// New fanin list (projected to the cover's support).
+        fanins: Vec<NodeId>,
+        /// New cover for `target`.
+        cover: Cover,
+        /// Factored-literal gain (strictly positive).
+        gain: i64,
+        /// Which strategy produced the rewrite.
+        kind: PlanKind,
+    },
+    /// Extended division: create a core node and rewrite both the target
+    /// and the divisor.
+    Extended(ExtendedPlan),
+}
+
+impl SubstPlan {
+    /// The plan's factored-literal gain (strictly positive by
+    /// construction).
+    pub(crate) fn gain(&self) -> i64 {
+        match self {
+            SubstPlan::Replace { gain, .. } => *gain,
+            SubstPlan::Extended(plan) => plan.gain,
+        }
+    }
+}
+
 /// The filter-free heart of a substitution attempt: divides `target` by
 /// `divisor` over the precomputed joint `space` and applies the first
 /// strategy with positive gain. Callers guarantee the pair already passed
 /// the structural, cycle, size, and support-overlap filters.
 ///
-/// When `sim` is given, the dividend is screened against the divisor's
-/// simulation signature first and refuted strategies skip their proof
-/// work. The screen is refute-only (a witness pattern is a concrete
-/// counterexample), so every skipped strategy would have returned no gain
-/// anyway: the accepted rewrites — and the pinned acceptance stats — are
-/// identical with and without a filter.
+/// Composition of [`plan_pair_core`] (read-only evaluation) and
+/// [`apply_plan`] (the mutation); the sequential engine and the legacy
+/// sweep both go through here, the parallel sweep calls the two halves
+/// separately.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn try_pair_core(
     net: &mut Network,
@@ -586,6 +747,45 @@ pub(crate) fn try_pair_core(
     sim: Option<&SimFilter>,
     mut tracer: Option<&mut Tracer>,
 ) -> Option<i64> {
+    let plan = plan_pair_core(
+        net,
+        target,
+        divisor,
+        space,
+        opts,
+        stats,
+        gdc,
+        sim,
+        tracer.as_deref_mut(),
+    )?;
+    apply_plan(net, plan, stats, tracer)
+}
+
+/// The read-only half of a substitution attempt: evaluates every division
+/// strategy in the fixed order (SOP, complement-SOP, extended, POS) and
+/// returns the first plan with positive factored-literal gain — without
+/// mutating the network. Because planning never mutates, "first strategy
+/// that would be applied" and "first strategy with positive gain" are the
+/// same thing, so [`try_pair_core`] behaves exactly as the pre-split code.
+///
+/// When `sim` is given, the dividend is screened against the divisor's
+/// simulation signature first and refuted strategies skip their proof
+/// work. The screen is refute-only (a witness pattern is a concrete
+/// counterexample), so every skipped strategy would have returned no gain
+/// anyway: the accepted rewrites — and the pinned acceptance stats — are
+/// identical with and without a filter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_pair_core(
+    net: &Network,
+    target: NodeId,
+    divisor: NodeId,
+    space: &JointSpace,
+    opts: &SubstOptions,
+    stats: &mut SubstStats,
+    gdc: &GdcScope<'_>,
+    sim: Option<&SimFilter>,
+    tracer: Option<&mut Tracer>,
+) -> Option<SubstPlan> {
     #[cfg(feature = "chaos")]
     crate::chaos::maybe_panic(crate::chaos::PanicSite::PairEntry);
     let f = space.cover_of(net, target);
@@ -640,15 +840,13 @@ pub(crate) fn try_pair_core(
         if gain > 0 {
             #[cfg(feature = "chaos")]
             let cover = crate::chaos::corrupt_cover(cover);
-            if net.replace_function(target, fanins, cover).is_err() {
-                return fault_reject(stats, &mut tracer);
-            }
-            stats.substitutions += 1;
-            stats.literal_gain += gain;
-            note(&mut tracer, Outcome::AcceptedSop);
-            #[cfg(feature = "chaos")]
-            crate::chaos::maybe_panic(crate::chaos::PanicSite::PostApply);
-            return Some(gain);
+            return Some(SubstPlan::Replace {
+                target,
+                fanins,
+                cover,
+                gain,
+                kind: PlanKind::Sop,
+            });
         }
     }
 
@@ -658,7 +856,7 @@ pub(crate) fn try_pair_core(
     let mut d_compl_cache: Option<Cover> = None;
     if !skip_compl {
         let d_compl = &*d_compl_cache.insert(d.complement());
-        if !d_compl.is_empty() && d_compl.len() <= opts.max_divisor_cubes {
+        if !d_compl.is_empty() && d_compl.len() <= opts.max_divisor_cubes.get() {
             ran_proof = true;
             let r = basic_divide_covers(&f, d_compl, &opts.division);
             if r.succeeded() {
@@ -666,13 +864,13 @@ pub(crate) fn try_pair_core(
                     assemble(space, divisor, &r.quotient, &r.remainder, Phase::Neg);
                 let gain = factored_gain(net, target, &cover);
                 if gain > 0 {
-                    if net.replace_function(target, fanins, cover).is_err() {
-                        return fault_reject(stats, &mut tracer);
-                    }
-                    stats.substitutions += 1;
-                    stats.literal_gain += gain;
-                    note(&mut tracer, Outcome::AcceptedSop);
-                    return Some(gain);
+                    return Some(SubstPlan::Replace {
+                        target,
+                        fanins,
+                        cover,
+                        gain,
+                        kind: PlanKind::SopCompl,
+                    });
                 }
             }
         }
@@ -695,15 +893,7 @@ pub(crate) fn try_pair_core(
             // Core == whole divisor means basic already covered it.
             if ext.core_cube_indices.len() < d.len() && ext.division.succeeded() {
                 if let Some(plan) = plan_extended(net, target, divisor, space, &ext) {
-                    let gain = plan.gain;
-                    if plan.apply(net).is_err() {
-                        return fault_reject(stats, &mut tracer);
-                    }
-                    stats.substitutions += 1;
-                    stats.extended_decompositions += 1;
-                    stats.literal_gain += gain;
-                    note(&mut tracer, Outcome::AcceptedExtended);
-                    return Some(gain);
+                    return Some(SubstPlan::Extended(plan));
                 }
             }
         }
@@ -713,7 +903,10 @@ pub(crate) fn try_pair_core(
     if opts.try_pos {
         let fc = f.complement();
         let dc = d_compl_cache.unwrap_or_else(|| d.complement());
-        if !dc.is_empty() && dc.len() <= opts.max_divisor_cubes && fc.len() <= 4 * f.len().max(4) {
+        if !dc.is_empty()
+            && dc.len() <= opts.max_divisor_cubes.get()
+            && fc.len() <= 4 * f.len().max(4)
+        {
             // POS divides f' by d'. A kept cube of f' must lie inside a
             // cube of d', so a witness with f'-cube = 1 ∧ d = 1 refutes it
             // (a d'-cube at 1 forces d = 0): screening f' against d with
@@ -756,20 +949,72 @@ pub(crate) fn try_pair_core(
                     let new_cover = new_cover.remapped(kept.len(), &map);
                     let gain = factored_gain(net, target, &new_cover);
                     if gain > 0 {
-                        if net.replace_function(target, kept, new_cover).is_err() {
-                            return fault_reject(stats, &mut tracer);
-                        }
-                        stats.substitutions += 1;
-                        stats.pos_substitutions += 1;
-                        stats.literal_gain += gain;
-                        note(&mut tracer, Outcome::AcceptedPos);
-                        return Some(gain);
+                        return Some(SubstPlan::Replace {
+                            target,
+                            fanins: kept,
+                            cover: new_cover,
+                            gain,
+                            kind: PlanKind::Pos,
+                        });
                     }
                 }
             }
         }
     }
     finish_unhelped(stats, sim.is_some(), ran_proof, tracer)
+}
+
+/// The mutating half of a substitution attempt: applies a plan produced
+/// by [`plan_pair_core`], books the acceptance counters and the tracer
+/// outcome, and returns the gain. A typed apply error (which a healthy
+/// engine never produces) is booked as an engine fault; every apply site
+/// is validate-then-mutate or internally rolled back, so the network is
+/// unchanged on that path.
+pub(crate) fn apply_plan(
+    net: &mut Network,
+    plan: SubstPlan,
+    stats: &mut SubstStats,
+    mut tracer: Option<&mut Tracer>,
+) -> Option<i64> {
+    match plan {
+        SubstPlan::Replace {
+            target,
+            fanins,
+            cover,
+            gain,
+            kind,
+        } => {
+            if net.replace_function(target, fanins, cover).is_err() {
+                return fault_reject(stats, &mut tracer);
+            }
+            stats.substitutions += 1;
+            stats.literal_gain += gain;
+            match kind {
+                PlanKind::Sop => {
+                    note(&mut tracer, Outcome::AcceptedSop);
+                    #[cfg(feature = "chaos")]
+                    crate::chaos::maybe_panic(crate::chaos::PanicSite::PostApply);
+                }
+                PlanKind::SopCompl => note(&mut tracer, Outcome::AcceptedSop),
+                PlanKind::Pos => {
+                    stats.pos_substitutions += 1;
+                    note(&mut tracer, Outcome::AcceptedPos);
+                }
+            }
+            Some(gain)
+        }
+        SubstPlan::Extended(plan) => {
+            let gain = plan.gain;
+            if plan.apply(net).is_err() {
+                return fault_reject(stats, &mut tracer);
+            }
+            stats.substitutions += 1;
+            stats.extended_decompositions += 1;
+            stats.literal_gain += gain;
+            note(&mut tracer, Outcome::AcceptedExtended);
+            Some(gain)
+        }
+    }
 }
 
 /// Books a pair that produced no gain: with a filter present it either
@@ -782,7 +1027,7 @@ fn finish_unhelped(
     screened: bool,
     ran_proof: bool,
     mut tracer: Option<&mut Tracer>,
-) -> Option<i64> {
+) -> Option<SubstPlan> {
     if screened {
         if ran_proof {
             stats.sim_false_passes += 1;
@@ -996,35 +1241,12 @@ fn divide_in_network(
     (!quotient.is_empty()).then_some((quotient, remainder))
 }
 
-/// Runs the Boolean substitution pass over the network. Targets are
-/// visited from largest cover to smallest (bigger nodes benefit most);
-/// for each target every other internal node is tried as a divisor, and
-/// the first strategy with positive factored-literal gain is taken.
-///
-/// Delegates to the incremental [`crate::engine::SubstEngine`]; the
-/// accepted rewrites are identical to [`boolean_substitute_legacy`].
-pub fn boolean_substitute(net: &mut Network, opts: &SubstOptions) -> SubstStats {
-    crate::engine::SubstEngine::new(net, *opts).run()
-}
-
-/// [`boolean_substitute`] with a [`Tracer`] attached: every pair attempt,
-/// pass, shadow build, and sim refinement is recorded on `tracer`.
-/// Attaching a tracer never changes the accepted rewrites — the traced
-/// and untraced runs are bit-identical (`tests/engine_parity.rs`).
-pub fn boolean_substitute_traced(
-    net: &mut Network,
-    opts: &SubstOptions,
-    tracer: &mut Tracer,
-) -> SubstStats {
-    crate::engine::SubstEngine::with_tracer(net, *opts, tracer).run()
-}
-
 /// The pre-engine per-pair sweep: every (target, divisor) pair is visited
 /// and every structural query recomputed on the spot. Kept as the parity
 /// baseline the engine is pinned against (and for A/B benchmarking).
 pub fn boolean_substitute_legacy(net: &mut Network, opts: &SubstOptions) -> SubstStats {
     let mut stats = SubstStats::default();
-    for _ in 0..opts.max_passes.max(1) {
+    for _ in 0..opts.max_passes.get() {
         stats.passes += 1;
         let before = stats.substitutions;
         let mut targets: Vec<NodeId> = net.internal_ids().collect();
@@ -1076,6 +1298,7 @@ pub fn boolean_substitute_legacy(net: &mut Network, opts: &SubstOptions) -> Subs
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use crate::verify::networks_equivalent;
     use boolsubst_cube::parse_sop;
 
@@ -1105,7 +1328,7 @@ mod tests {
     fn basic_substitution_beats_algebraic_on_paper_example() {
         let (mut net, f, _d) = paper_net();
         let before = net.clone();
-        let stats = boolean_substitute(&mut net, &SubstOptions::basic());
+        let stats = Session::new(&mut net, SubstOptions::basic()).run();
         assert!(stats.substitutions >= 1, "no substitution accepted");
         net.check_invariants();
         assert!(networks_equivalent(&before, &net), "function changed");
@@ -1145,7 +1368,7 @@ mod tests {
         net.add_output("f", f).expect("o");
         net.add_output("d", d).expect("o");
         let before = net.clone();
-        let stats = boolean_substitute(&mut net, &SubstOptions::extended());
+        let stats = Session::new(&mut net, SubstOptions::extended()).run();
         net.check_invariants();
         assert!(networks_equivalent(&before, &net), "function changed");
         assert!(
@@ -1184,7 +1407,7 @@ mod tests {
         net.add_output("f", f).expect("o");
         net.add_output("g", g).expect("o");
         let before = net.clone();
-        let stats = boolean_substitute(&mut net, &SubstOptions::basic());
+        let stats = Session::new(&mut net, SubstOptions::basic()).run();
         assert!(stats.substitutions >= 1);
         net.check_invariants();
         assert!(networks_equivalent(&before, &net));
@@ -1196,7 +1419,7 @@ mod tests {
     fn gdc_mode_preserves_outputs() {
         let (mut net, ..) = paper_net();
         let before = net.clone();
-        let stats = boolean_substitute(&mut net, &SubstOptions::extended_gdc());
+        let stats = Session::new(&mut net, SubstOptions::extended_gdc()).run();
         net.check_invariants();
         assert!(
             networks_equivalent(&before, &net),
@@ -1220,7 +1443,7 @@ mod tests {
             .expect("g");
         net.add_output("f", f).expect("o");
         net.add_output("g", g).expect("o");
-        let stats = boolean_substitute(&mut net, &SubstOptions::extended());
+        let stats = Session::new(&mut net, SubstOptions::extended()).run();
         assert_eq!(stats.substitutions, 0);
     }
 }

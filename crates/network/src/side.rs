@@ -83,7 +83,23 @@ pub struct SideTables {
     tfo_hits: u64,
     /// Cumulative count of TFO recomputations (observability).
     tfo_misses: u64,
+    /// Monotone patch counter: bumped by every synchronisation
+    /// ([`SideTables::sync_new_nodes`], [`SideTables::apply_replace`],
+    /// [`SideTables::apply_remove`]). Epoch-scoped consumers — the parallel
+    /// sweep's per-worker shadow caches and verdict tables — tag entries
+    /// with the epoch they were computed against and treat a mismatch as
+    /// an invalidation, instead of comparing whole structures.
+    epoch: u64,
 }
+
+// The parallel sweep shares `&SideTables` (and `&Network`) across worker
+// threads; neither type may grow interior mutability without revisiting
+// that design. Compile-time pin:
+const _: fn() = || {
+    fn sync_only<T: Sync>() {}
+    sync_only::<SideTables>();
+    sync_only::<Network>();
+};
 
 impl SideTables {
     /// Builds the tables from scratch for the network's current state.
@@ -98,7 +114,15 @@ impl SideTables {
             tfo: HashMap::new(),
             tfo_hits: 0,
             tfo_misses: 0,
+            epoch: 0,
         }
+    }
+
+    /// The current patch epoch (see the `epoch` field). Starts at 0 and
+    /// increases by one per synchronisation; never decreases.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn assert_synced(&self, net: &Network) {
@@ -173,6 +197,50 @@ impl SideTables {
         self.tfo(net, of).contains(&node)
     }
 
+    /// Read-only variant of [`SideTables::in_tfo`] for shared (`&self`)
+    /// use from the parallel sweep's worker threads: the level table
+    /// short-circuits as usual, a memoized TFO set is consulted if one is
+    /// present, and otherwise the reachability is recomputed on the spot
+    /// *without* memoizing (the committer pre-warms the memo for the
+    /// targets it hands out, so the recompute path is the exception).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are stale.
+    #[must_use]
+    pub fn in_tfo_frozen(&self, net: &Network, node: NodeId, of: NodeId) -> bool {
+        self.assert_synced(net);
+        if self.levels[node.index()] <= self.levels[of.index()] {
+            return false;
+        }
+        if let Some(set) = self.tfo.get(&of) {
+            return set.contains(&node);
+        }
+        let mut seen = HashSet::new();
+        let mut stack: Vec<NodeId> = self.fanouts[of.index()].clone();
+        while let Some(n) = stack.pop() {
+            if n == node {
+                return true;
+            }
+            if seen.insert(n) {
+                stack.extend(self.fanouts[n.index()].iter().copied());
+            }
+        }
+        false
+    }
+
+    /// The memoized TFO set of `of`, if one is cached. Read-only companion
+    /// to [`SideTables::tfo`] for shared (`&self`) consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are stale.
+    #[must_use]
+    pub fn tfo_cached(&self, net: &Network, of: NodeId) -> Option<&HashSet<NodeId>> {
+        self.assert_synced(net);
+        self.tfo.get(&of)
+    }
+
     /// (hits, misses) of the memoized-TFO cache since construction.
     #[must_use]
     pub fn tfo_cache_stats(&self) -> (u64, u64) {
@@ -184,6 +252,7 @@ impl SideTables {
     /// before [`SideTables::apply_replace`] when an edit both adds nodes
     /// and rewires an existing one.
     pub fn sync_new_nodes(&mut self, net: &Network) {
+        self.epoch += 1;
         let old_bound = self.fanouts.len();
         if net.id_bound() == old_bound {
             self.stamp.mark(net);
@@ -222,6 +291,7 @@ impl SideTables {
     /// downstream region, and invalidates only the memoized TFO sets that
     /// could see a changed edge.
     pub fn apply_replace(&mut self, net: &Network, id: NodeId, old_fanins: &[NodeId]) {
+        self.epoch += 1;
         let new_fanins = net.node(id).fanins();
         for &f in old_fanins {
             if !new_fanins.contains(&f) {
@@ -267,6 +337,7 @@ impl SideTables {
     /// in cached sets, which is harmless — nothing can name it as a
     /// divisor or target).
     pub fn apply_remove(&mut self, net: &Network, id: NodeId, old_fanins: &[NodeId]) {
+        self.epoch += 1;
         for &f in old_fanins {
             self.fanouts[f.index()].retain(|&o| o != id);
         }
@@ -429,6 +500,37 @@ mod tests {
         assert!(!side.fanouts(&net, a).contains(&m));
         assert!(!side.fanouts(&net, h).contains(&m));
         assert!(side.fanouts(&net, h).contains(&k));
+    }
+
+    #[test]
+    fn frozen_in_tfo_matches_memoized_cold_and_warm() {
+        let (mut net, ids) = chain();
+        let mut side = SideTables::build(&net);
+        let epoch0 = side.epoch();
+        // Cold: no memo present, the frozen query recomputes on the spot.
+        for &x in &ids {
+            for &y in &ids {
+                let want = net.tfo(y).contains(&x);
+                assert_eq!(side.in_tfo_frozen(&net, x, y), want, "cold ({x}, {y})");
+            }
+        }
+        // Warm the memo, rewire, patch — answers must still agree.
+        for &id in &ids {
+            side.tfo(&net, id);
+        }
+        let h = ids[4];
+        let old = net.node(h).fanins().to_vec();
+        net.replace_function(h, vec![ids[0], ids[2]], parse_sop(2, "ab").expect("p"))
+            .expect("replace");
+        side.apply_replace(&net, h, &old);
+        assert!(side.epoch() > epoch0, "patching must advance the epoch");
+        for &x in &ids {
+            for &y in &ids {
+                let want = net.tfo(y).contains(&x);
+                assert_eq!(side.in_tfo_frozen(&net, x, y), want, "warm ({x}, {y})");
+                assert_eq!(side.in_tfo(&net, x, y), want, "memoized ({x}, {y})");
+            }
+        }
     }
 
     #[test]

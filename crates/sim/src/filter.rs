@@ -294,6 +294,60 @@ impl SimFilter {
     }
 }
 
+/// A frozen, read-only screening view over a [`SimFilter`], shareable
+/// across the parallel sweep's worker threads.
+///
+/// The view exposes exactly the filter surface whose answers are pure
+/// functions of the shared state — the signature table over the shared
+/// [`PatternPool`] — and none of the mutating machinery (flush, patch,
+/// refinement). Construction asserts that no harvested patterns are
+/// pending, so every screen taken through the view is identical to one
+/// taken through the filter itself at freeze time.
+#[derive(Debug, Clone, Copy)]
+pub struct SimView<'a> {
+    filter: &'a SimFilter,
+}
+
+// Worker threads share one view per epoch; the underlying filter must
+// stay free of interior mutability for that to be sound. Compile-time pin:
+const _: fn() = || {
+    fn sync_only<T: Sync>() {}
+    sync_only::<SimFilter>();
+    sync_only::<SimView<'_>>();
+};
+
+impl<'a> SimView<'a> {
+    /// Freezes `filter` for shared read-only screening.
+    ///
+    /// # Panics
+    ///
+    /// Panics if patterns are pending a [`SimFilter::flush`] — a frozen
+    /// view of an unflushed filter would screen against rotten tails.
+    #[must_use]
+    pub fn freeze(filter: &'a SimFilter) -> SimView<'a> {
+        assert!(filter.pending_from.is_none(), "flush() patterns first");
+        SimView { filter }
+    }
+
+    /// Read-only [`SimFilter::screen_cover`] against the frozen state.
+    #[must_use]
+    pub fn screen_cover(
+        &self,
+        net: &Network,
+        cover: &Cover,
+        vars: &[NodeId],
+        divisor: NodeId,
+    ) -> CoverScreen {
+        self.filter.screen_cover(net, cover, vars, divisor)
+    }
+
+    /// The underlying filter, for call sites that only hold the view.
+    #[must_use]
+    pub fn filter(&self) -> &'a SimFilter {
+        self.filter
+    }
+}
+
 /// Greedy bounded backward justification of `node = value`. Records the
 /// chosen assignments in `desired`; conflicts or an exhausted budget fail
 /// the whole attempt (the caller's simulation check is the safety net).

@@ -31,13 +31,12 @@ mod filter;
 mod pool;
 mod table;
 
-pub use filter::{CoverScreen, SimFilter};
+pub use filter::{CoverScreen, SimFilter, SimView};
 pub use pool::PatternPool;
 pub use table::SimTable;
 
-/// Configuration for the simulation filter.
-///
-/// `Copy` so it can ride inside the engine's `SubstOptions`.
+/// Configuration for the simulation filter; rides inside the engine's
+/// `SubstOptions` (cheap plain-data `Copy`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Master switch; when false the engine builds no filter at all.

@@ -9,7 +9,7 @@
 //! cargo run --example engine_stats -- --trace trace.jsonl --chrome-trace trace.json
 //! ```
 
-use boolsubst::core::subst::{boolean_substitute_traced, SubstOptions, SubstStats};
+use boolsubst::core::{Session, SubstOptions, SubstStats};
 use boolsubst::trace::export::{chrome_trace_string, jsonl_string};
 use boolsubst::trace::Tracer;
 use boolsubst::workloads::generator::{random_network, GeneratorParams};
@@ -35,7 +35,7 @@ fn main() {
         let mut trial = net.clone();
         let before = trial.sop_literals();
         let mut tracer = Tracer::new(name);
-        let stats = boolean_substitute_traced(&mut trial, &opts, &mut tracer);
+        let stats = Session::new(&mut trial, opts).tracer(&mut tracer).run();
         merged.merge(&stats);
         println!(
             "== {name}: SOP literals {} -> {} ==\n",

@@ -5,8 +5,8 @@
 
 use boolsubst::core::division::DivisionOptions;
 use boolsubst::core::extended::extended_divide_covers;
-use boolsubst::core::subst::{boolean_substitute, SubstOptions};
 use boolsubst::core::verify::networks_equivalent;
+use boolsubst::core::{Session, SubstOptions};
 use boolsubst::cube::parse_sop;
 use boolsubst::network::Network;
 
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     net.add_output("d", d_node)?;
     let golden = net.clone();
 
-    let stats = boolean_substitute(&mut net, &SubstOptions::extended());
+    let stats = Session::new(&mut net, SubstOptions::extended()).run();
     println!("network substitution: {stats:?}");
     println!(
         "equivalent after rewrite: {}",

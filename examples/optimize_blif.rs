@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example optimize_blif`
 
 use boolsubst::algebraic::network_factored_literals;
-use boolsubst::core::subst::{boolean_substitute, SubstOptions};
 use boolsubst::core::verify::networks_equivalent;
+use boolsubst::core::{Session, SubstOptions};
 use boolsubst::network::{parse_blif, write_blif};
 use boolsubst::workloads::scripts::script_a;
 
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("ext. GDC", SubstOptions::extended_gdc()),
     ] {
         let mut trial = net.clone();
-        let stats = boolean_substitute(&mut trial, &opts);
+        let stats = Session::new(&mut trial, opts).run();
         let ok = networks_equivalent(&golden, &trial);
         println!(
             "{name:<9} -> {} literals ({} substitutions, {} POS, {} decompositions), verified: {ok}",

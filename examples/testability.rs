@@ -8,8 +8,8 @@
 use boolsubst::atpg::fault_coverage;
 use boolsubst::core::dontcare::{full_simplify, DontCareOptions};
 use boolsubst::core::netcircuit::NetCircuit;
-use boolsubst::core::subst::{boolean_substitute, SubstOptions};
 use boolsubst::core::verify::networks_equivalent;
+use boolsubst::core::{Session, SubstOptions};
 use boolsubst::network::parse_blif;
 use boolsubst::workloads::scripts::script_a;
 
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (before_total, before_redundant) = report("original", &net);
 
     script_a(&mut net);
-    boolean_substitute(&mut net, &SubstOptions::extended_gdc());
+    Session::new(&mut net, SubstOptions::extended_gdc()).run();
     full_simplify(&mut net, &DontCareOptions::default());
     net.sweep();
     assert!(

@@ -21,6 +21,10 @@
 //! # }
 //! ```
 
+//! The blessed substitution surface is re-exported at the crate root:
+//! [`Session`] is the one entry point for running a sweep, configured by
+//! [`SubstOptions`]' builder methods.
+
 pub use boolsubst_algebraic as algebraic;
 pub use boolsubst_atpg as atpg;
 pub use boolsubst_bdd as bdd;
@@ -31,3 +35,7 @@ pub use boolsubst_network as network;
 pub use boolsubst_sim as sim;
 pub use boolsubst_trace as trace;
 pub use boolsubst_workloads as workloads;
+
+pub use boolsubst_core::{all_configs, Acceptance, Session, SubstMode, SubstOptions, SubstStats};
+pub use boolsubst_network::{parse_blif, write_blif, Network};
+pub use boolsubst_trace::Tracer;

@@ -6,11 +6,11 @@ use boolsubst::algebraic::{algebraic_resub, network_factored_literals, ResubOpti
 use boolsubst::atpg::{fault_coverage, rar_optimize, RarOptions};
 use boolsubst::core::dontcare::{full_simplify, DontCareOptions};
 use boolsubst::core::netcircuit::{network_from_circuit, NetCircuit};
-use boolsubst::core::subst::{boolean_substitute, boolean_substitute_traced, SubstOptions};
 use boolsubst::core::verify::{networks_equivalent, networks_equivalent_modulo_dc};
 use boolsubst::core::{
     basic_divide_covers, extended_divide_covers, pos_divide_covers, DivisionOptions,
 };
+use boolsubst::core::{Session, SubstOptions};
 use boolsubst::cube::parse_sop;
 use boolsubst::network::{parse_blif, write_blif, Network};
 use boolsubst::trace::export::{chrome_trace_string, jsonl_string};
@@ -26,7 +26,7 @@ USAGE:
   boolsubst optimize <in.blif> [--mode resub|basic|ext|ext-gdc]
                      [--script none|a|b|c] [--dc] [-o <out.blif>] [--no-verify]
                      [--trace <out.jsonl>] [--chrome-trace <out.json>]
-                     [--checked] [--deadline <secs>]
+                     [--checked] [--deadline <secs>] [--threads <n>]
   boolsubst stats <in.blif>
   boolsubst check <a.blif> <b.blif>
   boolsubst faults <in.blif> [--vectors <n>] [--budget <n>]
@@ -78,6 +78,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let mut chrome_path: Option<&str> = None;
     let mut checked = false;
     let mut deadline_secs: Option<f64> = None;
+    let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -103,6 +104,16 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                     return Err("bad --deadline value".into());
                 }
                 deadline_secs = Some(secs);
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --threads value")?;
+                if threads == 0 {
+                    return Err("bad --threads value (must be >= 1)".into());
+                }
             }
             other if input.is_none() => input = Some(other),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -130,9 +141,10 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                     "--trace/--chrome-trace need a substitution mode (basic|ext|ext-gdc)".into(),
                 );
             }
-            if checked || deadline_secs.is_some() {
+            if checked || deadline_secs.is_some() || threads > 1 {
                 return Err(
-                    "--checked/--deadline need a substitution mode (basic|ext|ext-gdc)".into(),
+                    "--checked/--deadline/--threads need a substitution mode (basic|ext|ext-gdc)"
+                        .into(),
                 );
             }
             algebraic_resub(&mut net, &ResubOptions::default());
@@ -147,12 +159,14 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             ));
         }
     };
-    if let Some(mut opts) = subst_opts {
-        opts.checked = checked;
-        opts.deadline = deadline_secs.map(|s| Instant::now() + Duration::from_secs_f64(s));
+    if let Some(opts) = subst_opts {
+        let mut opts = opts.with_checked(checked).with_threads(threads);
+        if let Some(secs) = deadline_secs {
+            opts = opts.with_deadline(Instant::now() + Duration::from_secs_f64(secs));
+        }
         let stats = if tracing {
             let mut tracer = Tracer::new(mode);
-            let stats = boolean_substitute_traced(&mut net, &opts, &mut tracer);
+            let stats = Session::new(&mut net, opts).tracer(&mut tracer).run();
             eprintln!("{}", tracer.report());
             if let Some(path) = trace_path {
                 std::fs::write(path, jsonl_string(&tracer))
@@ -166,7 +180,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             }
             stats
         } else {
-            boolean_substitute(&mut net, &opts)
+            Session::new(&mut net, opts).run()
         };
         if checked {
             eprintln!(

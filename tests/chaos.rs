@@ -7,8 +7,8 @@
 #![cfg(feature = "chaos")]
 
 use boolsubst::core::chaos::{configure, counts, disarm, ChaosConfig, ChaosCounts};
-use boolsubst::core::subst::{boolean_substitute, SubstOptions, SubstStats};
 use boolsubst::core::verify::networks_equivalent;
+use boolsubst::core::{Session, SubstOptions, SubstStats};
 use boolsubst::network::Network;
 use boolsubst::workloads::generator::{random_network, GeneratorParams};
 
@@ -24,13 +24,9 @@ fn run_chaos_sweeps(config: ChaosConfig) -> (SubstStats, ChaosCounts) {
         let mut net = random_network(seed, &GeneratorParams::default());
         let golden = net.clone();
         configure(ChaosConfig { seed, ..config });
-        let opts = SubstOptions {
-            checked: true,
-            ..SubstOptions::extended()
-        };
-        // `boolean_substitute` returning at all proves no injected panic
-        // escaped the sweep.
-        let run = boolean_substitute(&mut net, &opts);
+        let opts = SubstOptions::extended().with_checked(true);
+        // The sweep returning at all proves no injected panic escaped it.
+        let run = Session::new(&mut net, opts).run();
         let c = disarm();
         assert!(
             networks_equivalent(&golden, &net),
@@ -158,11 +154,8 @@ fn disarmed_chaos_leaves_checked_sweeps_clean() {
     let _ = disarm();
     let mut net = random_network(11, &GeneratorParams::default());
     let golden = net.clone();
-    let opts = SubstOptions {
-        checked: true,
-        ..SubstOptions::extended()
-    };
-    let stats = boolean_substitute(&mut net, &opts);
+    let opts = SubstOptions::extended().with_checked(true);
+    let stats = Session::new(&mut net, opts).run();
     assert_eq!(counts(), ChaosCounts::default());
     assert_eq!(stats.guard_rejections, 0);
     assert_eq!(stats.engine_faults, 0);

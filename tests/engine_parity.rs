@@ -3,19 +3,18 @@
 //! BLIF output), agree on the acceptance-relevant statistics, and — like
 //! any substitution — preserve every primary-output function exactly.
 
-use boolsubst::core::subst::{boolean_substitute, boolean_substitute_legacy};
-use boolsubst::core::{Acceptance, SubstOptions};
+use boolsubst::core::subst::boolean_substitute_legacy;
+use boolsubst::core::{all_configs, Acceptance, Session, SubstOptions};
 use boolsubst::network::{write_blif, Network};
 use boolsubst::workloads::generator::{
     planted_network, random_network, GeneratorParams, PlantedParams,
 };
 
 fn modes() -> Vec<(&'static str, SubstOptions)> {
-    vec![
-        ("basic", SubstOptions::basic()),
-        ("extended", SubstOptions::extended()),
-        ("extended_gdc", SubstOptions::extended_gdc()),
-    ]
+    ["basic", "extended", "extended_gdc"]
+        .into_iter()
+        .zip(all_configs())
+        .collect()
 }
 
 /// Exhaustive primary-output equivalence for networks with few inputs.
@@ -40,7 +39,7 @@ fn engine_matches_legacy_on_random_networks() {
             let mut legacy_net = base.clone();
             let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
             let mut engine_net = base.clone();
-            let engine = boolean_substitute(&mut engine_net, &opts);
+            let engine = Session::new(&mut engine_net, opts.clone()).run();
             assert_eq!(
                 write_blif(&engine_net),
                 write_blif(&legacy_net),
@@ -86,7 +85,7 @@ fn engine_matches_legacy_on_planted_networks() {
             let mut legacy_net = base.clone();
             let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
             let mut engine_net = base.clone();
-            let engine = boolean_substitute(&mut engine_net, &opts);
+            let engine = Session::new(&mut engine_net, opts.clone()).run();
             assert_eq!(
                 write_blif(&engine_net),
                 write_blif(&legacy_net),
@@ -111,7 +110,7 @@ fn engine_preserves_output_functions_exhaustively() {
         let base = random_network(seed, &GeneratorParams::default());
         for (name, opts) in modes() {
             let mut net = base.clone();
-            let stats = boolean_substitute(&mut net, &opts);
+            let stats = Session::new(&mut net, opts.clone()).run();
             net.check_invariants();
             outputs_preserved(&base, &net);
             // The run must at least have examined candidates.
@@ -186,15 +185,13 @@ fn cached_tfo_filter_matches_recomputed_decisions() {
 fn engine_matches_legacy_under_best_gain_and_multipass() {
     let base = random_network(29, &GeneratorParams::default());
     for acceptance in [Acceptance::FirstGain, Acceptance::BestGain] {
-        let opts = SubstOptions {
-            acceptance,
-            max_passes: 3,
-            ..SubstOptions::extended()
-        };
+        let opts = SubstOptions::extended()
+            .with_acceptance(acceptance)
+            .with_max_passes(3);
         let mut legacy_net = base.clone();
         let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
         let mut engine_net = base.clone();
-        let engine = boolean_substitute(&mut engine_net, &opts);
+        let engine = Session::new(&mut engine_net, opts.clone()).run();
         assert_eq!(
             write_blif(&engine_net),
             write_blif(&legacy_net),
@@ -217,13 +214,10 @@ fn checked_mode_is_bit_identical_on_healthy_engine() {
         let base = random_network(seed, &GeneratorParams::default());
         for (name, opts) in modes() {
             let mut plain_net = base.clone();
-            let plain = boolean_substitute(&mut plain_net, &opts);
+            let plain = Session::new(&mut plain_net, opts.clone()).run();
             let mut checked_net = base.clone();
-            let checked_opts = SubstOptions {
-                checked: true,
-                ..opts
-            };
-            let checked = boolean_substitute(&mut checked_net, &checked_opts);
+            let checked_opts = opts.clone().with_checked(true);
+            let checked = Session::new(&mut checked_net, checked_opts.clone()).run();
             assert_eq!(
                 write_blif(&checked_net),
                 write_blif(&plain_net),
@@ -255,12 +249,9 @@ fn checked_mode_is_bit_identical_on_healthy_engine() {
 fn expired_deadline_yields_untouched_network_marked_interrupted() {
     use std::time::Instant;
     let base = random_network(11, &GeneratorParams::default());
-    let opts = SubstOptions {
-        deadline: Some(Instant::now()),
-        ..SubstOptions::extended()
-    };
+    let opts = SubstOptions::extended().with_deadline(Instant::now());
     let mut net = base.clone();
-    let stats = boolean_substitute(&mut net, &opts);
+    let stats = Session::new(&mut net, opts.clone()).run();
     assert!(stats.interrupted, "expired deadline not reported");
     assert_eq!(stats.substitutions, 0);
     assert_eq!(
@@ -280,13 +271,12 @@ fn generous_deadline_changes_nothing() {
     let base = random_network(23, &GeneratorParams::default());
     for (name, opts) in modes() {
         let mut plain_net = base.clone();
-        let plain = boolean_substitute(&mut plain_net, &opts);
+        let plain = Session::new(&mut plain_net, opts.clone()).run();
         let mut timed_net = base.clone();
-        let timed_opts = SubstOptions {
-            deadline: Some(Instant::now() + Duration::from_secs(3600)),
-            ..opts
-        };
-        let timed = boolean_substitute(&mut timed_net, &timed_opts);
+        let timed_opts = opts
+            .clone()
+            .with_deadline(Instant::now() + Duration::from_secs(3600));
+        let timed = Session::new(&mut timed_net, timed_opts.clone()).run();
         assert!(!timed.interrupted, "{name}: generous deadline tripped");
         assert_eq!(
             write_blif(&timed_net),
@@ -303,17 +293,18 @@ fn generous_deadline_changes_nothing() {
 /// to the untraced run (only the `*_nanos` wall-clock fields may differ).
 #[test]
 fn tracer_attachment_is_invisible() {
-    use boolsubst::core::subst::boolean_substitute_traced;
     use boolsubst::trace::Tracer;
 
     for seed in [11u64, 47] {
         let base = random_network(seed, &GeneratorParams::default());
         for (name, opts) in modes() {
             let mut plain_net = base.clone();
-            let plain = boolean_substitute(&mut plain_net, &opts);
+            let plain = Session::new(&mut plain_net, opts.clone()).run();
             let mut traced_net = base.clone();
             let mut tracer = Tracer::new(name);
-            let traced = boolean_substitute_traced(&mut traced_net, &opts, &mut tracer);
+            let traced = Session::new(&mut traced_net, opts.clone())
+                .tracer(&mut tracer)
+                .run();
             assert_eq!(
                 write_blif(&traced_net),
                 write_blif(&plain_net),

@@ -7,11 +7,11 @@ use boolsubst::algebraic::{fx, network_factored_literals, FxOptions};
 use boolsubst::atpg::fault_coverage;
 use boolsubst::core::dontcare::{full_simplify, DontCareOptions};
 use boolsubst::core::netcircuit::NetCircuit;
-use boolsubst::core::subst::{boolean_substitute, Acceptance, SubstOptions};
 use boolsubst::core::verify::networks_equivalent;
 use boolsubst::core::{
     basic_divide_covers, extended_divide_covers, extended_divide_pooled, DivisionOptions,
 };
+use boolsubst::core::{Acceptance, Session, SubstOptions};
 use boolsubst::cube::parse_sop;
 use boolsubst::workloads::generator::{planted_network, PlantedParams};
 use boolsubst::workloads::scripts::{script_a, script_boolean};
@@ -61,7 +61,7 @@ fn full_simplify_plus_substitution_preserves_everything() {
         let mut net = planted_network(seed, &PlantedParams::default());
         let golden = net.clone();
         script_a(&mut net);
-        boolean_substitute(&mut net, &SubstOptions::extended());
+        Session::new(&mut net, SubstOptions::extended()).run();
         full_simplify(&mut net, &DontCareOptions::default());
         net.sweep();
         net.check_invariants();
@@ -77,15 +77,13 @@ fn best_gain_never_worse_than_first_gain_on_planted() {
         let mut net = planted_network(seed, &PlantedParams::default());
         script_a(&mut net);
         let mut first = net.clone();
-        boolean_substitute(&mut first, &SubstOptions::extended());
+        Session::new(&mut first, SubstOptions::extended()).run();
         let mut best = net.clone();
-        boolean_substitute(
+        Session::new(
             &mut best,
-            &SubstOptions {
-                acceptance: Acceptance::BestGain,
-                ..SubstOptions::extended()
-            },
-        );
+            SubstOptions::extended().with_acceptance(Acceptance::BestGain),
+        )
+        .run();
         assert!(networks_equivalent(&net, &first));
         assert!(networks_equivalent(&net, &best));
         total_first += network_factored_literals(&first);
@@ -122,7 +120,7 @@ fn optimization_reduces_redundant_faults() {
         fault_coverage(&c, 64, 1, 50_000).redundant
     };
     script_a(&mut net);
-    boolean_substitute(&mut net, &SubstOptions::extended_gdc());
+    Session::new(&mut net, SubstOptions::extended_gdc()).run();
     full_simplify(&mut net, &DontCareOptions::default());
     net.sweep();
     assert!(networks_equivalent(&golden, &net));
@@ -144,7 +142,7 @@ fn full_boolean_flow_beats_no_flow() {
         let net = planted_network(seed, &PlantedParams::default());
         let mut flow = net.clone();
         script_boolean(&mut flow, |n| {
-            boolean_substitute(n, &SubstOptions::extended());
+            Session::new(n, SubstOptions::extended()).run();
         });
         flow.check_invariants();
         assert!(networks_equivalent(&net, &flow));

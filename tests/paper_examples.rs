@@ -3,12 +3,12 @@
 //! the Fig. 4 clique outcome.
 
 use boolsubst::algebraic::{factored_literals, weak_divide};
-use boolsubst::core::subst::{boolean_substitute, SubstOptions};
 use boolsubst::core::verify::networks_equivalent;
 use boolsubst::core::{
     basic_divide_covers, compute_vote_table, extended_divide_covers, split_remainder,
     DivisionOptions,
 };
+use boolsubst::core::{Session, SubstOptions};
 use boolsubst::cube::parse_sop;
 use boolsubst::network::Network;
 
@@ -109,7 +109,7 @@ fn paper_example_network_flow() {
     net.add_output("d", d).expect("o");
     let golden = net.clone();
 
-    let stats = boolean_substitute(&mut net, &SubstOptions::basic());
+    let stats = Session::new(&mut net, SubstOptions::basic()).run();
     assert!(stats.substitutions >= 1);
     assert!(networks_equivalent(&golden, &net));
     let f_cover = net.node(f).cover().expect("cover");

@@ -3,8 +3,8 @@
 //! at each stage.
 
 use boolsubst::algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
-use boolsubst::core::subst::{boolean_substitute, SubstOptions};
 use boolsubst::core::verify::networks_equivalent;
+use boolsubst::core::{all_configs, Session, SubstOptions};
 use boolsubst::network::{parse_blif, write_blif, Network};
 use boolsubst::workloads::scripts::{script_a, script_algebraic_with, script_b, script_c};
 use boolsubst::workloads::{benchmarks, generator};
@@ -49,13 +49,9 @@ fn all_substitution_configs_preserve_outputs() {
     for net in workload_sample() {
         let mut prepared = net.clone();
         script_a(&mut prepared);
-        for (name, opts) in [
-            ("basic", SubstOptions::basic()),
-            ("ext", SubstOptions::extended()),
-            ("ext-gdc", SubstOptions::extended_gdc()),
-        ] {
+        for (name, opts) in ["basic", "ext", "ext-gdc"].into_iter().zip(all_configs()) {
             let mut trial = prepared.clone();
-            boolean_substitute(&mut trial, &opts);
+            Session::new(&mut trial, opts.clone()).run();
             trial.check_invariants();
             assert!(
                 networks_equivalent(&prepared, &trial),
@@ -82,7 +78,7 @@ fn boolean_beats_or_matches_algebraic_on_planted_suite() {
         let mut alg = net.clone();
         algebraic_resub(&mut alg, &ResubOptions::default());
         let mut boo = net.clone();
-        boolean_substitute(&mut boo, &SubstOptions::extended());
+        Session::new(&mut boo, SubstOptions::extended()).run();
         assert!(networks_equivalent(&net, &alg));
         assert!(networks_equivalent(&net, &boo));
         total_alg += network_factored_literals(&alg);
@@ -106,7 +102,7 @@ fn full_script_algebraic_flow_with_each_method() {
     for mode in [SubstOptions::basic(), SubstOptions::extended()] {
         let mut trial = net.clone();
         script_algebraic_with(&mut trial, |n| {
-            boolean_substitute(n, &mode);
+            Session::new(n, mode.clone()).run();
         });
         trial.check_invariants();
         assert!(
@@ -121,7 +117,7 @@ fn optimized_networks_roundtrip_through_blif() {
     for net in workload_sample() {
         let mut prepared = net.clone();
         script_a(&mut prepared);
-        boolean_substitute(&mut prepared, &SubstOptions::extended());
+        Session::new(&mut prepared, SubstOptions::extended()).run();
         let text = write_blif(&prepared);
         let back = parse_blif(&text).expect("roundtrip parse");
         assert!(
@@ -140,7 +136,7 @@ fn gdc_uses_observability_dont_cares_soundly() {
         let mut net = generator::planted_network(seed, &generator::PlantedParams::default());
         script_a(&mut net);
         let mut trial = net.clone();
-        boolean_substitute(&mut trial, &SubstOptions::extended_gdc());
+        Session::new(&mut trial, SubstOptions::extended_gdc()).run();
         trial.check_invariants();
         assert!(networks_equivalent(&net, &trial), "GDC broke seed {seed}");
     }
@@ -153,18 +149,12 @@ fn multi_pass_substitution_converges() {
     script_a(&mut net);
     let golden = net.clone();
     let mut two = net.clone();
-    boolean_substitute(
-        &mut two,
-        &SubstOptions {
-            max_passes: 3,
-            ..SubstOptions::extended()
-        },
-    );
+    Session::new(&mut two, SubstOptions::extended().with_max_passes(3)).run();
     two.check_invariants();
     assert!(networks_equivalent(&golden, &two));
     // A fourth pass finds nothing more.
     let before = network_factored_literals(&two);
-    boolean_substitute(&mut two, &SubstOptions::extended());
+    Session::new(&mut two, SubstOptions::extended()).run();
     assert_eq!(
         network_factored_literals(&two),
         before,

@@ -3,32 +3,28 @@
 //! filter on, off, or exhaustive — and counterexample refinement must fire
 //! on a planted false pass.
 
-use boolsubst::core::subst::{boolean_substitute, boolean_substitute_legacy};
-use boolsubst::core::SubstOptions;
+use boolsubst::core::subst::boolean_substitute_legacy;
+use boolsubst::core::{all_configs, Session, SubstOptions};
 use boolsubst::cube::parse_sop;
 use boolsubst::network::{write_blif, Network, NodeId};
 use boolsubst::sim::{SimConfig, SimFilter};
 use boolsubst::workloads::generator::{random_network, GeneratorParams};
 
 fn modes() -> Vec<(&'static str, SubstOptions)> {
-    vec![
-        ("basic", SubstOptions::basic()),
-        ("extended", SubstOptions::extended()),
-        ("extended_gdc", SubstOptions::extended_gdc()),
-    ]
+    ["basic", "extended", "extended_gdc"]
+        .into_iter()
+        .zip(all_configs())
+        .collect()
 }
 
 /// Runs the engine twice — filter as configured vs filter off — and
 /// requires bit-identical rewrites and acceptance stats.
 fn assert_filter_invisible(base: &Network, opts: &SubstOptions, label: &str) {
     let mut on_net = base.clone();
-    let on = boolean_substitute(&mut on_net, opts);
-    let off_opts = SubstOptions {
-        sim: SimConfig::disabled(),
-        ..*opts
-    };
+    let on = Session::new(&mut on_net, opts.clone()).run();
+    let off_opts = opts.clone().with_sim(SimConfig::disabled());
     let mut off_net = base.clone();
-    let off = boolean_substitute(&mut off_net, &off_opts);
+    let off = Session::new(&mut off_net, off_opts).run();
     assert_eq!(
         write_blif(&on_net),
         write_blif(&off_net),
@@ -77,10 +73,7 @@ fn exhaustive_filter_never_false_refutes() {
         let base = random_network(seed, &GeneratorParams::default());
         assert!(base.inputs().len() <= 10);
         for (name, opts) in modes() {
-            let opts = SubstOptions {
-                sim: SimConfig::exhaustive(),
-                ..opts
-            };
+            let opts = opts.with_sim(SimConfig::exhaustive());
             assert_filter_invisible(&base, &opts, &format!("exhaustive seed {seed} {name}"));
         }
     }
@@ -126,12 +119,9 @@ fn engine_refines_pool_on_false_pass() {
         "seed must miss the witness for this regression test"
     );
 
-    let opts = SubstOptions {
-        sim,
-        ..SubstOptions::basic()
-    };
+    let opts = SubstOptions::basic().with_sim(sim);
     let mut engine_net = base.clone();
-    let stats = boolean_substitute(&mut engine_net, &opts);
+    let stats = Session::new(&mut engine_net, opts.clone()).run();
     assert!(stats.sim_false_passes >= 1, "no false pass recorded");
     assert!(
         stats.sim_refinements >= 1,

@@ -3,7 +3,7 @@
 //! monotonic timestamps per thread, and the tracer's reject-reason funnel
 //! reconciles exactly with the engine's `SubstStats` counters.
 
-use boolsubst::core::subst::{boolean_substitute_traced, SubstOptions, SubstStats};
+use boolsubst::core::{all_configs, Session, SubstStats};
 use boolsubst::trace::export::{chrome_trace_string, jsonl_string};
 use boolsubst::trace::json::Json;
 use boolsubst::trace::{Outcome, TraceEvent, Tracer};
@@ -13,19 +13,16 @@ use std::collections::HashMap;
 /// One traced run per mode on the same generated network.
 fn traced_runs() -> Vec<(Tracer, SubstStats)> {
     let base = random_network(11, &GeneratorParams::default());
-    [
-        ("basic", SubstOptions::basic()),
-        ("ext", SubstOptions::extended()),
-        ("ext-gdc", SubstOptions::extended_gdc()),
-    ]
-    .into_iter()
-    .map(|(name, opts)| {
-        let mut net = base.clone();
-        let mut tracer = Tracer::new(name);
-        let stats = boolean_substitute_traced(&mut net, &opts, &mut tracer);
-        (tracer, stats)
-    })
-    .collect()
+    ["basic", "ext", "ext-gdc"]
+        .into_iter()
+        .zip(all_configs())
+        .map(|(name, opts)| {
+            let mut net = base.clone();
+            let mut tracer = Tracer::new(name);
+            let stats = Session::new(&mut net, opts).tracer(&mut tracer).run();
+            (tracer, stats)
+        })
+        .collect()
 }
 
 #[test]
