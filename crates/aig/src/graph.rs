@@ -1,0 +1,476 @@
+//! The And-Inverter Graph: complemented edges over two-input AND nodes,
+//! structural hashing, and constant folding.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A complemented edge into an [`Aig`]: the AIGER literal encoding
+/// (`2·var + complement`). Literal `0` is constant false, `1` constant
+/// true; variable `v`'s positive edge is literal `2v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false (AIGER literal 0).
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true (AIGER literal 1).
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Wraps a raw AIGER literal value.
+    #[must_use]
+    pub fn from_raw(raw: u32) -> AigLit {
+        AigLit(raw)
+    }
+
+    /// The raw AIGER literal value (`2·var + complement`).
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The variable index this edge points at (0 is the constant).
+    #[must_use]
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// True if the edge is complemented.
+    #[must_use]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// True if this edge is one of the two constants.
+    #[must_use]
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    /// This edge with the given complement flag applied on top.
+    #[must_use]
+    pub fn xor_complement(self, complement: bool) -> AigLit {
+        AigLit(self.0 ^ u32::from(complement))
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+
+    /// The complemented edge.
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A latch-free combinational And-Inverter Graph.
+///
+/// Variables are densely numbered the way the binary AIGER format
+/// requires: variable `0` is the constant, `1..=num_inputs()` are the
+/// primary inputs, and the AND nodes follow in topological order (every
+/// AND's fanins have strictly smaller variable indices). [`Aig::and`]
+/// structurally hashes: requesting the same (unordered) fanin pair twice
+/// returns the same node, and constant/equal/complement operand cases
+/// fold away without allocating.
+///
+/// ```
+/// use boolsubst_aig::{Aig, AigLit};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input_named("a");
+/// let b = aig.add_input_named("b");
+/// let f = aig.or(a, b);
+/// let x = aig.and(a, b);
+/// let y = aig.and(b, a);
+/// assert_eq!(x, y); // structural hash
+/// aig.add_output_named("f", f);
+/// assert_eq!(aig.eval(&[false, true]), vec![true]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    /// Fanins of each AND node; entry `i` defines variable
+    /// `num_inputs + 1 + i`. Invariants: `fanin[0].raw() >= fanin[1].raw()`
+    /// and both fanin variables are strictly smaller than the defined one.
+    ands: Vec<[AigLit; 2]>,
+    /// Number of primary inputs (variables `1..=inputs`).
+    inputs: usize,
+    /// Optional symbol-table names for the inputs.
+    input_names: Vec<Option<String>>,
+    /// Primary outputs: optional symbol name and driving edge.
+    outputs: Vec<(Option<String>, AigLit)>,
+    /// Structural hash: ordered raw fanin pair → defined positive edge.
+    strash: HashMap<[u32; 2], AigLit>,
+}
+
+impl Aig {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Aig {
+        Aig::default()
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of AND nodes.
+    #[must_use]
+    pub fn num_ands(&self) -> usize {
+        self.ands.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The largest variable index in use (the AIGER header's `M`).
+    #[must_use]
+    pub fn max_var(&self) -> u32 {
+        u32::try_from(self.inputs + self.ands.len()).expect("variable space fits u32")
+    }
+
+    /// Adds an unnamed primary input and returns its positive edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an AND node has already been created: the dense variable
+    /// layout requires all inputs to precede the ANDs.
+    pub fn add_input(&mut self) -> AigLit {
+        assert!(
+            self.ands.is_empty(),
+            "inputs must be added before AND nodes"
+        );
+        self.inputs += 1;
+        self.input_names.push(None);
+        AigLit((self.inputs as u32) << 1)
+    }
+
+    /// Adds a named primary input and returns its positive edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an AND node has already been created.
+    pub fn add_input_named(&mut self, name: impl Into<String>) -> AigLit {
+        let lit = self.add_input();
+        self.input_names[self.inputs - 1] = Some(name.into());
+        lit
+    }
+
+    /// The symbol name of input `index` (0-based), if any.
+    #[must_use]
+    pub fn input_name(&self, index: usize) -> Option<&str> {
+        self.input_names.get(index).and_then(Option::as_deref)
+    }
+
+    /// The positive edge of input `index` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn input_lit(&self, index: usize) -> AigLit {
+        assert!(index < self.inputs, "input index out of range");
+        AigLit(((index + 1) as u32) << 1)
+    }
+
+    /// True if `var` is a primary-input variable.
+    #[must_use]
+    pub fn is_input_var(&self, var: u32) -> bool {
+        var >= 1 && (var as usize) <= self.inputs
+    }
+
+    /// The fanins of the AND node defining variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not an AND variable.
+    #[must_use]
+    pub fn and_fanins(&self, var: u32) -> [AigLit; 2] {
+        let idx = (var as usize)
+            .checked_sub(self.inputs + 1)
+            .expect("not an AND variable");
+        self.ands[idx]
+    }
+
+    /// Iterates over the AND nodes as `(defined_var, [fanin0, fanin1])`
+    /// in topological order.
+    pub fn ands(&self) -> impl Iterator<Item = (u32, [AigLit; 2])> + '_ {
+        let base = self.inputs as u32 + 1;
+        self.ands
+            .iter()
+            .enumerate()
+            .map(move |(i, &f)| (base + u32::try_from(i).expect("and count fits u32"), f))
+    }
+
+    /// The primary outputs as `(symbol, edge)` pairs, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(Option<String>, AigLit)] {
+        &self.outputs
+    }
+
+    /// Declares a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit` references a variable the graph does not define.
+    pub fn add_output(&mut self, name: impl Into<Option<String>>, lit: AigLit) {
+        assert!(lit.var() <= self.max_var(), "output references unknown var");
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// Declares a primary output with a `&str` symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit` references a variable the graph does not define.
+    pub fn add_output_named(&mut self, name: &str, lit: AigLit) {
+        self.add_output(Some(name.to_string()), lit);
+    }
+
+    /// The AND of two edges, with constant folding and structural hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either edge references a variable the graph does not
+    /// define.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let max = self.max_var();
+        assert!(
+            a.var() <= max && b.var() <= max,
+            "AND references unknown var"
+        );
+        // Constant and trivial folds.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE || a == b {
+            return b;
+        }
+        if b == AigLit::TRUE {
+            return a;
+        }
+        // Normalize: larger raw literal first (the binary AIGER fanin
+        // order), so the hash key is canonical for the unordered pair.
+        let (hi, lo) = if a.raw() >= b.raw() { (a, b) } else { (b, a) };
+        let key = [hi.raw(), lo.raw()];
+        if let Some(&lit) = self.strash.get(&key) {
+            return lit;
+        }
+        let lit = self.push_and_unchecked(hi, lo);
+        self.strash.insert(key, lit);
+        lit
+    }
+
+    /// Appends an AND node *without* folding or hash lookup, preserving
+    /// the fanin pair exactly as given (used by the AIGER readers so that
+    /// write∘parse reproduces files byte-compatibly). The node is still
+    /// registered in the structural hash for later [`Aig::and`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fanin references an undefined variable.
+    pub fn push_and(&mut self, fanin0: AigLit, fanin1: AigLit) -> AigLit {
+        let max = self.max_var();
+        assert!(
+            fanin0.var() <= max && fanin1.var() <= max,
+            "AND references unknown var"
+        );
+        let lit = self.push_and_unchecked(fanin0, fanin1);
+        let (hi, lo) = if fanin0.raw() >= fanin1.raw() {
+            (fanin0, fanin1)
+        } else {
+            (fanin1, fanin0)
+        };
+        self.strash.entry([hi.raw(), lo.raw()]).or_insert(lit);
+        lit
+    }
+
+    fn push_and_unchecked(&mut self, fanin0: AigLit, fanin1: AigLit) -> AigLit {
+        self.ands.push([fanin0, fanin1]);
+        AigLit(self.max_var() << 1)
+    }
+
+    /// The OR of two edges (De Morgan over [`Aig::and`]).
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// The XOR of two edges.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let t = self.and(a, !b);
+        let e = self.and(!a, b);
+        self.or(t, e)
+    }
+
+    /// If-then-else: `c ? t : e`, with constant branches folded to a
+    /// single AND/OR (the general form costs three gates and hides the
+    /// absorption from the structural hash).
+    pub fn mux(&mut self, c: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        if t == e {
+            return t;
+        }
+        match (t, e) {
+            (AigLit::TRUE, _) => self.or(c, e),
+            (AigLit::FALSE, _) => self.and(!c, e),
+            (_, AigLit::TRUE) => self.or(!c, t),
+            (_, AigLit::FALSE) => self.and(c, t),
+            _ => {
+                let pos = self.and(c, t);
+                let neg = self.and(!c, e);
+                self.or(pos, neg)
+            }
+        }
+    }
+
+    /// Replaces the full symbol tables (used by the AIGER readers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector's length does not match the input/output
+    /// counts.
+    pub fn set_symbols(
+        &mut self,
+        input_names: Vec<Option<String>>,
+        output_names: Vec<Option<String>>,
+    ) {
+        assert_eq!(input_names.len(), self.inputs, "input symbol count");
+        assert_eq!(
+            output_names.len(),
+            self.outputs.len(),
+            "output symbol count"
+        );
+        self.input_names = input_names;
+        for (slot, name) in self.outputs.iter_mut().zip(output_names) {
+            slot.0 = name;
+        }
+    }
+
+    /// Evaluates every output under the given input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.inputs, "wrong input count");
+        let mut values = vec![false; self.inputs + self.ands.len() + 1];
+        for (i, &v) in inputs.iter().enumerate() {
+            values[i + 1] = v;
+        }
+        let edge = |values: &[bool], l: AigLit| {
+            if l.is_const() {
+                l == AigLit::TRUE
+            } else {
+                values[l.var() as usize] ^ l.is_complement()
+            }
+        };
+        for (i, &[f0, f1]) in self.ands.iter().enumerate() {
+            values[self.inputs + 1 + i] = edge(&values, f0) && edge(&values, f1);
+        }
+        self.outputs
+            .iter()
+            .map(|&(_, l)| edge(&values, l))
+            .collect()
+    }
+
+    /// Structural sanity check used by tests: dense fanin ordering, no
+    /// forward references, outputs in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) if an invariant is violated.
+    pub fn check_invariants(&self) {
+        for (var, [f0, f1]) in self.ands() {
+            assert!(f0.var() < var, "AND {var} fanin0 not topologically prior");
+            assert!(f1.var() < var, "AND {var} fanin1 not topologically prior");
+        }
+        for (_, l) in &self.outputs {
+            assert!(l.var() <= self.max_var(), "output references unknown var");
+        }
+        assert_eq!(self.input_names.len(), self.inputs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_encoding() {
+        let l = AigLit::from_raw(7);
+        assert_eq!(l.var(), 3);
+        assert!(l.is_complement());
+        assert_eq!((!l).raw(), 6);
+        assert!(AigLit::FALSE.is_const() && AigLit::TRUE.is_const());
+        assert_eq!(!AigLit::FALSE, AigLit::TRUE);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        assert_eq!(aig.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(aig.and(AigLit::TRUE, b), b);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), AigLit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_is_order_insensitive() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(aig.num_ands(), 1);
+        // Complemented operands hash separately.
+        let z = aig.and(!a, b);
+        assert_ne!(x, z);
+        assert_eq!(aig.num_ands(), 2);
+    }
+
+    #[test]
+    fn eval_gates() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let and = aig.and(a, b);
+        let or = aig.or(a, b);
+        let xor = aig.xor(a, b);
+        aig.add_output(None, and);
+        aig.add_output(None, or);
+        aig.add_output(None, xor);
+        aig.add_output(None, AigLit::TRUE);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(aig.eval(&[va, vb]), vec![va && vb, va || vb, va ^ vb, true]);
+        }
+        aig.check_invariants();
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        let mut aig = Aig::new();
+        let c = aig.add_input();
+        let t = aig.add_input();
+        let e = aig.add_input();
+        let m = aig.mux(c, t, e);
+        aig.add_output(None, m);
+        for i in 0u32..8 {
+            let ins: Vec<bool> = (0..3).map(|k| (i >> k) & 1 == 1).collect();
+            let want = if ins[0] { ins[1] } else { ins[2] };
+            assert_eq!(aig.eval(&ins), vec![want]);
+        }
+    }
+}

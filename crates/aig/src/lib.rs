@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # boolsubst-aig — And-Inverter Graphs and AIGER I/O
+//!
+//! The repository's format-agnostic front-end representation for large
+//! circuits: a compact, structurally-hashed And-Inverter Graph
+//! ([`Aig`]) with complemented edges ([`AigLit`]), restricted to the
+//! latch-free combinational subset, plus hardened readers and writers
+//! for both AIGER formats — ASCII `.aag` and the delta-encoded binary
+//! `.aig` used to interchange ISCAS/EPFL-scale netlists.
+//!
+//! Every malformed-input path in the readers returns a typed
+//! [`AigerError`]; the parsers never panic (see
+//! `tests/aiger_hardening.rs`).
+//!
+//! ```
+//! use boolsubst_aig::{parse_aiger, write_aiger_binary, Aig};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input_named("a");
+//! let b = aig.add_input_named("b");
+//! let f = aig.xor(a, b);
+//! aig.add_output_named("f", f);
+//!
+//! let bytes = write_aiger_binary(&aig);
+//! let back = parse_aiger(&bytes).expect("own output always reparses");
+//! assert_eq!(back.eval(&[true, false]), vec![true]);
+//! ```
+
+mod graph;
+mod reader;
+mod writer;
+
+pub use graph::{Aig, AigLit};
+pub use reader::{parse_aiger, parse_aiger_ascii, parse_aiger_binary, AigerError, MAX_VARS};
+pub use writer::{write_aiger_ascii, write_aiger_binary};

@@ -1,0 +1,574 @@
+//! Hardened AIGER readers: ASCII (`.aag`) and binary (`.aig`), plus a
+//! header-sniffing auto-detect entry. Every malformed-input path returns
+//! a typed [`AigerError`]; the readers never panic, whatever the bytes
+//! say.
+
+use crate::graph::{Aig, AigLit};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Hard cap on the `M` (maximum variable index) header field. Keeps the
+/// literal space comfortably inside `u32` and bounds allocation on
+/// adversarial headers before any node data has been seen.
+pub const MAX_VARS: u64 = (u32::MAX as u64) / 4;
+
+/// Error produced when parsing AIGER input fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AigerError {
+    /// The `aag`/`aig` header line is missing or malformed.
+    BadHeader(String),
+    /// The file uses a feature this reader does not support (latches).
+    Unsupported(String),
+    /// A literal is out of range, mis-parity, redefined, or undefined.
+    BadLiteral {
+        /// 1-based line number (0 in binary sections without lines).
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// The file ended before the declared contents did.
+    Truncated(String),
+    /// A symbol-table entry is malformed.
+    BadSymbol {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// The same symbol-table slot was named twice.
+    DuplicateSymbol {
+        /// 1-based line number.
+        line: usize,
+        /// The offending entry, e.g. `i0`.
+        entry: String,
+    },
+    /// The AND definitions form a combinational cycle.
+    Cyclic(String),
+    /// A header count exceeds [`MAX_VARS`] or overflows.
+    TooLarge(String),
+}
+
+impl fmt::Display for AigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigerError::BadHeader(m) => write!(f, "aiger parse error: bad header: {m}"),
+            AigerError::Unsupported(m) => write!(f, "aiger parse error: unsupported: {m}"),
+            AigerError::BadLiteral { line, msg } => {
+                write!(f, "aiger parse error at line {line}: {msg}")
+            }
+            AigerError::Truncated(m) => write!(f, "aiger parse error: truncated input: {m}"),
+            AigerError::BadSymbol { line, msg } => {
+                write!(
+                    f,
+                    "aiger parse error at line {line}: bad symbol entry: {msg}"
+                )
+            }
+            AigerError::DuplicateSymbol { line, entry } => {
+                write!(
+                    f,
+                    "aiger parse error at line {line}: duplicate symbol entry {entry:?}"
+                )
+            }
+            AigerError::Cyclic(m) => write!(f, "aiger parse error: cyclic definition: {m}"),
+            AigerError::TooLarge(m) => write!(f, "aiger parse error: size limit: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AigerError {}
+
+/// The parsed `aag`/`aig` header counts.
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    max_var: u32,
+    inputs: u32,
+    outputs: u32,
+    ands: u32,
+}
+
+fn parse_header(line: &str, expect_magic: &str) -> Result<Header, AigerError> {
+    let mut it = line.split_whitespace();
+    let magic = it
+        .next()
+        .ok_or_else(|| AigerError::BadHeader("empty header line".into()))?;
+    if magic != expect_magic {
+        return Err(AigerError::BadHeader(format!(
+            "expected magic {expect_magic:?}, found {magic:?}"
+        )));
+    }
+    let mut field = |name: &str| -> Result<u64, AigerError> {
+        let tok = it
+            .next()
+            .ok_or_else(|| AigerError::BadHeader(format!("missing {name} field")))?;
+        tok.parse::<u64>()
+            .map_err(|_| AigerError::BadHeader(format!("{name} field {tok:?} is not a number")))
+    };
+    let (m, i, l, o, a) = (
+        field("M")?,
+        field("I")?,
+        field("L")?,
+        field("O")?,
+        field("A")?,
+    );
+    if it.next().is_some() {
+        return Err(AigerError::BadHeader(
+            "trailing tokens after A field".into(),
+        ));
+    }
+    if m > MAX_VARS || i > m || a > m || o > MAX_VARS {
+        return Err(AigerError::TooLarge(format!(
+            "header M={m} I={i} L={l} O={o} A={a} exceeds limits"
+        )));
+    }
+    if l != 0 {
+        return Err(AigerError::Unsupported(format!(
+            "{l} latch(es): only the combinational subset is supported"
+        )));
+    }
+    if i.checked_add(a).is_none_or(|sum| sum > m) {
+        return Err(AigerError::BadHeader(format!(
+            "I={i} + A={a} exceeds M={m}"
+        )));
+    }
+    #[allow(clippy::cast_possible_truncation)] // bounded by MAX_VARS above
+    Ok(Header {
+        max_var: m as u32,
+        inputs: i as u32,
+        outputs: o as u32,
+        ands: a as u32,
+    })
+}
+
+fn parse_lit(tok: &str, max_var: u32, line: usize) -> Result<u32, AigerError> {
+    let raw: u64 = tok.parse().map_err(|_| AigerError::BadLiteral {
+        line,
+        msg: format!("literal {tok:?} is not a number"),
+    })?;
+    if raw / 2 > u64::from(max_var) {
+        return Err(AigerError::BadLiteral {
+            line,
+            msg: format!("literal {raw} exceeds maximum variable index {max_var}"),
+        });
+    }
+    #[allow(clippy::cast_possible_truncation)] // bounded by max_var <= MAX_VARS
+    Ok(raw as u32)
+}
+
+/// Parses an ASCII AIGER (`.aag`) file.
+///
+/// The combinational subset only: latches are rejected with
+/// [`AigerError::Unsupported`]. Definitions may appear in any order (the
+/// spec does not require topological order for the ASCII format); the
+/// reader re-maps variables to the dense layout [`Aig`] maintains and
+/// rejects cyclic definitions.
+///
+/// # Errors
+///
+/// Returns [`AigerError`] on malformed input. Never panics.
+pub fn parse_aiger_ascii(text: &str) -> Result<Aig, AigerError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines
+        .next()
+        .ok_or_else(|| AigerError::BadHeader("empty file".into()))?;
+    let h = parse_header(header_line, "aag")?;
+
+    let mut next_data_line = |what: &str| -> Result<(usize, &str), AigerError> {
+        match lines.next() {
+            Some((i, l)) => Ok((i + 1, l)),
+            None => Err(AigerError::Truncated(format!("missing {what} line"))),
+        }
+    };
+
+    // Input literals: distinct even non-constant literals.
+    let mut input_vars: HashSet<u32> = HashSet::new();
+    let mut input_file_vars: Vec<u32> = Vec::with_capacity(h.inputs as usize);
+    for _ in 0..h.inputs {
+        let (line_no, line) = next_data_line("input")?;
+        let raw = parse_lit(line.trim(), h.max_var, line_no)?;
+        if raw < 2 || raw % 2 != 0 {
+            return Err(AigerError::BadLiteral {
+                line: line_no,
+                msg: format!("input literal {raw} must be an even non-constant literal"),
+            });
+        }
+        let var = raw / 2;
+        if !input_vars.insert(var) {
+            return Err(AigerError::BadLiteral {
+                line: line_no,
+                msg: format!("variable {var} defined twice"),
+            });
+        }
+        input_file_vars.push(var);
+    }
+
+    // Output literals (may reference anything, resolved after ANDs).
+    let mut outputs: Vec<(usize, u32)> = Vec::with_capacity(h.outputs as usize);
+    for _ in 0..h.outputs {
+        let (line_no, line) = next_data_line("output")?;
+        outputs.push((line_no, parse_lit(line.trim(), h.max_var, line_no)?));
+    }
+
+    // AND definitions.
+    struct RawAnd {
+        line: usize,
+        rhs: [u32; 2],
+    }
+    let mut and_defs: HashMap<u32, RawAnd> = HashMap::new();
+    let mut and_file_vars: Vec<u32> = Vec::with_capacity(h.ands as usize);
+    for _ in 0..h.ands {
+        let (line_no, line) = next_data_line("and")?;
+        let mut toks = line.split_whitespace();
+        let mut lit = |what: &str| -> Result<u32, AigerError> {
+            let tok = toks.next().ok_or_else(|| AigerError::BadLiteral {
+                line: line_no,
+                msg: format!("and line missing {what} literal"),
+            })?;
+            parse_lit(tok, h.max_var, line_no)
+        };
+        let lhs = lit("lhs")?;
+        let rhs0 = lit("rhs0")?;
+        let rhs1 = lit("rhs1")?;
+        if toks.next().is_some() {
+            return Err(AigerError::BadLiteral {
+                line: line_no,
+                msg: "trailing tokens on and line".into(),
+            });
+        }
+        if lhs < 2 || lhs % 2 != 0 {
+            return Err(AigerError::BadLiteral {
+                line: line_no,
+                msg: format!("and lhs {lhs} must be an even non-constant literal"),
+            });
+        }
+        let var = lhs / 2;
+        if input_vars.contains(&var) || and_defs.contains_key(&var) {
+            return Err(AigerError::BadLiteral {
+                line: line_no,
+                msg: format!("variable {var} defined twice"),
+            });
+        }
+        and_defs.insert(
+            var,
+            RawAnd {
+                line: line_no,
+                rhs: [rhs0, rhs1],
+            },
+        );
+        and_file_vars.push(var);
+    }
+
+    // Topologically order the AND definitions (iterative DFS — the stack
+    // must survive 100k-node chains), rejecting cycles and undefined
+    // variables.
+    let mut order: Vec<u32> = Vec::with_capacity(and_file_vars.len());
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state: HashMap<u32, u8> = HashMap::new();
+    for &root in &and_file_vars {
+        if state.get(&root).copied().unwrap_or(0) == 2 {
+            continue;
+        }
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        state.insert(root, 1);
+        while let Some(&mut (var, ref mut child)) = stack.last_mut() {
+            let def = and_defs.get(&var).expect("only ands are stacked");
+            if *child < 2 {
+                let rhs = def.rhs[*child];
+                *child += 1;
+                let rv = rhs / 2;
+                if rv == 0 || input_vars.contains(&rv) {
+                    continue; // constant or input: nothing to visit
+                }
+                if !and_defs.contains_key(&rv) {
+                    return Err(AigerError::BadLiteral {
+                        line: def.line,
+                        msg: format!("literal {rhs} references undefined variable {rv}"),
+                    });
+                }
+                match state.get(&rv).copied().unwrap_or(0) {
+                    0 => {
+                        state.insert(rv, 1);
+                        stack.push((rv, 0));
+                    }
+                    1 => {
+                        return Err(AigerError::Cyclic(format!(
+                            "variable {rv} participates in a cycle"
+                        )));
+                    }
+                    _ => {}
+                }
+            } else {
+                state.insert(var, 2);
+                order.push(var);
+                stack.pop();
+            }
+        }
+    }
+
+    // Build the graph in the dense internal numbering.
+    let mut aig = Aig::new();
+    for _ in 0..h.inputs {
+        aig.add_input();
+    }
+    let mut mapped: HashMap<u32, AigLit> = HashMap::new();
+    for (k, &v) in input_file_vars.iter().enumerate() {
+        mapped.insert(v, aig.input_lit(k));
+    }
+    let map_edge = |mapped: &HashMap<u32, AigLit>, raw: u32| -> Option<AigLit> {
+        if raw < 2 {
+            return Some(AigLit::from_raw(raw));
+        }
+        mapped
+            .get(&(raw / 2))
+            .map(|l| l.xor_complement(raw % 2 == 1))
+    };
+    for &var in &order {
+        let def = &and_defs[&var];
+        let f0 = map_edge(&mapped, def.rhs[0]).expect("topologically ordered");
+        let f1 = map_edge(&mapped, def.rhs[1]).expect("topologically ordered");
+        let lit = aig.push_and(f0, f1);
+        mapped.insert(var, lit);
+    }
+    for (line_no, raw) in outputs {
+        let lit = map_edge(&mapped, raw).ok_or_else(|| AigerError::BadLiteral {
+            line: line_no,
+            msg: format!(
+                "output literal {raw} references undefined variable {}",
+                raw / 2
+            ),
+        })?;
+        aig.add_output(None, lit);
+    }
+
+    // Symbol table and comment section.
+    let rest: Vec<(usize, &str)> = lines.map(|(i, l)| (i + 1, l)).collect();
+    apply_symbols(&mut aig, rest.into_iter(), &h)?;
+    Ok(aig)
+}
+
+/// Parses the symbol-table / comment tail shared by both formats.
+fn apply_symbols<'a>(
+    aig: &mut Aig,
+    lines: impl Iterator<Item = (usize, &'a str)>,
+    h: &Header,
+) -> Result<(), AigerError> {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut input_syms: Vec<Option<String>> = vec![None; h.inputs as usize];
+    let mut output_syms: Vec<Option<String>> = vec![None; h.outputs as usize];
+    for (line_no, line) in lines {
+        if line == "c" || line.starts_with("c ") {
+            break; // comment section: everything after is free-form
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (entry, name) = match line.split_once(' ') {
+            Some((e, n)) if !n.is_empty() => (e, n),
+            _ => {
+                return Err(AigerError::BadSymbol {
+                    line: line_no,
+                    msg: format!("expected \"<slot> <name>\", found {line:?}"),
+                });
+            }
+        };
+        let Some((kind, idx_str)) = entry.split_at_checked(1) else {
+            return Err(AigerError::BadSymbol {
+                line: line_no,
+                msg: format!("empty symbol slot in {line:?}"),
+            });
+        };
+        let idx: usize = idx_str.parse().map_err(|_| AigerError::BadSymbol {
+            line: line_no,
+            msg: format!("bad slot index in {entry:?}"),
+        })?;
+        if seen.insert(entry.to_string(), line_no).is_some() {
+            return Err(AigerError::DuplicateSymbol {
+                line: line_no,
+                entry: entry.to_string(),
+            });
+        }
+        match kind {
+            "i" => {
+                let slot = input_syms
+                    .get_mut(idx)
+                    .ok_or_else(|| AigerError::BadSymbol {
+                        line: line_no,
+                        msg: format!("input symbol index {idx} out of range"),
+                    })?;
+                *slot = Some(name.to_string());
+            }
+            "o" => {
+                let slot = output_syms
+                    .get_mut(idx)
+                    .ok_or_else(|| AigerError::BadSymbol {
+                        line: line_no,
+                        msg: format!("output symbol index {idx} out of range"),
+                    })?;
+                *slot = Some(name.to_string());
+            }
+            "l" => {
+                return Err(AigerError::Unsupported(
+                    "latch symbol entry in a combinational file".into(),
+                ));
+            }
+            _ => {
+                return Err(AigerError::BadSymbol {
+                    line: line_no,
+                    msg: format!("unknown symbol kind in {entry:?}"),
+                });
+            }
+        }
+    }
+    aig.set_symbols(input_syms, output_syms);
+    Ok(())
+}
+
+/// Parses a binary AIGER (`.aig`) file.
+///
+/// The combinational subset only. The AND section is the delta-encoded
+/// varint stream the format specifies; truncated streams, zero deltas,
+/// and deltas that would take a right-hand side below zero are all typed
+/// errors.
+///
+/// # Errors
+///
+/// Returns [`AigerError`] on malformed input. Never panics.
+pub fn parse_aiger_binary(bytes: &[u8]) -> Result<Aig, AigerError> {
+    let mut pos = 0usize;
+    let mut line_no = 0usize;
+    let mut next_line = |what: &str| -> Result<(usize, &str), AigerError> {
+        if pos >= bytes.len() {
+            return Err(AigerError::Truncated(format!("missing {what} line")));
+        }
+        let start = pos;
+        while pos < bytes.len() && bytes[pos] != b'\n' {
+            pos += 1;
+        }
+        let end = pos;
+        if pos < bytes.len() {
+            pos += 1; // consume the newline
+        } else {
+            return Err(AigerError::Truncated(format!(
+                "{what} line is missing its newline"
+            )));
+        }
+        line_no += 1;
+        let s = std::str::from_utf8(&bytes[start..end])
+            .map_err(|_| AigerError::BadHeader(format!("{what} line contains non-UTF-8 bytes")))?;
+        Ok((line_no, s))
+    };
+
+    let (_, header_line) = next_line("header")?;
+    let h = parse_header(header_line, "aig")?;
+    if u64::from(h.inputs) + u64::from(h.ands) != u64::from(h.max_var) {
+        return Err(AigerError::BadHeader(format!(
+            "binary format requires M = I + A (found M={}, I={}, A={})",
+            h.max_var, h.inputs, h.ands
+        )));
+    }
+
+    let mut aig = Aig::new();
+    for _ in 0..h.inputs {
+        aig.add_input();
+    }
+
+    // Output literals, one ASCII line each.
+    let mut outputs: Vec<(usize, u32)> = Vec::with_capacity(h.outputs as usize);
+    for _ in 0..h.outputs {
+        let (ln, line) = next_line("output")?;
+        outputs.push((ln, parse_lit(line.trim(), h.max_var, ln)?));
+    }
+
+    // Delta-encoded AND section.
+    let mut read_varint = |what: &str| -> Result<u32, AigerError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = bytes.get(pos) else {
+                return Err(AigerError::Truncated(format!(
+                    "binary and section ended mid-varint ({what})"
+                )));
+            };
+            pos += 1;
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 35 {
+                return Err(AigerError::TooLarge(format!(
+                    "varint {what} exceeds the 32-bit literal space"
+                )));
+            }
+        }
+        u32::try_from(value).map_err(|_| {
+            AigerError::TooLarge(format!("varint {what} exceeds the 32-bit literal space"))
+        })
+    };
+    for i in 0..h.ands {
+        let lhs = (h.inputs + 1 + i) * 2;
+        let delta0 = read_varint("delta0")?;
+        let rhs0 = lhs
+            .checked_sub(delta0)
+            .ok_or_else(|| AigerError::BadLiteral {
+                line: 0,
+                msg: format!("and {lhs}: delta0 {delta0} underflows the lhs"),
+            })?;
+        if rhs0 >= lhs {
+            return Err(AigerError::BadLiteral {
+                line: 0,
+                msg: format!("and {lhs}: rhs0 {rhs0} is not strictly below the lhs"),
+            });
+        }
+        let delta1 = read_varint("delta1")?;
+        let rhs1 = rhs0
+            .checked_sub(delta1)
+            .ok_or_else(|| AigerError::BadLiteral {
+                line: 0,
+                msg: format!("and {lhs}: delta1 {delta1} underflows rhs0 {rhs0}"),
+            })?;
+        aig.push_and(AigLit::from_raw(rhs0), AigLit::from_raw(rhs1));
+    }
+    for (ln, raw) in outputs {
+        if raw / 2 > h.max_var {
+            return Err(AigerError::BadLiteral {
+                line: ln,
+                msg: format!("output literal {raw} out of range"),
+            });
+        }
+        aig.add_output(None, AigLit::from_raw(raw));
+    }
+
+    // Symbol table / comments: ASCII lines after the and section.
+    let tail = std::str::from_utf8(&bytes[pos..]).map_err(|_| AigerError::BadSymbol {
+        line: line_no + 1,
+        msg: "symbol table contains non-UTF-8 bytes".into(),
+    })?;
+    let base = line_no;
+    apply_symbols(
+        &mut aig,
+        tail.lines().enumerate().map(|(i, l)| (base + i + 1, l)),
+        &h,
+    )?;
+    Ok(aig)
+}
+
+/// Parses AIGER input in either format, detected by the header magic
+/// (`aag` → ASCII, `aig` → binary).
+///
+/// # Errors
+///
+/// Returns [`AigerError::BadHeader`] if the magic matches neither format,
+/// and whatever the format reader returns otherwise.
+pub fn parse_aiger(bytes: &[u8]) -> Result<Aig, AigerError> {
+    if bytes.starts_with(b"aag ") {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| AigerError::BadHeader("ascii file contains non-UTF-8 bytes".into()))?;
+        parse_aiger_ascii(text)
+    } else if bytes.starts_with(b"aig ") {
+        parse_aiger_binary(bytes)
+    } else {
+        Err(AigerError::BadHeader(
+            "file starts with neither \"aag\" nor \"aig\"".into(),
+        ))
+    }
+}

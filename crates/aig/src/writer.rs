@@ -1,0 +1,211 @@
+//! AIGER writers: ASCII (`.aag`) and binary (`.aig`).
+//!
+//! Both emit the canonical dense layout [`Aig`] maintains (inputs
+//! `1..=I`, ANDs following in topological order), so the output of the
+//! writers always re-parses, and write∘parse is idempotent.
+
+use crate::graph::Aig;
+use std::fmt::Write as _;
+
+/// AIGER symbol names are "everything to the end of the line", so a name
+/// containing a newline (or other control whitespace) would corrupt the
+/// symbol table. Writers map such characters to `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+fn symbol_table(aig: &Aig) -> String {
+    let mut s = String::new();
+    for i in 0..aig.num_inputs() {
+        if let Some(name) = aig.input_name(i) {
+            let _ = writeln!(s, "i{i} {}", sanitize(name));
+        }
+    }
+    for (o, (name, _)) in aig.outputs().iter().enumerate() {
+        if let Some(name) = name {
+            let _ = writeln!(s, "o{o} {}", sanitize(name));
+        }
+    }
+    s
+}
+
+/// Serializes the graph as ASCII AIGER (`.aag`) text, including the
+/// symbol table for named inputs and outputs.
+#[must_use]
+pub fn write_aiger_ascii(aig: &Aig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "aag {} {} 0 {} {}",
+        aig.max_var(),
+        aig.num_inputs(),
+        aig.num_outputs(),
+        aig.num_ands()
+    );
+    for i in 0..aig.num_inputs() {
+        let _ = writeln!(s, "{}", aig.input_lit(i));
+    }
+    for (_, lit) in aig.outputs() {
+        let _ = writeln!(s, "{lit}");
+    }
+    for (var, [f0, f1]) in aig.ands() {
+        // Canonical fanin order: larger literal first (matches the
+        // binary format's requirement, harmless in ASCII).
+        let (hi, lo) = if f0.raw() >= f1.raw() {
+            (f0, f1)
+        } else {
+            (f1, f0)
+        };
+        let _ = writeln!(s, "{} {hi} {lo}", var * 2);
+    }
+    s.push_str(&symbol_table(aig));
+    s
+}
+
+fn push_varint(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Serializes the graph as binary AIGER (`.aig`) bytes: the header and
+/// output literals in ASCII, the AND section as the format's
+/// delta-encoded varint stream, then the symbol table.
+#[must_use]
+pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {} {} 0 {} {}\n",
+            aig.max_var(),
+            aig.num_inputs(),
+            aig.num_outputs(),
+            aig.num_ands()
+        )
+        .as_bytes(),
+    );
+    for (_, lit) in aig.outputs() {
+        out.extend_from_slice(format!("{lit}\n").as_bytes());
+    }
+    for (var, [f0, f1]) in aig.ands() {
+        let lhs = var * 2;
+        let (hi, lo) = if f0.raw() >= f1.raw() {
+            (f0, f1)
+        } else {
+            (f1, f0)
+        };
+        // The dense layout guarantees hi < lhs, so both deltas are
+        // non-negative: delta0 = lhs - rhs0, delta1 = rhs0 - rhs1.
+        push_varint(&mut out, lhs - hi.raw());
+        push_varint(&mut out, hi.raw() - lo.raw());
+    }
+    out.extend_from_slice(symbol_table(aig).as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AigLit;
+    use crate::reader::{parse_aiger, parse_aiger_ascii, parse_aiger_binary};
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input_named("a");
+        let b = aig.add_input_named("b");
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let f = aig.or(ab, c);
+        aig.add_output_named("f", f);
+        aig.add_output(None, !ab);
+        aig
+    }
+
+    fn outputs_agree(x: &Aig, y: &Aig) {
+        assert_eq!(x.num_inputs(), y.num_inputs());
+        for m in 0u32..(1 << x.num_inputs()) {
+            let ins: Vec<bool> = (0..x.num_inputs()).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(x.eval(&ins), y.eval(&ins), "diverged on {ins:?}");
+        }
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let aig = sample();
+        let text = write_aiger_ascii(&aig);
+        let back = parse_aiger_ascii(&text).expect("reparse");
+        back.check_invariants();
+        outputs_agree(&aig, &back);
+        assert_eq!(back.input_name(0), Some("a"));
+        assert_eq!(back.outputs()[0].0.as_deref(), Some("f"));
+        // Idempotent: writing the reparse reproduces the text exactly.
+        assert_eq!(write_aiger_ascii(&back), text);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let aig = sample();
+        let bytes = write_aiger_binary(&aig);
+        let back = parse_aiger_binary(&bytes).expect("reparse");
+        back.check_invariants();
+        outputs_agree(&aig, &back);
+        assert_eq!(write_aiger_binary(&back), bytes);
+    }
+
+    #[test]
+    fn auto_detect_dispatches_on_magic() {
+        let aig = sample();
+        let ascii = parse_aiger(write_aiger_ascii(&aig).as_bytes()).expect("ascii");
+        let binary = parse_aiger(&write_aiger_binary(&aig)).expect("binary");
+        outputs_agree(&ascii, &binary);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u32, 1, 127, 128, 16383, 16384, u32::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            // Decode by hand.
+            let mut value: u64 = 0;
+            let mut shift = 0;
+            for &b in &buf {
+                value |= u64::from(b & 0x7F) << shift;
+                shift += 7;
+            }
+            assert_eq!(value, u64::from(v));
+        }
+    }
+
+    #[test]
+    fn whitespace_in_symbols_is_sanitized() {
+        let mut aig = Aig::new();
+        let a = aig.add_input_named("a b\nc");
+        aig.add_output_named("out", a);
+        let text = write_aiger_ascii(&aig);
+        let back = parse_aiger_ascii(&text).expect("reparse");
+        assert_eq!(back.input_name(0), Some("a_b_c"));
+    }
+
+    #[test]
+    fn constant_outputs_roundtrip() {
+        let mut aig = Aig::new();
+        aig.add_input();
+        aig.add_output(None, AigLit::TRUE);
+        aig.add_output(None, AigLit::FALSE);
+        for text in [
+            write_aiger_ascii(&aig).into_bytes(),
+            write_aiger_binary(&aig),
+        ] {
+            let back = parse_aiger(&text).expect("reparse");
+            assert_eq!(back.eval(&[false]), vec![true, false]);
+        }
+    }
+}

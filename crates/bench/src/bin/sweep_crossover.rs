@@ -13,7 +13,7 @@
 //!
 //! [`SubstEngine`]: boolsubst_core::SubstEngine
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
 use boolsubst_core::subst::boolean_substitute_legacy;
@@ -26,6 +26,7 @@ use boolsubst_trace::Tracer;
 use boolsubst_workloads::generator::{
     planted_network, random_network, GeneratorParams, PlantedParams,
 };
+use boolsubst_workloads::large::{large_network, Family};
 use boolsubst_workloads::scripts::script_a;
 
 /// One baseline-vs-subject measurement on a fixed workload and mode. For
@@ -196,7 +197,121 @@ fn traced_runs(net: &Network, trace_path: Option<&str>, chrome_path: Option<&str
     }
 }
 
-fn engine_vs_legacy(smoke: bool) -> Network {
+/// One engine run on a large generated instance. Unlike [`SweepRow`]
+/// these rows have no legacy baseline — at 20k+ nodes the per-pair
+/// legacy path is not worth waiting for — and carry a deadline instead,
+/// so the sweep records throughput-at-scale without unbounded wall time.
+struct NodeRow {
+    mode: &'static str,
+    family: &'static str,
+    target: usize,
+    nodes: usize,
+    gen_secs: f64,
+    sweep_secs: f64,
+    pairs: usize,
+    cand_per_s: f64,
+    substitutions: usize,
+    literal_gain: i64,
+    peak_cover_cubes: usize,
+    interrupted: bool,
+}
+
+fn json_node_row(r: &NodeRow) -> String {
+    fn u(v: usize) -> u64 {
+        u64::try_from(v).unwrap_or(u64::MAX)
+    }
+    JsonObj::new()
+        .str("kind", "node_sweep")
+        .str("mode", r.mode)
+        .str("family", r.family)
+        .u64("target_nodes", u(r.target))
+        .u64("nodes", u(r.nodes))
+        .f64("gen_secs", r.gen_secs, 3)
+        .f64("sweep_secs", r.sweep_secs, 3)
+        .u64("pairs", u(r.pairs))
+        .f64("candidates_per_s", r.cand_per_s, 1)
+        .u64("substitutions", u(r.substitutions))
+        .i64("literal_gain", r.literal_gain)
+        .u64("peak_cover_cubes", u(r.peak_cover_cubes))
+        .bool("interrupted", r.interrupted)
+        .finish()
+}
+
+/// Node-count scaling sweep: the engine on adder-family instances from
+/// the legacy-comparable 220 up to 100k gates, one deadline-bounded run
+/// per (size, mode). Generation is streaming, so `gen_secs` doubles as
+/// a check that the workload side stays O(n).
+fn node_sweep(smoke: bool) -> Vec<NodeRow> {
+    let targets: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[220, 2_000, 20_000, 100_000]
+    };
+    let modes: &[(&'static str, SubstOptions)] = &if smoke {
+        vec![("basic", SubstOptions::basic())]
+    } else {
+        vec![
+            ("basic", SubstOptions::basic()),
+            ("extended", SubstOptions::extended()),
+            ("extended_gdc", SubstOptions::extended_gdc()),
+        ]
+    };
+    let deadline = Duration::from_secs_f64(if smoke { 5.0 } else { 30.0 });
+    println!("\nNode-count sweep — adder family, {deadline:?} deadline per run\n");
+    println!(
+        "{:<14} {:>8} {:>9} {:>9} {:>10} {:>12} {:>6} {:>9}",
+        "mode", "nodes", "gen s", "sweep s", "pairs", "cand/s", "subs", "cut off"
+    );
+    let mut rows = Vec::new();
+    for &target in targets {
+        let start = Instant::now();
+        let net = large_network(Family::Adder, target, 1);
+        let gen_secs = start.elapsed().as_secs_f64();
+        let nodes = net.internal_ids().count();
+        for (name, opts) in modes {
+            let mut trial = net.clone();
+            let opts = opts.clone().with_deadline(Instant::now() + deadline);
+            let start = Instant::now();
+            let stats = Session::new(&mut trial, opts).run();
+            let sweep_secs = start.elapsed().as_secs_f64();
+            let pairs = stats.candidates_enumerated + stats.filtered_by_index;
+            let peak = trial
+                .internal_ids()
+                .map(|id| trial.node(id).cover().map_or(0, boolsubst_cube::Cover::len))
+                .max()
+                .unwrap_or(0);
+            let row = NodeRow {
+                mode: name,
+                family: Family::Adder.name(),
+                target,
+                nodes,
+                gen_secs,
+                sweep_secs,
+                pairs,
+                cand_per_s: pairs as f64 / sweep_secs,
+                substitutions: stats.substitutions,
+                literal_gain: stats.literal_gain,
+                peak_cover_cubes: peak,
+                interrupted: stats.interrupted,
+            };
+            println!(
+                "{:<14} {:>8} {:>9.3} {:>9.3} {:>10} {:>12.0} {:>6} {:>9}",
+                row.mode,
+                row.nodes,
+                row.gen_secs,
+                row.sweep_secs,
+                row.pairs,
+                row.cand_per_s,
+                row.substitutions,
+                if row.interrupted { "yes" } else { "no" }
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn engine_vs_legacy(smoke: bool) -> (Network, Vec<SweepRow>) {
     let params = GeneratorParams {
         inputs: 16,
         nodes: if smoke { 60 } else { 220 },
@@ -233,10 +348,7 @@ fn engine_vs_legacy(smoke: bool) -> Network {
         );
     }
     rows.extend(parallel_scaling(&net));
-    let json = json_array_pretty(rows.iter().map(json_row));
-    std::fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
-    println!("\nwrote BENCH_sweep.json");
-    net
+    (net, rows)
 }
 
 /// Scaling rows for the speculative parallel sweep: the extended mode at
@@ -379,7 +491,15 @@ fn main() {
          with padding — at 0 the two coincide, past the crossover only the\n\
          decomposing divider can reach the buried cores)"
     );
-    let net = engine_vs_legacy(smoke);
+    let (net, rows) = engine_vs_legacy(smoke);
+    let node_rows = node_sweep(smoke);
+    let json = json_array_pretty(
+        rows.iter()
+            .map(json_row)
+            .chain(node_rows.iter().map(json_node_row)),
+    );
+    std::fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
+    println!("\nwrote BENCH_sweep.json");
     if trace_path.is_some() || chrome_path.is_some() {
         traced_runs(&net, trace_path, chrome_path);
     }

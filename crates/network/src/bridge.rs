@@ -1,0 +1,524 @@
+//! Bidirectional bridge between [`Network`] (SOP nodes) and the AIG
+//! front-end representation from `boolsubst-aig`.
+//!
+//! Both directions preserve input/output names and combinational
+//! semantics; `tests/aiger_roundtrip.rs` pins that with exhaustive and
+//! BDD equivalence checks.
+//!
+//! * [`network_from_aig`] turns every reachable AND gate into an SOP
+//!   node. A cut-based *cover collapse* knob ([`BridgeOptions`]) absorbs
+//!   single-fanout AND children into their parent's cover, producing
+//!   multi-literal covers the substitution engine can work on instead of
+//!   a sea of two-input gates.
+//! * [`aig_from_network`] expands each node's cover into AND/INV
+//!   structure by Shannon cofactoring, sharing structure through the
+//!   AIG's structural hash.
+
+use crate::net::{Network, NetworkError, NodeId};
+use boolsubst_aig::{Aig, AigLit};
+use boolsubst_cube::{Cover, Cube, Lit, VarState};
+use std::collections::HashMap;
+
+/// Tuning knobs for [`network_from_aig`]'s cover collapse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeOptions {
+    /// Maximum fanin count (cut size) a collapsed node may reach. Single
+    /// -fanout AND children are absorbed into their parent's cover only
+    /// while the merged support stays within this bound. `0` disables
+    /// collapsing: every AND gate becomes its own two-literal node.
+    pub collapse_cut: usize,
+    /// Maximum cube count a collapsed (or complemented) cover may reach
+    /// before the bridge falls back to materialising the child as its
+    /// own node.
+    pub collapse_cubes: usize,
+}
+
+impl Default for BridgeOptions {
+    fn default() -> BridgeOptions {
+        BridgeOptions {
+            collapse_cut: 6,
+            collapse_cubes: 16,
+        }
+    }
+}
+
+impl BridgeOptions {
+    /// Disables cover collapse: a gate-per-node translation.
+    #[must_use]
+    pub fn no_collapse() -> BridgeOptions {
+        BridgeOptions {
+            collapse_cut: 0,
+            collapse_cubes: 0,
+        }
+    }
+}
+
+/// An AND variable's pending SOP form: a cover over `support`, whose
+/// entry `i` names the AIG variable behind cover variable `i`. Support
+/// variables are always primary inputs or already-materialised nodes.
+#[derive(Debug, Clone)]
+struct Inline {
+    support: Vec<u32>,
+    cover: Cover,
+}
+
+impl Inline {
+    fn literal(var: u32, complemented: bool) -> Inline {
+        let lit = if complemented {
+            Lit::neg(0)
+        } else {
+            Lit::pos(0)
+        };
+        Inline {
+            support: vec![var],
+            cover: Cover::from_cubes(1, vec![Cube::from_lits(1, &[lit])]),
+        }
+    }
+
+    fn constant(value: bool) -> Inline {
+        Inline {
+            support: Vec::new(),
+            cover: if value { Cover::one(0) } else { Cover::new(0) },
+        }
+    }
+}
+
+/// Merges two inline forms by conjunction over the union of supports.
+fn merge_and(a: &Inline, b: &Inline) -> Inline {
+    let mut support = a.support.clone();
+    for &v in &b.support {
+        if !support.contains(&v) {
+            support.push(v);
+        }
+    }
+    support.sort_unstable();
+    let n = support.len();
+    let index = |v: u32| support.iter().position(|&s| s == v).expect("in support");
+    let map_a: Vec<usize> = a.support.iter().map(|&v| index(v)).collect();
+    let map_b: Vec<usize> = b.support.iter().map(|&v| index(v)).collect();
+    let cover = a
+        .cover
+        .remapped(n, &map_a)
+        .and(&b.cover.remapped(n, &map_b));
+    Inline { support, cover }
+}
+
+/// Name-collision-proof node naming: AIGER symbols are optional and the
+/// generated fallbacks (`i3`, `n42`) may clash with real symbols.
+fn unique_name(net: &Network, base: &str) -> String {
+    if net.find(base).is_none() {
+        return base.to_string();
+    }
+    let mut k = 0usize;
+    loop {
+        let candidate = format!("{base}_{k}");
+        if net.find(&candidate).is_none() {
+            return candidate;
+        }
+        k += 1;
+    }
+}
+
+struct AigImporter {
+    opts: BridgeOptions,
+    net: Network,
+    /// Materialised node behind each AIG variable (inputs + kept ANDs).
+    node_of: HashMap<u32, NodeId>,
+    /// Pending inline forms for single-fanout ANDs not yet absorbed.
+    inline: HashMap<u32, Inline>,
+}
+
+impl AigImporter {
+    /// The inline form of a fanin edge, without consuming the child's
+    /// pending cover (the consumer removes it once the merge is
+    /// accepted). Complemented edges pay a cover complement, bounded by
+    /// `collapse_cubes`; a blown-up complement pins the child as a node.
+    fn edge_inline(&mut self, edge: AigLit) -> Inline {
+        let var = edge.var();
+        if edge.is_const() {
+            return Inline::constant(edge == AigLit::TRUE);
+        }
+        if let Some(pending) = self.inline.get(&var).cloned() {
+            if !edge.is_complement() {
+                return pending;
+            }
+            let complement = pending.cover.complement();
+            if complement.len() <= self.opts.collapse_cubes {
+                return Inline {
+                    support: pending.support,
+                    cover: complement,
+                };
+            }
+            // Complement blew up: give the child its own node instead.
+            self.inline.remove(&var);
+            self.materialize(var, pending);
+        }
+        Inline::literal(var, edge.is_complement())
+    }
+
+    /// Emits a network node for `var` from its inline form.
+    fn materialize(&mut self, var: u32, form: Inline) -> NodeId {
+        let fanins: Vec<NodeId> = form.support.iter().map(|v| self.node_of[v]).collect();
+        let name = unique_name(&self.net, &format!("n{var}"));
+        let id = self
+            .net
+            .add_node(name, fanins, form.cover)
+            .expect("bridge-built node is well-formed");
+        self.node_of.insert(var, id);
+        id
+    }
+
+    /// The node behind an output edge, inserting an inverter node for
+    /// complemented edges and constant nodes for constant edges.
+    fn output_driver(&mut self, edge: AigLit, cache: &mut HashMap<AigLit, NodeId>) -> NodeId {
+        if let Some(&id) = cache.get(&edge) {
+            return id;
+        }
+        let id = if edge.is_const() {
+            let form = Inline::constant(edge == AigLit::TRUE);
+            let name = unique_name(
+                &self.net,
+                if edge == AigLit::TRUE {
+                    "const1"
+                } else {
+                    "const0"
+                },
+            );
+            self.net
+                .add_node(name, Vec::new(), form.cover)
+                .expect("constant node is well-formed")
+        } else if edge.is_complement() {
+            let driver = self.node_of[&edge.var()];
+            let name = unique_name(&self.net, &format!("n{}_inv", edge.var()));
+            let cover = Cover::from_cubes(1, vec![Cube::from_lits(1, &[Lit::neg(0)])]);
+            self.net
+                .add_node(name, vec![driver], cover)
+                .expect("inverter node is well-formed")
+        } else {
+            self.node_of[&edge.var()]
+        };
+        cache.insert(edge, id);
+        id
+    }
+}
+
+/// Converts an AIG into an SOP network, name `model`.
+///
+/// Unreachable AND gates are dropped. Named inputs/outputs keep their
+/// AIGER symbols; unnamed ones get `i<k>` / `o<k>` fallbacks (made
+/// unique if a symbol already claimed the name).
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if symbol names collide in a way that cannot
+/// be reconciled (duplicate input symbols).
+pub fn network_from_aig(
+    aig: &Aig,
+    model: &str,
+    opts: BridgeOptions,
+) -> Result<Network, NetworkError> {
+    let mut net = Network::new(model);
+    let mut node_of: HashMap<u32, NodeId> = HashMap::new();
+    for i in 0..aig.num_inputs() {
+        let base = match aig.input_name(i) {
+            Some(name) => name.to_string(),
+            None => format!("i{i}"),
+        };
+        // Fallback names may clash with later real symbols only if the
+        // symbol table itself is adversarial; real duplicates error out.
+        let name = if aig.input_name(i).is_some() {
+            base
+        } else {
+            unique_name(&net, &base)
+        };
+        let id = net.add_input(name)?;
+        node_of.insert(aig.input_lit(i).var(), id);
+    }
+
+    // Reachability + fanout counts over the needed cone only.
+    let bound = aig.max_var() as usize + 1;
+    let mut needed = vec![false; bound];
+    let mut stack: Vec<u32> = aig
+        .outputs()
+        .iter()
+        .map(|(_, l)| l.var())
+        .filter(|&v| !aig.is_input_var(v) && v != 0)
+        .collect();
+    while let Some(v) = stack.pop() {
+        if needed[v as usize] {
+            continue;
+        }
+        needed[v as usize] = true;
+        for f in aig.and_fanins(v) {
+            let fv = f.var();
+            if !aig.is_input_var(fv) && fv != 0 {
+                stack.push(fv);
+            }
+        }
+    }
+    let mut refs = vec![0u32; bound];
+    for (v, fanins) in aig.ands() {
+        if !needed[v as usize] {
+            continue;
+        }
+        for f in fanins {
+            refs[f.var() as usize] += 1;
+        }
+    }
+    for (_, l) in aig.outputs() {
+        // Outputs must exist as nodes; saturating at 2 blocks inlining.
+        refs[l.var() as usize] += 2;
+    }
+
+    let mut importer = AigImporter {
+        opts,
+        net,
+        node_of,
+        inline: HashMap::new(),
+    };
+    for (v, [f0, f1]) in aig.ands() {
+        if !needed[v as usize] {
+            continue;
+        }
+        let a = importer.edge_inline(f0);
+        let b = importer.edge_inline(f1);
+        let mut form = merge_and(&a, &b);
+        if form.support.len() > importer.opts.collapse_cut.max(2)
+            || form.cover.len() > importer.opts.collapse_cubes.max(1)
+        {
+            // Over budget: pin both children as nodes and retry as a
+            // plain two-literal AND.
+            for f in [f0, f1] {
+                if let Some(pending) = importer.inline.remove(&f.var()) {
+                    importer.materialize(f.var(), pending);
+                }
+            }
+            let a = Inline::literal(f0.var(), f0.is_complement());
+            let b = Inline::literal(f1.var(), f1.is_complement());
+            form = merge_and(&a, &b);
+        } else {
+            // Merge accepted: the children's pending covers (if any)
+            // are absorbed into `form` and must not materialise later.
+            importer.inline.remove(&f0.var());
+            importer.inline.remove(&f1.var());
+        }
+        let single_use = refs[v as usize] == 1;
+        let within_budget = form.support.len() <= importer.opts.collapse_cut
+            && form.cover.len() <= importer.opts.collapse_cubes;
+        if single_use && within_budget {
+            importer.inline.insert(v, form);
+        } else {
+            importer.materialize(v, form);
+        }
+    }
+
+    let mut cache = HashMap::new();
+    for (idx, (name, lit)) in aig.outputs().iter().enumerate() {
+        let driver = importer.output_driver(*lit, &mut cache);
+        let oname = match name {
+            Some(n) => n.clone(),
+            None => format!("o{idx}"),
+        };
+        importer.net.add_output(oname, driver)?;
+    }
+    Ok(importer.net)
+}
+
+/// The cover variable appearing in the most cubes (Shannon split pivot).
+fn most_frequent_var(cover: &Cover) -> usize {
+    let mut counts = vec![0usize; cover.num_vars()];
+    for cube in cover.cubes() {
+        for v in cube.support() {
+            counts[v] += 1;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| c)
+        .map_or(0, |(v, _)| v)
+}
+
+/// Lowers an SOP cover over AIG fanin edges to a single AIG edge.
+fn sop_to_aig(aig: &mut Aig, cover: &Cover, fanins: &[AigLit]) -> AigLit {
+    if cover.is_empty() {
+        return AigLit::FALSE;
+    }
+    if cover.cubes().iter().any(Cube::is_universe) {
+        return AigLit::TRUE;
+    }
+    if cover.len() == 1 {
+        let cube = &cover.cubes()[0];
+        let mut acc = AigLit::TRUE;
+        for (v, &fanin) in fanins.iter().enumerate() {
+            let lit = match cube.var_state(v) {
+                VarState::Pos => fanin,
+                VarState::Neg => !fanin,
+                VarState::DontCare => continue,
+                VarState::Empty => return AigLit::FALSE,
+            };
+            acc = aig.and(acc, lit);
+        }
+        return acc;
+    }
+    // Shannon expansion on the busiest variable; cofactors drop it from
+    // the support, so recursion depth is bounded by the fanin count.
+    let pivot = most_frequent_var(cover);
+    let t = sop_to_aig(aig, &cover.cofactor_lit(Lit::pos(pivot)), fanins);
+    let e = sop_to_aig(aig, &cover.cofactor_lit(Lit::neg(pivot)), fanins);
+    aig.mux(fanins[pivot], t, e)
+}
+
+/// Converts an SOP network into a structurally-hashed AIG.
+///
+/// Input and output names carry over as AIGER symbols. The external
+/// don't-care network (`exdc`), if any, is dropped: AIGER has no
+/// don't-care section.
+///
+/// # Panics
+///
+/// Panics if the network exceeds the AIG literal space (≈ one billion
+/// gates) — far beyond what the rest of the toolchain handles.
+#[must_use]
+pub fn aig_from_network(net: &Network) -> Aig {
+    let mut aig = Aig::new();
+    let mut lit_of: HashMap<NodeId, AigLit> = HashMap::new();
+    for &pi in net.inputs() {
+        let lit = aig.add_input_named(net.node(pi).name());
+        lit_of.insert(pi, lit);
+    }
+    for id in net.topo_order() {
+        let node = net.node(id);
+        let Some(cover) = node.cover() else { continue };
+        let fanins: Vec<AigLit> = node.fanins().iter().map(|f| lit_of[f]).collect();
+        let lit = sop_to_aig(&mut aig, cover, &fanins);
+        lit_of.insert(id, lit);
+    }
+    for (name, driver) in net.outputs() {
+        aig.add_output_named(name, lit_of[driver]);
+    }
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_blif;
+
+    fn roundtrip_agrees(net: &Network, opts: BridgeOptions) {
+        let aig = aig_from_network(net);
+        aig.check_invariants();
+        let back = network_from_aig(&aig, "rt", opts).expect("bridge back");
+        back.check_invariants();
+        let n = net.inputs().len();
+        assert!(n <= 12, "test network too wide for exhaustive check");
+        for m in 0u32..(1 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                net.eval_outputs(&inputs),
+                back.eval_outputs(&inputs),
+                "diverged on {inputs:?}"
+            );
+        }
+    }
+
+    fn sample() -> Network {
+        parse_blif(
+            "\
+.model s
+.inputs a b c d
+.outputs f g
+.names a b c t
+11- 1
+--1 1
+.names t d f
+10 1
+01 1
+.names a d g
+00 1
+.end
+",
+        )
+        .expect("parse")
+    }
+
+    #[test]
+    fn roundtrip_with_default_collapse() {
+        roundtrip_agrees(&sample(), BridgeOptions::default());
+    }
+
+    #[test]
+    fn roundtrip_without_collapse() {
+        roundtrip_agrees(&sample(), BridgeOptions::no_collapse());
+    }
+
+    #[test]
+    fn names_survive_the_bridge() {
+        let aig = aig_from_network(&sample());
+        let back = network_from_aig(&aig, "named", BridgeOptions::default()).expect("bridge");
+        let input_names: Vec<&str> = back.inputs().iter().map(|&i| back.node(i).name()).collect();
+        assert_eq!(input_names, vec!["a", "b", "c", "d"]);
+        let output_names: Vec<&str> = back.outputs().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(output_names, vec!["f", "g"]);
+    }
+
+    #[test]
+    fn constant_covers_bridge_cleanly() {
+        let net = parse_blif(
+            "\
+.model k
+.inputs a
+.outputs one zero pass
+.names one
+1
+.names zero
+.names a pass
+1 1
+.end
+",
+        )
+        .expect("parse");
+        roundtrip_agrees(&net, BridgeOptions::default());
+    }
+
+    #[test]
+    fn collapse_produces_fewer_nodes_than_gate_per_node() {
+        let aig = aig_from_network(&sample());
+        let collapsed = network_from_aig(&aig, "c", BridgeOptions::default()).expect("bridge");
+        let flat = network_from_aig(&aig, "f", BridgeOptions::no_collapse()).expect("bridge");
+        assert!(collapsed.len() <= flat.len());
+        assert!(flat.internal_ids().all(|id| {
+            let node = flat.node(id);
+            node.fanins().len() <= 2
+        }));
+    }
+
+    #[test]
+    fn shared_structure_is_hashed_once() {
+        // f = ab + c, g = ab + d: the ab gate must be shared.
+        let net = parse_blif(
+            "\
+.model sh
+.inputs a b c d
+.outputs f g
+.names a b c f
+11- 1
+--1 1
+.names a b d g
+11- 1
+--1 1
+.end
+",
+        )
+        .expect("parse");
+        let aig = aig_from_network(&net);
+        // ab, ab+c, ab+d: three AND gates after strashing (each OR is one
+        // inverted AND); a fourth would mean ab was rebuilt.
+        assert!(
+            aig.num_ands() <= 4,
+            "expected sharing, got {}",
+            aig.num_ands()
+        );
+        roundtrip_agrees(&net, BridgeOptions::default());
+    }
+}

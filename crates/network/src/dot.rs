@@ -3,33 +3,50 @@
 use crate::Network;
 use std::fmt::Write as _;
 
+/// Escapes a name for use inside a DOT double-quoted string: quotes and
+/// backslashes are backslash-escaped, newlines become literal `\n`/`\r`
+/// escapes so a hostile node name cannot break out of its quoted ID.
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders the network as a Graphviz digraph: primary inputs as boxes,
 /// internal nodes as ellipses labelled with their factored size, primary
-/// outputs as double circles.
+/// outputs as double circles. Node names are escaped, so names carrying
+/// DOT metacharacters (quotes, backslashes, newlines) stay inert.
 #[must_use]
 pub fn to_dot(net: &Network) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "digraph \"{}\" {{", net.name());
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(net.name()));
     let _ = writeln!(s, "  rankdir=LR;");
     for &pi in net.inputs() {
-        let _ = writeln!(s, "  \"{}\" [shape=box];", net.node(pi).name());
+        let _ = writeln!(s, "  \"{}\" [shape=box];", escape(net.node(pi).name()));
     }
     for id in net.internal_ids() {
         let node = net.node(id);
         let lits = node.cover().map_or(0, boolsubst_cube::Cover::literal_count);
+        let name = escape(node.name());
         let _ = writeln!(
             s,
-            "  \"{}\" [shape=ellipse, label=\"{}\\n{} lits\"];",
-            node.name(),
-            node.name(),
-            lits
+            "  \"{name}\" [shape=ellipse, label=\"{name}\\n{lits} lits\"];"
         );
         for &f in node.fanins() {
-            let _ = writeln!(s, "  \"{}\" -> \"{}\";", net.node(f).name(), node.name());
+            let _ = writeln!(s, "  \"{}\" -> \"{name}\";", escape(net.node(f).name()));
         }
     }
     for (name, o) in net.outputs() {
-        let driver = net.node(*o).name();
+        let driver = escape(net.node(*o).name());
+        let name = escape(name);
         let _ = writeln!(s, "  \"out:{name}\" [shape=doublecircle];");
         let _ = writeln!(s, "  \"{driver}\" -> \"out:{name}\";");
     }
@@ -41,6 +58,7 @@ pub fn to_dot(net: &Network) -> String {
 mod tests {
     use super::*;
     use crate::parse_blif;
+    use boolsubst_cube::parse_sop;
 
     #[test]
     fn dot_contains_all_nodes_and_edges() {
@@ -52,5 +70,29 @@ mod tests {
         assert!(dot.contains("\"a\" -> \"f\""));
         assert!(dot.contains("\"b\" -> \"f\""));
         assert!(dot.contains("out:f"));
+    }
+
+    #[test]
+    fn metacharacters_in_names_are_escaped() {
+        let mut net = Network::new("m\"odel");
+        let a = net.add_input("a\"b\\c").expect("input");
+        let f = net
+            .add_node("f\ng", vec![a], parse_sop(1, "a").expect("sop"))
+            .expect("node");
+        net.add_output("f\ng", f).expect("output");
+        let dot = to_dot(&net);
+        // Every emitted line must balance its quotes: an unescaped `"`
+        // inside a name would leave an odd count somewhere.
+        for line in dot.lines() {
+            let unescaped = line
+                .replace("\\\\", "")
+                .replace("\\\"", "")
+                .matches('"')
+                .count();
+            assert_eq!(unescaped % 2, 0, "unbalanced quotes in {line:?}");
+        }
+        assert!(dot.contains("a\\\"b\\\\c"));
+        assert!(dot.contains("f\\ng"));
+        assert!(!dot.contains("f\ng"), "raw newline leaked into an ID");
     }
 }

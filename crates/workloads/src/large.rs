@@ -1,0 +1,470 @@
+//! Large-circuit generator: ISCAS/EPFL-shaped instances in the
+//! 10k–100k-node range for exercising the front-end and the engine at
+//! scale. Construction is streaming — every family appends nodes in one
+//! topological pass, O(target) time and memory — and deterministic in
+//! `(family, target_nodes, seed)`.
+//!
+//! The arithmetic families are built from many *independent* blocks
+//! (each over its own primary inputs), so BDD equivalence checking of a
+//! 100k-node instance stays linear: the shared-manager BDD never sees a
+//! function wider than one block.
+
+use crate::generator::Rng;
+use boolsubst_cube::{Cover, Cube, Lit};
+use boolsubst_network::{Network, NodeId};
+
+/// A large-circuit family, shaped after a class of real benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Wide ripple-carry adders (EPFL arithmetic shape): long carry
+    /// chains, XOR3/MAJ nodes, many independent 64-bit blocks.
+    Adder,
+    /// Array multipliers (8×8 blocks): partial products plus ripple
+    /// accumulation — dense, reconvergent, adder-tree heavy.
+    Multiplier,
+    /// Control logic (ISCAS shape): address-decode AND planes feeding
+    /// OR merge layers and shallow output cones over a shared bus.
+    Controller,
+    /// Random logic cones: layered random covers over small per-cone
+    /// input subsets, with the sharing bias of
+    /// [`crate::generator::random_network`].
+    RandomCones,
+}
+
+impl Family {
+    /// All families, in a fixed order (for sweeps).
+    pub const ALL: [Family; 4] = [
+        Family::Adder,
+        Family::Multiplier,
+        Family::Controller,
+        Family::RandomCones,
+    ];
+
+    /// The family's CLI/display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Adder => "adder",
+            Family::Multiplier => "multiplier",
+            Family::Controller => "controller",
+            Family::RandomCones => "cones",
+        }
+    }
+
+    /// Parses a CLI name (`adder`, `multiplier`/`mult`, `controller`/
+    /// `ctrl`, `cones`/`random`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Family> {
+        match s.to_ascii_lowercase().as_str() {
+            "adder" | "add" => Some(Family::Adder),
+            "multiplier" | "mult" | "mul" => Some(Family::Multiplier),
+            "controller" | "ctrl" | "control" => Some(Family::Controller),
+            "cones" | "random" | "rnd" => Some(Family::RandomCones),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn cover1(n: usize, cubes: &[&[Lit]]) -> Cover {
+    Cover::from_cubes(n, cubes.iter().map(|ls| Cube::from_lits(n, ls)).collect())
+}
+
+fn xor3() -> Cover {
+    cover1(
+        3,
+        &[
+            &[Lit::pos(0), Lit::neg(1), Lit::neg(2)],
+            &[Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            &[Lit::neg(0), Lit::neg(1), Lit::pos(2)],
+            &[Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+        ],
+    )
+}
+
+fn maj3() -> Cover {
+    cover1(
+        3,
+        &[
+            &[Lit::pos(0), Lit::pos(1)],
+            &[Lit::pos(0), Lit::pos(2)],
+            &[Lit::pos(1), Lit::pos(2)],
+        ],
+    )
+}
+
+fn xor2() -> Cover {
+    cover1(
+        2,
+        &[&[Lit::pos(0), Lit::neg(1)], &[Lit::neg(0), Lit::pos(1)]],
+    )
+}
+
+fn and2() -> Cover {
+    cover1(2, &[&[Lit::pos(0), Lit::pos(1)]])
+}
+
+/// Builder tracking the gate budget while a family streams nodes in.
+struct LargeBuilder {
+    net: Network,
+    gates: usize,
+    next_id: usize,
+}
+
+impl LargeBuilder {
+    fn new(name: String) -> LargeBuilder {
+        LargeBuilder {
+            net: Network::new(name),
+            gates: 0,
+            next_id: 0,
+        }
+    }
+
+    fn gate(&mut self, fanins: Vec<NodeId>, cover: Cover) -> NodeId {
+        let k = self.next_id;
+        self.next_id += 1;
+        self.gates += 1;
+        self.net
+            .add_node(format!("n{k}"), fanins, cover)
+            .expect("generated gate is well-formed")
+    }
+
+    fn input(&mut self, name: String) -> NodeId {
+        self.net.add_input(name).expect("fresh input name")
+    }
+}
+
+/// One 64-bit ripple-carry adder block over fresh inputs (≈128 gates).
+///
+/// Inputs are declared interleaved (`cin, a0, b0, a1, b1, …`) so the
+/// BDD oracle — which orders variables by declaration — sees the
+/// linear-size adder ordering, not the exponential `a* … b*` one.
+fn adder_block(b: &mut LargeBuilder, block: usize, width: usize) {
+    let mut carry = b.input(format!("cin{block}"));
+    let bits: Vec<(NodeId, NodeId)> = (0..width)
+        .map(|i| {
+            let ai = b.input(format!("a{block}_{i}"));
+            let xi = b.input(format!("b{block}_{i}"));
+            (ai, xi)
+        })
+        .collect();
+    for (i, &(ai, xi)) in bits.iter().enumerate() {
+        let s = b.gate(vec![ai, xi, carry], xor3());
+        let co = b.gate(vec![ai, xi, carry], maj3());
+        b.net
+            .add_output(format!("s{block}_{i}"), s)
+            .expect("output");
+        carry = co;
+    }
+    b.net
+        .add_output(format!("cout{block}"), carry)
+        .expect("output");
+}
+
+/// One `width`×`width` array-multiplier block over fresh inputs
+/// (partial products + ripple accumulation; ≈250 gates at width 8).
+fn multiplier_block(b: &mut LargeBuilder, block: usize, width: usize) {
+    let a: Vec<NodeId> = (0..width)
+        .map(|i| b.input(format!("a{block}_{i}")))
+        .collect();
+    let x: Vec<NodeId> = (0..width)
+        .map(|i| b.input(format!("b{block}_{i}")))
+        .collect();
+    let mut acc: Vec<Option<NodeId>> = vec![None; 2 * width];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &xj) in x.iter().enumerate() {
+            let pp = b.gate(vec![ai, xj], and2());
+            // Ripple the partial product into the accumulator with
+            // half adders, pushing the carry up the columns.
+            let mut carry = Some(pp);
+            let mut k = i + j;
+            while let Some(c) = carry {
+                if k == acc.len() {
+                    // Structural carry out of the top column: logically
+                    // always 0, but the half-adder chain still emits it.
+                    acc.push(None);
+                }
+                match acc[k] {
+                    None => {
+                        acc[k] = Some(c);
+                        carry = None;
+                    }
+                    Some(prev) => {
+                        let s = b.gate(vec![prev, c], xor2());
+                        let co = b.gate(vec![prev, c], and2());
+                        acc[k] = Some(s);
+                        carry = Some(co);
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+    for (k, slot) in acc.iter().enumerate() {
+        if let Some(id) = slot {
+            b.net
+                .add_output(format!("p{block}_{k}"), *id)
+                .expect("output");
+        }
+    }
+}
+
+/// One control block: a `bus`-bit bus, an AND decode plane, an OR merge
+/// layer, and shallow output cones (≈170 gates at the default sizes).
+fn controller_block(b: &mut LargeBuilder, rng: &mut Rng, block: usize, bus: usize) {
+    let pis: Vec<NodeId> = (0..bus).map(|i| b.input(format!("c{block}_{i}"))).collect();
+    let decodes = bus * 4;
+    let mut decode_ids = Vec::with_capacity(decodes);
+    for _ in 0..decodes {
+        // Address decode: AND of 3–5 distinct bus literals.
+        let lits = 3 + rng.below(3);
+        let mut vars: Vec<usize> = Vec::new();
+        while vars.len() < lits {
+            let v = rng.below(bus);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        vars.sort_unstable();
+        let cube_lits: Vec<Lit> = vars
+            .iter()
+            .enumerate()
+            .map(|(k, _)| {
+                if rng.below(2) == 0 {
+                    Lit::pos(k)
+                } else {
+                    Lit::neg(k)
+                }
+            })
+            .collect();
+        let fanins: Vec<NodeId> = vars.iter().map(|&v| pis[v]).collect();
+        let n = fanins.len();
+        decode_ids.push(b.gate(fanins, cover1(n, &[&cube_lits])));
+    }
+    let merges = decodes / 3;
+    let mut merge_ids = Vec::with_capacity(merges);
+    for _ in 0..merges {
+        // Merge: OR of 2–4 distinct decode lines.
+        let k = 2 + rng.below(3);
+        let mut picks: Vec<NodeId> = Vec::new();
+        while picks.len() < k {
+            let cand = decode_ids[rng.below(decode_ids.len())];
+            if !picks.contains(&cand) {
+                picks.push(cand);
+            }
+        }
+        let n = picks.len();
+        let cubes: Vec<Vec<Lit>> = (0..n).map(|v| vec![Lit::pos(v)]).collect();
+        let cube_refs: Vec<&[Lit]> = cubes.iter().map(Vec::as_slice).collect();
+        merge_ids.push(b.gate(picks, cover1(n, &cube_refs)));
+    }
+    for o in 0..merges / 2 {
+        // Output cone: 2-cube AND-OR over two merge lines and a bus bit.
+        let m0 = merge_ids[rng.below(merge_ids.len())];
+        let mut m1 = merge_ids[rng.below(merge_ids.len())];
+        while m1 == m0 {
+            m1 = merge_ids[rng.below(merge_ids.len())];
+        }
+        let pi = pis[rng.below(bus)];
+        let cover = cover1(
+            3,
+            &[&[Lit::pos(0), Lit::pos(2)], &[Lit::pos(1), Lit::neg(2)]],
+        );
+        let id = b.gate(vec![m0, m1, pi], cover);
+        b.net
+            .add_output(format!("z{block}_{o}"), id)
+            .expect("output");
+    }
+}
+
+/// One random-logic cone over a fresh 14-input bus: four layers of
+/// random 2–4-fanin covers with a containment-sharing bias
+/// (≈150 gates).
+fn cone_block(b: &mut LargeBuilder, rng: &mut Rng, block: usize, gates: usize) {
+    let bus = 14;
+    let pis: Vec<NodeId> = (0..bus).map(|i| b.input(format!("x{block}_{i}"))).collect();
+    let mut pool = pis;
+    let mut made = Vec::new();
+    for _ in 0..gates {
+        let arity = 2 + rng.below(3);
+        let mut fanins: Vec<NodeId> = Vec::new();
+        while fanins.len() < arity {
+            // Bias towards recent nodes to get depth, like the small
+            // generator, but the pool is local to this cone.
+            let idx = if rng.below(100) < 50 && pool.len() > bus {
+                bus + rng.below(pool.len() - bus)
+            } else {
+                rng.below(pool.len())
+            };
+            if !fanins.contains(&pool[idx]) {
+                fanins.push(pool[idx]);
+            }
+        }
+        let n = fanins.len();
+        let mut cover = Cover::new(n);
+        for _ in 0..1 + rng.below(3) {
+            let mut cube = Cube::universe(n);
+            for _ in 0..1 + rng.below(n) {
+                let v = rng.below(n);
+                let lit = if rng.below(100) < 35 {
+                    Lit::neg(v)
+                } else {
+                    Lit::pos(v)
+                };
+                cube.restrict(lit);
+            }
+            if !cube.is_empty() {
+                cover.push(cube);
+            }
+        }
+        // Sharing bias: specialise an existing cube with one extra literal.
+        if rng.below(100) < 40 && !cover.is_empty() {
+            let mut special = cover.cubes()[rng.below(cover.len())].clone();
+            special.restrict(if rng.below(2) == 0 {
+                Lit::pos(rng.below(n))
+            } else {
+                Lit::neg(rng.below(n))
+            });
+            if !special.is_empty() {
+                cover.push(special);
+            }
+        }
+        cover.remove_contained_cubes();
+        if cover.is_empty() {
+            cover.push(Cube::from_lits(n, &[Lit::pos(0)]));
+        }
+        let id = b.gate(fanins, cover);
+        pool.push(id);
+        made.push(id);
+    }
+    // Outputs: this cone's sinks.
+    let fanouts = b.net.fanouts();
+    let mut o = 0;
+    for id in made {
+        if fanouts[id.index()].is_empty() {
+            b.net
+                .add_output(format!("z{block}_{o}"), id)
+                .expect("output");
+            o += 1;
+        }
+    }
+}
+
+/// Generates a large instance of `family` with at least `target_nodes`
+/// internal gates (construction stops at the first block boundary past
+/// the target). Deterministic in all three arguments; streaming, one
+/// topological pass, O(target) time and memory.
+///
+/// # Panics
+///
+/// Panics if `target_nodes == 0`.
+#[must_use]
+pub fn large_network(family: Family, target_nodes: usize, seed: u64) -> Network {
+    assert!(target_nodes > 0, "target_nodes must be positive");
+    let mut b = LargeBuilder::new(format!("{}_{target_nodes}_s{seed}", family.name()));
+    let mut rng = Rng::new(seed ^ 0xA076_1D64_78BD_642F);
+    let mut block = 0usize;
+    while b.gates < target_nodes {
+        match family {
+            Family::Adder => adder_block(&mut b, block, 64),
+            Family::Multiplier => multiplier_block(&mut b, block, 8),
+            Family::Controller => controller_block(&mut b, &mut rng, block, 20),
+            Family::RandomCones => cone_block(&mut b, &mut rng, block, 150),
+        }
+        block += 1;
+    }
+    b.net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_network::write_blif;
+
+    #[test]
+    fn all_families_build_valid_networks() {
+        for family in Family::ALL {
+            let net = large_network(family, 600, 7);
+            net.check_invariants();
+            let gates = net.internal_ids().count();
+            assert!(gates >= 600, "{family}: only {gates} gates");
+            assert!(!net.outputs().is_empty(), "{family}: no outputs");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in Family::ALL {
+            let a = large_network(family, 400, 11);
+            let b = large_network(family, 400, 11);
+            assert_eq!(write_blif(&a), write_blif(&b), "{family} not deterministic");
+        }
+    }
+
+    #[test]
+    fn adder_blocks_add() {
+        // One 64-bit block: drive a=1, b=0, cin=1 → s = 0b10, i.e.
+        // s0=0, s1=1, rest 0, cout=0.
+        let net = large_network(Family::Adder, 1, 3);
+        let mut inputs = vec![false; net.inputs().len()];
+        for (i, &pi) in net.inputs().iter().enumerate() {
+            let name = net.node(pi).name();
+            if name == "a0_0" || name == "cin0" {
+                inputs[i] = true;
+            }
+        }
+        let outs = net.eval_outputs(&inputs);
+        for ((name, _), value) in net.outputs().iter().zip(&outs) {
+            let expect = name == "s0_1";
+            assert_eq!(*value, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn multiplier_blocks_multiply() {
+        // One 8×8 block: 3 × 5 = 15 = 0b1111.
+        let net = large_network(Family::Multiplier, 1, 3);
+        let mut inputs = vec![false; net.inputs().len()];
+        for (i, &pi) in net.inputs().iter().enumerate() {
+            let name = net.node(pi).name();
+            if ["a0_0", "a0_1", "b0_0", "b0_2"].contains(&name) {
+                inputs[i] = true;
+            }
+        }
+        let outs = net.eval_outputs(&inputs);
+        let mut product = 0u64;
+        for ((name, _), value) in net.outputs().iter().zip(&outs) {
+            if *value {
+                let bit: u32 = name
+                    .strip_prefix("p0_")
+                    .expect("product output")
+                    .parse()
+                    .expect("bit index");
+                product |= 1 << bit;
+            }
+        }
+        assert_eq!(product, 15);
+    }
+
+    #[test]
+    fn family_names_parse() {
+        for family in Family::ALL {
+            assert_eq!(Family::parse(family.name()), Some(family));
+        }
+        assert_eq!(Family::parse("MULT"), Some(Family::Multiplier));
+        assert_eq!(Family::parse("bogus"), None);
+    }
+
+    #[test]
+    fn scales_past_ten_thousand() {
+        let net = large_network(Family::Adder, 10_000, 1);
+        let gates = net.internal_ids().count();
+        assert!(gates >= 10_000);
+        net.check_invariants();
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod benchmarks;
 pub mod generator;
+pub mod large;
 pub mod scripts;
 
 use boolsubst_network::Network;

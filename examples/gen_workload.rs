@@ -1,17 +1,120 @@
-//! Prints a seeded random workload network as BLIF on stdout, so shell
-//! pipelines (and the CI smoke run) can feed the `boolsubst` binary a
-//! reproducible circuit without checking one in.
+//! Emits a seeded workload network, so shell pipelines (and the CI
+//! smoke run) can feed the `boolsubst` binary a reproducible circuit
+//! without checking one in.
 //!
-//! Run with: `cargo run --example gen_workload [seed]`
+//! Two generators are available:
+//!
+//! * default: the small random-logic generator (`random_network`),
+//!   printed as BLIF — `cargo run --example gen_workload [seed]`
+//! * `--family adder|multiplier|controller|cones --nodes <n>`: the
+//!   large ISCAS/EPFL-shaped generator (10k–100k gates), written in any
+//!   supported format.
+//!
+//! ```text
+//! cargo run --release --example gen_workload -- \
+//!     --family adder --nodes 10000 --seed 1 -o big.aig
+//! ```
+//!
+//! With `-o`, the format follows the path extension (`.blif`, `.aag`,
+//! `.aig`) unless `--format` overrides it; without `-o`, text formats go
+//! to stdout and binary AIGER is refused.
 
-use boolsubst::network::write_blif;
+use boolsubst::network::{egress, write_blif, Format};
 use boolsubst::workloads::generator::{random_network, GeneratorParams};
+use boolsubst::workloads::large::{large_network, Family};
+use std::process::ExitCode;
 
-fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be a u64"))
-        .unwrap_or(42);
-    let net = random_network(seed, &GeneratorParams::default());
-    print!("{}", write_blif(&net));
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 42;
+    let mut family: Option<Family> = None;
+    let mut nodes: usize = 10_000;
+    let mut format: Option<Format> = None;
+    let mut output: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--family" => {
+                let name = it.next().ok_or("--family needs a value")?;
+                family = Some(Family::parse(name).ok_or_else(|| {
+                    format!("unknown family {name:?} (adder|multiplier|controller|cones)")
+                })?);
+            }
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .ok_or("--nodes needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --nodes value")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed value")?;
+            }
+            "--format" => {
+                let name = it.next().ok_or("--format needs a value")?;
+                format = Some(
+                    Format::from_extension(name)
+                        .ok_or_else(|| format!("unknown format {name:?} (blif|aag|aig)"))?,
+                );
+            }
+            "-o" | "--output" => {
+                output = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            other => {
+                // Historic positional form: a bare seed.
+                seed = other
+                    .parse()
+                    .map_err(|_| format!("unexpected argument {other:?}"))?;
+            }
+        }
+    }
+
+    let net = match family {
+        Some(f) => large_network(f, nodes, seed),
+        None => random_network(seed, &GeneratorParams::default()),
+    };
+
+    let format = format
+        .or_else(|| output.as_deref().and_then(Format::from_path))
+        .unwrap_or(Format::Blif);
+    match output {
+        Some(path) => {
+            std::fs::write(&path, egress(&net, format))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {path}: {} gates, {} inputs, {} outputs",
+                net.internal_ids().count(),
+                net.inputs().len(),
+                net.outputs().len()
+            );
+        }
+        None => match format {
+            Format::Blif => print!("{}", write_blif(&net)),
+            Format::AigerAscii => {
+                let bytes = egress(&net, format);
+                print!(
+                    "{}",
+                    String::from_utf8(bytes).expect("ascii aiger is utf-8")
+                );
+            }
+            Format::AigerBinary => {
+                return Err("binary AIGER on stdout is unreadable; use -o <path.aig>".into());
+            }
+        },
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }

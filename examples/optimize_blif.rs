@@ -1,13 +1,14 @@
-//! Network-level Boolean substitution on a BLIF circuit: parse, prepare
-//! with Script A, run the paper's three configurations, verify with the
-//! BDD oracle, and print the resulting BLIF.
+//! Network-level Boolean substitution on a BLIF circuit: ingest through
+//! the format-agnostic front door, prepare with Script A, run the
+//! paper's three configurations, verify with the BDD oracle, and egress
+//! the resulting BLIF.
 //!
 //! Run with: `cargo run --example optimize_blif`
 
 use boolsubst::algebraic::network_factored_literals;
 use boolsubst::core::verify::networks_equivalent;
 use boolsubst::core::{Session, SubstOptions};
-use boolsubst::network::{parse_blif, write_blif};
+use boolsubst::network::{egress, ingest, Format};
 use boolsubst::workloads::scripts::script_a;
 
 const CIRCUIT: &str = "\
@@ -32,7 +33,7 @@ const CIRCUIT: &str = "\
 ";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut net = parse_blif(CIRCUIT)?;
+    let mut net = ingest(CIRCUIT.as_bytes(), Format::Blif, "demo")?;
     let golden = net.clone();
     println!(
         "parsed {}: {} nodes, {} factored literals",
@@ -64,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(ok, "optimization must preserve the outputs");
         if name == "ext. GDC" {
-            println!("\nfinal netlist ({name}):\n{}", write_blif(&trial));
+            let blif = String::from_utf8(egress(&trial, Format::Blif)).expect("blif is utf-8");
+            println!("\nfinal netlist ({name}):\n{blif}");
         }
     }
     Ok(())

@@ -25,6 +25,7 @@
 //! [`Session`] is the one entry point for running a sweep, configured by
 //! [`SubstOptions`]' builder methods.
 
+pub use boolsubst_aig as aig;
 pub use boolsubst_algebraic as algebraic;
 pub use boolsubst_atpg as atpg;
 pub use boolsubst_bdd as bdd;
@@ -37,5 +38,5 @@ pub use boolsubst_trace as trace;
 pub use boolsubst_workloads as workloads;
 
 pub use boolsubst_core::{all_configs, Acceptance, Session, SubstMode, SubstOptions, SubstStats};
-pub use boolsubst_network::{parse_blif, write_blif, Network};
+pub use boolsubst_network::{egress, ingest, parse_blif, write_blif, Format, Network};
 pub use boolsubst_trace::Tracer;

@@ -1,6 +1,9 @@
-//! `boolsubst` — command-line front end: optimize BLIF networks with the
-//! paper's Boolean substitution, inspect statistics, check equivalence,
-//! and play with cover-level division.
+//! `boolsubst` — command-line front end: optimize netlists (BLIF or
+//! AIGER) with the paper's Boolean substitution, inspect statistics,
+//! check equivalence, and play with cover-level division.
+//!
+//! File formats are auto-detected from the extension (`.blif`, `.aag`,
+//! `.aig`); paths without a recognised extension are treated as BLIF.
 
 use boolsubst::algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
 use boolsubst::atpg::{fault_coverage, rar_optimize, RarOptions};
@@ -12,7 +15,7 @@ use boolsubst::core::{
 };
 use boolsubst::core::{Session, SubstOptions};
 use boolsubst::cube::parse_sop;
-use boolsubst::network::{parse_blif, write_blif, Network};
+use boolsubst::network::{egress, ingest, write_blif, Format, Network};
 use boolsubst::trace::export::{chrome_trace_string, jsonl_string};
 use boolsubst::trace::Tracer;
 use boolsubst::workloads::scripts;
@@ -23,18 +26,22 @@ const USAGE: &str = "\
 boolsubst — Boolean division and substitution via redundancy addition/removal
 
 USAGE:
-  boolsubst optimize <in.blif> [--mode resub|basic|ext|ext-gdc]
-                     [--script none|a|b|c] [--dc] [-o <out.blif>] [--no-verify]
+  boolsubst optimize <in> [--mode resub|basic|ext|ext-gdc]
+                     [--script none|a|b|c] [--dc] [-o <out>] [--no-verify]
                      [--trace <out.jsonl>] [--chrome-trace <out.json>]
                      [--checked] [--deadline <secs>] [--threads <n>]
-  boolsubst stats <in.blif>
-  boolsubst check <a.blif> <b.blif>
-  boolsubst faults <in.blif> [--vectors <n>] [--budget <n>]
-  boolsubst rar <in.blif> [-o <out.blif>]
+  boolsubst stats <in>
+  boolsubst check <a> <b>
+  boolsubst faults <in> [--vectors <n>] [--budget <n>]
+  boolsubst rar <in> [-o <out>]
   boolsubst divide <num_vars> <f-sop> <d-sop> [--pos | --extended]
+
+Netlist paths may be BLIF (.blif), ASCII AIGER (.aag) or binary AIGER
+(.aig); the format is chosen by extension on both input and output.
 
 EXAMPLES:
   boolsubst optimize circuit.blif --mode ext -o optimized.blif
+  boolsubst optimize big.aig --mode basic -o optimized.aig
   boolsubst divide 3 \"ab + ac + bc'\" \"ab + c\"
 ";
 
@@ -62,9 +69,34 @@ fn main() -> ExitCode {
     }
 }
 
+/// The format a path implies; unrecognised extensions keep the historic
+/// behaviour of treating the file as BLIF.
+fn format_of(path: &str) -> Format {
+    Format::from_path(path).unwrap_or(Format::Blif)
+}
+
 fn read_network(path: &str) -> Result<Network, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    parse_blif(&text).map_err(|e| format!("parsing {path}: {e}"))
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let format = format_of(path);
+    let model = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("net");
+    ingest(&bytes, format, model).map_err(|e| format!("parsing {path} as {format}: {e}"))
+}
+
+/// Writes the network to `output` in the format its extension implies,
+/// or prints BLIF on stdout when no output path was given.
+fn write_network(net: &Network, output: Option<&str>) -> Result<(), String> {
+    match output {
+        Some(path) => {
+            let bytes = egress(net, format_of(path));
+            std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{}", write_blif(net)),
+    }
+    Ok(())
 }
 
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
@@ -208,15 +240,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             return Err("verification FAILED — refusing to write output".into());
         }
     }
-    let text = write_blif(&net);
-    match output {
-        Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
-            eprintln!("wrote {path}");
-        }
-        None => print!("{text}"),
-    }
-    Ok(())
+    write_network(&net, output)
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -240,7 +264,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let (a, b) = match args {
         [a, b] => (read_network(a)?, read_network(b)?),
-        _ => return Err("check needs exactly two BLIF files".into()),
+        _ => return Err("check needs exactly two netlist files".into()),
     };
     if networks_equivalent(&a, &b) {
         println!("EQUIVALENT");
@@ -327,15 +351,7 @@ fn cmd_rar(args: &[String]) -> Result<(), String> {
         }
         eprintln!("verified: outputs unchanged (exhaustive)");
     }
-    let text = write_blif(&back);
-    match output {
-        Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
-            eprintln!("wrote {path}");
-        }
-        None => print!("{text}"),
-    }
-    Ok(())
+    write_network(&back, output)
 }
 
 fn cmd_divide(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,214 @@
+//! Regression net for malformed AIGER inputs: every rejection must come
+//! back as a typed [`AigerError`], never a panic. Mirrors
+//! `blif_hardening.rs` — each case is run under `catch_unwind` so a
+//! panic shows up as a test failure with the offending label.
+
+use boolsubst::aig::{parse_aiger, AigerError, MAX_VARS};
+use std::panic::catch_unwind;
+
+/// Parse `bytes` (auto-detecting ASCII vs binary), require a clean `Err`.
+/// Panics — from the parser or from an unexpected `Ok` — fail the test.
+fn must_reject(label: &str, bytes: &[u8]) -> AigerError {
+    let owned = bytes.to_vec();
+    let outcome = catch_unwind(move || parse_aiger(&owned));
+    match outcome {
+        Ok(Err(e)) => e,
+        Ok(Ok(_)) => panic!("{label}: malformed input parsed successfully"),
+        Err(_) => panic!("{label}: parser panicked instead of returning Err"),
+    }
+}
+
+fn assert_rejects(label: &str, bytes: &[u8], want: fn(&AigerError) -> bool) {
+    let err = must_reject(label, bytes);
+    assert!(want(&err), "{label}: unexpected error class: {err:?}");
+}
+
+#[test]
+fn bad_headers() {
+    for (label, text) in [
+        ("empty file", ""),
+        ("whitespace only", "  \n\n"),
+        ("wrong magic", "xyz 1 1 0 1 0\n"),
+        ("missing counts", "aag 1 1\n"),
+        ("extra counts", "aag 1 1 0 1 0 7\n"),
+        ("non-numeric count", "aag x 1 0 1 0\n"),
+        ("negative count", "aag -1 1 0 1 0\n"),
+        ("inputs exceed max var", "aag 1 2 0 0 0\n2\n4\n"),
+        ("i plus a exceeds m", "aag 2 2 0 0 1\n"),
+    ] {
+        assert_rejects(label, text.as_bytes(), |e| {
+            matches!(e, AigerError::BadHeader(_) | AigerError::TooLarge(_))
+        });
+    }
+}
+
+#[test]
+fn latches_are_unsupported() {
+    assert_rejects("ascii latch", b"aag 2 1 1 1 0\n2\n4 2\n4\n", |e| {
+        matches!(e, AigerError::Unsupported(_))
+    });
+    assert_rejects("binary latch", b"aig 2 1 1 1 0\n4 2\n4\n", |e| {
+        matches!(e, AigerError::Unsupported(_))
+    });
+}
+
+#[test]
+fn oversized_headers_are_rejected_without_allocation() {
+    // Each count is structurally plausible but exceeds MAX_VARS; a parser
+    // that pre-allocates from the header would abort before erroring.
+    let huge = MAX_VARS + 1;
+    for (label, text) in [
+        ("huge M", format!("aag {huge} 1 0 1 0\n")),
+        ("huge O", format!("aag 1 1 0 {huge} 0\n")),
+        ("overflow M", format!("aag {} 1 0 1 0\n", u64::MAX)),
+    ] {
+        assert_rejects(label, text.as_bytes(), |e| {
+            matches!(e, AigerError::TooLarge(_) | AigerError::BadHeader(_))
+        });
+    }
+}
+
+#[test]
+fn bad_ascii_literals() {
+    for (label, text) in [
+        ("input literal out of range", "aag 1 1 0 1 0\n4\n2\n"),
+        ("complemented input declaration", "aag 1 1 0 1 0\n3\n2\n"),
+        ("constant as input", "aag 1 1 0 1 0\n0\n2\n"),
+        ("output out of range", "aag 1 1 0 1 0\n2\n9\n"),
+        ("and lhs complemented", "aag 2 1 0 1 1\n2\n4\n5 2 2\n"),
+        ("and lhs is an input", "aag 2 2 0 1 0\n2\n2\n2\n"),
+        ("and rhs out of range", "aag 2 1 0 1 1\n2\n4\n4 2 99\n"),
+        ("and redefined", "aag 3 1 0 1 2\n2\n4\n4 2 2\n4 2 3\n"),
+        ("and undefined var", "aag 3 1 0 1 1\n2\n4\n4 6 2\n"),
+        ("non-numeric and", "aag 2 1 0 1 1\n2\n4\n4 two 2\n"),
+    ] {
+        assert_rejects(label, text.as_bytes(), |e| {
+            matches!(e, AigerError::BadLiteral { .. } | AigerError::BadHeader(_))
+        });
+    }
+}
+
+#[test]
+fn ascii_forward_references_are_cyclic_or_rejected() {
+    // a4 = a6 & i1 while a6 = a4 & i1: well-formed lines, no topological
+    // order. The reader must flag the cycle rather than loop or panic.
+    let err = must_reject("mutual and cycle", b"aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n");
+    assert!(
+        matches!(err, AigerError::Cyclic(_) | AigerError::BadLiteral { .. }),
+        "cycle produced {err:?}"
+    );
+    let err = must_reject("self cycle", b"aag 2 1 0 1 1\n2\n4\n4 4 2\n");
+    assert!(
+        matches!(err, AigerError::Cyclic(_) | AigerError::BadLiteral { .. }),
+        "self cycle produced {err:?}"
+    );
+}
+
+#[test]
+fn truncated_inputs() {
+    for (label, bytes) in [
+        ("ascii missing outputs", b"aag 1 1 0 1 0\n2\n".as_slice()),
+        ("ascii missing ands", b"aag 2 1 0 1 1\n2\n4\n".as_slice()),
+        ("binary missing outputs", b"aig 1 1 0 1 0\n".as_slice()),
+        ("binary missing and bytes", b"aig 2 1 0 1 1\n4\n".as_slice()),
+        (
+            "binary varint cut mid-stream",
+            b"aig 2 1 0 1 1\n4\n\x80".as_slice(),
+        ),
+        ("binary header without newline", b"aig 1 1 0 1 0".as_slice()),
+    ] {
+        assert_rejects(label, bytes, |e| {
+            matches!(e, AigerError::Truncated(_) | AigerError::BadHeader(_))
+        });
+    }
+}
+
+#[test]
+fn binary_delta_overflows_are_rejected() {
+    // A 10-byte varint with continuation bits set everywhere encodes a
+    // delta far beyond any literal; must surface as a typed error.
+    let mut bytes = b"aig 2 1 0 1 1\n4\n".to_vec();
+    bytes.extend_from_slice(&[0xFF; 10]);
+    bytes.push(0x7F);
+    let err = must_reject("oversized varint delta", &bytes);
+    assert!(
+        matches!(
+            err,
+            AigerError::TooLarge(_) | AigerError::BadLiteral { .. } | AigerError::Truncated(_)
+        ),
+        "oversized delta produced {err:?}"
+    );
+}
+
+#[test]
+fn bad_symbol_tables() {
+    for (label, text) in [
+        ("unknown symbol kind", "aag 1 1 0 1 0\n2\n2\nx0 foo\n"),
+        ("latch symbol", "aag 1 1 0 1 0\n2\n2\nl0 foo\n"),
+        ("input index out of range", "aag 1 1 0 1 0\n2\n2\ni9 foo\n"),
+        ("output index out of range", "aag 1 1 0 1 0\n2\n2\no1 foo\n"),
+        ("missing name", "aag 1 1 0 1 0\n2\n2\ni0\n"),
+        ("non-numeric index", "aag 1 1 0 1 0\n2\n2\nia foo\n"),
+    ] {
+        let err = must_reject(label, text.as_bytes());
+        assert!(
+            matches!(
+                err,
+                AigerError::BadSymbol { .. } | AigerError::Unsupported(_)
+            ),
+            "{label}: unexpected error class: {err:?}"
+        );
+    }
+    // Anything after the `c` line is comment — a stray symbol-looking line
+    // there must neither error nor panic.
+    let outcome =
+        catch_unwind(|| parse_aiger(b"aag 1 1 0 1 0\n2\n2\nc\ni0 not a symbol\n").map(|_| ()));
+    assert_eq!(outcome.ok(), Some(Ok(())), "comment section misparsed");
+}
+
+#[test]
+fn duplicate_symbols_are_rejected() {
+    assert_rejects(
+        "duplicate input symbol",
+        b"aag 1 1 0 1 0\n2\n2\ni0 foo\ni0 bar\n",
+        |e| matches!(e, AigerError::DuplicateSymbol { .. }),
+    );
+    assert_rejects(
+        "duplicate output symbol",
+        b"aag 1 1 0 1 0\n2\n2\no0 foo\no0 bar\n",
+        |e| matches!(e, AigerError::DuplicateSymbol { .. }),
+    );
+}
+
+#[test]
+fn garbage_bytes_never_panic() {
+    // Deterministic pseudo-random byte soup, with and without valid-looking
+    // headers stapled on front. We only care that no case panics.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for round in 0..64 {
+        let len = (next() % 200) as usize;
+        let mut bytes: Vec<u8> = (0..len).map(|_| (next() & 0xFF) as u8).collect();
+        match round % 3 {
+            1 => {
+                let mut prefixed = b"aag 5 2 0 1 3\n".to_vec();
+                prefixed.append(&mut bytes);
+                bytes = prefixed;
+            }
+            2 => {
+                let mut prefixed = b"aig 5 2 0 1 3\n".to_vec();
+                prefixed.append(&mut bytes);
+                bytes = prefixed;
+            }
+            _ => {}
+        }
+        let label = format!("garbage round {round}");
+        let outcome = catch_unwind(move || parse_aiger(&bytes).map(|_| ()));
+        assert!(outcome.is_ok(), "{label}: parser panicked");
+    }
+}

@@ -1,0 +1,163 @@
+//! AIGER round-trip pinning: write∘parse is the identity on both AIGER
+//! formats (byte-exact), ASCII and binary encode the same graph, and the
+//! Aig↔Network bridge preserves combinational semantics — checked
+//! exhaustively up to 12 inputs and with the BDD oracle above that.
+
+use boolsubst::aig::{parse_aiger, parse_aiger_ascii, parse_aiger_binary, Aig};
+use boolsubst::core::verify::networks_equivalent;
+use boolsubst::network::{
+    aig_from_network, egress, ingest, network_from_aig, BridgeOptions, Format, Network,
+};
+use boolsubst::workloads::benchmarks::standard_suite;
+use boolsubst::workloads::generator::{random_network, GeneratorParams};
+use boolsubst::workloads::large::{large_network, Family};
+
+/// Networks covering the interesting shapes: the named benchmark suite,
+/// a random multilevel instance, and a (small) large-family block.
+fn corpus() -> Vec<Network> {
+    let mut nets = standard_suite();
+    nets.push(random_network(7, &GeneratorParams::default()));
+    nets.push(large_network(Family::Controller, 120, 5));
+    nets
+}
+
+/// Semantic equality: exhaustive when narrow enough, BDD oracle above.
+fn assert_equivalent(a: &Network, b: &Network, label: &str) {
+    let n = a.inputs().len();
+    assert_eq!(n, b.inputs().len(), "{label}: input count");
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "{label}: output count"
+    );
+    if n <= 12 {
+        for m in 0u32..(1 << n) {
+            let inputs: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                a.eval_outputs(&inputs),
+                b.eval_outputs(&inputs),
+                "{label}: diverged on {inputs:?}"
+            );
+        }
+    } else {
+        assert!(networks_equivalent(a, b), "{label}: BDD oracle refuted");
+    }
+}
+
+fn eval_all(aig: &Aig, mask: u32) -> Vec<bool> {
+    // Only the low bits are sampled; wider inputs are held at 0.
+    let inputs: Vec<bool> = (0..aig.num_inputs())
+        .map(|i| i < 32 && (mask >> i) & 1 == 1)
+        .collect();
+    aig.eval(&inputs)
+}
+
+#[test]
+fn ascii_write_parse_is_idempotent() {
+    for net in corpus() {
+        let aig = aig_from_network(&net);
+        let text = String::from_utf8(egress(&net, Format::AigerAscii)).expect("utf-8");
+        let back = parse_aiger_ascii(&text).expect("own ASCII output reparses");
+        back.check_invariants();
+        assert_eq!(
+            boolsubst::aig::write_aiger_ascii(&back),
+            text,
+            "{}: ASCII write is not a fixpoint",
+            net.name()
+        );
+        assert_eq!(back.num_ands(), aig.num_ands(), "{}", net.name());
+    }
+}
+
+#[test]
+fn binary_write_parse_is_idempotent() {
+    for net in corpus() {
+        let bytes = egress(&net, Format::AigerBinary);
+        let back = parse_aiger_binary(&bytes).expect("own binary output reparses");
+        back.check_invariants();
+        assert_eq!(
+            boolsubst::aig::write_aiger_binary(&back),
+            bytes,
+            "{}: binary write is not a fixpoint",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn ascii_and_binary_encode_the_same_graph() {
+    for net in corpus() {
+        let ascii = parse_aiger(&egress(&net, Format::AigerAscii)).expect("ascii");
+        let binary = parse_aiger(&egress(&net, Format::AigerBinary)).expect("binary");
+        assert_eq!(ascii.num_inputs(), binary.num_inputs());
+        assert_eq!(ascii.num_ands(), binary.num_ands());
+        assert_eq!(ascii.num_outputs(), binary.num_outputs());
+        let samples = 1u32 << ascii.num_inputs().min(10);
+        for m in 0..samples {
+            assert_eq!(
+                eval_all(&ascii, m),
+                eval_all(&binary, m),
+                "{}: formats diverged on mask {m}",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bridge_round_trip_preserves_semantics() {
+    for net in corpus() {
+        for opts in [BridgeOptions::default(), BridgeOptions::no_collapse()] {
+            let aig = aig_from_network(&net);
+            aig.check_invariants();
+            let back = network_from_aig(&aig, net.name(), opts).expect("bridge back");
+            back.check_invariants();
+            assert_equivalent(&net, &back, net.name());
+        }
+    }
+}
+
+#[test]
+fn full_ingest_egress_cycle_preserves_semantics() {
+    for net in corpus() {
+        for format in [Format::Blif, Format::AigerAscii, Format::AigerBinary] {
+            let bytes = egress(&net, format);
+            let back = ingest(&bytes, format, net.name())
+                .unwrap_or_else(|e| panic!("{}/{format}: {e}", net.name()));
+            assert_equivalent(&net, &back, &format!("{} via {format}", net.name()));
+        }
+    }
+}
+
+#[test]
+fn large_adder_round_trips_through_binary_aiger() {
+    // Wide-but-shallow: BDD equivalence stays linear because the blocks
+    // are independent.
+    let net = large_network(Family::Adder, 2_000, 3);
+    let bytes = egress(&net, Format::AigerBinary);
+    let back = ingest(&bytes, Format::AigerBinary, "adder2k").expect("reingest");
+    back.check_invariants();
+    assert!(
+        networks_equivalent(&net, &back),
+        "2k-gate adder diverged through binary AIGER"
+    );
+}
+
+#[test]
+fn symbols_survive_both_formats() {
+    let net = standard_suite().remove(0);
+    for format in [Format::AigerAscii, Format::AigerBinary] {
+        let back = ingest(&egress(&net, format), format, "named").expect("reingest");
+        let names = |n: &Network| -> Vec<String> {
+            n.inputs()
+                .iter()
+                .map(|&i| n.node(i).name().to_string())
+                .collect()
+        };
+        assert_eq!(names(&net), names(&back), "{format}: input names");
+        let outs = |n: &Network| -> Vec<String> {
+            n.outputs().iter().map(|(name, _)| name.clone()).collect()
+        };
+        assert_eq!(outs(&net), outs(&back), "{format}: output names");
+    }
+}
