@@ -19,10 +19,11 @@ use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptio
 use boolsubst_core::subst::boolean_substitute_legacy;
 use boolsubst_core::verify::networks_equivalent;
 use boolsubst_core::{Session, SubstOptions, SubstStats};
+use boolsubst_guard::TierPolicy;
 use boolsubst_network::{write_blif, Network};
 use boolsubst_trace::export::{chrome_trace_string, jsonl_string};
 use boolsubst_trace::json::{json_array_pretty, JsonObj};
-use boolsubst_trace::Tracer;
+use boolsubst_trace::{GuardTier, Tracer};
 use boolsubst_workloads::generator::{
     planted_network, random_network, GeneratorParams, PlantedParams,
 };
@@ -311,6 +312,105 @@ fn node_sweep(smoke: bool) -> Vec<NodeRow> {
     rows
 }
 
+/// One checked-mode run under a fixed guard tier policy, with a tracer
+/// attached so every guard decision's tier and latency is recorded.
+struct GuardRow {
+    policy: &'static str,
+    family: &'static str,
+    nodes: usize,
+    checks: u64,
+    guard_secs: f64,
+    avg_check_ms: f64,
+    tier_counts: [u64; GuardTier::ALL.len()],
+    substitutions: usize,
+    interrupted: bool,
+}
+
+fn json_guard_row(r: &GuardRow) -> String {
+    let mut obj = JsonObj::new();
+    obj.str("kind", "guard_latency")
+        .str("tier_policy", r.policy)
+        .str("family", r.family)
+        .u64("nodes", u64::try_from(r.nodes).unwrap_or(u64::MAX))
+        .u64("guard_checks", r.checks)
+        .f64("guard_secs", r.guard_secs, 3)
+        .f64("avg_check_ms", r.avg_check_ms, 3);
+    for tier in GuardTier::ALL {
+        obj.u64(&format!("guard_{}", tier.name()), r.tier_counts[tier.idx()]);
+    }
+    obj.u64(
+        "substitutions",
+        u64::try_from(r.substitutions).unwrap_or(u64::MAX),
+    )
+    .bool("interrupted", r.interrupted)
+    .finish()
+}
+
+/// Guard-tier latency sweep: the same multiplier instance run in checked
+/// mode under the BDD-only and SAT tier policies, so `BENCH_guard.json`
+/// tracks what each exact backend costs per accepted rewrite. The
+/// instance is sized so both tiers are actually exercised (it fits the
+/// BDD node budget, and the SAT policy bypasses that budget anyway).
+fn guard_sweep(smoke: bool) -> Vec<GuardRow> {
+    let target = 600;
+    let deadline = Duration::from_secs_f64(if smoke { 4.0 } else { 20.0 });
+    let net = large_network(Family::Multiplier, target, 7);
+    let nodes = net.internal_ids().count();
+    println!(
+        "\nGuard tier latency — {nodes}-node {}, checked basic, {deadline:?} deadline per run\n",
+        Family::Multiplier.name()
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>12} {:>6} {:>6} {:>6} {:>8} {:>6}",
+        "policy", "checks", "guard s", "ms/check", "bdd", "sat", "sampl", "subs", "cutoff"
+    );
+    let mut rows = Vec::new();
+    for (name, tier) in [("bdd", TierPolicy::Bdd), ("sat", TierPolicy::Sat)] {
+        let mut trial = net.clone();
+        let mut tracer = Tracer::new(name);
+        let opts = SubstOptions::basic()
+            .with_checked(true)
+            .with_guard_tier(tier)
+            .with_deadline(Instant::now() + deadline);
+        let stats = Session::new(&mut trial, opts).tracer(&mut tracer).run();
+        let (checks, guard_ns) = tracer.guard_stats();
+        let guard_secs = guard_ns as f64 / 1e9;
+        let mut tier_counts = [0u64; GuardTier::ALL.len()];
+        for t in GuardTier::ALL {
+            tier_counts[t.idx()] = tracer.guard_tier_count(t);
+        }
+        let row = GuardRow {
+            policy: name,
+            family: Family::Multiplier.name(),
+            nodes,
+            checks,
+            guard_secs,
+            avg_check_ms: if checks == 0 {
+                0.0
+            } else {
+                guard_secs * 1e3 / checks as f64
+            },
+            tier_counts,
+            substitutions: stats.substitutions,
+            interrupted: stats.interrupted,
+        };
+        println!(
+            "{:<8} {:>8} {:>10.3} {:>12.3} {:>6} {:>6} {:>6} {:>8} {:>6}",
+            row.policy,
+            row.checks,
+            row.guard_secs,
+            row.avg_check_ms,
+            row.tier_counts[GuardTier::Bdd.idx()],
+            row.tier_counts[GuardTier::Sat.idx()],
+            row.tier_counts[GuardTier::Sampled.idx()],
+            row.substitutions,
+            if row.interrupted { "yes" } else { "no" }
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 fn engine_vs_legacy(smoke: bool) -> (Network, Vec<SweepRow>) {
     let params = GeneratorParams {
         inputs: 16,
@@ -500,6 +600,10 @@ fn main() {
     );
     std::fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
     println!("\nwrote BENCH_sweep.json");
+    let guard_rows = guard_sweep(smoke);
+    let guard_json = json_array_pretty(guard_rows.iter().map(json_guard_row));
+    std::fs::write("BENCH_guard.json", guard_json).expect("write BENCH_guard.json");
+    println!("\nwrote BENCH_guard.json");
     if trace_path.is_some() || chrome_path.is_some() {
         traced_runs(&net, trace_path, chrome_path);
     }

@@ -36,10 +36,10 @@ use crate::subst::{try_pair_core, Acceptance, GdcScope, SubstMode, SubstOptions,
 use crate::txn::TxnSnapshot;
 use boolsubst_algebraic::JointSpace;
 use boolsubst_cube::Cover;
-use boolsubst_guard::{Guard, GuardConfig};
+use boolsubst_guard::{Guard, GuardDecision};
 use boolsubst_network::{Network, NodeId, SideTables};
 use boolsubst_sim::SimFilter;
-use boolsubst_trace::{Outcome, Stage, Tracer};
+use boolsubst_trace::{GuardTier, Outcome, Stage, Tracer};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -110,7 +110,7 @@ impl<'a> SubstEngine<'a> {
         if sim.is_some() {
             stats.sim_nanos += nanos(t0);
         }
-        let guard = opts.checked.then(|| Guard::new(GuardConfig::default()));
+        let guard = opts.checked.then(|| Guard::new(opts.guard));
         SubstEngine {
             net,
             opts,
@@ -244,17 +244,36 @@ impl<'a> SubstEngine<'a> {
 
     /// Reconstructs the pre-rewrite network (rollback applied to a clone
     /// of the post state) and asks the guard whether the rewrite
-    /// preserved every primary-output function.
-    fn guard_passes(&mut self, snap: &TxnSnapshot) -> bool {
+    /// preserved every primary-output function. Records the verdict (and
+    /// which tier produced it) in the stats block and on the tracer.
+    fn guard_passes(&mut self, snap: &TxnSnapshot, target: NodeId, divisor: NodeId) -> bool {
         let Some(guard) = self.guard.as_mut() else {
             return true;
         };
+        let t0 = Instant::now();
         let mut pre = self.net.clone();
         if snap.rollback(&mut pre).is_err() {
             // No pre-state to compare against: reject conservatively.
             return false;
         }
-        guard.check(&pre, self.net).passed()
+        let sat_runs0 = guard.sat_runs();
+        let decision = guard.check(&pre, self.net);
+        self.stats.guard_sat_runs += usize::try_from(guard.sat_runs() - sat_runs0).unwrap_or(0);
+        if decision == GuardDecision::PassSampled {
+            self.stats.guard_pass_sampled += 1;
+        }
+        if let Some(t) = self.tracer.as_deref_mut() {
+            let tier = GuardTier::from_name(decision.tier_name()).unwrap_or(GuardTier::Sampled);
+            t.guard_check(
+                id32(target),
+                id32(divisor),
+                tier,
+                decision.passed(),
+                decision.exact(),
+                nanos(t0),
+            );
+        }
+        decision.passed()
     }
 
     /// Divisor candidates for `target`: the fanouts of its fanins, which
@@ -573,7 +592,7 @@ impl<'a> SubstEngine<'a> {
                 self.recover(snap, &stats0);
                 self.stats.engine_faults += 1;
                 self.quarantine_pair(target, divisor);
-            } else if result.is_some() && !self.guard_passes(snap) {
+            } else if result.is_some() && !self.guard_passes(snap, target, divisor) {
                 // The rewrite changed a primary-output function: undo it
                 // and quarantine the pair, then keep sweeping.
                 self.recover(snap, &stats0);

@@ -9,7 +9,9 @@ use crate::netcircuit::{NetworkRegion, ShadowBase};
 use boolsubst_algebraic::{factored_literals, JointSpace};
 use boolsubst_atpg::{remove_redundant_wires_with, RemovalOptions};
 use boolsubst_cube::{Cover, Lit, Phase};
+use boolsubst_guard::{GuardConfig, TierPolicy};
 use boolsubst_network::{Network, NodeId};
+use boolsubst_sat::SatOptions;
 use boolsubst_sim::{CoverScreen, SimConfig, SimFilter};
 use boolsubst_trace::json::JsonObj;
 use boolsubst_trace::{Outcome, Tracer};
@@ -98,6 +100,10 @@ pub struct SubstOptions {
     /// healthy engine the guards never fire, so the output is bit-identical
     /// to an unchecked run (`tests/engine_parity.rs`). Default off.
     pub checked: bool,
+    /// Guard pipeline tunables for checked mode: which exact tiers may
+    /// run (`sim → BDD → SAT`), the BDD node limit, and the SAT conflict
+    /// budget. Ignored when [`SubstOptions::checked`] is off.
+    pub guard: GuardConfig,
     /// Wall-clock deadline (engine path only): once reached, the sweep
     /// stops between pair attempts and returns the valid partial result
     /// with [`SubstStats::interrupted`] set. Each attempt is atomic, so
@@ -132,6 +138,7 @@ impl SubstOptions {
             acceptance: Acceptance::FirstGain,
             sim: SimConfig::default(),
             checked: false,
+            guard: GuardConfig::default(),
             deadline: None,
             threads: at_least_one(1),
         }
@@ -179,6 +186,30 @@ impl SubstOptions {
     #[must_use]
     pub fn with_checked(mut self, checked: bool) -> SubstOptions {
         self.checked = checked;
+        self
+    }
+
+    /// Replaces the checked-mode guard configuration wholesale.
+    #[must_use]
+    pub fn with_guard(mut self, guard: GuardConfig) -> SubstOptions {
+        self.guard = guard;
+        self
+    }
+
+    /// Sets which exact guard tiers may run after the simulation screen
+    /// (`sim` / `bdd` / `sat` / `auto`).
+    #[must_use]
+    pub fn with_guard_tier(mut self, tier: TierPolicy) -> SubstOptions {
+        self.guard.tier = tier;
+        self
+    }
+
+    /// Sets the tier C conflict budget; `0` disables the SAT tier.
+    #[must_use]
+    pub fn with_sat_conflicts(mut self, conflicts: u64) -> SubstOptions {
+        self.guard.sat = SatOptions {
+            conflict_budget: conflicts,
+        };
         self
     }
 
@@ -331,6 +362,13 @@ pub struct SubstStats {
     pub sim_nanos: u64,
     /// Accepted rewrites the checked-mode guard refuted and rolled back.
     pub guard_rejections: usize,
+    /// Checked-mode guard verdicts that degraded to a sampled pass: every
+    /// exact tier (BDD, SAT) was out of budget, so the rewrite stands on
+    /// the random pool alone. Zero means every accepted rewrite was
+    /// *proved* equivalence-preserving.
+    pub guard_pass_sampled: usize,
+    /// Checked-mode guard checks that escalated to the tier C SAT miter.
+    pub guard_sat_runs: usize,
     /// Per-pair faults survived in checked mode: panics caught and rolled
     /// back, typed apply errors, and detected signature corruption.
     pub engine_faults: usize,
@@ -403,6 +441,8 @@ impl fmt::Display for SubstStats {
             + self.engine_faults
             + self.quarantined
             + self.check_budget_exhausted
+            + self.guard_pass_sampled
+            + self.guard_sat_runs
             > 0
             || self.interrupted
         {
@@ -414,6 +454,11 @@ impl fmt::Display for SubstStats {
                 self.quarantined,
                 self.check_budget_exhausted,
                 if self.interrupted { ", INTERRUPTED" } else { "" },
+            )?;
+            writeln!(
+                f,
+                "  guard escalation       {:>8}  sat-tier runs, {} sampled passes",
+                self.guard_sat_runs, self.guard_pass_sampled,
             )?;
         }
         write!(
@@ -483,6 +528,10 @@ impl SubstStats {
         self.sim_patterns = self.sim_patterns.saturating_add(other.sim_patterns);
         self.sim_words = self.sim_words.saturating_add(other.sim_words);
         self.guard_rejections = self.guard_rejections.saturating_add(other.guard_rejections);
+        self.guard_pass_sampled = self
+            .guard_pass_sampled
+            .saturating_add(other.guard_pass_sampled);
+        self.guard_sat_runs = self.guard_sat_runs.saturating_add(other.guard_sat_runs);
         self.engine_faults = self.engine_faults.saturating_add(other.engine_faults);
         self.quarantined = self.quarantined.saturating_add(other.quarantined);
         self.check_budget_exhausted = self
@@ -528,6 +577,8 @@ impl SubstStats {
             .u64("sim_patterns", u(self.sim_patterns))
             .u64("sim_words", u(self.sim_words))
             .u64("guard_rejections", u(self.guard_rejections))
+            .u64("guard_pass_sampled", u(self.guard_pass_sampled))
+            .u64("guard_sat_runs", u(self.guard_sat_runs))
             .u64("engine_faults", u(self.engine_faults))
             .u64("quarantined", u(self.quarantined))
             .u64("check_budget_exhausted", u(self.check_budget_exhausted))

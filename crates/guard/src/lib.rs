@@ -18,6 +18,15 @@
 //! * **Tier B (exact)** — a shared-manager BDD comparison of the
 //!   primary-output functions, run when tier A sampled (inconclusive on a
 //!   pass) and the network is small enough to afford it.
+//! * **Tier C (SAT)** — a Tseitin miter solved by the CDCL engine in
+//!   `boolsubst-sat` under a conflict budget, run when tier B is out of
+//!   node budget (BDDs blow up on multiplier-shaped cones where the
+//!   miter stays window-sized thanks to structural CNF sharing).
+//!
+//! Which tiers run is a [`TierPolicy`]; the default [`TierPolicy::Auto`]
+//! escalates `sim → BDD(node_limit) → SAT(conflict_budget)` and only
+//! degrades to [`GuardDecision::PassSampled`] when every exact backend
+//! is out of budget.
 //!
 //! The guard deliberately re-implements its BDD oracle here rather than
 //! calling into `boolsubst-core`: the checked engine lives in core, so the
@@ -27,6 +36,8 @@
 use boolsubst_bdd::{Bdd, Ref};
 use boolsubst_cube::Phase;
 use boolsubst_network::{Network, NodeId};
+use boolsubst_sat::miter::EquivResult;
+use boolsubst_sat::SatOptions;
 use boolsubst_sim::{PatternPool, SimTable};
 use std::collections::HashMap;
 
@@ -46,6 +57,11 @@ pub struct GuardConfig {
     /// Tier B (exact BDD compare) runs only when tier A sampled and the
     /// network has at most this many live nodes. `0` disables tier B.
     pub exact_node_limit: usize,
+    /// Which exact tiers may run after tier A samples clean.
+    pub tier: TierPolicy,
+    /// Tier C solver budget. A zero [`SatOptions::conflict_budget`]
+    /// disables tier C even under policies that would run it.
+    pub sat: SatOptions,
 }
 
 impl Default for GuardConfig {
@@ -55,7 +71,52 @@ impl Default for GuardConfig {
             seed: 0x6A5D_0CE1_1B0A_7E0F,
             exhaustive_inputs: 12,
             exact_node_limit: 4096,
+            tier: TierPolicy::Auto,
+            sat: SatOptions::default(),
         }
+    }
+}
+
+/// Which exact tier(s) back up the simulation screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierPolicy {
+    /// Tier A only: sampled passes are accepted as-is.
+    Sim,
+    /// `sim → BDD(node_limit)`: the pre-SAT pipeline. Networks over the
+    /// node limit degrade to a sampled pass.
+    Bdd,
+    /// `sim → SAT(conflict_budget)`: skip the BDD compare entirely.
+    Sat,
+    /// `sim → BDD(node_limit) → SAT(conflict_budget)`: BDDs where they
+    /// are cheap, the miter where they are not.
+    #[default]
+    Auto,
+}
+
+impl TierPolicy {
+    /// Every policy, in escalation order.
+    pub const ALL: [TierPolicy; 4] = [
+        TierPolicy::Sim,
+        TierPolicy::Bdd,
+        TierPolicy::Sat,
+        TierPolicy::Auto,
+    ];
+
+    /// Stable lowercase label (CLI flag values, JSON rows).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TierPolicy::Sim => "sim",
+            TierPolicy::Bdd => "bdd",
+            TierPolicy::Sat => "sat",
+            TierPolicy::Auto => "auto",
+        }
+    }
+
+    /// Inverse of [`TierPolicy::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TierPolicy> {
+        TierPolicy::ALL.into_iter().find(|t| t.name() == name)
     }
 }
 
@@ -82,6 +143,15 @@ pub enum GuardDecision {
         /// Name of the first mismatching primary output.
         output: String,
     },
+    /// Tier A sampled clean and the tier C miter was proved UNSAT:
+    /// exact equivalence by SAT.
+    PassSat,
+    /// The tier C miter is satisfiable: some input assignment (found by
+    /// the solver, missed by the pool) distinguishes the named output.
+    RefutedSat {
+        /// Name of the first mismatching primary output.
+        output: String,
+    },
 }
 
 impl GuardDecision {
@@ -90,18 +160,34 @@ impl GuardDecision {
     pub fn passed(&self) -> bool {
         matches!(
             self,
-            GuardDecision::PassExhaustive | GuardDecision::PassExact | GuardDecision::PassSampled
+            GuardDecision::PassExhaustive
+                | GuardDecision::PassExact
+                | GuardDecision::PassSampled
+                | GuardDecision::PassSat
         )
     }
 
-    /// Whether the decision is a *proof* of equivalence (exhaustive pool
-    /// or BDD), as opposed to a sampled pass.
+    /// Whether the decision is a *proof* of equivalence (exhaustive
+    /// pool, BDD, or UNSAT miter), as opposed to a sampled pass.
     #[must_use]
     pub fn exact(&self) -> bool {
         matches!(
             self,
-            GuardDecision::PassExhaustive | GuardDecision::PassExact
+            GuardDecision::PassExhaustive | GuardDecision::PassExact | GuardDecision::PassSat
         )
+    }
+
+    /// The tier that produced the decision: `"sim"`, `"bdd"`, `"sat"`,
+    /// or `"sampled"` (no exact tier had budget). Stable labels, used
+    /// by the trace exporters and BENCH_guard.json.
+    #[must_use]
+    pub fn tier_name(&self) -> &'static str {
+        match self {
+            GuardDecision::PassExhaustive | GuardDecision::RefutedSim { .. } => "sim",
+            GuardDecision::PassExact | GuardDecision::RefutedExact { .. } => "bdd",
+            GuardDecision::PassSat | GuardDecision::RefutedSat { .. } => "sat",
+            GuardDecision::PassSampled => "sampled",
+        }
     }
 }
 
@@ -113,6 +199,8 @@ pub struct Guard {
     pools: HashMap<usize, PatternPool>,
     checks: u64,
     exact_runs: u64,
+    sat_runs: u64,
+    sampled_passes: u64,
 }
 
 impl Guard {
@@ -124,6 +212,8 @@ impl Guard {
             pools: HashMap::new(),
             checks: 0,
             exact_runs: 0,
+            sat_runs: 0,
+            sampled_passes: 0,
         }
     }
 
@@ -137,6 +227,20 @@ impl Guard {
     #[must_use]
     pub fn exact_runs(&self) -> u64 {
         self.exact_runs
+    }
+
+    /// Number of checks that escalated to the tier C SAT miter.
+    #[must_use]
+    pub fn sat_runs(&self) -> u64 {
+        self.sat_runs
+    }
+
+    /// Number of checks that ended in [`GuardDecision::PassSampled`] —
+    /// every exact tier was out of budget and the verdict rests on the
+    /// random pool alone.
+    #[must_use]
+    pub fn sampled_passes(&self) -> u64 {
+        self.sampled_passes
     }
 
     /// Checks that `post` (the network after an accepted rewrite) still
@@ -189,15 +293,53 @@ impl Guard {
             return GuardDecision::PassExhaustive;
         }
 
-        // Tier B: exact BDD compare of the primary-output functions, when
-        // the network is small enough to afford it.
-        if self.config.exact_node_limit == 0 || post.len() > self.config.exact_node_limit {
-            return GuardDecision::PassSampled;
-        }
+        // Tier A sampled clean: escalate to whichever exact backend the
+        // policy allows and can afford. Every path that runs out of
+        // budget falls through to a (counted) sampled pass.
+        let bdd_affordable =
+            self.config.exact_node_limit != 0 && post.len() <= self.config.exact_node_limit;
+        let decision = match self.config.tier {
+            TierPolicy::Sim => None,
+            TierPolicy::Bdd => bdd_affordable.then(|| self.check_bdd(pre, post)),
+            TierPolicy::Sat => self.check_sat(pre, post),
+            TierPolicy::Auto => {
+                if bdd_affordable {
+                    Some(self.check_bdd(pre, post))
+                } else {
+                    self.check_sat(pre, post)
+                }
+            }
+        };
+        decision.unwrap_or_else(|| {
+            self.sampled_passes += 1;
+            GuardDecision::PassSampled
+        })
+    }
+
+    /// Tier B: exact BDD compare of the primary-output functions.
+    fn check_bdd(&mut self, pre: &Network, post: &Network) -> GuardDecision {
         self.exact_runs += 1;
         match outputs_equal_exact(pre, post) {
             None => GuardDecision::PassExact,
             Some(output) => GuardDecision::RefutedExact { output },
+        }
+    }
+
+    /// Tier C: Tseitin miter under the configured conflict budget.
+    /// Returns `None` when tier C is disabled or the budget runs dry —
+    /// the caller degrades to a sampled pass.
+    fn check_sat(&mut self, pre: &Network, post: &Network) -> Option<GuardDecision> {
+        if self.config.sat.conflict_budget == 0 {
+            return None;
+        }
+        self.sat_runs += 1;
+        match boolsubst_sat::check_equivalence(pre, post, self.config.sat) {
+            EquivResult::Equivalent => Some(GuardDecision::PassSat),
+            EquivResult::Inequivalent { output, .. } => Some(GuardDecision::RefutedSat { output }),
+            EquivResult::InterfaceMismatch => Some(GuardDecision::RefutedSat {
+                output: "<interface mismatch>".to_string(),
+            }),
+            EquivResult::Unknown(_) => None,
         }
     }
 }
@@ -334,16 +476,92 @@ mod tests {
     }
 
     #[test]
-    fn tier_b_budget_zero_degrades_to_sampled_pass() {
+    fn tier_b_budget_zero_escalates_to_sat_under_auto() {
         let (pre, post) = wide_pair();
         let mut guard = Guard::new(GuardConfig {
             exact_node_limit: 0,
+            ..GuardConfig::default()
+        });
+        assert_eq!(
+            guard.check(&pre, &post),
+            GuardDecision::RefutedSat {
+                output: "f".to_string()
+            },
+            "with tier B out of budget, Auto must fall through to the miter"
+        );
+        assert_eq!(guard.exact_runs(), 0);
+        assert_eq!(guard.sat_runs(), 1);
+    }
+
+    #[test]
+    fn all_exact_budgets_zero_degrades_to_sampled_pass() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            exact_node_limit: 0,
+            sat: SatOptions { conflict_budget: 0 },
             ..GuardConfig::default()
         });
         let decision = guard.check(&pre, &post);
         assert_eq!(decision, GuardDecision::PassSampled);
         assert!(decision.passed());
         assert!(!decision.exact());
+        assert_eq!(decision.tier_name(), "sampled");
+        assert_eq!(guard.sampled_passes(), 1);
+        assert_eq!(guard.sat_runs(), 0);
+    }
+
+    #[test]
+    fn sat_policy_skips_bdd_and_refutes_by_miter() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            tier: TierPolicy::Sat,
+            ..GuardConfig::default()
+        });
+        let decision = guard.check(&pre, &post);
+        assert_eq!(
+            decision,
+            GuardDecision::RefutedSat {
+                output: "f".to_string()
+            }
+        );
+        assert!(!decision.passed());
+        assert_eq!(decision.tier_name(), "sat");
+        assert_eq!(guard.exact_runs(), 0, "Sat policy must never touch the BDD");
+        assert_eq!(guard.sat_runs(), 1);
+    }
+
+    #[test]
+    fn sat_policy_proves_identical_wide_networks() {
+        let (pre, _) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            tier: TierPolicy::Sat,
+            ..GuardConfig::default()
+        });
+        let decision = guard.check(&pre, &pre.clone());
+        assert_eq!(decision, GuardDecision::PassSat);
+        assert!(decision.passed());
+        assert!(decision.exact());
+    }
+
+    #[test]
+    fn sim_policy_accepts_sampled_pass_without_escalation() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            tier: TierPolicy::Sim,
+            ..GuardConfig::default()
+        });
+        assert_eq!(guard.check(&pre, &post), GuardDecision::PassSampled);
+        assert_eq!(guard.exact_runs(), 0);
+        assert_eq!(guard.sat_runs(), 0);
+        assert_eq!(guard.sampled_passes(), 1);
+    }
+
+    #[test]
+    fn tier_policy_names_round_trip() {
+        for policy in TierPolicy::ALL {
+            assert_eq!(TierPolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(TierPolicy::from_name("nope"), None);
     }
 
     #[test]

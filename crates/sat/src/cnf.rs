@@ -1,0 +1,240 @@
+//! The typed CNF core: variables, literals, clauses, and a formula
+//! builder. Everything downstream (the Tseitin encoder, the CDCL
+//! solver, the miter) speaks these types, so a raw `i32` DIMACS-style
+//! literal can never leak into an index computation.
+
+use std::fmt;
+
+/// A propositional variable, densely numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable with the given dense index.
+    #[must_use]
+    pub fn new(index: u32) -> Var {
+        Var(index)
+    }
+
+    /// Dense index for array lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity, packed as `var << 1 | neg` so
+/// the code doubles as a dense index into watch lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[must_use]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[must_use]
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// A literal of `v` with the given polarity (`true` = negated).
+    #[must_use]
+    pub fn new(v: Var, negated: bool) -> Lit {
+        Lit(v.0 << 1 | u32::from(negated))
+    }
+
+    /// The underlying variable.
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    #[must_use]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Packed code (`var << 1 | neg`): a dense index for watch lists and
+    /// a canonical key for structural hashing.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Inverse of [`Lit::code`].
+    #[must_use]
+    pub fn from_code(code: u32) -> Lit {
+        Lit(code)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "!" } else { "" }, self.var())
+    }
+}
+
+/// A disjunction of literals. Construction normalizes: literals are
+/// sorted and deduplicated, and a tautology (`x ∨ !x`) is flagged so
+/// the formula builder can drop it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Builds a normalized clause. Returns `None` when the clause is a
+    /// tautology (contains both polarities of some variable).
+    #[must_use]
+    pub fn new(mut lits: Vec<Lit>) -> Option<Clause> {
+        lits.sort_unstable();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return None;
+            }
+        }
+        Some(Clause { lits })
+    }
+
+    /// The literals, sorted.
+    #[must_use]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause is empty (unsatisfiable).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+}
+
+/// A CNF formula under construction: a variable counter plus a clause
+/// list. The [`crate::solver::Solver`] consumes one of these; the
+/// [`crate::tseitin`] encoder produces one.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+    lit_true: Option<Lit>,
+}
+
+impl Cnf {
+    /// An empty formula.
+    #[must_use]
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Mints a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables minted so far.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Adds a clause (normalized; tautologies are silently dropped).
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        if let Some(c) = Clause::new(lits) {
+            self.clauses.push(c);
+        }
+    }
+
+    /// The clauses added so far.
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// A literal constrained to be true (lazily mints one pinned
+    /// variable). Lets encoders map constant functions to plain literals
+    /// instead of special-casing them everywhere.
+    pub fn lit_true(&mut self) -> Lit {
+        if let Some(l) = self.lit_true {
+            return l;
+        }
+        let l = Lit::pos(self.new_var());
+        self.add_clause(vec![l]);
+        self.lit_true = Some(l);
+        l
+    }
+
+    /// A literal constrained to be false (negation of [`Cnf::lit_true`]).
+    pub fn lit_false(&mut self) -> Lit {
+        !self.lit_true()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_packing_roundtrips() {
+        let v = Var::new(5);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::from_code(p.code()), p);
+        assert_eq!(Lit::new(v, true), n);
+        assert_eq!(p.code(), 10);
+        assert_eq!(n.code(), 11);
+    }
+
+    #[test]
+    fn clause_normalizes_and_detects_tautologies() {
+        let v0 = Var::new(0);
+        let v1 = Var::new(1);
+        let c = Clause::new(vec![Lit::pos(v1), Lit::pos(v0), Lit::pos(v1)]).expect("not taut");
+        assert_eq!(c.lits(), &[Lit::pos(v0), Lit::pos(v1)]);
+        assert!(Clause::new(vec![Lit::pos(v0), Lit::neg(v0)]).is_none());
+        assert!(Clause::new(vec![]).expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn cnf_constants_are_pinned_once() {
+        let mut cnf = Cnf::new();
+        let t = cnf.lit_true();
+        let f = cnf.lit_false();
+        assert_eq!(!t, f);
+        assert_eq!(cnf.lit_true(), t, "cached");
+        assert_eq!(cnf.num_vars(), 1);
+        assert_eq!(cnf.clauses().len(), 1, "one pinning unit clause");
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # boolsubst-sat — Tseitin encoding + CDCL: the guard's third proof tier
+//!
+//! The checked-apply guard escalates simulation → exact BDD, and BDDs
+//! blow up exactly on the multiplier-shaped circuits of the large
+//! corpus: on those instances tier B silently degrades to a sampled
+//! pass. This crate supplies a proof backend whose cost tracks circuit
+//! *structure* instead of BDD width:
+//!
+//! * [`cnf`] — the typed `Var`/`Lit`/`Clause`/`Cnf` core.
+//! * [`tseitin`] — SOP-cover Tseitin encoding with structural hashing,
+//!   so a pre/post rollback pair shares everything outside the
+//!   rewritten cone.
+//! * [`solver`] — a CDCL solver: two-watched-literal propagation,
+//!   first-UIP learning, VSIDS decay, Luby restarts, phase saving,
+//!   assumptions, and a hard conflict budget returning
+//!   `Sat`/`Unsat`/`Unknown(BudgetExhausted)`.
+//! * [`miter`] — PO-equivalence checking of two networks over shared
+//!   input variables.
+//! * [`windows`] — SAT-windowed don't-care extraction (AllSAT over a
+//!   target's fanin space), feeding the paper's GDC configuration.
+//!
+//! Like the rest of the workspace the crate is std-only, and like
+//! `boolsubst-guard` it sits *below* `boolsubst-core` in the crate
+//! graph: the engine being checked can never vouch for itself.
+
+pub mod cnf;
+pub mod miter;
+pub mod solver;
+pub mod tseitin;
+pub mod windows;
+
+pub use cnf::{Clause, Cnf, Lit, Var};
+pub use miter::{check_equivalence, EquivResult};
+pub use solver::{SatOptions, SatResult, Solver, Stop};
+pub use tseitin::Encoder;
+pub use windows::{window_sdc_cover, WindowOptions};

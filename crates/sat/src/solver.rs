@@ -1,0 +1,830 @@
+//! A CDCL SAT solver: two-watched-literal propagation, first-UIP
+//! conflict analysis with clause learning, VSIDS-style variable
+//! activities with decay, Luby restarts, phase saving, incremental
+//! solving under assumptions, and a hard conflict budget.
+//!
+//! The solver is deliberately classical — no preprocessing, no clause
+//! deletion, no literal-block distance. The guard's miters are either
+//! easy (structural sharing shrinks them to the rewritten cone) or
+//! budget-bounded, so a lean, predictable kernel beats a tuned one
+//! whose heuristics would be one more thing to audit.
+
+use crate::cnf::{Clause, Cnf, Lit, Var};
+
+/// Why a solve stopped without an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// The hard conflict budget ran out before a verdict.
+    BudgetExhausted,
+}
+
+/// Outcome of one [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable; the model assigns every variable (index = var index).
+    Sat(Vec<bool>),
+    /// Proved unsatisfiable (under the given assumptions, if any).
+    Unsat,
+    /// No verdict within budget. Callers must treat this as "don't
+    /// know" — in the guard it degrades the decision to a sampled pass.
+    Unknown(Stop),
+}
+
+/// Solver knobs. `Copy` + `Eq` so the guard config (and through it the
+/// engine options) can embed one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatOptions {
+    /// Hard conflict budget per [`Solver::solve`] call; hitting it
+    /// returns [`SatResult::Unknown`]. `0` means "don't run at all" to
+    /// budget-aware callers (the guard skips tier C entirely).
+    pub conflict_budget: u64,
+}
+
+impl Default for SatOptions {
+    fn default() -> SatOptions {
+        SatOptions {
+            conflict_budget: 100_000,
+        }
+    }
+}
+
+/// Truth value of a variable during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+/// One stored clause. Learnt clauses are kept forever: the miter/window
+/// workloads are budget-bounded, so a growing database is simpler than
+/// activity-based deletion and never observable from outside.
+#[derive(Debug)]
+struct DbClause {
+    lits: Vec<Lit>,
+}
+
+/// A watch list entry: the clause plus a cached "blocker" literal whose
+/// truth lets propagation skip the clause without touching its memory.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+const NO_REASON: u32 = u32::MAX;
+const RESTART_BASE: u64 = 100;
+const VAR_DECAY: f64 = 0.95;
+const RESCALE_AT: f64 = 1e100;
+
+/// Max-heap over variable activities with a position index, so
+/// activity bumps can sift in place (the classic VSIDS order).
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarOrder {
+    fn grow_to(&mut self, n: usize) {
+        while self.pos.len() < n {
+            let v = u32::try_from(self.pos.len()).expect("var count fits u32");
+            self.pos.push(ABSENT);
+            self.insert(v, &[]);
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: u32, act: &[f64]) {
+        let p = self.pos[v as usize];
+        if p != ABSENT {
+            self.sift_up(p, act);
+        }
+    }
+
+    fn activity(act: &[f64], v: u32) -> f64 {
+        act.get(v as usize).copied().unwrap_or(0.0)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::activity(act, self.heap[i]) <= Self::activity(act, self.heap[parent]) {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && Self::activity(act, self.heap[l]) > Self::activity(act, self.heap[best])
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && Self::activity(act, self.heap[r]) > Self::activity(act, self.heap[best])
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+}
+
+/// The CDCL solver. Build one with [`Solver::new`] or
+/// [`Solver::from_cnf`], optionally [`Solver::add_clause`] more clauses
+/// between solves (the blocking-clause loop of the window enumerator),
+/// and call [`Solver::solve`] with a set of assumption literals.
+#[derive(Debug)]
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<DbClause>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    conflicts: u64,
+    ok: bool,
+}
+
+impl Solver {
+    /// A solver over `num_vars` variables and no clauses.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Solver {
+        let mut order = VarOrder::default();
+        order.grow_to(num_vars);
+        Solver {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            assign: vec![LBool::Undef; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![NO_REASON; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            order,
+            saved_phase: vec![false; num_vars],
+            seen: vec![false; num_vars],
+            conflicts: 0,
+            ok: true,
+        }
+    }
+
+    /// A solver pre-loaded with a formula.
+    #[must_use]
+    pub fn from_cnf(cnf: &Cnf) -> Solver {
+        let mut s = Solver::new(cnf.num_vars());
+        for c in cnf.clauses() {
+            s.add_normalized(c);
+        }
+        s
+    }
+
+    /// Total conflicts across every solve on this solver.
+    #[must_use]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of variables the solver was built over.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Grows the solver to `num_vars` variables (no-op when it already
+    /// has at least that many). Lets callers sync clauses from a [`Cnf`]
+    /// that kept growing after the solver was built — the incremental
+    /// pattern the miter's equivalence sweep uses.
+    pub fn grow_to(&mut self, num_vars: usize) {
+        if num_vars <= self.num_vars {
+            return;
+        }
+        self.num_vars = num_vars;
+        self.watches.resize(2 * num_vars, Vec::new());
+        self.assign.resize(num_vars, LBool::Undef);
+        self.level.resize(num_vars, 0);
+        self.reason.resize(num_vars, NO_REASON);
+        self.activity.resize(num_vars, 0.0);
+        self.saved_phase.resize(num_vars, false);
+        self.seen.resize(num_vars, false);
+        self.order.grow_to(num_vars);
+    }
+
+    /// Adds a clause at the top level (any in-progress assignment above
+    /// level 0 is undone first). Returns `false` once the formula is
+    /// unsatisfiable without assumptions — further solves return
+    /// `Unsat` immediately.
+    pub fn add_clause(&mut self, lits: Vec<Lit>) -> bool {
+        match Clause::new(lits) {
+            None => self.ok, // tautology: nothing to add
+            Some(c) => self.add_normalized(&c),
+        }
+    }
+
+    fn add_normalized(&mut self, c: &Clause) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.backtrack(0);
+        // At level 0 every current assignment is permanent: drop false
+        // literals, and the clause is already satisfied if any is true.
+        let mut lits: Vec<Lit> = Vec::with_capacity(c.len());
+        for &l in c.lits() {
+            match self.value_lit(l) {
+                Some(true) => return true,
+                Some(false) => {}
+                None => lits.push(l),
+            }
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(lits[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach(lits);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>) {
+        let ci = u32::try_from(self.clauses.len()).expect("clause count fits u32");
+        self.watches[lits[0].code() as usize].push(Watch {
+            clause: ci,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code() as usize].push(Watch {
+            clause: ci,
+            blocker: lits[0],
+        });
+        self.clauses.push(DbClause { lits });
+    }
+
+    fn value_var(&self, v: Var) -> LBool {
+        self.assign[v.index()]
+    }
+
+    fn value_lit(&self, l: Lit) -> Option<bool> {
+        match self.value_var(l.var()) {
+            LBool::Undef => None,
+            LBool::True => Some(!l.is_neg()),
+            LBool::False => Some(l.is_neg()),
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        u32::try_from(self.trail_lim.len()).expect("levels fit u32")
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.var().index();
+        debug_assert_eq!(self.assign[v], LBool::Undef);
+        self.assign[v] = if l.is_neg() {
+            LBool::False
+        } else {
+            LBool::True
+        };
+        self.saved_phase[v] = !l.is_neg();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let keep = self.trail_lim[target as usize];
+        for &l in &self.trail[keep..] {
+            let v = l.var();
+            self.assign[v.index()] = LBool::Undef;
+            self.reason[v.index()] = NO_REASON;
+            self.order.insert(
+                u32::try_from(v.index()).expect("var fits u32"),
+                &self.activity,
+            );
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    /// Two-watched-literal unit propagation; returns the conflicting
+    /// clause index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code() as usize]);
+            let mut kept = 0;
+            let mut conflict = None;
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value_lit(w.blocker) == Some(true) {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                // Make the false literal lits[1]; lits[0] is the survivor.
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.value_lit(first) == Some(true) {
+                    ws[kept] = Watch {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    if self.value_lit(self.clauses[ci].lits[k]) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        let new_watch = self.clauses[ci].lits[1];
+                        self.watches[new_watch.code() as usize].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflicting: the watch stays either way.
+                ws[kept] = Watch {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                kept += 1;
+                if self.value_lit(first) == Some(false) {
+                    // Conflict: keep the remaining watches and stop.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.clause);
+                } else {
+                    self.unchecked_enqueue(first, w.clause);
+                }
+            }
+            ws.truncate(kept);
+            self.watches[false_lit.code() as usize] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let a = &mut self.activity[v.index()];
+        *a += self.var_inc;
+        if *a > RESCALE_AT {
+            for act in &mut self.activity {
+                *act /= RESCALE_AT;
+            }
+            self.var_inc /= RESCALE_AT;
+        }
+        self.order.bumped(
+            u32::try_from(v.index()).expect("var fits u32"),
+            &self.activity,
+        );
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::new(0))]; // slot 0 = asserting lit
+        let mut path_count: u32 = 0;
+        let mut confl = confl as usize;
+        let mut index = self.trail.len();
+        let mut expanding_reason = false;
+        let uip = loop {
+            // A reason clause implies its lits[0]; skip it when expanding.
+            let start = usize::from(expanding_reason);
+            for k in start..self.clauses[confl].lits.len() {
+                let q = self.clauses[confl].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let p = self.trail[index];
+            self.seen[p.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                break p;
+            }
+            confl = self.reason[p.var().index()] as usize;
+            expanding_reason = true;
+        };
+        learnt[0] = !uip;
+        // Backtrack to the second-highest decision level in the clause,
+        // moving that literal to slot 1 so it gets watched.
+        let back = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for k in 2..learnt.len() {
+                if self.level[learnt[k].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = k;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, back)
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v as usize] == LBool::Undef {
+                return Some(Var::new(v));
+            }
+        }
+        None
+    }
+
+    /// Solves under the given assumptions with a conflict budget.
+    ///
+    /// Assumptions are asserted as the first decisions; `Unsat` means
+    /// "unsatisfiable together with the assumptions". The solver is
+    /// reusable afterwards: the trail is rewound to the top level, and
+    /// learnt clauses carry over to the next call.
+    pub fn solve(&mut self, assumptions: &[Lit], opts: SatOptions) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        let budget_end = self.conflicts.saturating_add(opts.conflict_budget.max(1));
+        let mut since_restart: u64 = 0;
+        let mut restarts: u64 = 0;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                if self.decision_level() as usize <= assumptions.len() {
+                    // Every decision on the trail is an assumption: the
+                    // conflict follows from them, no search needed.
+                    self.backtrack(0);
+                    return SatResult::Unsat;
+                }
+                if self.conflicts >= budget_end {
+                    self.backtrack(0);
+                    return SatResult::Unknown(Stop::BudgetExhausted);
+                }
+                let (learnt, back) = self.analyze(confl);
+                self.backtrack(back);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], NO_REASON);
+                } else {
+                    let ci = u32::try_from(self.clauses.len()).expect("clause count fits u32");
+                    let asserting = learnt[0];
+                    self.attach(learnt);
+                    self.unchecked_enqueue(asserting, ci);
+                }
+                self.decay_activities();
+            } else {
+                if since_restart >= RESTART_BASE.saturating_mul(luby(restarts)) {
+                    restarts += 1;
+                    since_restart = 0;
+                    self.backtrack(0);
+                    continue;
+                }
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value_lit(a) {
+                        Some(true) => self.new_decision_level(),
+                        Some(false) => {
+                            self.backtrack(0);
+                            return SatResult::Unsat;
+                        }
+                        None => {
+                            self.new_decision_level();
+                            self.unchecked_enqueue(a, NO_REASON);
+                        }
+                    }
+                } else if let Some(v) = self.pick_branch() {
+                    let lit = Lit::new(v, !self.saved_phase[v.index()]);
+                    self.new_decision_level();
+                    self.unchecked_enqueue(lit, NO_REASON);
+                } else {
+                    let model = self
+                        .assign
+                        .iter()
+                        .map(|&a| a == LBool::True)
+                        .collect::<Vec<bool>>();
+                    self.backtrack(0);
+                    return SatResult::Sat(model);
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2,
+/// 4, 8, ... (0-indexed).
+fn luby(i: u64) -> u64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = i;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, neg: bool) -> Lit {
+        Lit::new(Var::new(v), neg)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat_and_model() {
+        let mut s = Solver::new(2);
+        s.add_clause(vec![lit(0, false)]);
+        s.add_clause(vec![lit(0, true), lit(1, true)]);
+        match s.solve(&[], SatOptions::default()) {
+            SatResult::Sat(m) => {
+                assert!(m[0]);
+                assert!(!m[1]);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut s = Solver::new(1);
+        s.add_clause(vec![lit(0, false)]);
+        assert!(!s.add_clause(vec![lit(0, true)]));
+        assert_eq!(s.solve(&[], SatOptions::default()), SatResult::Unsat);
+    }
+
+    /// Pigeonhole: n+1 pigeons into n holes — classically UNSAT and
+    /// requires real conflict analysis for n >= 3.
+    fn pigeonhole(pigeons: u32, holes: u32) -> Solver {
+        let var = |p: u32, h: u32| Var::new(p * holes + h);
+        let mut s = Solver::new((pigeons * holes) as usize);
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| Lit::pos(var(p, h))).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=5u32 {
+            let mut s = pigeonhole(n + 1, n);
+            assert_eq!(
+                s.solve(&[], SatOptions::default()),
+                SatResult::Unsat,
+                "php({}, {n})",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_holes_suffice() {
+        let mut s = pigeonhole(4, 4);
+        assert!(matches!(
+            s.solve(&[], SatOptions::default()),
+            SatResult::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        let mut s = pigeonhole(7, 6);
+        let out = s.solve(&[], SatOptions { conflict_budget: 5 });
+        assert_eq!(out, SatResult::Unknown(Stop::BudgetExhausted));
+        // The same solver finishes the job given real budget.
+        assert_eq!(s.solve(&[], SatOptions::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_verdict_and_solver_is_reusable() {
+        // (a | b) & (!a | b): b=false forces a contradiction.
+        let mut s = Solver::new(2);
+        s.add_clause(vec![lit(0, false), lit(1, false)]);
+        s.add_clause(vec![lit(0, true), lit(1, false)]);
+        assert_eq!(
+            s.solve(&[lit(1, true)], SatOptions::default()),
+            SatResult::Unsat
+        );
+        match s.solve(&[lit(1, false)], SatOptions::default()) {
+            SatResult::Sat(m) => assert!(m[1]),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+        // No assumptions: still satisfiable.
+        assert!(matches!(
+            s.solve(&[], SatOptions::default()),
+            SatResult::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_unsat() {
+        let mut s = Solver::new(2);
+        s.add_clause(vec![lit(0, false), lit(1, false)]);
+        assert_eq!(
+            s.solve(&[lit(0, false), lit(0, true)], SatOptions::default()),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn xor_chain_parity() {
+        // x0 ^ x1 ^ ... ^ x7 = 1 encoded clause-wise via fresh partials.
+        let n = 8u32;
+        let mut cnf = Cnf::new();
+        let xs: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
+        let mut acc = Lit::pos(xs[0]);
+        for &x in &xs[1..] {
+            let out = Lit::pos(cnf.new_var());
+            let b = Lit::pos(x);
+            // out = acc ^ b
+            cnf.add_clause(vec![!out, acc, b]);
+            cnf.add_clause(vec![!out, !acc, !b]);
+            cnf.add_clause(vec![out, !acc, b]);
+            cnf.add_clause(vec![out, acc, !b]);
+            acc = out;
+        }
+        cnf.add_clause(vec![acc]);
+        let mut s = Solver::from_cnf(&cnf);
+        match s.solve(&[], SatOptions::default()) {
+            SatResult::Sat(m) => {
+                let parity = xs.iter().filter(|x| m[x.index()]).count() % 2;
+                assert_eq!(parity, 1, "model must satisfy the parity constraint");
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+        // Forcing even parity on top is unsatisfiable.
+        assert_eq!(s.solve(&[!acc], SatOptions::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_check_on_random_3cnf() {
+        // Deterministic LCG-generated 3-CNF instances; every Sat model
+        // is checked against the clauses.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..20 {
+            let nv = 12 + (next() % 6) as usize;
+            let nc = nv * 3 + round;
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            let mut s = Solver::new(nv);
+            for _ in 0..nc {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| {
+                        let v = (next() as usize) % nv;
+                        Lit::new(Var::new(u32::try_from(v).expect("fits")), next() % 2 == 0)
+                    })
+                    .collect();
+                clauses.push(c.clone());
+                s.add_clause(c);
+            }
+            match s.solve(&[], SatOptions::default()) {
+                SatResult::Sat(m) => {
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|l| m[l.var().index()] != l.is_neg()),
+                            "model violates clause {c:?}"
+                        );
+                    }
+                }
+                SatResult::Unsat => {}
+                SatResult::Unknown(_) => panic!("tiny instance hit the budget"),
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Tseitin encoding of SOP networks into CNF, with structural hashing.
+//!
+//! Every internal node is an OR of cube terms, each cube an AND of
+//! phased fanin literals — so the encoder needs exactly two gadgets,
+//! conjunction and disjunction, plus constant handling. Node functions
+//! are canonicalised to a *cover over CNF literal codes* before
+//! encoding, and identical keys reuse the same CNF literal. When the
+//! miter encodes a pre/post network pair over the same input
+//! variables, everything outside the rewritten cone hashes equal and
+//! the CNF collapses to the changed window — which is what makes SAT
+//! equivalence checking of large multiplier networks affordable where
+//! monolithic BDDs blow up.
+
+use std::collections::HashMap;
+
+use boolsubst_cube::{Cover, Phase};
+use boolsubst_network::{Network, NodeId};
+
+use crate::cnf::{Cnf, Lit};
+
+/// Canonical function key: a set of cubes, each a sorted set of CNF
+/// literal codes. Two nodes with equal keys compute the same function
+/// of the same CNF literals.
+type FuncKey = Vec<Vec<u32>>;
+
+/// A Tseitin encoder over one growing [`Cnf`]. Encode any number of
+/// networks (or ad-hoc gates) against shared input literals; the
+/// structural cache spans all of them.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    /// The formula under construction.
+    pub cnf: Cnf,
+    cache: HashMap<FuncKey, Lit>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    #[must_use]
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Mints `n` fresh input literals (one positive literal per fresh
+    /// variable), typically shared across the networks of a miter.
+    pub fn fresh_inputs(&mut self, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::pos(self.cnf.new_var())).collect()
+    }
+
+    /// Encodes every node of `net`, seeding primary input `i` with
+    /// `pi_lits[i]`. Returns the CNF literal of each node, indexed by
+    /// raw node id (`None` for dead slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pi_lits` is shorter than the network's input list.
+    pub fn encode_network(&mut self, net: &Network, pi_lits: &[Lit]) -> Vec<Option<Lit>> {
+        let mut node_lit: Vec<Option<Lit>> = vec![None; net.id_bound()];
+        for (i, &pi) in net.inputs().iter().enumerate() {
+            node_lit[pi.index()] = Some(pi_lits[i]);
+        }
+        for id in net.topo_order() {
+            let node = net.node(id);
+            let Some(cover) = node.cover() else { continue };
+            let lit = self.encode_cover(cover, node.fanins(), &node_lit);
+            node_lit[id.index()] = Some(lit);
+        }
+        node_lit
+    }
+
+    /// Encodes one SOP cover whose variable `v` is the node behind
+    /// `fanins[v]` (already encoded in `node_lit`).
+    fn encode_cover(&mut self, cover: &Cover, fanins: &[NodeId], node_lit: &[Option<Lit>]) -> Lit {
+        let mut cube_lits: Vec<Lit> = Vec::with_capacity(cover.len());
+        for cube in cover.cubes() {
+            let lits: Vec<Lit> = cube
+                .lits()
+                .map(|l| {
+                    let fan: NodeId = fanins[l.var];
+                    let f = node_lit[fan.index()].expect("fanins precede node in topo order");
+                    match l.phase {
+                        Phase::Pos => f,
+                        Phase::Neg => !f,
+                    }
+                })
+                .collect();
+            cube_lits.push(self.conj(lits));
+        }
+        self.disj(cube_lits)
+    }
+
+    /// The literal for `AND(lits)`: cached, constant-folded, aliased
+    /// for 0/1-ary cases.
+    pub fn conj(&mut self, lits: Vec<Lit>) -> Lit {
+        let t = self.cnf.lit_true();
+        let Some(codes) = normalize_term(lits, t) else {
+            return !t; // contains x and !x, or a false constant
+        };
+        match codes.len() {
+            0 => t,
+            1 => Lit::from_code(codes[0]),
+            _ => {
+                let key: FuncKey = vec![codes.clone()];
+                if let Some(&l) = self.cache.get(&key) {
+                    return l;
+                }
+                let v = Lit::pos(self.cnf.new_var());
+                let mut long: Vec<Lit> = vec![v];
+                for &c in &codes {
+                    let l = Lit::from_code(c);
+                    self.cnf.add_clause(vec![!v, l]);
+                    long.push(!l);
+                }
+                self.cnf.add_clause(long);
+                self.cache.insert(key, v);
+                v
+            }
+        }
+    }
+
+    /// The literal for `OR(lits)`: cached, constant-folded, aliased for
+    /// 0/1-ary cases.
+    pub fn disj(&mut self, lits: Vec<Lit>) -> Lit {
+        let t = self.cnf.lit_true();
+        // OR duals the AND normal form: normalize over negated inputs.
+        let Some(neg_codes) = normalize_term(lits.into_iter().map(|l| !l).collect(), t) else {
+            return t; // contains x or !x, or a true constant
+        };
+        match neg_codes.len() {
+            0 => !t,
+            1 => !Lit::from_code(neg_codes[0]),
+            _ => {
+                let codes: Vec<u32> = neg_codes.iter().map(|&c| c ^ 1).collect();
+                let key: FuncKey = codes.iter().map(|&c| vec![c]).collect();
+                if let Some(&l) = self.cache.get(&key) {
+                    return l;
+                }
+                let v = Lit::pos(self.cnf.new_var());
+                let mut long: Vec<Lit> = vec![!v];
+                for &c in &codes {
+                    let l = Lit::from_code(c);
+                    self.cnf.add_clause(vec![v, !l]);
+                    long.push(l);
+                }
+                self.cnf.add_clause(long);
+                self.cache.insert(key, v);
+                v
+            }
+        }
+    }
+
+    /// The literal for `a XOR b` (used by the miter's output compare).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == b {
+            return self.cnf.lit_false();
+        }
+        if a == !b {
+            return self.cnf.lit_true();
+        }
+        // XOR = OR of two disjoint ANDs; routed through the gadgets so
+        // the cache sees it as an ordinary two-cube cover.
+        let p = self.conj(vec![a, !b]);
+        let q = self.conj(vec![!a, b]);
+        self.disj(vec![p, q])
+    }
+}
+
+/// Canonicalizes an AND-term: sorted, deduplicated literal codes with
+/// the constant-true literal dropped. Returns `None` when the term is
+/// constant false (contains `t`'s negation or both polarities of a
+/// variable).
+fn normalize_term(lits: Vec<Lit>, lit_true: Lit) -> Option<Vec<u32>> {
+    let mut codes: Vec<u32> = Vec::with_capacity(lits.len());
+    for l in lits {
+        if l == lit_true {
+            continue;
+        }
+        if l == !lit_true {
+            return None;
+        }
+        codes.push(l.code());
+    }
+    codes.sort_unstable();
+    codes.dedup();
+    for w in codes.windows(2) {
+        if w[0] >> 1 == w[1] >> 1 {
+            return None;
+        }
+    }
+    Some(codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SatOptions, SatResult, Solver};
+    use boolsubst_cube::parse_sop;
+
+    /// Builds a single-node network computing `sop` over `n` inputs.
+    fn gate_net(n: usize, sop: &str) -> Network {
+        let mut net = Network::new("gate");
+        let pis: Vec<NodeId> = (0..n)
+            .map(|k| net.add_input(format!("x{k}")).expect("pi"))
+            .collect();
+        let f = net
+            .add_node("f", pis, parse_sop(n, sop).expect("sop"))
+            .expect("node");
+        net.add_output("f", f).expect("po");
+        net
+    }
+
+    /// Exhaustively checks the encoding of `sop` against direct network
+    /// evaluation: for every input assignment the CNF must be
+    /// satisfiable with the output literal at the evaluated value and
+    /// unsatisfiable at its negation.
+    fn check_gate(n: usize, sop: &str) {
+        let net = gate_net(n, sop);
+        let mut enc = Encoder::new();
+        let pis = enc.fresh_inputs(n);
+        let map = enc.encode_network(&net, &pis);
+        let out = map[net.outputs()[0].1.index()].expect("output encoded");
+        let mut solver = Solver::from_cnf(&enc.cnf);
+        for m in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|k| m >> k & 1 == 1).collect();
+            let want = net.eval_outputs(&inputs)[0];
+            let mut assume: Vec<Lit> = (0..n)
+                .map(|k| if inputs[k] { pis[k] } else { !pis[k] })
+                .collect();
+            assume.push(if want { out } else { !out });
+            assert!(
+                matches!(
+                    solver.solve(&assume, SatOptions::default()),
+                    SatResult::Sat(_)
+                ),
+                "{sop}: consistent assignment rejected at minterm {m:b}"
+            );
+            let flipped = assume.last_mut().expect("non-empty");
+            *flipped = !*flipped;
+            assert_eq!(
+                solver.solve(&assume, SatOptions::default()),
+                SatResult::Unsat,
+                "{sop}: inconsistent assignment accepted at minterm {m:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_gate_truth_tables() {
+        check_gate(1, "a");
+        check_gate(1, "a'");
+        check_gate(2, "ab");
+        check_gate(2, "a + b");
+        check_gate(2, "ab' + a'b"); // xor
+        check_gate(2, "ab + a'b'"); // xnor
+        check_gate(2, "a'b'"); // nor
+        check_gate(2, "a' + b'"); // nand
+        check_gate(3, "abc");
+        check_gate(3, "a + b + c");
+        check_gate(3, "ab + a'c"); // mux(a; b, c)
+        check_gate(3, "ab + ac + bc"); // majority
+        check_gate(4, "ab + cd");
+        check_gate(4, "ab'c + a'd + bcd'");
+    }
+
+    #[test]
+    fn constant_covers_encode_as_pinned_literals() {
+        // Constant 0: an empty cover.
+        let mut net = Network::new("c0");
+        let a = net.add_input("a").expect("a");
+        let f = net
+            .add_node("f", vec![a], Cover::new(1))
+            .expect("const0 node");
+        net.add_output("f", f).expect("po");
+        let mut enc = Encoder::new();
+        let pis = enc.fresh_inputs(1);
+        let map = enc.encode_network(&net, &pis);
+        let out = map[f.index()].expect("encoded");
+        let mut solver = Solver::from_cnf(&enc.cnf);
+        assert_eq!(
+            solver.solve(&[out], SatOptions::default()),
+            SatResult::Unsat
+        );
+        assert!(matches!(
+            solver.solve(&[!out], SatOptions::default()),
+            SatResult::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn structural_sharing_reuses_literals() {
+        // Two identical nodes over the same inputs must encode to the
+        // same literal; a third, different node must not.
+        let n = 3;
+        let mut net = Network::new("shared");
+        let pis: Vec<NodeId> = (0..n)
+            .map(|k| net.add_input(format!("x{k}")).expect("pi"))
+            .collect();
+        let f = net
+            .add_node("f", pis.clone(), parse_sop(n, "ab + c").expect("f"))
+            .expect("f");
+        let g = net
+            .add_node("g", pis.clone(), parse_sop(n, "ab + c").expect("g"))
+            .expect("g");
+        let h = net
+            .add_node("h", pis.clone(), parse_sop(n, "ab + c'").expect("h"))
+            .expect("h");
+        net.add_output("f", f).expect("po f");
+        net.add_output("g", g).expect("po g");
+        net.add_output("h", h).expect("po h");
+        let mut enc = Encoder::new();
+        let pi_lits = enc.fresh_inputs(n);
+        let map = enc.encode_network(&net, &pi_lits);
+        assert_eq!(map[f.index()], map[g.index()], "identical nodes share");
+        assert_ne!(map[f.index()], map[h.index()], "different nodes do not");
+    }
+
+    #[test]
+    fn xor_gadget_truth_table() {
+        let mut enc = Encoder::new();
+        let pis = enc.fresh_inputs(2);
+        let x = enc.xor(pis[0], pis[1]);
+        let mut solver = Solver::from_cnf(&enc.cnf);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let want = a != b;
+            let assume = [
+                if a { pis[0] } else { !pis[0] },
+                if b { pis[1] } else { !pis[1] },
+                if want { x } else { !x },
+            ];
+            assert!(
+                matches!(
+                    solver.solve(&assume, SatOptions::default()),
+                    SatResult::Sat(_)
+                ),
+                "xor({a},{b})"
+            );
+        }
+        assert_eq!(
+            enc.xor(pis[0], pis[0]).code() ^ 1,
+            enc.cnf.lit_true().code()
+        );
+        assert_eq!(enc.xor(pis[0], !pis[0]), enc.cnf.lit_true());
+    }
+}

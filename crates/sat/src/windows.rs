@@ -1,0 +1,202 @@
+//! SAT-windowed don't-care extraction.
+//!
+//! For a target node with `k` fanins, the *satisfiability don't-cares*
+//! of its window are the fanin value combinations no primary-input
+//! assignment can produce. The extractor encodes the whole network
+//! once, then runs an AllSAT loop over the k-bit fanin space: each
+//! model blocks its combination, and when the solver finally answers
+//! UNSAT the un-hit combinations are exactly the SDCs. The resulting
+//! cover is in the target's fanin coordinates — directly usable as a
+//! don't-care set for dividing or simplifying the target, feeding the
+//! paper's GDC configuration from a proof engine instead of the
+//! implication sweep.
+
+use boolsubst_cube::{Cover, Cube, Lit as CubeLit, Phase};
+use boolsubst_network::{Network, NodeId};
+
+use crate::cnf::Lit;
+use crate::solver::{SatOptions, SatResult, Solver};
+use crate::tseitin::Encoder;
+
+/// Bounds for the window enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowOptions {
+    /// Skip targets with more fanins than this (the enumeration is
+    /// exponential in the fanin count).
+    pub max_fanins: usize,
+    /// Conflict budget across the whole AllSAT loop.
+    pub sat: SatOptions,
+}
+
+impl Default for WindowOptions {
+    fn default() -> WindowOptions {
+        WindowOptions {
+            max_fanins: 10,
+            sat: SatOptions::default(),
+        }
+    }
+}
+
+/// The satisfiability don't-care cover of `target`'s fanin window: one
+/// minterm cube per unreachable fanin combination, over the fanin
+/// variables in fanin order.
+///
+/// Returns `None` when the target is a primary input, has more than
+/// `opts.max_fanins` fanins, or the solver exhausted its budget before
+/// the enumeration completed — an incomplete enumeration must not be
+/// reported as a (necessarily over-approximate) DC set.
+///
+/// # Panics
+///
+/// Panics if the node id is invalid.
+#[must_use]
+pub fn window_sdc_cover(net: &Network, target: NodeId, opts: &WindowOptions) -> Option<Cover> {
+    let node = net.node(target);
+    node.cover()?;
+    let fanins = node.fanins().to_vec();
+    let k = fanins.len();
+    if k > opts.max_fanins.min(31) {
+        return None;
+    }
+    let mut enc = Encoder::new();
+    let pis = enc.fresh_inputs(net.inputs().len());
+    let map = enc.encode_network(net, &pis);
+    let fanin_lits: Vec<Lit> = fanins
+        .iter()
+        .map(|f| map[f.index()].expect("fanin encoded"))
+        .collect();
+
+    let mut solver = Solver::from_cnf(&enc.cnf);
+    let mut reached = vec![false; 1usize << k];
+    let mut left = 1usize << k;
+    while left > 0 {
+        match solver.solve(&[], opts.sat) {
+            SatResult::Unsat => break,
+            SatResult::Unknown(_) => return None,
+            SatResult::Sat(model) => {
+                let value = |l: Lit| model[l.var().index()] != l.is_neg();
+                let mut combo = 0usize;
+                let mut blocking: Vec<Lit> = Vec::with_capacity(k);
+                for (i, &l) in fanin_lits.iter().enumerate() {
+                    if value(l) {
+                        combo |= 1 << i;
+                        blocking.push(!l);
+                    } else {
+                        blocking.push(l);
+                    }
+                }
+                if !reached[combo] {
+                    reached[combo] = true;
+                    left -= 1;
+                }
+                if !solver.add_clause(blocking) {
+                    break; // blocking every model: the space is covered
+                }
+            }
+        }
+    }
+    let mut dc = Cover::new(k);
+    for (m, &hit) in reached.iter().enumerate() {
+        if hit {
+            continue;
+        }
+        let mut cube = Cube::universe(k);
+        for i in 0..k {
+            let phase = if m >> i & 1 == 1 {
+                Phase::Pos
+            } else {
+                Phase::Neg
+            };
+            cube.restrict(CubeLit { var: i, phase });
+        }
+        dc.push(cube);
+    }
+    Some(dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boolsubst_cube::parse_sop;
+
+    /// g0 = ab, g1 = a'b': the combination (g0, g1) = (1, 1) is
+    /// unsatisfiable, so a target fed by both has exactly one SDC.
+    #[test]
+    fn mutually_exclusive_fanins_yield_the_expected_sdc() {
+        let mut net = Network::new("w");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let g0 = net
+            .add_node("g0", vec![a, b], parse_sop(2, "ab").expect("g0"))
+            .expect("g0");
+        let g1 = net
+            .add_node("g1", vec![a, b], parse_sop(2, "a'b'").expect("g1"))
+            .expect("g1");
+        let f = net
+            .add_node("f", vec![g0, g1], parse_sop(2, "a + b").expect("f"))
+            .expect("f");
+        net.add_output("f", f).expect("po");
+        let dc = window_sdc_cover(&net, f, &WindowOptions::default()).expect("within bounds");
+        assert_eq!(dc.len(), 1, "exactly one unreachable combination");
+        assert!(
+            dc.eval(&[true, true]),
+            "the (1,1) fanin combination is the SDC"
+        );
+        assert!(!dc.eval(&[true, false]));
+        assert!(!dc.eval(&[false, false]));
+    }
+
+    /// Independent primary inputs as fanins: every combination is
+    /// reachable, so the SDC cover is empty.
+    #[test]
+    fn independent_fanins_have_no_sdc() {
+        let mut net = Network::new("w");
+        let a = net.add_input("a").expect("a");
+        let b = net.add_input("b").expect("b");
+        let c = net.add_input("c").expect("c");
+        let f = net
+            .add_node("f", vec![a, b, c], parse_sop(3, "ab + c").expect("f"))
+            .expect("f");
+        net.add_output("f", f).expect("po");
+        let dc = window_sdc_cover(&net, f, &WindowOptions::default()).expect("within bounds");
+        assert!(dc.is_empty(), "PIs are unconstrained: {dc:?}");
+    }
+
+    #[test]
+    fn fanin_bound_is_respected() {
+        let mut net = Network::new("w");
+        let pis: Vec<NodeId> = (0..4)
+            .map(|k| net.add_input(format!("x{k}")).expect("pi"))
+            .collect();
+        let f = net
+            .add_node("f", pis, parse_sop(4, "abcd").expect("f"))
+            .expect("f");
+        net.add_output("f", f).expect("po");
+        let opts = WindowOptions {
+            max_fanins: 3,
+            ..WindowOptions::default()
+        };
+        assert!(window_sdc_cover(&net, f, &opts).is_none());
+    }
+
+    /// A buffer chain: the duplicated signal makes half the window
+    /// unreachable (the two fanins can never disagree).
+    #[test]
+    fn duplicated_signal_halves_the_window() {
+        let mut net = Network::new("w");
+        let a = net.add_input("a").expect("a");
+        let buf = net
+            .add_node("buf", vec![a], parse_sop(1, "a").expect("buf"))
+            .expect("buf");
+        let f = net
+            .add_node("f", vec![a, buf], parse_sop(2, "ab").expect("f"))
+            .expect("f");
+        net.add_output("f", f).expect("po");
+        let dc = window_sdc_cover(&net, f, &WindowOptions::default()).expect("within bounds");
+        assert_eq!(dc.len(), 2, "(0,1) and (1,0) are unreachable");
+        assert!(dc.eval(&[true, false]));
+        assert!(dc.eval(&[false, true]));
+        assert!(!dc.eval(&[true, true]));
+        assert!(!dc.eval(&[false, false]));
+    }
+}

@@ -64,6 +64,26 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
             .u64("dur_ns", *dur_ns)
             .bool("grew", *grew)
             .finish(),
+        TraceEvent::Guard {
+            pass,
+            target,
+            divisor,
+            tier,
+            passed,
+            exact,
+            start_ns,
+            dur_ns,
+        } => JsonObj::new()
+            .str("type", "guard")
+            .u64("pass", u64::from(*pass))
+            .u64("target", u64::from(*target))
+            .u64("divisor", u64::from(*divisor))
+            .str("tier", tier.name())
+            .bool("passed", *passed)
+            .bool("exact", *exact)
+            .u64("start_ns", *start_ns)
+            .u64("dur_ns", *dur_ns)
+            .finish(),
     }
 }
 
@@ -76,8 +96,9 @@ pub fn event_to_json(ev: &TraceEvent) -> String {
 pub fn write_jsonl<W: Write>(t: &Tracer, w: &mut W) -> io::Result<()> {
     let (shadow_builds, shadow_ns) = t.shadow_stats();
     let (refine_attempts, refine_grew, refine_ns) = t.refine_stats();
-    let meta = JsonObj::new()
-        .str("type", "meta")
+    let (guard_checks, guard_ns) = t.guard_stats();
+    let mut meta = JsonObj::new();
+    meta.str("type", "meta")
         .str("mode", t.mode())
         .u64("pairs", t.pairs())
         .u64("passes", t.pass_summaries().len() as u64)
@@ -87,7 +108,12 @@ pub fn write_jsonl<W: Write>(t: &Tracer, w: &mut W) -> io::Result<()> {
         .u64("refine_attempts", refine_attempts)
         .u64("refine_grew", refine_grew)
         .u64("refine_ns", refine_ns)
-        .finish();
+        .u64("guard_checks", guard_checks)
+        .u64("guard_ns", guard_ns);
+    for tier in crate::span::GuardTier::ALL {
+        meta.u64(&format!("guard_{}", tier.name()), t.guard_tier_count(tier));
+    }
+    let meta = meta.finish();
     writeln!(w, "{meta}")?;
     for ev in t.events() {
         writeln!(w, "{}", event_to_json(ev))?;
@@ -258,6 +284,35 @@ pub fn chrome_trace_string(tracers: &[&Tracer]) -> String {
                         args,
                     );
                 }
+                TraceEvent::Guard {
+                    pass,
+                    target,
+                    divisor,
+                    tier,
+                    passed,
+                    exact,
+                    start_ns,
+                    dur_ns,
+                } => {
+                    let args = JsonObj::new()
+                        .str("target", &t.node_name(*target))
+                        .str("divisor", &t.node_name(*divisor))
+                        .u64("pass", u64::from(*pass))
+                        .str("tier", tier.name())
+                        .bool("passed", *passed)
+                        .bool("exact", *exact)
+                        .finish();
+                    chrome_complete(
+                        &mut rows,
+                        &format!("guard_{}", tier.name()),
+                        "guard",
+                        pid,
+                        TID_AUX,
+                        *start_ns,
+                        *dur_ns,
+                        args,
+                    );
+                }
             }
         }
     }
@@ -291,6 +346,7 @@ mod tests {
         t.end_pair(5);
         t.shadow_build(1, 11);
         t.sim_refine(1, 2, true, 9);
+        t.guard_check(1, 2, crate::span::GuardTier::Sat, true, true, 21);
         t.end_pass(1, 5);
         t
     }
@@ -300,7 +356,11 @@ mod tests {
         let t = sample_tracer();
         let text = jsonl_string(&t);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5, "meta + pair + shadow + refine + pass");
+        assert_eq!(
+            lines.len(),
+            6,
+            "meta + pair + shadow + refine + guard + pass"
+        );
 
         let meta = Json::parse(lines[0]).expect("meta parses");
         assert_eq!(meta.get("type").and_then(Json::as_str), Some("meta"));
@@ -327,7 +387,16 @@ mod tests {
         );
         let refine = Json::parse(lines[3]).expect("refine parses");
         assert_eq!(refine.get("grew").and_then(Json::as_bool), Some(true));
-        let pass = Json::parse(lines[4]).expect("pass parses");
+        let guard = Json::parse(lines[4]).expect("guard parses");
+        assert_eq!(guard.get("type").and_then(Json::as_str), Some("guard"));
+        assert_eq!(guard.get("tier").and_then(Json::as_str), Some("sat"));
+        assert_eq!(guard.get("passed").and_then(Json::as_bool), Some(true));
+        assert_eq!(guard.get("exact").and_then(Json::as_bool), Some(true));
+        assert_eq!(guard.get("dur_ns").and_then(Json::as_u64), Some(21));
+        assert_eq!(meta.get("guard_checks").and_then(Json::as_u64), Some(1));
+        assert_eq!(meta.get("guard_sat").and_then(Json::as_u64), Some(1));
+        assert_eq!(meta.get("guard_bdd").and_then(Json::as_u64), Some(0));
+        let pass = Json::parse(lines[5]).expect("pass parses");
         assert_eq!(pass.get("substitutions").and_then(Json::as_u64), Some(1));
     }
 
@@ -337,8 +406,13 @@ mod tests {
         let text = chrome_trace_string(&[&t]);
         let v = Json::parse(&text).expect("chrome trace parses");
         let rows = v.as_array().expect("array");
-        // 4 metadata rows + 4 events.
-        assert_eq!(rows.len(), 8);
+        // 4 metadata rows + 5 events.
+        assert_eq!(rows.len(), 9);
+        let guard = rows
+            .iter()
+            .find(|r| r.get("cat").and_then(Json::as_str) == Some("guard"))
+            .expect("guard event present");
+        assert_eq!(guard.get("name").and_then(Json::as_str), Some("guard_sat"));
         assert_eq!(
             rows[0].get("ph").and_then(Json::as_str),
             Some("M"),

@@ -39,5 +39,5 @@ pub mod tracer;
 
 pub use hist::{bucket_ceil, bucket_floor, bucket_index, LatencyHistogram, BUCKETS};
 pub use report::TraceReport;
-pub use span::{Outcome, PairSpan, PassSpan, Stage, StageNanos, TraceEvent};
+pub use span::{GuardTier, Outcome, PairSpan, PassSpan, Stage, StageNanos, TraceEvent};
 pub use tracer::{PairRecord, TargetAgg, Tracer, TracerConfig};

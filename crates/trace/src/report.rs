@@ -185,6 +185,25 @@ impl fmt::Display for TraceReport<'_> {
             }
         }
 
+        let (guard_checks, guard_ns) = t.guard_stats();
+        if guard_checks > 0 {
+            writeln!(f, "\n-- guard verdicts --")?;
+            for tier in crate::span::GuardTier::ALL {
+                let count = t.guard_tier_count(tier);
+                if count == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "{:<10} {:>8}  ({:>5.1}%)",
+                    tier.name(),
+                    count,
+                    pct(count, guard_checks)
+                )?;
+            }
+            writeln!(f, "checks: {guard_checks}   time: {}", fmt_ns(guard_ns))?;
+        }
+
         let (shadow_builds, shadow_ns) = t.shadow_stats();
         let (refines, grew, refine_ns) = t.refine_stats();
         if shadow_builds > 0 || refines > 0 {

@@ -252,6 +252,59 @@ pub struct PassSpan {
     pub literal_gain: i64,
 }
 
+/// Which guard tier produced a verdict. Mirrors the guard crate's
+/// decision taxonomy without depending on it (trace sits below guard in
+/// the crate graph, so the engine maps decisions to this enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuardTier {
+    /// Tier A: word-parallel simulation signatures (exhaustive or pool).
+    Sim,
+    /// Tier B: shared-manager BDD compare.
+    Bdd,
+    /// Tier C: Tseitin miter + CDCL under a conflict budget.
+    Sat,
+    /// No exact tier had budget; the verdict rests on the sampled pool.
+    Sampled,
+}
+
+impl GuardTier {
+    /// Every tier, in escalation order.
+    pub const ALL: [GuardTier; 4] = [
+        GuardTier::Sim,
+        GuardTier::Bdd,
+        GuardTier::Sat,
+        GuardTier::Sampled,
+    ];
+
+    /// Stable lowercase label used by both exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GuardTier::Sim => "sim",
+            GuardTier::Bdd => "bdd",
+            GuardTier::Sat => "sat",
+            GuardTier::Sampled => "sampled",
+        }
+    }
+
+    /// Inverse of [`GuardTier::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<GuardTier> {
+        GuardTier::ALL.into_iter().find(|t| t.name() == name)
+    }
+
+    /// Dense index into per-tier arrays (`0..GuardTier::ALL.len()`).
+    #[must_use]
+    pub fn idx(self) -> usize {
+        match self {
+            GuardTier::Sim => 0,
+            GuardTier::Bdd => 1,
+            GuardTier::Sat => 2,
+            GuardTier::Sampled => 3,
+        }
+    }
+}
+
 /// Everything the ring buffer records.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -284,6 +337,25 @@ pub enum TraceEvent {
         dur_ns: u64,
         /// Whether a harvested pattern actually grew the pool.
         grew: bool,
+    },
+    /// A post-apply guard check of an accepted rewrite (checked mode).
+    Guard {
+        /// Pass the check happened in.
+        pass: u32,
+        /// Target of the guarded rewrite.
+        target: u32,
+        /// Divisor of the guarded rewrite.
+        divisor: u32,
+        /// Tier that produced the verdict.
+        tier: GuardTier,
+        /// Whether the rewrite was allowed to stand.
+        passed: bool,
+        /// Whether the verdict is a proof (vs. a sampled pass).
+        exact: bool,
+        /// Check start, nanoseconds since the tracer epoch.
+        start_ns: u64,
+        /// Check duration.
+        dur_ns: u64,
     },
 }
 

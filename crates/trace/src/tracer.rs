@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use crate::hist::LatencyHistogram;
 use crate::report::TraceReport;
-use crate::span::{Outcome, PairSpan, PassSpan, Stage, StageNanos, TraceEvent};
+use crate::span::{GuardTier, Outcome, PairSpan, PassSpan, Stage, StageNanos, TraceEvent};
 
 /// One pair attempt measured off-thread by a parallel-sweep worker.
 ///
@@ -104,6 +104,9 @@ pub struct Tracer {
     refine_attempts: u64,
     refine_grew: u64,
     refine_ns: u64,
+    guard_checks: u64,
+    guard_tier_counts: [u64; GuardTier::ALL.len()],
+    guard_ns: u64,
 }
 
 impl Tracer {
@@ -142,6 +145,9 @@ impl Tracer {
             refine_attempts: 0,
             refine_grew: 0,
             refine_ns: 0,
+            guard_checks: 0,
+            guard_tier_counts: [0; GuardTier::ALL.len()],
+            guard_ns: 0,
         }
     }
 
@@ -349,6 +355,46 @@ impl Tracer {
             dur_ns,
             grew,
         });
+    }
+
+    /// Records one post-apply guard check of an accepted rewrite
+    /// (checked mode): which tier decided, whether the rewrite stood,
+    /// and whether the verdict was a proof.
+    pub fn guard_check(
+        &mut self,
+        target: u32,
+        divisor: u32,
+        tier: GuardTier,
+        passed: bool,
+        exact: bool,
+        dur_ns: u64,
+    ) {
+        self.guard_checks += 1;
+        self.guard_tier_counts[tier.idx()] += 1;
+        self.guard_ns = self.guard_ns.saturating_add(dur_ns);
+        let start_ns = self.now_ns().saturating_sub(dur_ns);
+        self.push(TraceEvent::Guard {
+            pass: self.cur_pass,
+            target,
+            divisor,
+            tier,
+            passed,
+            exact,
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    /// `(checks, total_ns)` of post-apply guard checks.
+    #[must_use]
+    pub fn guard_stats(&self) -> (u64, u64) {
+        (self.guard_checks, self.guard_ns)
+    }
+
+    /// How many guard checks were decided by `tier`.
+    #[must_use]
+    pub fn guard_tier_count(&self, tier: GuardTier) -> u64 {
+        self.guard_tier_counts[tier.idx()]
     }
 
     /// The retained events, oldest first.

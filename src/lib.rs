@@ -33,6 +33,7 @@ pub use boolsubst_core as core;
 pub use boolsubst_cube as cube;
 pub use boolsubst_guard as guard;
 pub use boolsubst_network as network;
+pub use boolsubst_sat as sat;
 pub use boolsubst_sim as sim;
 pub use boolsubst_trace as trace;
 pub use boolsubst_workloads as workloads;

@@ -15,7 +15,9 @@ use boolsubst::core::{
 };
 use boolsubst::core::{Session, SubstOptions};
 use boolsubst::cube::parse_sop;
+use boolsubst::guard::TierPolicy;
 use boolsubst::network::{egress, ingest, write_blif, Format, Network};
+use boolsubst::sat::{check_equivalence, EquivResult, SatOptions};
 use boolsubst::trace::export::{chrome_trace_string, jsonl_string};
 use boolsubst::trace::Tracer;
 use boolsubst::workloads::scripts;
@@ -30,8 +32,9 @@ USAGE:
                      [--script none|a|b|c] [--dc] [-o <out>] [--no-verify]
                      [--trace <out.jsonl>] [--chrome-trace <out.json>]
                      [--checked] [--deadline <secs>] [--threads <n>]
+                     [--guard-tier sim|bdd|sat|auto] [--sat-conflicts <n>]
   boolsubst stats <in>
-  boolsubst check <a> <b>
+  boolsubst check <a> <b> [--backend bdd|sat]
   boolsubst faults <in> [--vectors <n>] [--budget <n>]
   boolsubst rar <in> [-o <out>]
   boolsubst divide <num_vars> <f-sop> <d-sop> [--pos | --extended]
@@ -111,6 +114,8 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let mut checked = false;
     let mut deadline_secs: Option<f64> = None;
     let mut threads = 1usize;
+    let mut guard_tier: Option<TierPolicy> = None;
+    let mut sat_conflicts: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -147,6 +152,20 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                     return Err("bad --threads value (must be >= 1)".into());
                 }
             }
+            "--guard-tier" => {
+                let name = it.next().ok_or("--guard-tier needs a value")?;
+                guard_tier = Some(TierPolicy::from_name(name).ok_or_else(|| {
+                    format!("unknown guard tier {name:?} (use sim|bdd|sat|auto)")
+                })?);
+            }
+            "--sat-conflicts" => {
+                sat_conflicts = Some(
+                    it.next()
+                        .ok_or("--sat-conflicts needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --sat-conflicts value")?,
+                );
+            }
             other if input.is_none() => input = Some(other),
             other => return Err(format!("unexpected argument {other:?}")),
         }
@@ -173,9 +192,14 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                     "--trace/--chrome-trace need a substitution mode (basic|ext|ext-gdc)".into(),
                 );
             }
-            if checked || deadline_secs.is_some() || threads > 1 {
+            if checked
+                || deadline_secs.is_some()
+                || threads > 1
+                || guard_tier.is_some()
+                || sat_conflicts.is_some()
+            {
                 return Err(
-                    "--checked/--deadline/--threads need a substitution mode (basic|ext|ext-gdc)"
+                    "--checked/--deadline/--threads/--guard-tier/--sat-conflicts need a substitution mode (basic|ext|ext-gdc)"
                         .into(),
                 );
             }
@@ -193,6 +217,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     };
     if let Some(opts) = subst_opts {
         let mut opts = opts.with_checked(checked).with_threads(threads);
+        if let Some(tier) = guard_tier {
+            opts = opts.with_guard_tier(tier);
+        }
+        if let Some(conflicts) = sat_conflicts {
+            opts = opts.with_sat_conflicts(conflicts);
+        }
         if let Some(secs) = deadline_secs {
             opts = opts.with_deadline(Instant::now() + Duration::from_secs_f64(secs));
         }
@@ -216,8 +246,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         };
         if checked {
             eprintln!(
-                "checked apply: {} guard-rejected, {} engine fault(s), {} pair(s) quarantined",
-                stats.guard_rejections, stats.engine_faults, stats.quarantined
+                "checked apply: {} guard-rejected, {} engine fault(s), {} pair(s) quarantined, {} SAT-tier run(s), {} sampled pass(es)",
+                stats.guard_rejections,
+                stats.engine_faults,
+                stats.quarantined,
+                stats.guard_sat_runs,
+                stats.guard_pass_sampled
             );
         }
         if stats.interrupted {
@@ -262,15 +296,45 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
-    let (a, b) = match args {
-        [a, b] => (read_network(a)?, read_network(b)?),
-        _ => return Err("check needs exactly two netlist files".into()),
+    let mut backend = "bdd";
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--backend" => backend = it.next().ok_or("--backend needs a value")?,
+            other => paths.push(other),
+        }
+    }
+    let [pa, pb] = paths.as_slice() else {
+        return Err("check needs exactly two netlist files".into());
     };
-    if networks_equivalent(&a, &b) {
-        println!("EQUIVALENT");
-        Ok(())
-    } else {
-        Err("networks are NOT equivalent".into())
+    let (a, b) = (read_network(pa)?, read_network(pb)?);
+    match backend {
+        "bdd" => {
+            if networks_equivalent(&a, &b) {
+                println!("EQUIVALENT");
+                Ok(())
+            } else {
+                Err("networks are NOT equivalent".into())
+            }
+        }
+        "sat" => match check_equivalence(&a, &b, SatOptions::default()) {
+            EquivResult::Equivalent => {
+                println!("EQUIVALENT");
+                Ok(())
+            }
+            EquivResult::Inequivalent { output, inputs } => {
+                let witness: String = inputs.iter().map(|&v| if v { '1' } else { '0' }).collect();
+                Err(format!(
+                    "networks are NOT equivalent: output {output:?} differs on inputs {witness}"
+                ))
+            }
+            EquivResult::InterfaceMismatch => {
+                Err("networks have different input/output counts".into())
+            }
+            EquivResult::Unknown(_) => Err("SAT conflict budget exhausted: UNKNOWN".into()),
+        },
+        other => Err(format!("unknown backend {other:?} (use bdd|sat)")),
     }
 }
 
