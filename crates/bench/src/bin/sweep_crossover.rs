@@ -20,6 +20,7 @@ use boolsubst_core::subst::boolean_substitute_legacy;
 use boolsubst_core::verify::networks_equivalent;
 use boolsubst_core::{Session, SubstOptions, SubstStats};
 use boolsubst_guard::TierPolicy;
+use boolsubst_metrics::MetricsHandle;
 use boolsubst_network::{write_blif, Network};
 use boolsubst_trace::export::{chrome_trace_string, jsonl_string};
 use boolsubst_trace::json::{json_array_pretty, JsonObj};
@@ -56,6 +57,70 @@ struct SweepRow {
     sim_false_passes: usize,
     sim_refinements: usize,
     sim_patterns: usize,
+    /// Per-stage overhead attribution from a metered re-run; only the
+    /// multi-threaded `extended_mt` rows carry one.
+    util: Option<SweepUtil>,
+}
+
+/// Utilization breakdown of one metered multi-threaded run: where the
+/// `wall × threads` worker-seconds actually went. `idle_frac` is the
+/// remainder (committer enumeration/merge, cursor traffic, scheduling),
+/// so the four fractions sum to 1 by construction.
+struct SweepUtil {
+    wall_secs: f64,
+    epochs: u64,
+    proof_frac: f64,
+    commit_frac: f64,
+    wait_frac: f64,
+    idle_frac: f64,
+    workers: Vec<WorkerUtil>,
+}
+
+/// One sweep worker's lifetime totals (worker 0 is the committer's
+/// inline drain lane).
+struct WorkerUtil {
+    worker: u64,
+    proof_ns: u64,
+    wait_ns: u64,
+    idle_ns: u64,
+    pairs: u64,
+}
+
+/// Runs the sweep once, untimed-for-ranking but metered: a fresh
+/// [`MetricsHandle`] is attached and the published `sweep.*` counters are
+/// folded into fractions of the run's total worker-seconds.
+fn metered_util(net: &Network, opts: &SubstOptions, threads: usize) -> SweepUtil {
+    let handle = MetricsHandle::new();
+    let mut trial = net.clone();
+    let start = Instant::now();
+    Session::new(&mut trial, opts.clone())
+        .metrics(&handle)
+        .run();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let c = |key: &str| handle.counter_value(key).unwrap_or(0);
+    let denom = (wall_secs * threads as f64 * 1e9).max(1.0);
+    let proof_frac = c("sweep.proof_ns") as f64 / denom;
+    let commit_frac = c("sweep.commit_ns") as f64 / denom;
+    let wait_frac = c("sweep.wait_ns") as f64 / denom;
+    let idle_frac = (1.0 - proof_frac - commit_frac - wait_frac).max(0.0);
+    let workers = (0..threads)
+        .map(|w| WorkerUtil {
+            worker: u64::try_from(w).unwrap_or(u64::MAX),
+            proof_ns: c(&format!("sweep.worker.{w}.proof_ns")),
+            wait_ns: c(&format!("sweep.worker.{w}.wait_ns")),
+            idle_ns: c(&format!("sweep.worker.{w}.idle_ns")),
+            pairs: c(&format!("sweep.worker.{w}.pairs")),
+        })
+        .collect();
+    SweepUtil {
+        wall_secs,
+        epochs: c("sweep.epochs"),
+        proof_frac,
+        commit_frac,
+        wait_frac,
+        idle_frac,
+        workers,
+    }
 }
 
 /// Timing policy: the reported time is the minimum over repeated runs —
@@ -135,6 +200,7 @@ fn measure(net: &Network, mode: &'static str, opts: &SubstOptions) -> SweepRow {
         sim_false_passes: engine.sim_false_passes,
         sim_refinements: engine.sim_refinements,
         sim_patterns: engine.sim_patterns,
+        util: None,
     }
 }
 
@@ -142,8 +208,8 @@ fn json_row(r: &SweepRow) -> String {
     fn u(v: usize) -> u64 {
         u64::try_from(v).unwrap_or(u64::MAX)
     }
-    JsonObj::new()
-        .str("mode", r.mode)
+    let mut obj = JsonObj::new();
+    obj.str("mode", r.mode)
         .u64("threads", u(r.threads))
         .u64("host_cpus", u(r.host_cpus))
         .u64("nodes", u(r.nodes))
@@ -159,8 +225,30 @@ fn json_row(r: &SweepRow) -> String {
         .u64("sim_pairs_refuted", u(r.sim_pairs_refuted))
         .u64("sim_false_passes", u(r.sim_false_passes))
         .u64("sim_refinements", u(r.sim_refinements))
-        .u64("sim_patterns", u(r.sim_patterns))
-        .finish()
+        .u64("sim_patterns", u(r.sim_patterns));
+    if let Some(ut) = &r.util {
+        obj.f64("util_wall_secs", ut.wall_secs, 6)
+            .u64("epochs", ut.epochs)
+            .f64("proof_frac", ut.proof_frac, 4)
+            .f64("commit_frac", ut.commit_frac, 4)
+            .f64("wait_frac", ut.wait_frac, 4)
+            .f64("idle_frac", ut.idle_frac, 4);
+        let workers: Vec<String> = ut
+            .workers
+            .iter()
+            .map(|w| {
+                JsonObj::new()
+                    .u64("worker", w.worker)
+                    .u64("proof_ns", w.proof_ns)
+                    .u64("wait_ns", w.wait_ns)
+                    .u64("idle_ns", w.idle_ns)
+                    .u64("pairs", w.pairs)
+                    .finish()
+            })
+            .collect();
+        obj.raw("workers", &format!("[{}]", workers.join(", ")));
+    }
+    obj.finish()
 }
 
 /// Re-runs each mode once with a [`Tracer`] attached and writes the
@@ -489,6 +577,10 @@ fn parallel_scaling(net: &Network) -> Vec<SweepRow> {
         );
         let pairs = stats.candidates_enumerated + stats.filtered_by_index;
         let rate = pairs as f64 / secs;
+        // Attribution re-run: meter where the worker-seconds go. Kept
+        // separate from the timed run so the ranking numbers stay free
+        // of even the (tiny) metered overhead.
+        let util = (threads > 1).then(|| metered_util(net, &opts, threads));
         let row = SweepRow {
             mode: "extended_mt",
             threads,
@@ -507,11 +599,23 @@ fn parallel_scaling(net: &Network) -> Vec<SweepRow> {
             sim_false_passes: stats.sim_false_passes,
             sim_refinements: stats.sim_refinements,
             sim_patterns: stats.sim_patterns,
+            util,
         };
         println!(
             "{:<14} {:>8} {:>10} {:>12.3} {:>14.0} {:>7.2}x",
             row.mode, row.threads, row.pairs, row.engine_secs, row.engine_cand_per_s, row.speedup
         );
+        if let Some(ut) = &row.util {
+            println!(
+                "{:<14} epochs {:>5}  proof {:>5.1}%  commit {:>5.1}%  wait {:>5.1}%  idle {:>5.1}%",
+                "  utilization",
+                ut.epochs,
+                100.0 * ut.proof_frac,
+                100.0 * ut.commit_frac,
+                100.0 * ut.wait_frac,
+                100.0 * ut.idle_frac
+            );
+        }
         rows.push(row);
     }
     rows

@@ -31,12 +31,14 @@
 //! past the accepted divisor — reproducing the legacy visit sequence
 //! exactly.
 
+use crate::metrics::EngineMetrics;
 use crate::netcircuit::ShadowBase;
 use crate::subst::{try_pair_core, Acceptance, GdcScope, SubstMode, SubstOptions, SubstStats};
 use crate::txn::TxnSnapshot;
 use boolsubst_algebraic::JointSpace;
 use boolsubst_cube::Cover;
 use boolsubst_guard::{Guard, GuardDecision};
+use boolsubst_metrics::MetricsHandle;
 use boolsubst_network::{Network, NodeId, SideTables};
 use boolsubst_sim::SimFilter;
 use boolsubst_trace::{GuardTier, Outcome, Stage, Tracer};
@@ -97,6 +99,11 @@ pub struct SubstEngine<'a> {
     /// Pairs whose rewrites were refuted or whose attempts faulted; never
     /// retried for the rest of the session.
     pub(crate) quarantine: HashSet<(NodeId, NodeId)>,
+    /// Resolved metric instruments; `None` unless attached via
+    /// [`SubstEngine::attach_metrics`]. Like the tracer, the detached
+    /// path does nothing beyond these `Option` checks and an attached
+    /// handle never changes the accepted rewrites.
+    pub(crate) metrics: Option<EngineMetrics>,
 }
 
 impl<'a> SubstEngine<'a> {
@@ -121,6 +128,7 @@ impl<'a> SubstEngine<'a> {
             tracer: None,
             guard,
             quarantine: HashSet::new(),
+            metrics: None,
         }
     }
 
@@ -136,6 +144,26 @@ impl<'a> SubstEngine<'a> {
         tracer.set_node_names(node_names(engine.net));
         engine.tracer = Some(tracer);
         engine
+    }
+
+    /// Attaches a metrics registry: resolves every engine instrument
+    /// (including per-worker sweep slots for `opts.threads` workers) and
+    /// forwards the handle to the guard and sim filter so their tier and
+    /// funnel counters land in the same registry. Attachment never
+    /// changes the accepted rewrites (pinned by
+    /// `metrics_attachment_is_invisible`).
+    pub fn attach_metrics(&mut self, handle: &MetricsHandle) {
+        let metrics = EngineMetrics::resolve(handle, self.opts.threads.get());
+        let nodes = i64::try_from(self.net.node_ids().count()).unwrap_or(i64::MAX);
+        metrics.nodes.set(nodes);
+        metrics.peak_nodes.max(nodes);
+        if let Some(guard) = self.guard.as_mut() {
+            guard.attach_metrics(handle);
+        }
+        if let Some(sim) = self.sim.as_mut() {
+            sim.attach_metrics(handle);
+        }
+        self.metrics = Some(metrics);
     }
 
     /// Statistics accumulated so far.
@@ -157,12 +185,19 @@ impl<'a> SubstEngine<'a> {
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.begin_pass(u32::try_from(self.stats.passes).unwrap_or(u32::MAX));
             }
+            if let Some(m) = &self.metrics {
+                m.passes.inc();
+            }
             self.run_pass();
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.end_pass(
                     (self.stats.substitutions - before) as u64,
                     self.stats.literal_gain - gain_before,
                 );
+            }
+            if let Some(m) = self.metrics.as_mut() {
+                let stats = self.stats;
+                m.sync(&stats);
             }
             if self.stats.substitutions == before {
                 break;
@@ -177,6 +212,10 @@ impl<'a> SubstEngine<'a> {
             // Extended rewrites mint fresh core nodes mid-run; refresh the
             // name table so exported spans label them properly.
             t.set_node_names(node_names(self.net));
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            let stats = self.stats;
+            m.sync(&stats);
         }
         self.stats
     }
@@ -194,14 +233,25 @@ impl<'a> SubstEngine<'a> {
         if let Some(t) = self.tracer.as_deref_mut() {
             t.stage(Stage::Enumerate, dt);
         }
+        if let Some(m) = &self.metrics {
+            m.targets_total
+                .set(i64::try_from(targets.len()).unwrap_or(i64::MAX));
+            m.targets_done.set(0);
+        }
         for target in targets {
             if self.deadline_expired() {
                 return;
             }
             if self.net.node_opt(target).is_none() {
+                if let Some(m) = &self.metrics {
+                    m.targets_done.add(1);
+                }
                 continue;
             }
             self.visit_target(target);
+            if let Some(m) = &self.metrics {
+                m.targets_done.add(1);
+            }
         }
     }
 
@@ -451,11 +501,17 @@ impl<'a> SubstEngine<'a> {
             t.stage(Stage::Filter, dt);
             t.end_pair_with(outcome, 0);
         }
+        if let Some(m) = &self.metrics {
+            m.pair_ns.observe(dt);
+        }
     }
 
     pub(crate) fn attempt(&mut self, target: NodeId, divisor: NodeId) -> Option<i64> {
         if let Some(t) = self.tracer.as_deref_mut() {
             t.begin_pair(id32(target), id32(divisor));
+        }
+        if let Some(m) = &self.metrics {
+            m.pairs.inc();
         }
         let t0 = Instant::now();
         self.stats.candidates_enumerated += 1;
@@ -668,6 +724,16 @@ impl<'a> SubstEngine<'a> {
                 // or panic handler overturned it; the explicit close wins.
                 Some(outcome) => t.end_pair_with(outcome, 0),
                 None => t.end_pair(result.unwrap_or(0)),
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.pair_ns.observe(nanos(t0));
+            if let Some(gain) = result {
+                m.accepts.inc();
+                m.literal_gain.add(gain);
+                let nodes = i64::try_from(self.net.node_ids().count()).unwrap_or(i64::MAX);
+                m.nodes.set(nodes);
+                m.peak_nodes.max(nodes);
             }
         }
         result

@@ -44,6 +44,7 @@ pub mod dontcare;
 pub mod engine;
 pub mod extended;
 pub mod legacy;
+mod metrics;
 pub mod netcircuit;
 pub mod paper;
 mod parallel;

@@ -107,6 +107,7 @@ fn speculate_pair(
     target: NodeId,
     divisor: NodeId,
     record: bool,
+    worker: u32,
 ) -> PairEval {
     let t_all = Instant::now();
     let mut delta = SubstStats::default();
@@ -208,6 +209,7 @@ fn speculate_pair(
         outcome,
         gain,
         rar_checks: u64::try_from(delta.rar_checks).unwrap_or(u64::MAX),
+        worker,
     });
     PairEval {
         verdict,
@@ -304,15 +306,26 @@ impl SubstEngine<'_> {
             _ => None,
         };
         let sim = self.sim.as_ref().map(SimView::freeze);
+        let metrics = self.metrics.as_ref();
+        if let Some(m) = metrics {
+            m.sweep_epochs.inc();
+        }
         let workers = opts.threads.get().min(cands.len());
         if workers <= 1 || cands.len() < PAR_MIN_PAIRS {
             // Tiny epoch: a spawn costs more than the proofs. Inline
             // evaluation with the same early exit is bit-identical.
             let mut out: Vec<Option<PairEval>> = Vec::with_capacity(cands.len());
             for &divisor in cands {
+                let tp = metrics.map(|_| Instant::now());
                 let eval = speculate_pair(
-                    net, side, quarantine, shadow, sim, opts, target, divisor, record,
+                    net, side, quarantine, shadow, sim, opts, target, divisor, record, 0,
                 );
+                if let (Some(m), Some(tp)) = (metrics, tp) {
+                    let dt = nanos(tp);
+                    m.workers[0].proof_ns.add(dt);
+                    m.workers[0].pairs.inc();
+                    m.sweep_proof_ns.add(dt);
+                }
                 let stop = eval.verdict == SpecVerdict::Accept;
                 out.push(Some(eval));
                 if stop {
@@ -327,19 +340,21 @@ impl SubstEngine<'_> {
         let found = Mutex::new(Vec::<(usize, PairEval)>::with_capacity(cands.len()));
         #[cfg(feature = "chaos")]
         let chaos_cfg = crate::chaos::current_config();
-        let drain = |spawned: bool| {
+        let drain = |worker: usize| {
             // Chaos state is thread-local: re-arm each spawned worker
             // with the committer's configuration so injected faults
-            // reach speculation too. The committer participates inline
-            // with its own already-armed stream.
+            // reach speculation too. The committer (worker 0)
+            // participates inline with its own already-armed stream.
             #[cfg(feature = "chaos")]
-            if spawned {
+            if worker != 0 {
                 if let Some(cfg) = chaos_cfg {
                     crate::chaos::configure(cfg);
                 }
             }
-            #[cfg(not(feature = "chaos"))]
-            let _ = spawned;
+            let t_drain = metrics.map(|_| Instant::now());
+            let mut proof_ns = 0u64;
+            let mut wait_ns = 0u64;
+            let mut pairs = 0u64;
             loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= cands.len() {
@@ -352,20 +367,56 @@ impl SubstEngine<'_> {
                 if idx > best.load(Ordering::Acquire) {
                     continue;
                 }
+                let tp = metrics.map(|_| Instant::now());
                 let eval = speculate_pair(
-                    net, side, quarantine, shadow, sim, opts, target, cands[idx], record,
+                    net,
+                    side,
+                    quarantine,
+                    shadow,
+                    sim,
+                    opts,
+                    target,
+                    cands[idx],
+                    record,
+                    u32::try_from(worker).unwrap_or(u32::MAX),
                 );
+                if let Some(tp) = tp {
+                    proof_ns += nanos(tp);
+                    pairs += 1;
+                }
                 if eval.verdict == SpecVerdict::Accept {
                     best.fetch_min(idx, Ordering::AcqRel);
                 }
-                found.lock().expect("worker result lock").push((idx, eval));
+                let tw = metrics.map(|_| Instant::now());
+                let mut slots = found.lock().expect("worker result lock");
+                if let Some(tw) = tw {
+                    wait_ns += nanos(tw);
+                }
+                slots.push((idx, eval));
+            }
+            if let (Some(m), Some(t_drain)) = (metrics, t_drain) {
+                // Whatever the drain's wall clock did not spend proving
+                // or blocked on the result lock is idle overhead: cursor
+                // traffic, scheduling, spin-down after the bound drops.
+                let idle = nanos(t_drain)
+                    .saturating_sub(proof_ns)
+                    .saturating_sub(wait_ns);
+                let wm = &m.workers[worker];
+                wm.proof_ns.add(proof_ns);
+                wm.wait_ns.add(wait_ns);
+                wm.idle_ns.add(idle);
+                wm.pairs.add(pairs);
+                m.sweep_proof_ns.add(proof_ns);
+                m.sweep_wait_ns.add(wait_ns);
+                m.sweep_idle_ns.add(idle);
             }
         };
         std::thread::scope(|s| {
-            for _ in 1..workers {
-                s.spawn(|| drain(true));
+            let drain = &drain;
+            for w in 1..workers {
+                s.spawn(move || drain(w));
             }
-            drain(false);
+            drain(0);
         });
         let mut out: Vec<Option<PairEval>> = Vec::new();
         out.resize_with(cands.len(), || None);
@@ -438,7 +489,11 @@ impl SubstEngine<'_> {
                     }
                 }
                 let before = self.stats.substitutions;
+                let tc = self.metrics.as_ref().map(|_| Instant::now());
                 self.attempt(target, divisor);
+                if let (Some(m), Some(tc)) = (&self.metrics, tc) {
+                    m.sweep_commit_ns.add(nanos(tc));
+                }
                 if pending_was.is_some() {
                     self.stats.shadow_cache_hits -= 1;
                     self.stats.shadow_cache_misses += 1;
@@ -476,6 +531,10 @@ impl SubstEngine<'_> {
         let results = {
             let net: &Network = self.net;
             let opts = &self.opts;
+            let metrics = self.metrics.as_ref();
+            if let Some(m) = metrics {
+                m.sweep_epochs.inc();
+            }
             let next = AtomicUsize::new(0);
             let found = Mutex::new(Vec::<(usize, Result<Option<i64>, ()>)>::with_capacity(
                 cands.len(),
@@ -483,21 +542,24 @@ impl SubstEngine<'_> {
             #[cfg(feature = "chaos")]
             let chaos_cfg = crate::chaos::current_config();
             let workers = opts.threads.get().min(cands.len()).max(1);
-            let drain = |spawned: bool| {
+            let drain = |worker: usize| {
                 #[cfg(feature = "chaos")]
-                if spawned {
+                if worker != 0 {
                     if let Some(cfg) = chaos_cfg {
                         crate::chaos::configure(cfg);
                     }
                 }
-                #[cfg(not(feature = "chaos"))]
-                let _ = spawned;
+                let t_drain = metrics.map(|_| Instant::now());
+                let mut proof_ns = 0u64;
+                let mut wait_ns = 0u64;
+                let mut pairs = 0u64;
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= cands.len() {
                         break;
                     }
                     let divisor = cands[idx];
+                    let tp = metrics.map(|_| Instant::now());
                     let mut scratch = net.clone();
                     let mut scratch_stats = SubstStats::default();
                     let dry = catch_unwind(AssertUnwindSafe(|| {
@@ -510,14 +572,37 @@ impl SubstEngine<'_> {
                         )
                     }))
                     .map_err(|_| ());
-                    found.lock().expect("dry-run result lock").push((idx, dry));
+                    if let Some(tp) = tp {
+                        proof_ns += nanos(tp);
+                        pairs += 1;
+                    }
+                    let tw = metrics.map(|_| Instant::now());
+                    let mut slots = found.lock().expect("dry-run result lock");
+                    if let Some(tw) = tw {
+                        wait_ns += nanos(tw);
+                    }
+                    slots.push((idx, dry));
+                }
+                if let (Some(m), Some(t_drain)) = (metrics, t_drain) {
+                    let idle = nanos(t_drain)
+                        .saturating_sub(proof_ns)
+                        .saturating_sub(wait_ns);
+                    let wm = &m.workers[worker];
+                    wm.proof_ns.add(proof_ns);
+                    wm.wait_ns.add(wait_ns);
+                    wm.idle_ns.add(idle);
+                    wm.pairs.add(pairs);
+                    m.sweep_proof_ns.add(proof_ns);
+                    m.sweep_wait_ns.add(wait_ns);
+                    m.sweep_idle_ns.add(idle);
                 }
             };
             std::thread::scope(|s| {
-                for _ in 1..workers {
-                    s.spawn(|| drain(true));
+                let drain = &drain;
+                for w in 1..workers {
+                    s.spawn(move || drain(w));
                 }
-                drain(false);
+                drain(0);
             });
             let mut results = found.into_inner().expect("dry-run result lock");
             results.sort_unstable_by_key(|&(idx, _)| idx);
@@ -541,7 +626,11 @@ impl SubstEngine<'_> {
             }
         }
         if let Some((divisor, _)) = best {
+            let tc = self.metrics.as_ref().map(|_| Instant::now());
             self.attempt(target, divisor);
+            if let (Some(m), Some(tc)) = (&self.metrics, tc) {
+                m.sweep_commit_ns.add(nanos(tc));
+            }
         }
     }
 }

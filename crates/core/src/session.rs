@@ -26,20 +26,23 @@
 
 use crate::engine::SubstEngine;
 use crate::subst::{SubstOptions, SubstStats};
+use boolsubst_metrics::MetricsHandle;
 use boolsubst_network::Network;
 use boolsubst_trace::Tracer;
 
 /// A configured substitution run over one network: options, an optional
-/// trace recorder, and a thread count, executed by [`Session::run`].
+/// trace recorder, an optional metrics registry, and a thread count,
+/// executed by [`Session::run`].
 ///
 /// The builder borrows the network mutably for its whole life, so a
 /// `Session` cannot outlive or alias the network it rewrites. Attaching a
-/// tracer never changes the accepted rewrites, and `threads(1)` (the
-/// default) is the plain sequential engine.
+/// tracer or a metrics handle never changes the accepted rewrites, and
+/// `threads(1)` (the default) is the plain sequential engine.
 pub struct Session<'n, 't> {
     net: &'n mut Network,
     opts: SubstOptions,
     tracer: Option<&'t mut Tracer>,
+    metrics: Option<MetricsHandle>,
 }
 
 impl<'n, 't> Session<'n, 't> {
@@ -49,6 +52,7 @@ impl<'n, 't> Session<'n, 't> {
             net,
             opts,
             tracer: None,
+            metrics: None,
         }
     }
 
@@ -58,6 +62,17 @@ impl<'n, 't> Session<'n, 't> {
     #[must_use]
     pub fn tracer(mut self, tracer: &'t mut Tracer) -> Session<'n, 't> {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attaches a metrics registry: pair/accept/gain counters, per-stage
+    /// and per-guard-tier latency, the sim funnel, and per-worker sweep
+    /// utilization are all resolved against `handle` and updated live
+    /// during the run. Readers (heartbeat tickers, exposition sinks) can
+    /// clone the handle and read concurrently.
+    #[must_use]
+    pub fn metrics(mut self, handle: &MetricsHandle) -> Session<'n, 't> {
+        self.metrics = Some(handle.clone());
         self
     }
 
@@ -74,10 +89,14 @@ impl<'n, 't> Session<'n, 't> {
     /// after every possible outcome (acceptance, rejection, deadline
     /// interrupt, checked-mode rollback).
     pub fn run(self) -> SubstStats {
-        match self.tracer {
-            Some(tracer) => SubstEngine::with_tracer(self.net, self.opts, tracer).run(),
-            None => SubstEngine::new(self.net, self.opts).run(),
+        let mut engine = match self.tracer {
+            Some(tracer) => SubstEngine::with_tracer(self.net, self.opts, tracer),
+            None => SubstEngine::new(self.net, self.opts),
+        };
+        if let Some(handle) = &self.metrics {
+            engine.attach_metrics(handle);
         }
+        engine.run()
     }
 }
 
@@ -118,6 +137,41 @@ mod tests {
         assert_eq!(write_blif(&a), write_blif(&b));
         assert_eq!(sa.substitutions, sb.substitutions);
         assert_eq!(sa.literal_gain, sb.literal_gain);
+    }
+
+    #[test]
+    fn metrics_attachment_is_invisible() {
+        use boolsubst_metrics::MetricsHandle;
+        for opts in crate::subst::all_configs() {
+            for threads in [1usize, 4] {
+                let mut plain = small_net();
+                let sp = Session::new(&mut plain, opts.clone())
+                    .threads(threads)
+                    .run();
+                let handle = MetricsHandle::new();
+                let mut metered = small_net();
+                let sm = Session::new(&mut metered, opts.clone())
+                    .threads(threads)
+                    .metrics(&handle)
+                    .run();
+                assert_eq!(
+                    write_blif(&plain),
+                    write_blif(&metered),
+                    "{:?} threads={threads}: metrics changed the rewrites",
+                    opts.mode
+                );
+                assert_eq!(sp.substitutions, sm.substitutions, "{:?}", opts.mode);
+                assert_eq!(sp.literal_gain, sm.literal_gain, "{:?}", opts.mode);
+                assert!(
+                    handle.counter_value("engine.pairs").unwrap_or(0) > 0,
+                    "metrics saw no pairs"
+                );
+                assert_eq!(
+                    handle.counter_value("engine.accepts"),
+                    Some(u64::try_from(sm.substitutions).unwrap())
+                );
+            }
+        }
     }
 
     #[test]

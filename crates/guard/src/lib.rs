@@ -35,11 +35,13 @@
 
 use boolsubst_bdd::{Bdd, Ref};
 use boolsubst_cube::Phase;
+use boolsubst_metrics::{Counter, Histogram, MetricsHandle};
 use boolsubst_network::{Network, NodeId};
 use boolsubst_sat::miter::EquivResult;
 use boolsubst_sat::SatOptions;
 use boolsubst_sim::{PatternPool, SimTable};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Tunables for the guard pipeline. `Copy` so it can ride inside the
 /// engine's options.
@@ -191,6 +193,44 @@ impl GuardDecision {
     }
 }
 
+/// Stable tier labels in decision-tier index order (matches
+/// [`GuardDecision::tier_name`] values).
+const TIER_NAMES: [&str; 4] = ["sim", "bdd", "sat", "sampled"];
+
+/// Instruments resolved once at [`Guard::attach_metrics`] time: the
+/// per-check hot path then only touches atomics. Tier latency
+/// histograms are keyed by the tier that *decided* the check, so the
+/// sim bucket holds pure-tier-A latencies while the sat bucket holds
+/// the full escalated cost.
+#[derive(Debug, Clone)]
+struct GuardMetrics {
+    checks: Counter,
+    tier: [Counter; 4],
+    check_ns: [Histogram; 4],
+    escalations_bdd: Counter,
+    escalations_sat: Counter,
+    sat_conflicts: Counter,
+    sat_restarts: Counter,
+    sat_learnt: Counter,
+}
+
+impl GuardMetrics {
+    fn resolve(handle: &MetricsHandle) -> GuardMetrics {
+        GuardMetrics {
+            checks: handle.counter("guard.checks"),
+            tier: std::array::from_fn(|i| handle.counter(&format!("guard.tier.{}", TIER_NAMES[i]))),
+            check_ns: std::array::from_fn(|i| {
+                handle.histogram(&format!("guard.check_ns.{}", TIER_NAMES[i]))
+            }),
+            escalations_bdd: handle.counter("guard.escalations.bdd"),
+            escalations_sat: handle.counter("guard.escalations.sat"),
+            sat_conflicts: handle.counter("sat.conflicts"),
+            sat_restarts: handle.counter("sat.restarts"),
+            sat_learnt: handle.counter("sat.learnt_clauses"),
+        }
+    }
+}
+
 /// The guard pipeline: owns its pattern pools (one per input count, built
 /// lazily and reused across checks) and a few diagnostic counters.
 #[derive(Debug, Clone)]
@@ -201,6 +241,7 @@ pub struct Guard {
     exact_runs: u64,
     sat_runs: u64,
     sampled_passes: u64,
+    metrics: Option<GuardMetrics>,
 }
 
 impl Guard {
@@ -214,7 +255,18 @@ impl Guard {
             exact_runs: 0,
             sat_runs: 0,
             sampled_passes: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: every subsequent check books
+    /// `guard.checks`, per-tier decision counts (`guard.tier.<tier>`),
+    /// per-tier latency histograms (`guard.check_ns.<tier>`),
+    /// escalation counters (`guard.escalations.{bdd,sat}`), and the
+    /// tier C solver effort (`sat.{conflicts,restarts,learnt_clauses}`).
+    /// Observation only — decisions are identical with or without it.
+    pub fn attach_metrics(&mut self, handle: &MetricsHandle) {
+        self.metrics = Some(GuardMetrics::resolve(handle));
     }
 
     /// Number of [`Guard::check`] calls so far.
@@ -250,6 +302,21 @@ impl Guard {
     /// clone of `post`, so the engine guarantees this; a structural
     /// mismatch is reported as a refutation rather than trusted.
     pub fn check(&mut self, pre: &Network, post: &Network) -> GuardDecision {
+        let t0 = self.metrics.as_ref().map(|_| Instant::now());
+        let decision = self.check_inner(pre, post);
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.checks.inc();
+            let i = TIER_NAMES
+                .iter()
+                .position(|&t| t == decision.tier_name())
+                .expect("known tier");
+            m.tier[i].inc();
+            m.check_ns[i].observe(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        decision
+    }
+
+    fn check_inner(&mut self, pre: &Network, post: &Network) -> GuardDecision {
         self.checks += 1;
         if pre.inputs().len() != post.inputs().len() || pre.outputs().len() != post.outputs().len()
         {
@@ -319,6 +386,9 @@ impl Guard {
     /// Tier B: exact BDD compare of the primary-output functions.
     fn check_bdd(&mut self, pre: &Network, post: &Network) -> GuardDecision {
         self.exact_runs += 1;
+        if let Some(m) = &self.metrics {
+            m.escalations_bdd.inc();
+        }
         match outputs_equal_exact(pre, post) {
             None => GuardDecision::PassExact,
             Some(output) => GuardDecision::RefutedExact { output },
@@ -333,7 +403,15 @@ impl Guard {
             return None;
         }
         self.sat_runs += 1;
-        match boolsubst_sat::check_equivalence(pre, post, self.config.sat) {
+        let (result, stats) =
+            boolsubst_sat::check_equivalence_with_stats(pre, post, self.config.sat);
+        if let Some(m) = &self.metrics {
+            m.escalations_sat.inc();
+            m.sat_conflicts.add(stats.conflicts);
+            m.sat_restarts.add(stats.restarts);
+            m.sat_learnt.add(stats.learnt_clauses);
+        }
+        match result {
             EquivResult::Equivalent => Some(GuardDecision::PassSat),
             EquivResult::Inequivalent { output, .. } => Some(GuardDecision::RefutedSat { output }),
             EquivResult::InterfaceMismatch => Some(GuardDecision::RefutedSat {

@@ -1,0 +1,150 @@
+//! Memory accounting: a counting global allocator behind the
+//! `mem-profile` feature.
+//!
+//! [`CountingAllocator`] wraps the system allocator and maintains
+//! live/peak byte totals plus an allocation count in process-wide
+//! atomics. The *type* always exists so call sites compile with the
+//! feature off, but the `GlobalAlloc` impl — and therefore every
+//! accounting instruction — only exists under `mem-profile`; default
+//! builds pay nothing. The root binary installs it with:
+//!
+//! ```ignore
+//! #[cfg(feature = "mem-profile")]
+//! #[global_allocator]
+//! static ALLOC: boolsubst::metrics::mem::CountingAllocator =
+//!     boolsubst::metrics::mem::CountingAllocator;
+//! ```
+//!
+//! [`publish`] copies the totals into `mem.*` gauges so they ride
+//! along in every sink. With the feature off (or the allocator not
+//! installed) the totals read zero and the gauges say so honestly —
+//! consumers check [`profiling_enabled`].
+
+use crate::registry::MetricsHandle;
+
+#[cfg(feature = "mem-profile")]
+mod counters {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    pub(super) static LIVE: AtomicUsize = AtomicUsize::new(0);
+    pub(super) static PEAK: AtomicUsize = AtomicUsize::new(0);
+    pub(super) static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn on_alloc(size: usize) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    // SAFETY: delegates allocation verbatim to `System`; the wrapper
+    // only adds counter updates, never changes sizes or pointers.
+    unsafe impl GlobalAlloc for super::CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+                on_alloc(new_size);
+            }
+            p
+        }
+    }
+}
+
+/// A system-allocator wrapper that counts live/peak bytes and
+/// allocations; see the module docs. Accounting (and the
+/// `GlobalAlloc` impl) exists only under the `mem-profile` feature.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+/// Whether this build carries allocator accounting (`mem-profile`).
+#[must_use]
+pub fn profiling_enabled() -> bool {
+    cfg!(feature = "mem-profile")
+}
+
+/// Currently live heap bytes (0 when profiling is off or the
+/// allocator is not installed).
+#[must_use]
+pub fn live_bytes() -> usize {
+    #[cfg(feature = "mem-profile")]
+    {
+        counters::LIVE.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "mem-profile"))]
+    {
+        0
+    }
+}
+
+/// High-water mark of live heap bytes (0 when profiling is off).
+#[must_use]
+pub fn peak_bytes() -> usize {
+    #[cfg(feature = "mem-profile")]
+    {
+        counters::PEAK.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "mem-profile"))]
+    {
+        0
+    }
+}
+
+/// Total allocation calls (0 when profiling is off).
+#[must_use]
+pub fn allocation_count() -> u64 {
+    #[cfg(feature = "mem-profile")]
+    {
+        counters::ALLOCS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "mem-profile"))]
+    {
+        0
+    }
+}
+
+/// Publishes the allocator totals into `mem.live_bytes`,
+/// `mem.peak_bytes`, and `mem.allocations` gauges, plus
+/// `mem.profile_enabled` (0/1) so readers can tell "zero bytes" from
+/// "not measured".
+pub fn publish(handle: &MetricsHandle) {
+    let clamp = |v: usize| i64::try_from(v).unwrap_or(i64::MAX);
+    handle.gauge("mem.live_bytes").set(clamp(live_bytes()));
+    handle.gauge("mem.peak_bytes").set(clamp(peak_bytes()));
+    handle
+        .gauge("mem.allocations")
+        .set(i64::try_from(allocation_count()).unwrap_or(i64::MAX));
+    handle
+        .gauge("mem.profile_enabled")
+        .set(i64::from(profiling_enabled()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_exposes_mem_gauges() {
+        let m = MetricsHandle::new();
+        publish(&m);
+        assert!(m.gauge_value("mem.live_bytes").is_some());
+        assert!(m.gauge_value("mem.peak_bytes").is_some());
+        assert_eq!(
+            m.gauge_value("mem.profile_enabled"),
+            Some(i64::from(profiling_enabled()))
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Prometheus text-exposition sink.
+//!
+//! Renders a [`Snapshot`](crate::Snapshot) in the text format scrapers
+//! expect: a `# TYPE` line per family, dotted metric keys mapped to
+//! underscore names (`sweep.worker.0.proof_ns` →
+//! `sweep_worker_0_proof_ns`), and histograms as cumulative
+//! `_bucket{le="…"}` series (upper bounds are the log2 bucket
+//! ceilings, in nanoseconds) plus `_sum`/`_count`.
+
+use boolsubst_trace::bucket_ceil;
+
+use crate::registry::MetricsHandle;
+
+fn sanitize(key: &str) -> String {
+    key.replace('.', "_")
+}
+
+/// Renders every registered metric in Prometheus text exposition
+/// format, families sorted by key.
+#[must_use]
+pub fn prometheus_string(handle: &MetricsHandle) -> String {
+    let snap = handle.snapshot();
+    let mut out = String::new();
+    for (k, v) in &snap.counters {
+        let name = sanitize(k);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (k, v) in &snap.gauges {
+        let name = sanitize(k);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (k, h) in &snap.histograms {
+        let name = sanitize(k);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let top = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate().take(top) {
+            cum += c;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                bucket_ceil(i)
+            ));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsHandle;
+
+    #[test]
+    fn exposition_shape() {
+        let m = MetricsHandle::new();
+        m.counter("engine.pairs").add(7);
+        m.gauge("mem.live_bytes").set(-3);
+        let h = m.histogram("guard.check_ns.sim");
+        h.observe(0);
+        h.observe(5);
+        h.observe(5);
+        let text = prometheus_string(&m);
+        assert!(text.contains("# TYPE engine_pairs counter\nengine_pairs 7\n"));
+        assert!(text.contains("# TYPE mem_live_bytes gauge\nmem_live_bytes -3\n"));
+        assert!(text.contains("# TYPE guard_check_ns_sim histogram\n"));
+        // Cumulative: zeros bucket, then [1,1], [2,3], [4,7].
+        assert!(text.contains("guard_check_ns_sim_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("guard_check_ns_sim_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("guard_check_ns_sim_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("guard_check_ns_sim_sum 10\n"));
+        assert!(text.contains("guard_check_ns_sim_count 3\n"));
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_bucket() {
+        let m = MetricsHandle::new();
+        let _ = m.histogram("engine.pair_ns");
+        let text = prometheus_string(&m);
+        assert!(text.contains("engine_pair_ns_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("engine_pair_ns_count 0\n"));
+    }
+}

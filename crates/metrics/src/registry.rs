@@ -1,0 +1,403 @@
+//! The metric registry and its typed instruments.
+//!
+//! A [`Registry`] interns string keys (dotted lowercase paths, e.g.
+//! `sweep.worker.0.proof_ns`) to atomic slots. Call sites resolve a
+//! [`Counter`]/[`Gauge`]/[`Histogram`] handle once — paying one
+//! read-mostly `RwLock` lookup — and afterwards every update is a
+//! single relaxed atomic operation on an `Arc`-shared cell, so the
+//! hot path never takes a lock and never allocates.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use boolsubst_trace::{bucket_index, BUCKETS};
+
+/// A monotonically increasing `u64` instrument (events, nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instrument for levels (live bytes, nodes, targets done).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (peak tracking).
+    pub fn max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log2 histogram sharing `boolsubst_trace::hist`'s bucketing:
+/// bucket 0 holds zeros, bucket `i >= 1` covers `[2^(i-1), 2^i - 1]`.
+/// Values are typically nanoseconds but any `u64` scale works.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram(Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies the per-bucket counts out.
+    #[must_use]
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A point-in-time copy of one histogram's cells.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket counts (log2 buckets, index per `trace::bucket_index`).
+    pub buckets: [u64; BUCKETS],
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric, sorted by key.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counters as `(key, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(key, value)`.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms as `(key, cells)`.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Interning store behind a [`MetricsHandle`]. Metric keys are dotted
+/// lowercase paths over `[a-z0-9_.]` (`guard.check_ns.sat`); the
+/// Prometheus sink maps dots to underscores.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<HashMap<String, Metric>>,
+}
+
+fn assert_key(key: &str) {
+    assert!(
+        !key.is_empty()
+            && key
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'_'),
+        "metric key {key:?} must be non-empty lowercase dotted [a-z0-9_.]"
+    );
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn resolve<T, F, G>(&self, key: &str, project: F, create: G) -> T
+    where
+        F: Fn(&Metric) -> Option<T>,
+        G: FnOnce() -> (Metric, T),
+    {
+        assert_key(key);
+        if let Some(m) = self.metrics.read().expect("metrics lock").get(key) {
+            return project(m).unwrap_or_else(|| {
+                panic!("metric key {key:?} already registered as a {}", m.kind())
+            });
+        }
+        let mut w = self.metrics.write().expect("metrics lock");
+        if let Some(m) = w.get(key) {
+            // Raced with another registrant between the two locks.
+            return project(m).unwrap_or_else(|| {
+                panic!("metric key {key:?} already registered as a {}", m.kind())
+            });
+        }
+        let (metric, handle) = create();
+        w.insert(key.to_string(), metric);
+        handle
+    }
+}
+
+/// A cheaply cloneable, thread-safe handle to a [`Registry`]. Cloning
+/// shares the underlying store; instruments resolved from any clone
+/// update the same cells. `Send + Sync`, so sweep workers may update
+/// shared instruments directly.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsHandle {
+    registry: Arc<Registry>,
+}
+
+impl MetricsHandle {
+    /// A handle to a fresh, empty registry.
+    #[must_use]
+    pub fn new() -> MetricsHandle {
+        MetricsHandle::default()
+    }
+
+    /// Resolves (registering on first use) the counter named `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is malformed or already names a non-counter.
+    #[must_use]
+    pub fn counter(&self, key: &str) -> Counter {
+        self.registry.resolve(
+            key,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Counter(Arc::new(AtomicU64::new(0)));
+                (Metric::Counter(c.clone()), c)
+            },
+        )
+    }
+
+    /// Resolves (registering on first use) the gauge named `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is malformed or already names a non-gauge.
+    #[must_use]
+    pub fn gauge(&self, key: &str) -> Gauge {
+        self.registry.resolve(
+            key,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Gauge(Arc::new(AtomicI64::new(0)));
+                (Metric::Gauge(g.clone()), g)
+            },
+        )
+    }
+
+    /// Resolves (registering on first use) the histogram named `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is malformed or already names a non-histogram.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Histogram {
+        self.registry.resolve(
+            key,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || {
+                let h = Histogram::new();
+                (Metric::Histogram(h.clone()), h)
+            },
+        )
+    }
+
+    /// Value of the counter named `key`, if registered as one.
+    #[must_use]
+    pub fn counter_value(&self, key: &str) -> Option<u64> {
+        match self.registry.metrics.read().expect("metrics lock").get(key) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Value of the gauge named `key`, if registered as one.
+    #[must_use]
+    pub fn gauge_value(&self, key: &str) -> Option<i64> {
+        match self.registry.metrics.read().expect("metrics lock").get(key) {
+            Some(Metric::Gauge(g)) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Copies every registered metric out, sorted by key.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (k, m) in self.registry.metrics.read().expect("metrics lock").iter() {
+            match m {
+                Metric::Counter(c) => snap.counters.push((k.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((k.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.buckets(),
+                    },
+                )),
+            }
+        }
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let m = MetricsHandle::new();
+        let c = m.counter("engine.pairs");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(m.counter_value("engine.pairs"), Some(5));
+
+        let g = m.gauge("mem.live_bytes");
+        g.set(10);
+        g.add(-3);
+        g.max(5);
+        g.max(100);
+        assert_eq!(g.get(), 100);
+
+        let h = m.histogram("engine.pair_ns");
+        h.observe(0);
+        h.observe(1);
+        h.observe(1023);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1024);
+        let b = h.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[10], 1);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let m = MetricsHandle::new();
+        let m2 = m.clone();
+        m.counter("a.b").add(2);
+        m2.counter("a.b").add(3);
+        assert_eq!(m.counter_value("a.b"), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_clash_panics() {
+        let m = MetricsHandle::new();
+        let _ = m.counter("x.y");
+        let _ = m.gauge("x.y");
+    }
+
+    #[test]
+    #[should_panic(expected = "lowercase dotted")]
+    fn malformed_key_panics() {
+        let _ = MetricsHandle::new().counter("Engine Pairs");
+    }
+
+    /// Tentpole satellite: counters and histograms stay consistent
+    /// under multi-threaded contention — no lost updates, and the
+    /// histogram's count always equals the bucket total.
+    #[test]
+    fn contention_loses_no_updates() {
+        let m = MetricsHandle::new();
+        const THREADS: usize = 8;
+        const PER: u64 = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let m = m.clone();
+                s.spawn(move || {
+                    let c = m.counter("stress.count");
+                    let h = m.histogram("stress.hist");
+                    for i in 0..PER {
+                        c.inc();
+                        h.observe(i.wrapping_mul(2_654_435_761) % 1_000_000 + t as u64);
+                    }
+                });
+            }
+        });
+        let total = THREADS as u64 * PER;
+        assert_eq!(m.counter_value("stress.count"), Some(total));
+        let snap = m.snapshot();
+        let (_, h) = &snap.histograms[0];
+        assert_eq!(h.count, total);
+        assert_eq!(h.buckets.iter().sum::<u64>(), total);
+    }
+}

@@ -31,7 +31,7 @@ pub mod tseitin;
 pub mod windows;
 
 pub use cnf::{Clause, Cnf, Lit, Var};
-pub use miter::{check_equivalence, EquivResult};
+pub use miter::{check_equivalence, check_equivalence_with_stats, EquivResult, SatStats};
 pub use solver::{SatOptions, SatResult, Solver, Stop};
 pub use tseitin::Encoder;
 pub use windows::{window_sdc_cover, WindowOptions};

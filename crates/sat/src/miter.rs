@@ -60,14 +60,48 @@ impl EquivResult {
     }
 }
 
+/// Solver-effort totals for one equivalence check, for the guard's
+/// per-check cost attribution (`sat.*` metric keys).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Conflicts across the sweep solves and the final output solve.
+    pub conflicts: u64,
+    /// Luby restarts across all solves.
+    pub restarts: u64,
+    /// Clauses learned (units included) across all solves.
+    pub learnt_clauses: u64,
+}
+
+impl SatStats {
+    fn of(solver: &Solver) -> SatStats {
+        SatStats {
+            conflicts: solver.conflicts(),
+            restarts: solver.restarts(),
+            learnt_clauses: solver.learnt_clauses(),
+        }
+    }
+}
+
 /// Checks primary-output equivalence of `a` and `b` under a conflict
 /// budget. Inputs and outputs are matched positionally, like the
 /// guard's BDD tier: for rollback pairs input `i` of one *is* input
 /// `i` of the other.
 #[must_use]
 pub fn check_equivalence(a: &Network, b: &Network, opts: SatOptions) -> EquivResult {
+    check_equivalence_with_stats(a, b, opts).0
+}
+
+/// [`check_equivalence`], additionally reporting the solver effort it
+/// took to reach the verdict. An `InterfaceMismatch` costs nothing and
+/// reports zeros.
+#[must_use]
+pub fn check_equivalence_with_stats(
+    a: &Network,
+    b: &Network,
+    opts: SatOptions,
+) -> (EquivResult, SatStats) {
     if a.inputs().len() != b.inputs().len() || a.outputs().len() != b.outputs().len() {
-        return EquivResult::InterfaceMismatch;
+        return (EquivResult::InterfaceMismatch, SatStats::default());
     }
     let mut enc = Encoder::new();
     let pis = enc.fresh_inputs(a.inputs().len());
@@ -137,7 +171,7 @@ pub fn check_equivalence(a: &Network, b: &Network, opts: SatOptions) -> EquivRes
         }
     }
     if diffs.is_empty() {
-        return EquivResult::Equivalent;
+        return (EquivResult::Equivalent, SatStats::of(&solver));
     }
     // Sync the XOR gadgets (and the lazily pinned constant) minted since
     // the solver was built, then assert "some output differs".
@@ -148,9 +182,12 @@ pub fn check_equivalence(a: &Network, b: &Network, opts: SatOptions) -> EquivRes
     solver.add_clause(diffs.iter().map(|&(_, d)| d).collect());
     let remaining = budget.saturating_sub(solver.conflicts());
     if remaining == 0 {
-        return EquivResult::Unknown(Stop::BudgetExhausted);
+        return (
+            EquivResult::Unknown(Stop::BudgetExhausted),
+            SatStats::of(&solver),
+        );
     }
-    match solver.solve(
+    let verdict = match solver.solve(
         &[],
         SatOptions {
             conflict_budget: remaining,
@@ -168,7 +205,8 @@ pub fn check_equivalence(a: &Network, b: &Network, opts: SatOptions) -> EquivRes
             let inputs = pis.iter().map(|&p| value(p)).collect();
             EquivResult::Inequivalent { output, inputs }
         }
-    }
+    };
+    (verdict, SatStats::of(&solver))
 }
 
 #[cfg(test)]

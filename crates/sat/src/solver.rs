@@ -194,6 +194,8 @@ pub struct Solver {
     saved_phase: Vec<bool>,
     seen: Vec<bool>,
     conflicts: u64,
+    restarts: u64,
+    learnt_clauses: u64,
     ok: bool,
 }
 
@@ -219,6 +221,8 @@ impl Solver {
             saved_phase: vec![false; num_vars],
             seen: vec![false; num_vars],
             conflicts: 0,
+            restarts: 0,
+            learnt_clauses: 0,
             ok: true,
         }
     }
@@ -237,6 +241,18 @@ impl Solver {
     #[must_use]
     pub fn conflicts(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Total Luby restarts across every solve on this solver.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Total clauses learned (units included) across every solve.
+    #[must_use]
+    pub fn learnt_clauses(&self) -> u64 {
+        self.learnt_clauses
     }
 
     /// Number of variables the solver was built over.
@@ -574,6 +590,7 @@ impl Solver {
                     return SatResult::Unknown(Stop::BudgetExhausted);
                 }
                 let (learnt, back) = self.analyze(confl);
+                self.learnt_clauses += 1;
                 self.backtrack(back);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], NO_REASON);
@@ -586,7 +603,10 @@ impl Solver {
                 self.decay_activities();
             } else {
                 if since_restart >= RESTART_BASE.saturating_mul(luby(restarts)) {
+                    // `restarts` stays solve-local so the Luby schedule is
+                    // unchanged across calls; the field is the lifetime total.
                     restarts += 1;
+                    self.restarts += 1;
                     since_restart = 0;
                     self.backtrack(0);
                     continue;

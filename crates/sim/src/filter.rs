@@ -4,8 +4,20 @@ use crate::pool::{xorshift, PatternPool};
 use crate::table::SimTable;
 use crate::SimConfig;
 use boolsubst_cube::{Cover, Phase};
+use boolsubst_metrics::{Counter, MetricsHandle};
 use boolsubst_network::{EvalScratch, Network, NodeId, SideTables};
 use std::collections::HashMap;
+
+/// Instruments resolved once at [`SimFilter::attach_metrics`] time.
+/// Counters are atomic, so the read-only screening surface (shared
+/// with sweep workers through `SimView`) can book screens through
+/// `&self`. Observation only — screen verdicts are unaffected.
+#[derive(Debug, Clone)]
+struct SimMetrics {
+    screens: Counter,
+    refine_attempts: Counter,
+    refinements: Counter,
+}
 
 /// Per-cube witness flags for one `(cover, divisor)` screen.
 ///
@@ -58,6 +70,7 @@ pub struct SimFilter {
     /// Lowest signature word invalidated by pool growth since the last
     /// [`SimFilter::flush`].
     pending_from: Option<usize>,
+    metrics: Option<SimMetrics>,
 }
 
 impl SimFilter {
@@ -87,7 +100,19 @@ impl SimFilter {
             refinements: 0,
             attempts: 0,
             pending_from: None,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: every subsequent screen books
+    /// `sim.screens`, and refinement work books
+    /// `sim.refine_attempts` / `sim.refinements` (pool growth).
+    pub fn attach_metrics(&mut self, handle: &MetricsHandle) {
+        self.metrics = Some(SimMetrics {
+            screens: handle.counter("sim.screens"),
+            refine_attempts: handle.counter("sim.refine_attempts"),
+            refinements: handle.counter("sim.refinements"),
+        });
     }
 
     /// Number of patterns currently in the pool.
@@ -182,6 +207,9 @@ impl SimFilter {
         divisor: NodeId,
     ) -> CoverScreen {
         assert!(self.pending_from.is_none(), "flush() patterns first");
+        if let Some(m) = &self.metrics {
+            m.screens.inc();
+        }
         let words = self.pool.words();
         let d = self.table.sig(net, divisor);
         let mut wit_div0 = vec![false; cover.len()];
@@ -240,6 +268,9 @@ impl SimFilter {
             return false;
         }
         self.attempts += 1;
+        if let Some(m) = &self.metrics {
+            m.refine_attempts.inc();
+        }
         self.flush(net);
         let node = net.node(target);
         let Some(cover) = node.cover() else {
@@ -285,6 +316,9 @@ impl SimFilter {
                 if let Some(w) = self.pool.add_pattern(&inputs) {
                     self.pending_from = Some(self.pending_from.map_or(w, |p| p.min(w)));
                     self.refinements += 1;
+                    if let Some(m) = &self.metrics {
+                        m.refinements.inc();
+                    }
                     return true;
                 }
                 return false;

@@ -33,6 +33,9 @@ pub struct PairRecord {
     pub gain: i64,
     /// RAR/ATPG fault checks run by this attempt.
     pub rar_checks: u64,
+    /// Index of the sweep worker that measured the attempt (0 = the
+    /// committer's inline drain).
+    pub worker: u32,
 }
 
 /// Bounds on what a [`Tracer`] retains.
@@ -221,6 +224,7 @@ impl Tracer {
             outcome: Outcome::RejectedNoGain,
             gain: 0,
             rar_checks: 0,
+            worker: 0,
         });
         self.noted = None;
     }
@@ -294,6 +298,7 @@ impl Tracer {
             outcome: rec.outcome,
             gain: rec.gain,
             rar_checks: rec.rar_checks,
+            worker: rec.worker + 1,
         };
         self.aggregate_pair(span);
     }

@@ -32,6 +32,7 @@ pub use boolsubst_bdd as bdd;
 pub use boolsubst_core as core;
 pub use boolsubst_cube as cube;
 pub use boolsubst_guard as guard;
+pub use boolsubst_metrics as metrics;
 pub use boolsubst_network as network;
 pub use boolsubst_sat as sat;
 pub use boolsubst_sim as sim;
@@ -39,5 +40,6 @@ pub use boolsubst_trace as trace;
 pub use boolsubst_workloads as workloads;
 
 pub use boolsubst_core::{all_configs, Acceptance, Session, SubstMode, SubstOptions, SubstStats};
+pub use boolsubst_metrics::MetricsHandle;
 pub use boolsubst_network::{egress, ingest, parse_blif, write_blif, Format, Network};
 pub use boolsubst_trace::Tracer;

@@ -16,6 +16,7 @@ use boolsubst::core::{
 use boolsubst::core::{Session, SubstOptions};
 use boolsubst::cube::parse_sop;
 use boolsubst::guard::TierPolicy;
+use boolsubst::metrics::{json_snapshot_string, mem, prometheus_string, Heartbeat, MetricsHandle};
 use boolsubst::network::{egress, ingest, write_blif, Format, Network};
 use boolsubst::sat::{check_equivalence, EquivResult, SatOptions};
 use boolsubst::trace::export::{chrome_trace_string, jsonl_string};
@@ -23,6 +24,14 @@ use boolsubst::trace::Tracer;
 use boolsubst::workloads::scripts;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
+
+/// With the `mem-profile` feature, route every allocation through the
+/// counting allocator so `mem.live_bytes`/`mem.peak_bytes` are real
+/// process-wide figures; without it the unit struct stays unused and the
+/// system allocator is untouched.
+#[cfg(feature = "mem-profile")]
+#[global_allocator]
+static ALLOC: mem::CountingAllocator = mem::CountingAllocator;
 
 const USAGE: &str = "\
 boolsubst — Boolean division and substitution via redundancy addition/removal
@@ -33,6 +42,7 @@ USAGE:
                      [--trace <out.jsonl>] [--chrome-trace <out.json>]
                      [--checked] [--deadline <secs>] [--threads <n>]
                      [--guard-tier sim|bdd|sat|auto] [--sat-conflicts <n>]
+                     [--metrics <out.prom|out.json>] [--heartbeat <secs>]
   boolsubst stats <in>
   boolsubst check <a> <b> [--backend bdd|sat]
   boolsubst faults <in> [--vectors <n>] [--budget <n>]
@@ -116,6 +126,8 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let mut threads = 1usize;
     let mut guard_tier: Option<TierPolicy> = None;
     let mut sat_conflicts: Option<u64> = None;
+    let mut metrics_path: Option<&str> = None;
+    let mut heartbeat_secs: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -166,6 +178,18 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "bad --sat-conflicts value")?,
                 );
             }
+            "--metrics" => metrics_path = Some(it.next().ok_or("--metrics needs a path")?),
+            "--heartbeat" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--heartbeat needs a value in seconds")?
+                    .parse()
+                    .map_err(|_| "bad --heartbeat value")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("bad --heartbeat value (must be > 0)".into());
+                }
+                heartbeat_secs = Some(secs);
+            }
             other if input.is_none() => input = Some(other),
             other => return Err(format!("unexpected argument {other:?}")),
         }
@@ -197,9 +221,11 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                 || threads > 1
                 || guard_tier.is_some()
                 || sat_conflicts.is_some()
+                || metrics_path.is_some()
+                || heartbeat_secs.is_some()
             {
                 return Err(
-                    "--checked/--deadline/--threads/--guard-tier/--sat-conflicts need a substitution mode (basic|ext|ext-gdc)"
+                    "--checked/--deadline/--threads/--guard-tier/--sat-conflicts/--metrics/--heartbeat need a substitution mode (basic|ext|ext-gdc)"
                         .into(),
                 );
             }
@@ -226,24 +252,53 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         if let Some(secs) = deadline_secs {
             opts = opts.with_deadline(Instant::now() + Duration::from_secs_f64(secs));
         }
-        let stats = if tracing {
-            let mut tracer = Tracer::new(mode);
-            let stats = Session::new(&mut net, opts).tracer(&mut tracer).run();
+        let metrics_handle =
+            (metrics_path.is_some() || heartbeat_secs.is_some()).then(MetricsHandle::new);
+        let heartbeat = match (&metrics_handle, heartbeat_secs) {
+            (Some(h), Some(secs)) => {
+                Some(Heartbeat::start(h.clone(), Duration::from_secs_f64(secs)))
+            }
+            _ => None,
+        };
+        let mut tracer = tracing.then(|| Tracer::new(mode));
+        let stats = {
+            let mut session = Session::new(&mut net, opts);
+            if let Some(h) = &metrics_handle {
+                session = session.metrics(h);
+            }
+            if let Some(t) = tracer.as_mut() {
+                session = session.tracer(t);
+            }
+            session.run()
+        };
+        drop(heartbeat);
+        if let Some(tracer) = &tracer {
             eprintln!("{}", tracer.report());
             if let Some(path) = trace_path {
-                std::fs::write(path, jsonl_string(&tracer))
+                std::fs::write(path, jsonl_string(tracer))
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 eprintln!("wrote {path}");
             }
             if let Some(path) = chrome_path {
-                std::fs::write(path, chrome_trace_string(&[&tracer]))
+                std::fs::write(path, chrome_trace_string(&[tracer]))
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 eprintln!("wrote {path}");
             }
-            stats
-        } else {
-            Session::new(&mut net, opts).run()
-        };
+        }
+        if let Some(h) = &metrics_handle {
+            // Fold the allocator's view in just before the snapshot so
+            // the sinks carry final peak/live figures.
+            mem::publish(h);
+            if let Some(path) = metrics_path {
+                let text = if path.ends_with(".json") {
+                    json_snapshot_string(h)
+                } else {
+                    prometheus_string(h)
+                };
+                std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+        }
         if checked {
             eprintln!(
                 "checked apply: {} guard-rejected, {} engine fault(s), {} pair(s) quarantined, {} SAT-tier run(s), {} sampled pass(es)",
