@@ -6,7 +6,7 @@
 //! ```bash
 //! trace_validate --jsonl trace.jsonl --chrome trace.json \
 //!                --bench-sweep BENCH_sweep.json --bench-guard BENCH_guard.json \
-//!                --prom metrics.prom
+//!                --bench-serve BENCH_serve.json --prom metrics.prom
 //! ```
 //!
 //! Exits non-zero with a diagnostic on the first violation. Checks:
@@ -331,6 +331,63 @@ fn validate_bench_guard(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn validate_bench_serve(text: &str) -> Result<(), String> {
+    let v = Json::parse(text).map_err(|e| format!("BENCH_serve: {e}"))?;
+    let rows = v.as_array().ok_or("BENCH_serve is not a JSON array")?;
+    if rows.is_empty() {
+        return Err("BENCH_serve is empty".into());
+    }
+    let mut worker_counts: Vec<u64> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let kind = row.get("kind").and_then(Json::as_str).unwrap_or("");
+        if kind != "serve" {
+            return Err(format!("row {i}: kind {kind:?} is not serve"));
+        }
+        check_keys(
+            row,
+            &[
+                ("workers", Ty::U64),
+                ("host_cpus", Ty::U64),
+                ("jobs", Ty::U64),
+                ("concurrency", Ty::U64),
+                ("wall_secs", Ty::F64),
+                ("throughput_jobs_per_s", Ty::F64),
+                ("p50_ms", Ty::U64),
+                ("p99_ms", Ty::U64),
+                ("shed_429", Ty::U64),
+                ("shed_rate", Ty::F64),
+                ("done", Ty::U64),
+                ("failed", Ty::U64),
+                ("quarantined", Ty::U64),
+                ("chaos", Ty::Bool),
+            ],
+        )
+        .map_err(|e| format!("row {i}: {e}"))?;
+        let workers = row.get("workers").and_then(Json::as_u64).unwrap_or(0);
+        if workers == 0 {
+            return Err(format!("row {i}: workers label must be >= 1"));
+        }
+        if !worker_counts.contains(&workers) {
+            worker_counts.push(workers);
+        }
+        let p50 = row.get("p50_ms").and_then(Json::as_u64).unwrap_or(0);
+        let p99 = row.get("p99_ms").and_then(Json::as_u64).unwrap_or(0);
+        if p99 < p50 {
+            return Err(format!("row {i}: p99 {p99} < p50 {p50}"));
+        }
+    }
+    if worker_counts.len() < 2 {
+        return Err(format!(
+            "need rows at >= 2 distinct worker counts, got {worker_counts:?}"
+        ));
+    }
+    println!(
+        "bench-serve ok: {} rows over worker counts {worker_counts:?}",
+        rows.len()
+    );
+    Ok(())
+}
+
 /// True iff `name` is a legal Prometheus metric/series name.
 fn prom_name_ok(name: &str) -> bool {
     let mut chars = name.chars();
@@ -472,6 +529,7 @@ fn run() -> Result<(), String> {
             "--chrome" => ("--chrome", validate_chrome),
             "--bench-sweep" => ("--bench-sweep", validate_bench_sweep),
             "--bench-guard" => ("--bench-guard", validate_bench_guard),
+            "--bench-serve" => ("--bench-serve", validate_bench_serve),
             "--prom" => ("--prom", validate_prom),
             other => return Err(format!("unknown argument {other:?}")),
         };
@@ -484,7 +542,7 @@ fn run() -> Result<(), String> {
         return Err(
             "usage: trace_validate [--jsonl <trace.jsonl>] [--chrome <trace.json>] \
              [--bench-sweep <BENCH_sweep.json>] [--bench-guard <BENCH_guard.json>] \
-             [--prom <metrics.prom>]"
+             [--bench-serve <BENCH_serve.json>] [--prom <metrics.prom>]"
                 .into(),
         );
     }

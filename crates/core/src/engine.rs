@@ -110,6 +110,12 @@ impl<'a> SubstEngine<'a> {
     /// Opens a session: builds the structural side tables for the
     /// network's current state.
     pub fn new(net: &'a mut Network, opts: SubstOptions) -> SubstEngine<'a> {
+        let mut opts = opts;
+        // Callers who set `deadline` directly (rather than through
+        // `with_deadline`) still get the deadline-aware tier C budget.
+        if opts.guard.deadline.is_none() {
+            opts.guard.deadline = opts.deadline;
+        }
         let side = SideTables::build(net);
         let mut stats = SubstStats::default();
         let t0 = Instant::now();
@@ -164,6 +170,26 @@ impl<'a> SubstEngine<'a> {
             sim.attach_metrics(handle);
         }
         self.metrics = Some(metrics);
+    }
+
+    /// Replaces the checked-mode guard with one carried over from an
+    /// earlier run, preserving its lazily-built pattern pools and learned
+    /// SAT cost model across jobs. The guard adopts this engine's
+    /// [`SubstOptions::guard`] config first (dropping stale-shaped pools
+    /// if the pool tunables differ). No-op when the engine is unchecked —
+    /// an unchecked run has no guard to reuse.
+    pub fn install_guard(&mut self, mut guard: Guard) {
+        if self.opts.checked {
+            guard.adopt_config(self.opts.guard);
+            self.guard = Some(guard);
+        }
+    }
+
+    /// Takes the guard out of a finished checked engine so a caller can
+    /// carry its warmed pools into the next run (see
+    /// [`SubstEngine::install_guard`]). `None` for unchecked engines.
+    pub fn take_guard(&mut self) -> Option<Guard> {
+        self.guard.take()
     }
 
     /// Statistics accumulated so far.
@@ -296,15 +322,22 @@ impl<'a> SubstEngine<'a> {
     /// of the post state) and asks the guard whether the rewrite
     /// preserved every primary-output function. Records the verdict (and
     /// which tier produced it) in the stats block and on the tracer.
-    fn guard_passes(&mut self, snap: &TxnSnapshot, target: NodeId, divisor: NodeId) -> bool {
-        let Some(guard) = self.guard.as_mut() else {
-            return true;
-        };
+    /// `None` means no guard is installed (unchecked run): the rewrite
+    /// stands on the division proof alone.
+    fn guard_verdict(
+        &mut self,
+        snap: &TxnSnapshot,
+        target: NodeId,
+        divisor: NodeId,
+    ) -> Option<GuardDecision> {
+        let guard = self.guard.as_mut()?;
         let t0 = Instant::now();
         let mut pre = self.net.clone();
         if snap.rollback(&mut pre).is_err() {
             // No pre-state to compare against: reject conservatively.
-            return false;
+            return Some(GuardDecision::RefutedSim {
+                output: "<pre-state reconstruction failed>".to_string(),
+            });
         }
         let sat_runs0 = guard.sat_runs();
         let decision = guard.check(&pre, self.net);
@@ -323,7 +356,7 @@ impl<'a> SubstEngine<'a> {
                 nanos(t0),
             );
         }
-        decision.passed()
+        Some(decision)
     }
 
     /// Divisor candidates for `target`: the fanouts of its fanins, which
@@ -648,14 +681,33 @@ impl<'a> SubstEngine<'a> {
                 self.recover(snap, &stats0);
                 self.stats.engine_faults += 1;
                 self.quarantine_pair(target, divisor);
-            } else if result.is_some() && !self.guard_passes(snap, target, divisor) {
-                // The rewrite changed a primary-output function: undo it
-                // and quarantine the pair, then keep sweeping.
-                self.recover(snap, &stats0);
-                self.stats.guard_rejections += 1;
-                self.quarantine_pair(target, divisor);
-                verdict = Some(Outcome::GuardRejected);
-                result = None;
+            } else if result.is_some() {
+                match self.guard_verdict(snap, target, divisor) {
+                    Some(GuardDecision::OutOfTime) => {
+                        // The remaining deadline window cannot afford an
+                        // exact verdict: undo the unproven rewrite and
+                        // latch the interrupt. The pair is innocent (no
+                        // quarantine, no rejection count) — the clock ran
+                        // out, and the sweep exits with a verified
+                        // partial result as if the deadline had expired
+                        // between attempts.
+                        self.recover(snap, &stats0);
+                        self.stats.interrupted = true;
+                        verdict = Some(Outcome::GuardRejected);
+                        result = None;
+                    }
+                    Some(decision) if !decision.passed() => {
+                        // The rewrite changed a primary-output function:
+                        // undo it and quarantine the pair, then keep
+                        // sweeping.
+                        self.recover(snap, &stats0);
+                        self.stats.guard_rejections += 1;
+                        self.quarantine_pair(target, divisor);
+                        verdict = Some(Outcome::GuardRejected);
+                        result = None;
+                    }
+                    _ => {}
+                }
             }
         }
         let dt1 = nanos(t1);

@@ -213,10 +213,14 @@ impl SubstOptions {
         self
     }
 
-    /// Sets a wall-clock deadline for the sweep.
+    /// Sets a wall-clock deadline for the sweep. The same instant is
+    /// threaded into the guard config so a tier C SAT check derives its
+    /// conflict budget from the remaining time — one miter can never
+    /// overrun the deadline the sweep is checking between attempts.
     #[must_use]
     pub fn with_deadline(mut self, deadline: Instant) -> SubstOptions {
         self.deadline = Some(deadline);
+        self.guard.deadline = Some(deadline);
         self
     }
 

@@ -41,7 +41,7 @@ use boolsubst_sat::miter::EquivResult;
 use boolsubst_sat::SatOptions;
 use boolsubst_sim::{PatternPool, SimTable};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tunables for the guard pipeline. `Copy` so it can ride inside the
 /// engine's options.
@@ -64,6 +64,16 @@ pub struct GuardConfig {
     /// Tier C solver budget. A zero [`SatOptions::conflict_budget`]
     /// disables tier C even under policies that would run it.
     pub sat: SatOptions,
+    /// Wall-clock deadline shared with the surrounding job/sweep. When
+    /// set, the tier C conflict budget is *derived from the remaining
+    /// time* before every SAT run (using the guard's observed
+    /// nanoseconds-per-conflict rate), so a single miter check can never
+    /// overrun the deadline by more than one conflict's worth of work.
+    /// When the window cannot afford even one conflict (or has already
+    /// passed), the check returns [`GuardDecision::OutOfTime`]: the
+    /// rewrite is refused and the sweep interrupts, rather than quietly
+    /// degrading the evidence to a sampled pass.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for GuardConfig {
@@ -75,6 +85,7 @@ impl Default for GuardConfig {
             exact_node_limit: 4096,
             tier: TierPolicy::Auto,
             sat: SatOptions::default(),
+            deadline: None,
         }
     }
 }
@@ -154,6 +165,13 @@ pub enum GuardDecision {
         /// Name of the first mismatching primary output.
         output: String,
     },
+    /// The remaining [`GuardConfig::deadline`] window could not afford an
+    /// exact tier C verdict (or a deadline-capped run came back unknown).
+    /// This is a *refusal*, not a sampled pass: the caller must undo the
+    /// unproven rewrite and treat the sweep as deadline-interrupted —
+    /// degrading to [`GuardDecision::PassSampled`] here would let result
+    /// quality silently depend on wall-clock load.
+    OutOfTime,
 }
 
 impl GuardDecision {
@@ -180,8 +198,9 @@ impl GuardDecision {
     }
 
     /// The tier that produced the decision: `"sim"`, `"bdd"`, `"sat"`,
-    /// or `"sampled"` (no exact tier had budget). Stable labels, used
-    /// by the trace exporters and BENCH_guard.json.
+    /// `"sampled"` (no exact tier had budget), or `"deadline"` (tier C
+    /// refused for lack of remaining time). Stable labels, used by the
+    /// trace exporters and BENCH_guard.json.
     #[must_use]
     pub fn tier_name(&self) -> &'static str {
         match self {
@@ -189,13 +208,14 @@ impl GuardDecision {
             GuardDecision::PassExact | GuardDecision::RefutedExact { .. } => "bdd",
             GuardDecision::PassSat | GuardDecision::RefutedSat { .. } => "sat",
             GuardDecision::PassSampled => "sampled",
+            GuardDecision::OutOfTime => "deadline",
         }
     }
 }
 
 /// Stable tier labels in decision-tier index order (matches
 /// [`GuardDecision::tier_name`] values).
-const TIER_NAMES: [&str; 4] = ["sim", "bdd", "sat", "sampled"];
+const TIER_NAMES: [&str; 5] = ["sim", "bdd", "sat", "sampled", "deadline"];
 
 /// Instruments resolved once at [`Guard::attach_metrics`] time: the
 /// per-check hot path then only touches atomics. Tier latency
@@ -205,8 +225,8 @@ const TIER_NAMES: [&str; 4] = ["sim", "bdd", "sat", "sampled"];
 #[derive(Debug, Clone)]
 struct GuardMetrics {
     checks: Counter,
-    tier: [Counter; 4],
-    check_ns: [Histogram; 4],
+    tier: [Counter; 5],
+    check_ns: [Histogram; 5],
     escalations_bdd: Counter,
     escalations_sat: Counter,
     sat_conflicts: Counter,
@@ -241,7 +261,43 @@ pub struct Guard {
     exact_runs: u64,
     sat_runs: u64,
     sampled_passes: u64,
+    sat_skipped_deadline: u64,
+    /// EWMA of observed tier C cost in nanoseconds per conflict, used to
+    /// translate remaining deadline time into an affordable conflict
+    /// budget. Seeded conservatively (20 µs/conflict ≈ the miter's
+    /// per-node encode + solve overhead on the corpus multipliers) and
+    /// refined after every SAT run that spent at least one conflict.
+    sat_ns_per_conflict: f64,
     metrics: Option<GuardMetrics>,
+}
+
+/// Seed estimate for [`Guard::sat_ns_per_conflict`] before any tier C
+/// run has been observed.
+const SAT_NS_PER_CONFLICT_SEED: f64 = 20_000.0;
+
+/// Translates a remaining-deadline window into a tier C conflict budget:
+/// the configured budget capped by how many conflicts the observed rate
+/// says fit into `remaining`. `None` means tier C cannot afford even one
+/// conflict (or is disabled) and the caller must degrade.
+#[must_use]
+pub fn sat_budget_for_deadline(
+    configured: u64,
+    remaining: Option<Duration>,
+    ns_per_conflict: f64,
+) -> Option<u64> {
+    if configured == 0 {
+        return None;
+    }
+    let Some(remaining) = remaining else {
+        return Some(configured);
+    };
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)]
+    let affordable = (remaining.as_nanos() as f64 / ns_per_conflict.max(1.0)) as u64;
+    if affordable == 0 {
+        return None;
+    }
+    Some(configured.min(affordable))
 }
 
 impl Guard {
@@ -255,8 +311,32 @@ impl Guard {
             exact_runs: 0,
             sat_runs: 0,
             sampled_passes: 0,
+            sat_skipped_deadline: 0,
+            sat_ns_per_conflict: SAT_NS_PER_CONFLICT_SEED,
             metrics: None,
         }
+    }
+
+    /// Replaces the wall-clock deadline for subsequent checks (the other
+    /// tunables are untouched). A long-running service sets this per job
+    /// on a guard it reuses across jobs.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.config.deadline = deadline;
+    }
+
+    /// Adopts a new configuration while keeping the learned state (the
+    /// cached pattern pools and the observed SAT rate) whenever the pool
+    /// shape is unchanged. Pools are keyed by input count but built from
+    /// `(words, seed, exhaustive_inputs)`, so a change to any of those
+    /// drops the cache rather than serving stale-shaped pools.
+    pub fn adopt_config(&mut self, config: GuardConfig) {
+        let pools_stale = config.words != self.config.words
+            || config.seed != self.config.seed
+            || config.exhaustive_inputs != self.config.exhaustive_inputs;
+        if pools_stale {
+            self.pools.clear();
+        }
+        self.config = config;
     }
 
     /// Attaches a metrics registry: every subsequent check books
@@ -293,6 +373,14 @@ impl Guard {
     #[must_use]
     pub fn sampled_passes(&self) -> u64 {
         self.sampled_passes
+    }
+
+    /// Number of tier C escalations that returned
+    /// [`GuardDecision::OutOfTime`] because the remaining deadline window
+    /// could not afford (or complete) a single exact run.
+    #[must_use]
+    pub fn sat_skipped_deadline(&self) -> u64 {
+        self.sat_skipped_deadline
     }
 
     /// Checks that `post` (the network after an accepted rewrite) still
@@ -361,8 +449,11 @@ impl Guard {
         }
 
         // Tier A sampled clean: escalate to whichever exact backend the
-        // policy allows and can afford. Every path that runs out of
-        // budget falls through to a (counted) sampled pass.
+        // policy allows and can afford. A path that runs out of *budget*
+        // falls through to a (counted) sampled pass; a tier C run that
+        // runs out of *deadline* instead refuses with `OutOfTime`, so a
+        // loaded machine interrupts the sweep rather than quietly
+        // lowering the evidence bar.
         let bdd_affordable =
             self.config.exact_node_limit != 0 && post.len() <= self.config.exact_node_limit;
         let decision = match self.config.tier {
@@ -395,16 +486,53 @@ impl Guard {
         }
     }
 
-    /// Tier C: Tseitin miter under the configured conflict budget.
-    /// Returns `None` when tier C is disabled or the budget runs dry —
-    /// the caller degrades to a sampled pass.
+    /// Tier C: Tseitin miter under the configured conflict budget,
+    /// further capped by the remaining deadline time (see
+    /// [`GuardConfig::deadline`]). Returns `None` when tier C is disabled
+    /// or the *configured* budget runs dry — the caller degrades to a
+    /// sampled pass. Returns [`GuardDecision::OutOfTime`] when the
+    /// *deadline* is what stopped it (expired, cannot afford one
+    /// conflict, or a deadline-capped run came back unknown) — the
+    /// caller must refuse the rewrite.
     fn check_sat(&mut self, pre: &Network, post: &Network) -> Option<GuardDecision> {
         if self.config.sat.conflict_budget == 0 {
             return None;
         }
+        let remaining = match self.config.deadline {
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    self.sat_skipped_deadline += 1;
+                    return Some(GuardDecision::OutOfTime);
+                }
+                Some(d - now)
+            }
+            None => None,
+        };
+        let Some(budget) = sat_budget_for_deadline(
+            self.config.sat.conflict_budget,
+            remaining,
+            self.sat_ns_per_conflict,
+        ) else {
+            self.sat_skipped_deadline += 1;
+            return Some(GuardDecision::OutOfTime);
+        };
         self.sat_runs += 1;
-        let (result, stats) =
-            boolsubst_sat::check_equivalence_with_stats(pre, post, self.config.sat);
+        let t0 = Instant::now();
+        let (result, stats) = boolsubst_sat::check_equivalence_with_stats(
+            pre,
+            post,
+            SatOptions {
+                conflict_budget: budget,
+            },
+        );
+        if stats.conflicts > 0 {
+            // Refine the time-per-conflict estimate (EWMA, alpha 0.3) so
+            // deadline-derived budgets track this workload's real rate.
+            #[allow(clippy::cast_precision_loss)]
+            let observed = nanos_f64(t0.elapsed()) / stats.conflicts as f64;
+            self.sat_ns_per_conflict = 0.7 * self.sat_ns_per_conflict + 0.3 * observed;
+        }
         if let Some(m) = &self.metrics {
             m.escalations_sat.inc();
             m.sat_conflicts.add(stats.conflicts);
@@ -417,9 +545,24 @@ impl Guard {
             EquivResult::InterfaceMismatch => Some(GuardDecision::RefutedSat {
                 output: "<interface mismatch>".to_string(),
             }),
+            // Unknown under the full configured budget is a genuine
+            // budget exhaustion (degrade to sampled); unknown under a
+            // deadline-shrunk budget means the clock, not the budget,
+            // stopped the proof.
+            EquivResult::Unknown(_) if budget < self.config.sat.conflict_budget => {
+                self.sat_skipped_deadline += 1;
+                Some(GuardDecision::OutOfTime)
+            }
             EquivResult::Unknown(_) => None,
         }
     }
+}
+
+/// `Duration` as f64 nanoseconds (saturating, precision loss accepted
+/// for rate estimation).
+#[allow(clippy::cast_precision_loss)]
+fn nanos_f64(d: Duration) -> f64 {
+    d.as_nanos() as f64
 }
 
 /// Shared-manager BDD comparison of primary-output functions. Inputs are
@@ -647,6 +790,111 @@ mod tests {
         let (pre, _) = wide_pair();
         let mut guard = Guard::new(GuardConfig::default());
         assert_eq!(guard.check(&pre, &pre.clone()), GuardDecision::PassExact);
+    }
+
+    #[test]
+    fn expired_deadline_refuses_tier_c_with_out_of_time() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            tier: TierPolicy::Sat,
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            ..GuardConfig::default()
+        });
+        let decision = guard.check(&pre, &post);
+        assert_eq!(decision, GuardDecision::OutOfTime);
+        assert!(!decision.passed(), "OutOfTime must refuse the rewrite");
+        assert!(!decision.exact());
+        assert_eq!(decision.tier_name(), "deadline");
+        assert_eq!(guard.sat_runs(), 0, "expired deadline must not run SAT");
+        assert_eq!(guard.sat_skipped_deadline(), 1);
+        assert_eq!(guard.sampled_passes(), 0, "a refusal is not a sampled pass");
+    }
+
+    #[test]
+    fn generous_deadline_still_runs_tier_c() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            tier: TierPolicy::Sat,
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..GuardConfig::default()
+        });
+        assert_eq!(
+            guard.check(&pre, &post),
+            GuardDecision::RefutedSat {
+                output: "f".to_string()
+            }
+        );
+        assert_eq!(guard.sat_runs(), 1);
+        assert_eq!(guard.sat_skipped_deadline(), 0);
+    }
+
+    #[test]
+    fn sat_budget_derivation_caps_by_remaining_time() {
+        // Disabled budget: never run, deadline or not.
+        assert_eq!(sat_budget_for_deadline(0, None, 20_000.0), None);
+        assert_eq!(
+            sat_budget_for_deadline(0, Some(Duration::from_secs(10)), 20_000.0),
+            None
+        );
+        // No deadline: configured budget passes through untouched.
+        assert_eq!(sat_budget_for_deadline(5_000, None, 20_000.0), Some(5_000));
+        // Generous remaining time: capped at the configured budget.
+        assert_eq!(
+            sat_budget_for_deadline(5_000, Some(Duration::from_secs(3600)), 20_000.0),
+            Some(5_000)
+        );
+        // Tight remaining time: capped by what the observed rate affords.
+        // 1 ms at 20 µs/conflict affords exactly 50 conflicts.
+        assert_eq!(
+            sat_budget_for_deadline(5_000, Some(Duration::from_millis(1)), 20_000.0),
+            Some(50)
+        );
+        // Less than one conflict's worth of time: degrade instead of run.
+        assert_eq!(
+            sat_budget_for_deadline(5_000, Some(Duration::from_nanos(100)), 20_000.0),
+            None
+        );
+    }
+
+    #[test]
+    fn set_deadline_retargets_a_reused_guard() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            tier: TierPolicy::Sat,
+            ..GuardConfig::default()
+        });
+        guard.set_deadline(Some(Instant::now() - Duration::from_secs(1)));
+        assert_eq!(guard.check(&pre, &post), GuardDecision::OutOfTime);
+        assert_eq!(guard.sat_skipped_deadline(), 1);
+        guard.set_deadline(None);
+        assert_eq!(
+            guard.check(&pre, &post),
+            GuardDecision::RefutedSat {
+                output: "f".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn adopt_config_keeps_pools_when_shape_unchanged() {
+        let (wide, _) = wide_pair();
+        let mut guard = Guard::new(GuardConfig::default());
+        guard.check(&wide, &wide.clone());
+        assert_eq!(guard.pools.len(), 1);
+        // Same pool shape, different exact tier tunables: cache survives.
+        guard.adopt_config(GuardConfig {
+            exact_node_limit: 1,
+            tier: TierPolicy::Sim,
+            deadline: Some(Instant::now()),
+            ..GuardConfig::default()
+        });
+        assert_eq!(guard.pools.len(), 1, "pool cache must survive re-tuning");
+        // A seed change invalidates the cached pools.
+        guard.adopt_config(GuardConfig {
+            seed: 1,
+            ..GuardConfig::default()
+        });
+        assert_eq!(guard.pools.len(), 0, "stale-shaped pools must be dropped");
     }
 
     #[test]

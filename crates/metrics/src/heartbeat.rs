@@ -11,6 +11,11 @@
 //! Missing keys render as zeros: the ticker works (dully) even when
 //! pointed at an empty registry, and needs no coordination with the
 //! engine beyond the shared handle.
+//!
+//! Dropping a `Heartbeat` always flushes one last `[final]`-tagged
+//! line before the ticker joins — including when the drop happens
+//! during a panic unwind — so the last progress a quarantined job
+//! made is never lost to the tick period.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -18,6 +23,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::registry::MetricsHandle;
+
+/// Where heartbeat lines go. Boxed so tests (and services that want to
+/// journal heartbeats) can capture them instead of writing stderr.
+type Sink = Box<dyn FnMut(&str) + Send>;
 
 /// Rate bookkeeping carried between ticks.
 #[derive(Debug, Default)]
@@ -62,7 +71,7 @@ pub fn format_tick(handle: &MetricsHandle, state: &mut TickState, elapsed_secs: 
     )
 }
 
-/// A background stderr ticker; stops (and joins) on drop.
+/// A background ticker; stops, flushes a final line, and joins on drop.
 #[derive(Debug)]
 pub struct Heartbeat {
     stop: Arc<AtomicBool>,
@@ -70,10 +79,17 @@ pub struct Heartbeat {
 }
 
 impl Heartbeat {
-    /// Starts a ticker over `handle` emitting every `period`. Periods
-    /// below 100 ms are clamped up to keep stderr readable.
+    /// Starts a stderr ticker over `handle` emitting every `period`.
+    /// Periods below 100 ms are clamped up to keep stderr readable.
     #[must_use]
     pub fn start(handle: MetricsHandle, period: Duration) -> Heartbeat {
+        Heartbeat::start_with_sink(handle, period, Box::new(|line| eprintln!("{line}")))
+    }
+
+    /// Like [`Heartbeat::start`] with an explicit sink for the emitted
+    /// lines (periodic ticks and the final drop-time flush alike).
+    #[must_use]
+    pub fn start_with_sink(handle: MetricsHandle, period: Duration, mut sink: Sink) -> Heartbeat {
         let period = period.max(Duration::from_millis(100));
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
@@ -88,12 +104,18 @@ impl Heartbeat {
                 }
                 if t0.elapsed() >= next {
                     next += period;
-                    eprintln!(
-                        "{}",
-                        format_tick(&handle, &mut state, t0.elapsed().as_secs_f64())
-                    );
+                    sink(&format_tick(
+                        &handle,
+                        &mut state,
+                        t0.elapsed().as_secs_f64(),
+                    ));
                 }
             }
+            // The owner is dropping us (possibly mid-unwind after a
+            // panic): flush one last summary so the run's final counter
+            // values are on record even if no tick period ever elapsed.
+            let line = format_tick(&handle, &mut state, t0.elapsed().as_secs_f64());
+            sink(&format!("{line} [final]"));
         });
         Heartbeat {
             stop,
@@ -114,6 +136,16 @@ impl Drop for Heartbeat {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    fn capture() -> (Arc<Mutex<Vec<String>>>, Sink) {
+        let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_lines = Arc::clone(&lines);
+        let sink: Sink = Box::new(move |line: &str| {
+            sink_lines.lock().expect("sink lock").push(line.to_string());
+        });
+        (lines, sink)
+    }
 
     #[test]
     fn tick_formats_rates_and_eta() {
@@ -151,5 +183,39 @@ mod tests {
     fn heartbeat_stops_on_drop() {
         let hb = Heartbeat::start(MetricsHandle::new(), Duration::from_secs(60));
         drop(hb); // must not hang waiting out the period
+    }
+
+    #[test]
+    fn drop_flushes_a_final_line_before_any_tick() {
+        let m = MetricsHandle::new();
+        m.counter("engine.pairs").add(7);
+        let (lines, sink) = capture();
+        let hb = Heartbeat::start_with_sink(m, Duration::from_secs(60), sink);
+        drop(hb);
+        let lines = lines.lock().expect("lines");
+        assert_eq!(lines.len(), 1, "exactly the final flush: {lines:?}");
+        assert!(lines[0].ends_with("[final]"), "{}", lines[0]);
+        assert!(lines[0].contains("pairs 7"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn final_line_survives_a_panic_unwind() {
+        let m = MetricsHandle::new();
+        m.counter("engine.pairs").add(3);
+        let (lines, sink) = capture();
+        let hb = Heartbeat::start_with_sink(m, Duration::from_secs(60), sink);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _hold = hb;
+            panic!("job quarantined");
+        }));
+        assert!(result.is_err());
+        let lines = lines.lock().expect("lines");
+        assert_eq!(
+            lines.len(),
+            1,
+            "unwind drop must still flush the final line: {lines:?}"
+        );
+        assert!(lines[0].contains("pairs 3 "), "{}", lines[0]);
+        assert!(lines[0].ends_with("[final]"), "{}", lines[0]);
     }
 }

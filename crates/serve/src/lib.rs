@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # boolsubst-serve — a fault-tolerant optimization daemon
+//!
+//! ROADMAP item 3 assembled: the guarded, budgeted, metered `Session`
+//! (PRs 4–8) behind a long-running multi-tenant service. Robustness is
+//! the design axis, and it follows the same degradation discipline the
+//! guard tiers established — every overload, fault, or crash degrades
+//! to a *defined, observable* outcome, never a hang and never silent
+//! loss:
+//!
+//! * **Admission control** ([`state`]): a bounded queue sheds with
+//!   `429 + Retry-After` when full, per-tenant in-flight caps stop one
+//!   tenant from starving the rest, and a draining daemon sheds `503`.
+//! * **Per-job fault isolation** ([`server`]): each job runs under
+//!   `catch_unwind`; a panic quarantines the job (typed, journaled) and
+//!   recycles the worker thread, while per-job deadlines ride the
+//!   existing `SubstOptions` machinery — an expired deadline returns a
+//!   valid partial result, and the guard's tier C SAT budget is derived
+//!   from the time remaining.
+//! * **Crash-only recovery** ([`journal`]): every transition appends to
+//!   a JSONL write-ahead log (`accepted → started → done | failed |
+//!   quarantined`). Boot replays the log: accepted-but-unfinished jobs
+//!   re-queue, jobs that crashed the daemon twice are poisoned, torn
+//!   tail lines are tolerated and counted.
+//! * **Retry with backoff + jitter** ([`client`]): 429/503 and
+//!   transport errors back off exponentially with deterministic jitter;
+//!   results resting on sampled guard verdicts can escalate once.
+//! * **Graceful drain**: `POST /shutdown` closes the listener, lets the
+//!   queue empty under a drain deadline, and fsyncs the journal.
+//!
+//! The HTTP layer ([`http`]) is hand-rolled over `std::net` — the
+//! workspace's no-external-deps posture extends to the service. The
+//! `chaos` feature adds service-layer fault injection (`X-Chaos:
+//! panic` / `X-Chaos: sleep:<ms>`) used by the chaos test suite.
+
+pub mod client;
+pub mod config;
+pub mod http;
+pub mod job;
+pub mod journal;
+pub mod server;
+pub mod state;
+
+pub use client::{Client, JobRequest, JobView};
+pub use config::ServeConfig;
+pub use job::{JobOutcome, JobSpec, JobStatus};
+pub use journal::{audit, replay, Audit, Journal, Replay};
+pub use server::Server;
+pub use state::{Shed, State};

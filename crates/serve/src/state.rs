@@ -1,0 +1,386 @@
+//! Shared daemon state: the bounded job queue, per-job records,
+//! admission control, and the worker hand-off protocol.
+//!
+//! One mutex guards the whole `Inner` block — contention is bounded by
+//! the worker count and the admission path does no I/O beyond a single
+//! journal append, so a finer lock structure would buy nothing but
+//! ordering bugs. The journal append happens *before* a job becomes
+//! visible in the queue: a daemon killed between the two replays the
+//! accepted event and re-queues the job, so admission is never lossy.
+
+use crate::config::ServeConfig;
+use crate::job::{JobOutcome, JobSpec, JobStatus};
+use crate::journal::Journal;
+use boolsubst_metrics::MetricsHandle;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a submission was shed instead of accepted. Each maps to an HTTP
+/// status plus a `Retry-After` hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The bounded queue is at capacity: 429.
+    QueueFull,
+    /// The tenant is at its in-flight cap: 429.
+    TenantCap,
+    /// The daemon is draining: 503.
+    Draining,
+}
+
+impl Shed {
+    /// HTTP status for the rejection.
+    #[must_use]
+    pub fn status(self) -> u16 {
+        match self {
+            Shed::QueueFull | Shed::TenantCap => 429,
+            Shed::Draining => 503,
+        }
+    }
+
+    /// `Retry-After` hint, seconds.
+    #[must_use]
+    pub fn retry_after_secs(self) -> u64 {
+        match self {
+            Shed::QueueFull | Shed::TenantCap => 1,
+            Shed::Draining => 5,
+        }
+    }
+
+    /// Stable label (metrics keys, JSON error bodies).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Shed::QueueFull => "queue_full",
+            Shed::TenantCap => "tenant_cap",
+            Shed::Draining => "draining",
+        }
+    }
+}
+
+/// Everything the server remembers about one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The accepted request.
+    pub spec: JobSpec,
+    /// Current position in the state machine.
+    pub status: JobStatus,
+    /// `started` events burned so far (journal attempts + this process).
+    pub attempts: u32,
+    /// The optimized netlist, once done.
+    pub result: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, JobRecord>,
+    tenant_inflight: HashMap<String, usize>,
+    next_id: u64,
+    running: usize,
+    workers_alive: usize,
+    draining: bool,
+}
+
+/// The shared state block behind every connection handler and worker.
+#[derive(Debug)]
+pub struct State {
+    inner: Mutex<Inner>,
+    /// Signalled when the queue gains work or drain starts.
+    work: Condvar,
+    /// Signalled when a worker exits (drain-completion watchers).
+    idle: Condvar,
+    /// The append-only WAL; its own lock so admission holds both for
+    /// only the accepted append (journal first, queue second).
+    pub journal: Mutex<Journal>,
+    /// Shared registry: service gauges/counters plus whatever the
+    /// optimization sessions book while running.
+    pub metrics: MetricsHandle,
+    /// Immutable service tunables.
+    pub config: ServeConfig,
+}
+
+impl State {
+    /// Builds the state block around an opened journal.
+    #[must_use]
+    pub fn new(config: ServeConfig, journal: Journal, next_id: u64) -> State {
+        let metrics = MetricsHandle::new();
+        State {
+            inner: Mutex::new(Inner {
+                next_id,
+                ..Inner::default()
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            journal: Mutex::new(journal),
+            metrics,
+            config,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A worker that panics while holding the lock is a daemon bug,
+        // not a job fault (job code runs outside the lock, under
+        // catch_unwind). Recover the data anyway: serving degraded beats
+        // deadlocking every connection.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admission control: journal + enqueue, or shed with a typed reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Shed`] class when the daemon is draining, the
+    /// bounded queue is full, or the tenant is at its in-flight cap.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<u64, Shed> {
+        let mut inner = self.lock();
+        if inner.draining {
+            self.metrics.counter("serve.shed.draining").inc();
+            return Err(Shed::Draining);
+        }
+        if inner.queue.len() >= self.config.max_queue {
+            self.metrics.counter("serve.shed.queue_full").inc();
+            return Err(Shed::QueueFull);
+        }
+        let inflight = inner
+            .tenant_inflight
+            .get(&spec.tenant)
+            .copied()
+            .unwrap_or(0);
+        if inflight >= self.config.tenant_cap {
+            self.metrics.counter("serve.shed.tenant_cap").inc();
+            return Err(Shed::TenantCap);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        spec.id = id;
+        // WAL discipline: the accepted event hits the journal before the
+        // job is visible anywhere else.
+        self.journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .accepted(&spec);
+        *inner
+            .tenant_inflight
+            .entry(spec.tenant.clone())
+            .or_insert(0) += 1;
+        inner.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                status: JobStatus::Queued,
+                attempts: 0,
+                result: None,
+            },
+        );
+        inner.queue.push_back(id);
+        self.metrics.counter("serve.jobs.accepted").inc();
+        drop(inner);
+        self.work.notify_one();
+        Ok(id)
+    }
+
+    /// Re-queues a job recovered from the journal (already journaled as
+    /// accepted; bypasses admission control — it was admitted by the
+    /// previous incarnation).
+    pub fn requeue_replayed(&self, spec: JobSpec, attempts: u32) {
+        let mut inner = self.lock();
+        let id = spec.id;
+        *inner
+            .tenant_inflight
+            .entry(spec.tenant.clone())
+            .or_insert(0) += 1;
+        inner.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                status: JobStatus::Queued,
+                attempts,
+                result: None,
+            },
+        );
+        inner.queue.push_back(id);
+        self.metrics.counter("serve.jobs.requeued").inc();
+        drop(inner);
+        self.work.notify_one();
+    }
+
+    /// Records a job poisoned by replay (terminal without running).
+    pub fn mark_poisoned(&self, spec: JobSpec, attempts: u32) {
+        let mut inner = self.lock();
+        let id = spec.id;
+        inner.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                status: JobStatus::Poisoned,
+                attempts,
+                result: None,
+            },
+        );
+        drop(inner);
+        self.journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .poisoned(id);
+        self.metrics.counter("serve.jobs.poisoned").inc();
+    }
+
+    /// Worker hand-off: blocks until a job is available (returning its
+    /// spec and 1-based attempt number, with `started` journaled) or the
+    /// daemon is draining with an empty queue (`None`: the worker exits).
+    pub fn next_job(&self) -> Option<(JobSpec, u32)> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(id) = inner.queue.pop_front() {
+                let record = inner.jobs.get_mut(&id).expect("queued job has a record");
+                record.status = JobStatus::Running;
+                record.attempts += 1;
+                let attempt = record.attempts;
+                let spec = record.spec.clone();
+                inner.running += 1;
+                drop(inner);
+                self.journal
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .started(id, attempt);
+                return Some((spec, attempt));
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self
+                .work
+                .wait_timeout(inner, Duration::from_millis(200))
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    fn finish(&self, id: u64, status: JobStatus, result: Option<Vec<u8>>) {
+        let mut inner = self.lock();
+        if let Some(record) = inner.jobs.get_mut(&id) {
+            let tenant = record.spec.tenant.clone();
+            record.status = status;
+            record.result = result;
+            if let Some(n) = inner.tenant_inflight.get_mut(&tenant) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        inner.running = inner.running.saturating_sub(1);
+        drop(inner);
+        self.idle.notify_all();
+    }
+
+    /// Terminal transition: done, with the optimized netlist.
+    pub fn complete(&self, id: u64, outcome: JobOutcome, result: Vec<u8>) {
+        self.journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .done(
+                id,
+                outcome.substitutions,
+                outcome.literal_gain,
+                outcome.interrupted,
+            );
+        self.metrics.counter("serve.jobs.done").inc();
+        self.metrics
+            .histogram("serve.job_ms")
+            .observe(outcome.wall_ms);
+        self.finish(id, JobStatus::Done(outcome), Some(result));
+    }
+
+    /// Terminal transition: typed failure (daemon healthy, job bad).
+    pub fn fail(&self, id: u64, error: &str) {
+        self.journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .failed(id, error);
+        self.metrics.counter("serve.jobs.failed").inc();
+        self.finish(id, JobStatus::Failed(error.to_string()), None);
+    }
+
+    /// Terminal transition: worker panic caught and attributed.
+    pub fn quarantine(&self, id: u64, error: &str) {
+        self.journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .quarantined(id, error);
+        self.metrics.counter("serve.jobs.quarantined").inc();
+        self.finish(id, JobStatus::Quarantined(error.to_string()), None);
+    }
+
+    /// A snapshot of one job's record.
+    #[must_use]
+    pub fn job(&self, id: u64) -> Option<JobRecord> {
+        self.lock().jobs.get(&id).cloned()
+    }
+
+    /// Starts the drain: no new admissions, workers exit once the queue
+    /// is empty.
+    pub fn drain(&self) {
+        self.lock().draining = true;
+        self.metrics.gauge("serve.draining").set(1);
+        self.work.notify_all();
+    }
+
+    /// Whether drain has been requested.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Bookkeeping: a worker thread is live (called before spawn, so the
+    /// count never under-reads during recycling).
+    pub fn worker_spawned(&self) {
+        let mut inner = self.lock();
+        inner.workers_alive += 1;
+        let alive = inner.workers_alive;
+        drop(inner);
+        self.metrics
+            .gauge("serve.workers")
+            .set(i64::try_from(alive).unwrap_or(i64::MAX));
+    }
+
+    /// Bookkeeping: a worker thread exited (drain or recycle).
+    pub fn worker_exited(&self) {
+        let mut inner = self.lock();
+        inner.workers_alive = inner.workers_alive.saturating_sub(1);
+        let alive = inner.workers_alive;
+        drop(inner);
+        self.metrics
+            .gauge("serve.workers")
+            .set(i64::try_from(alive).unwrap_or(i64::MAX));
+        self.idle.notify_all();
+    }
+
+    /// Blocks until every worker has exited, or `deadline` passes.
+    /// Returns whether the pool fully drained.
+    pub fn wait_workers_exit(&self, deadline: Instant) -> bool {
+        let mut inner = self.lock();
+        while inner.workers_alive > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            inner = self
+                .idle
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        true
+    }
+
+    /// Refreshes the point-in-time gauges (scrape path).
+    pub fn refresh_gauges(&self) {
+        let inner = self.lock();
+        let depth = i64::try_from(inner.queue.len()).unwrap_or(i64::MAX);
+        let running = i64::try_from(inner.running).unwrap_or(i64::MAX);
+        drop(inner);
+        self.metrics.gauge("serve.queue_depth").set(depth);
+        self.metrics.gauge("serve.running").set(running);
+    }
+}

@@ -35,6 +35,7 @@ pub use boolsubst_guard as guard;
 pub use boolsubst_metrics as metrics;
 pub use boolsubst_network as network;
 pub use boolsubst_sat as sat;
+pub use boolsubst_serve as serve;
 pub use boolsubst_sim as sim;
 pub use boolsubst_trace as trace;
 pub use boolsubst_workloads as workloads;

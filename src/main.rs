@@ -48,6 +48,10 @@ USAGE:
   boolsubst faults <in> [--vectors <n>] [--budget <n>]
   boolsubst rar <in> [-o <out>]
   boolsubst divide <num_vars> <f-sop> <d-sop> [--pos | --extended]
+  boolsubst serve [--addr <host:port>] [--workers <n>] [--max-queue <n>]
+                  [--tenant-cap <n>] [--journal <path>]
+                  [--drain-deadline <secs>] [--default-deadline-ms <ms>]
+                  [--threads-per-job <n>]
 
 Netlist paths may be BLIF (.blif), ASCII AIGER (.aag) or binary AIGER
 (.aig); the format is chosen by extension on both input and output.
@@ -67,6 +71,7 @@ fn main() -> ExitCode {
         Some("faults") => cmd_faults(&args[1..]),
         Some("rar") => cmd_rar(&args[1..]),
         Some("divide") => cmd_divide(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -471,6 +476,81 @@ fn cmd_rar(args: &[String]) -> Result<(), String> {
         eprintln!("verified: outputs unchanged (exhaustive)");
     }
     write_network(&back, output)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = boolsubst::serve::ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--workers" => {
+                config.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --workers value")?;
+            }
+            "--max-queue" => {
+                config.max_queue = it
+                    .next()
+                    .ok_or("--max-queue needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-queue value")?;
+            }
+            "--tenant-cap" => {
+                config.tenant_cap = it
+                    .next()
+                    .ok_or("--tenant-cap needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --tenant-cap value")?;
+            }
+            "--journal" => {
+                config.journal_path = it.next().ok_or("--journal needs a path")?.into();
+            }
+            "--drain-deadline" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--drain-deadline needs a value in seconds")?
+                    .parse()
+                    .map_err(|_| "bad --drain-deadline value")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("bad --drain-deadline value".into());
+                }
+                config.drain_deadline = Duration::from_secs_f64(secs);
+            }
+            "--default-deadline-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--default-deadline-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --default-deadline-ms value")?;
+                config.default_deadline_ms = (ms > 0).then_some(ms);
+            }
+            "--threads-per-job" => {
+                config.threads_per_job = it
+                    .next()
+                    .ok_or("--threads-per-job needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --threads-per-job value")?;
+                if config.threads_per_job == 0 {
+                    return Err("bad --threads-per-job value (must be >= 1)".into());
+                }
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let server = boolsubst::serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "boolsubst-serve listening on {} (POST /jobs, GET /metrics, POST /shutdown)",
+        server.local_addr()
+    );
+    if server.serve_forever() {
+        eprintln!("drained cleanly; journal synced");
+    } else {
+        eprintln!("drain deadline hit; unfinished jobs re-queue on next boot");
+    }
+    Ok(())
 }
 
 fn cmd_divide(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,259 @@
+//! Service-layer chaos suite (`--features chaos`): each test arms one
+//! fault class against a live daemon and asserts the triple the ISSUE
+//! demands — the fault is *detected* (typed status or metric), it is
+//! *journaled*, and the daemon *keeps serving* afterwards. Companion to
+//! `tests/chaos.rs`, which does the same for the in-process guards.
+#![cfg(feature = "chaos")]
+
+use boolsubst::network::write_blif;
+use boolsubst::serve::{audit, Client, JobRequest, ServeConfig, Server};
+use boolsubst::workloads::generator::{random_network, GeneratorParams};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn journal_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("boolsubst-serve-chaos");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(format!(
+        "{tag}-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+fn start(tag: &str, workers: usize, max_queue: usize) -> (Server, PathBuf) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        max_queue,
+        journal_path: journal_path(tag),
+        drain_deadline: Duration::from_secs(20),
+        ..ServeConfig::default()
+    };
+    let journal = config.journal_path.clone();
+    (Server::start(config).expect("start"), journal)
+}
+
+fn payload(seed: u64) -> Vec<u8> {
+    write_blif(&random_network(seed, &GeneratorParams::default())).into_bytes()
+}
+
+/// Reads one counter out of a Prometheus exposition.
+fn prom_counter(text: &str, key: &str) -> u64 {
+    text.lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(' ')?;
+            (name == key).then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn worker_panic_is_quarantined_and_the_daemon_keeps_serving() {
+    let (server, journal) = start("panic", 1, 16);
+    let mut client = Client::new(server.local_addr().to_string());
+
+    // Job 1 panics mid-worker. The panic must surface as a quarantine,
+    // not as a dead daemon or a hung client.
+    let mut bomb = JobRequest::new(payload(7));
+    bomb.chaos = Some("panic".to_string());
+    let view = client
+        .submit_and_wait(&bomb, Duration::from_secs(30))
+        .expect("terminal");
+    assert_eq!(view.state, "quarantined");
+    assert!(
+        view.error.as_deref().unwrap_or("").contains("chaos"),
+        "quarantine must carry the panic message: {:?}",
+        view.error
+    );
+
+    // Job 2 is healthy and must run on the recycled worker.
+    let view = client
+        .submit_and_wait(&JobRequest::new(payload(8)), Duration::from_secs(60))
+        .expect("terminal");
+    assert_eq!(view.state, "done", "error: {:?}", view.error);
+
+    let prom = client.metrics_text().expect("metrics");
+    assert_eq!(prom_counter(&prom, "serve_jobs_quarantined"), 1, "{prom}");
+    assert!(prom_counter(&prom, "serve_worker_recycles") >= 1, "{prom}");
+
+    assert!(server.join(), "recycled pool must still drain");
+    let audit = audit(&journal).expect("audit");
+    assert!(audit.lost.is_empty(), "lost: {:?}", audit.lost);
+    assert_eq!(
+        audit.terminal.get("quarantined"),
+        Some(&1),
+        "journal must carry the quarantine: {:?}",
+        audit.terminal
+    );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn malformed_netlist_fails_typed_and_the_daemon_keeps_serving() {
+    let (server, journal) = start("badnet", 1, 16);
+    let mut client = Client::new(server.local_addr().to_string());
+
+    // Garbage bytes are admitted (they are a syntactically fine HTTP
+    // request) but must fail as a *job* with an ingest attribution.
+    let view = client
+        .submit_and_wait(
+            &JobRequest::new(b".model broken\n.garbage\n".to_vec()),
+            Duration::from_secs(30),
+        )
+        .expect("terminal");
+    assert_eq!(view.state, "failed");
+    assert!(
+        view.error.as_deref().unwrap_or("").contains("ingest"),
+        "failure must name the ingest stage: {:?}",
+        view.error
+    );
+
+    let view = client
+        .submit_and_wait(&JobRequest::new(payload(9)), Duration::from_secs(60))
+        .expect("terminal");
+    assert_eq!(view.state, "done");
+
+    assert!(server.join());
+    let audit = audit(&journal).expect("audit");
+    assert!(audit.lost.is_empty());
+    assert_eq!(audit.terminal.get("failed"), Some(&1));
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn truncated_body_is_rejected_journaled_and_not_admitted() {
+    let (server, journal) = start("truncated", 1, 16);
+    let client = Client::new(server.local_addr().to_string());
+
+    // Claim 1000 body bytes, send 10, slam the connection shut: the
+    // signature of a crashing client. The daemon must answer 400 (when
+    // the answer can still be delivered), journal the rejection, and
+    // admit nothing.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 1000\r\n\r\n.model t\n")
+        .expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut raw = Vec::new();
+    let _ = stream.read_to_end(&mut raw);
+    let head = String::from_utf8_lossy(&raw);
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    drop(stream);
+
+    // The daemon still serves, and nothing was admitted.
+    let mut follow_up = Client::new(server.local_addr().to_string());
+    let id = follow_up
+        .submit(&JobRequest::new(payload(10)))
+        .expect("accepted");
+    let view = follow_up
+        .wait(id, Duration::from_secs(60))
+        .expect("terminal");
+    assert_eq!(view.state, "done");
+    let prom = client.metrics_text().expect("metrics");
+    assert_eq!(prom_counter(&prom, "serve_http_rejected_truncated_body"), 1);
+    assert_eq!(prom_counter(&prom, "serve_jobs_accepted"), 1, "{prom}");
+
+    assert!(server.join());
+    let audit = audit(&journal).expect("audit");
+    assert_eq!(audit.rejected, 1, "rejection must be journaled");
+    assert!(audit.lost.is_empty());
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn torn_journal_tail_is_tolerated_counted_and_replayed_past() {
+    let journal = journal_path("torn");
+
+    // Incarnation 1 accepts a job that never runs (no workers), then the
+    // "process dies" and we tear the journal's tail mid-line — the exact
+    // artifact of `kill -9` during an append.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0,
+        journal_path: journal.clone(),
+        ..ServeConfig::default()
+    };
+    let server1 = Server::start(config).expect("start 1");
+    let id = Client::new(server1.local_addr().to_string())
+        .submit(&JobRequest::new(payload(11)))
+        .expect("accepted");
+    server1.drain();
+    drop(server1);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("open journal");
+        f.write_all(b"{\"ev\":\"started\",\"id\":9").expect("tear");
+    }
+
+    // Incarnation 2 must boot anyway, count the torn line, and finish
+    // the re-queued job.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        journal_path: journal.clone(),
+        drain_deadline: Duration::from_secs(20),
+        ..ServeConfig::default()
+    };
+    let server2 = Server::start(config).expect("boot past torn tail");
+    let client = Client::new(server2.local_addr().to_string());
+    let view = client.wait(id, Duration::from_secs(60)).expect("terminal");
+    assert_eq!(view.state, "done", "error: {:?}", view.error);
+    let prom = client.metrics_text().expect("metrics");
+    assert_eq!(prom_counter(&prom, "serve_journal_torn_lines"), 1, "{prom}");
+
+    assert!(server2.join());
+    let audit = audit(&journal).expect("audit");
+    assert!(audit.lost.is_empty(), "lost: {:?}", audit.lost);
+    assert_eq!(audit.torn_lines, 1);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn queue_full_storm_resolves_through_backoff_with_zero_lost_jobs() {
+    // One worker, a two-slot queue, and six concurrent clients whose
+    // jobs each stall 150 ms: admissions *must* shed, and the clients'
+    // backoff discipline must still land every job.
+    let (server, journal) = start("storm", 1, 2);
+    let addr = server.local_addr().to_string();
+
+    let handles: Vec<_> = (0..6)
+        .map(|k| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(addr);
+                client.max_retries = 20;
+                client.backoff_base = Duration::from_millis(20);
+                let mut req = JobRequest::new(payload(20 + k));
+                req.chaos = Some("sleep:150".to_string());
+                let id = client.submit(&req)?;
+                client.wait(id, Duration::from_secs(60))
+            })
+        })
+        .collect();
+    for h in handles {
+        let view = h.join().expect("client thread").expect("job landed");
+        assert_eq!(view.state, "done", "error: {:?}", view.error);
+    }
+
+    let client = Client::new(addr);
+    let prom = client.metrics_text().expect("metrics");
+    assert!(
+        prom_counter(&prom, "serve_shed_queue_full") > 0,
+        "the storm must actually have shed: {prom}"
+    );
+    assert_eq!(prom_counter(&prom, "serve_jobs_done"), 6, "{prom}");
+
+    assert!(server.join());
+    let audit = audit(&journal).expect("audit");
+    assert_eq!(audit.accepted, 6);
+    assert!(audit.lost.is_empty(), "lost: {:?}", audit.lost);
+    let _ = std::fs::remove_file(&journal);
+}
