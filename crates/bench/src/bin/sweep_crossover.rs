@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use boolsubst_algebraic::{algebraic_resub, network_factored_literals, ResubOptions};
 use boolsubst_core::subst::boolean_substitute_legacy;
 use boolsubst_core::verify::networks_equivalent;
-use boolsubst_core::{Session, SubstOptions, SubstStats};
+use boolsubst_core::{Discovery, Session, SubstOptions, SubstStats};
 use boolsubst_guard::TierPolicy;
 use boolsubst_metrics::MetricsHandle;
 use boolsubst_network::{write_blif, Network};
@@ -210,6 +210,7 @@ fn json_row(r: &SweepRow) -> String {
     }
     let mut obj = JsonObj::new();
     obj.str("mode", r.mode)
+        .str("discovery", Discovery::Overlap.name())
         .u64("threads", u(r.threads))
         .u64("host_cpus", u(r.host_cpus))
         .u64("nodes", u(r.nodes))
@@ -295,6 +296,8 @@ struct NodeRow {
     family: &'static str,
     target: usize,
     nodes: usize,
+    /// The resolved discovery strategy the run actually used.
+    discovery: &'static str,
     gen_secs: f64,
     sweep_secs: f64,
     pairs: usize,
@@ -315,6 +318,7 @@ fn json_node_row(r: &NodeRow) -> String {
         .str("family", r.family)
         .u64("target_nodes", u(r.target))
         .u64("nodes", u(r.nodes))
+        .str("discovery", r.discovery)
         .f64("gen_secs", r.gen_secs, 3)
         .f64("sweep_secs", r.sweep_secs, 3)
         .u64("pairs", u(r.pairs))
@@ -374,6 +378,7 @@ fn node_sweep(smoke: bool) -> Vec<NodeRow> {
                 family: Family::Adder.name(),
                 target,
                 nodes,
+                discovery: stats.discovery.name(),
                 gen_secs,
                 sweep_secs,
                 pairs,
@@ -392,6 +397,148 @@ fn node_sweep(smoke: bool) -> Vec<NodeRow> {
                 row.pairs,
                 row.cand_per_s,
                 row.substitutions,
+                if row.interrupted { "yes" } else { "no" }
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// One run of the discovery crossover: the same instance swept in
+/// extended checked mode under each divisor-discovery strategy, with the
+/// proposal funnel recorded so the BENCH table shows where signature
+/// classes win (and that their accepted rewrites are guard-verified).
+struct DiscRow {
+    family: &'static str,
+    target: usize,
+    nodes: usize,
+    discovery: &'static str,
+    deadline_secs: f64,
+    gen_secs: f64,
+    sweep_secs: f64,
+    pairs: usize,
+    cand_per_s: f64,
+    proposed: usize,
+    bucket_hits: usize,
+    proofs_run: usize,
+    accepted: usize,
+    substitutions: usize,
+    literal_gain: i64,
+    guard_rejections: usize,
+    guard_pass_sampled: usize,
+    interrupted: bool,
+}
+
+fn json_disc_row(r: &DiscRow) -> String {
+    fn u(v: usize) -> u64 {
+        u64::try_from(v).unwrap_or(u64::MAX)
+    }
+    JsonObj::new()
+        .str("kind", "discovery")
+        .str("mode", "extended")
+        .str("family", r.family)
+        .u64("target_nodes", u(r.target))
+        .u64("nodes", u(r.nodes))
+        .str("discovery", r.discovery)
+        .f64("deadline_secs", r.deadline_secs, 1)
+        .f64("gen_secs", r.gen_secs, 3)
+        .f64("sweep_secs", r.sweep_secs, 3)
+        .u64("pairs", u(r.pairs))
+        .f64("candidates_per_s", r.cand_per_s, 1)
+        .u64("proposed", u(r.proposed))
+        .u64("bucket_hits", u(r.bucket_hits))
+        .u64("proofs_run", u(r.proofs_run))
+        .u64("accepted", u(r.accepted))
+        .u64("substitutions", u(r.substitutions))
+        .i64("literal_gain", r.literal_gain)
+        .u64("guard_rejections", u(r.guard_rejections))
+        .u64("guard_pass_sampled", u(r.guard_pass_sampled))
+        .bool("interrupted", r.interrupted)
+        .finish()
+}
+
+/// Discovery crossover sweep: overlap vs signature-class divisor
+/// discovery on adder instances from the legacy-comparable 220 up to
+/// 100k gates, extended mode, checked apply (so every accepted rewrite
+/// is guard-verified), one deadline-bounded run per (size, strategy).
+/// The interesting row pair is the largest size: overlap's quadratic
+/// enumeration runs out of deadline while the signature pass finishes.
+fn discovery_sweep(smoke: bool) -> Vec<DiscRow> {
+    let targets: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[220, 10_000, 100_000]
+    };
+    // 200 s sits between the measured full-sweep times at 100k nodes on
+    // the 1-CPU reference container (signature ~150 s, overlap ~282 s —
+    // same 50 048 accepts, but overlap pays 247k division proofs where
+    // the screen leaves signature 55k), so the largest row pair shows
+    // the crossover: signature complete, overlap interrupted.
+    let deadline = Duration::from_secs_f64(if smoke { 5.0 } else { 200.0 });
+    println!(
+        "\nDiscovery crossover — adder family, extended checked, {deadline:?} deadline per run\n"
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>10} {:>12} {:>10} {:>8} {:>6} {:>7} {:>7}",
+        "discovery",
+        "nodes",
+        "sweep s",
+        "proposed",
+        "bucket hit",
+        "proofs",
+        "accept",
+        "subs",
+        "g.rej",
+        "cut off"
+    );
+    let mut rows = Vec::new();
+    for &target in targets {
+        let start = Instant::now();
+        let net = large_network(Family::Adder, target, 1);
+        let gen_secs = start.elapsed().as_secs_f64();
+        let nodes = net.internal_ids().count();
+        for discovery in [Discovery::Overlap, Discovery::Signature] {
+            let mut trial = net.clone();
+            let opts = SubstOptions::extended()
+                .with_checked(true)
+                .with_discovery(discovery)
+                .with_deadline(Instant::now() + deadline);
+            let start = Instant::now();
+            let stats = Session::new(&mut trial, opts).run();
+            let sweep_secs = start.elapsed().as_secs_f64();
+            let pairs = stats.candidates_enumerated + stats.filtered_by_index;
+            let row = DiscRow {
+                family: Family::Adder.name(),
+                target,
+                nodes,
+                discovery: stats.discovery.name(),
+                deadline_secs: deadline.as_secs_f64(),
+                gen_secs,
+                sweep_secs,
+                pairs,
+                cand_per_s: pairs as f64 / sweep_secs,
+                proposed: stats.discovery_proposed,
+                bucket_hits: stats.discovery_bucket_hits,
+                proofs_run: stats.discovery_proofs_run,
+                accepted: stats.discovery_accepted,
+                substitutions: stats.substitutions,
+                literal_gain: stats.literal_gain,
+                guard_rejections: stats.guard_rejections,
+                guard_pass_sampled: stats.guard_pass_sampled,
+                interrupted: stats.interrupted,
+            };
+            println!(
+                "{:<10} {:>8} {:>9.3} {:>10} {:>12} {:>10} {:>8} {:>6} {:>7} {:>7}",
+                row.discovery,
+                row.nodes,
+                row.sweep_secs,
+                row.proposed,
+                row.bucket_hits,
+                row.proofs_run,
+                row.accepted,
+                row.substitutions,
+                row.guard_rejections,
                 if row.interrupted { "yes" } else { "no" }
             );
             rows.push(row);
@@ -697,10 +844,12 @@ fn main() {
     );
     let (net, rows) = engine_vs_legacy(smoke);
     let node_rows = node_sweep(smoke);
+    let disc_rows = discovery_sweep(smoke);
     let json = json_array_pretty(
         rows.iter()
             .map(json_row)
-            .chain(node_rows.iter().map(json_node_row)),
+            .chain(node_rows.iter().map(json_node_row))
+            .chain(disc_rows.iter().map(json_disc_row)),
     );
     std::fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
     println!("\nwrote BENCH_sweep.json");

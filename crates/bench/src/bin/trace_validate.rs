@@ -63,6 +63,13 @@ fn validate_jsonl(text: &str) -> Result<(), String> {
                 v.get("mode")
                     .and_then(Json::as_str)
                     .ok_or_else(|| format!("line {}: meta without mode", i + 1))?;
+                let disc = v
+                    .get("discovery")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: meta without discovery", i + 1))?;
+                if !matches!(disc, "overlap" | "signature" | "auto") {
+                    return Err(format!("line {}: unknown discovery {disc:?}", i + 1));
+                }
             }
             "pair" => {
                 pairs += 1;
@@ -82,6 +89,23 @@ fn validate_jsonl(text: &str) -> Result<(), String> {
             "pass" | "shadow_build" | "sim_refine" => {
                 if v.get("dur_ns").and_then(Json::as_u64).is_none() {
                     return Err(format!("line {}: {ty} missing dur_ns", i + 1));
+                }
+            }
+            "guard" => {
+                let tier = v
+                    .get("tier")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: guard without tier", i + 1))?;
+                if !matches!(tier, "sim" | "bdd" | "sat" | "sampled") {
+                    return Err(format!("line {}: unknown guard tier {tier:?}", i + 1));
+                }
+                for field in ["passed", "exact"] {
+                    if v.get(field).and_then(Json::as_bool).is_none() {
+                        return Err(format!("line {}: guard missing {field}", i + 1));
+                    }
+                }
+                if v.get("dur_ns").and_then(Json::as_u64).is_none() {
+                    return Err(format!("line {}: guard missing dur_ns", i + 1));
                 }
             }
             other => return Err(format!("line {}: unknown type {other:?}", i + 1)),
@@ -229,6 +253,7 @@ fn validate_bench_sweep(text: &str) -> Result<(), String> {
         return Err("BENCH_sweep is empty".into());
     }
     let mut mt_util_rows = 0usize;
+    let mut discovery_rows = 0usize;
     for (i, row) in rows.iter().enumerate() {
         let res = match row.get("kind").and_then(Json::as_str) {
             None => {
@@ -237,6 +262,7 @@ fn validate_bench_sweep(text: &str) -> Result<(), String> {
                     row,
                     &[
                         ("mode", Ty::Str),
+                        ("discovery", Ty::Str),
                         ("threads", Ty::U64),
                         ("host_cpus", Ty::U64),
                         ("nodes", Ty::U64),
@@ -273,6 +299,7 @@ fn validate_bench_sweep(text: &str) -> Result<(), String> {
                     ("family", Ty::Str),
                     ("target_nodes", Ty::U64),
                     ("nodes", Ty::U64),
+                    ("discovery", Ty::Str),
                     ("gen_secs", Ty::F64),
                     ("sweep_secs", Ty::F64),
                     ("pairs", Ty::U64),
@@ -283,6 +310,41 @@ fn validate_bench_sweep(text: &str) -> Result<(), String> {
                     ("interrupted", Ty::Bool),
                 ],
             ),
+            Some("discovery") => {
+                discovery_rows += 1;
+                check_keys(
+                    row,
+                    &[
+                        ("mode", Ty::Str),
+                        ("family", Ty::Str),
+                        ("target_nodes", Ty::U64),
+                        ("nodes", Ty::U64),
+                        ("discovery", Ty::Str),
+                        ("deadline_secs", Ty::F64),
+                        ("gen_secs", Ty::F64),
+                        ("sweep_secs", Ty::F64),
+                        ("pairs", Ty::U64),
+                        ("candidates_per_s", Ty::F64),
+                        ("proposed", Ty::U64),
+                        ("bucket_hits", Ty::U64),
+                        ("proofs_run", Ty::U64),
+                        ("accepted", Ty::U64),
+                        ("substitutions", Ty::U64),
+                        ("literal_gain", Ty::I64),
+                        ("guard_rejections", Ty::U64),
+                        ("guard_pass_sampled", Ty::U64),
+                        ("interrupted", Ty::Bool),
+                    ],
+                )
+                .and_then(|()| {
+                    let disc = row.get("discovery").and_then(Json::as_str).unwrap_or("");
+                    if matches!(disc, "overlap" | "signature") {
+                        Ok(())
+                    } else {
+                        Err(format!("unknown resolved discovery {disc:?}"))
+                    }
+                })
+            }
             Some(other) => Err(format!("unknown row kind {other:?}")),
         };
         res.map_err(|e| format!("row {i}: {e}"))?;
@@ -290,8 +352,12 @@ fn validate_bench_sweep(text: &str) -> Result<(), String> {
     if mt_util_rows == 0 {
         return Err("no multi-threaded extended_mt utilization rows".into());
     }
+    if discovery_rows == 0 {
+        return Err("no discovery crossover rows".into());
+    }
     println!(
-        "bench-sweep ok: {} rows, {mt_util_rows} with worker utilization",
+        "bench-sweep ok: {} rows, {mt_util_rows} with worker utilization, \
+         {discovery_rows} discovery",
         rows.len()
     );
     Ok(())

@@ -31,9 +31,12 @@
 //! past the accepted divisor — reproducing the legacy visit sequence
 //! exactly.
 
+use crate::candidates::{build_source, CandidateSource, OverlapIndex, SourceCtx};
 use crate::metrics::EngineMetrics;
 use crate::netcircuit::ShadowBase;
-use crate::subst::{try_pair_core, Acceptance, GdcScope, SubstMode, SubstOptions, SubstStats};
+use crate::subst::{
+    try_pair_core, Acceptance, Discovery, GdcScope, SubstMode, SubstOptions, SubstStats,
+};
 use crate::txn::TxnSnapshot;
 use boolsubst_algebraic::JointSpace;
 use boolsubst_cube::Cover;
@@ -53,6 +56,135 @@ pub(crate) fn nanos(since: Instant) -> u64 {
 /// Node ids as the tracer's compact u32 representation.
 pub(crate) fn id32(id: NodeId) -> u32 {
     u32::try_from(id.index()).unwrap_or(u32::MAX)
+}
+
+/// Cone-restricted guard compare for local-function-preserving rewrites:
+/// runs the guard on the single-output TFI cone of every node the rewrite
+/// changed (`target` always; `divisor` too when an extended rewrite
+/// re-expressed it). The pre-rewrite cone is built straight from the
+/// mutated network with the snapshot's captured images as an overlay, so
+/// the whole-network clone the fallback path needs is never made here.
+/// Returns the combined decision when every cone passes — the least
+/// exact of the individual verdicts, so a sampled cone pass is never
+/// reported as a proof — or `None` when any cone was refuted, ran out of
+/// time, or could not be extracted; the caller falls back to the
+/// whole-network compare.
+fn cone_checked(
+    guard: &mut Guard,
+    snap: &TxnSnapshot,
+    post: &Network,
+    target: NodeId,
+    divisor: NodeId,
+) -> Option<GuardDecision> {
+    let mut decision: Option<GuardDecision> = None;
+    for root in [target, divisor] {
+        let node = post.node_opt(root)?;
+        let changed = match snap.image_of(root) {
+            Some((fanins, cover)) => fanins != node.fanins() || Some(cover) != node.cover(),
+            None => false, // never captured: the attempt could not touch it
+        };
+        if !changed {
+            continue; // plain substitution: the divisor is untouched
+        }
+        // Union primary-input support of the pre and post cones, in the
+        // shared input order, so the two cones compare positionally.
+        let mut support = vec![false; post.id_bound()];
+        for n in post.tfi(root) {
+            support[n.index()] = true;
+        }
+        pre_support(post, snap, root, &mut support);
+        let inputs: Vec<NodeId> = post
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|i| support[i.index()])
+            .collect();
+        let pre = pre_cone(post, snap, root, &inputs)?;
+        let post_cone = post.extract_cone(root, &inputs).ok()?;
+        let d = guard.check(&pre, &post_cone);
+        if !d.passed() {
+            return None;
+        }
+        decision = Some(match decision {
+            Some(prev) if !prev.exact() => prev,
+            _ => d,
+        });
+    }
+    decision
+}
+
+/// Resolves a node's pre-rewrite definition: the snapshot's captured
+/// image when the attempt touched it, the live definition otherwise.
+fn pre_def<'a>(
+    net: &'a Network,
+    snap: &'a TxnSnapshot,
+    id: NodeId,
+) -> (&'a [NodeId], Option<&'a Cover>) {
+    match snap.image_of(id) {
+        Some((fanins, cover)) => (fanins, Some(cover)),
+        None => {
+            let node = net.node(id);
+            (node.fanins(), node.cover())
+        }
+    }
+}
+
+/// Marks the primary inputs of `root`'s pre-rewrite cone in `support`
+/// (overlay walk over the mutated network).
+fn pre_support(net: &Network, snap: &TxnSnapshot, root: NodeId, support: &mut [bool]) {
+    let mut seen = vec![false; net.id_bound()];
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        let (fanins, cover) = pre_def(net, snap, n);
+        if cover.is_none() {
+            support[n.index()] = true;
+            continue;
+        }
+        stack.extend(fanins.iter().copied());
+    }
+}
+
+/// Builds the pre-rewrite TFI cone of `root` directly from the mutated
+/// network plus the snapshot overlay — no whole-network clone. Mirrors
+/// [`Network::extract_cone`] with definitions resolved through
+/// [`pre_def`]. `None` when the walk reaches a primary input missing
+/// from `inputs` or cone construction fails.
+fn pre_cone(net: &Network, snap: &TxnSnapshot, root: NodeId, inputs: &[NodeId]) -> Option<Network> {
+    let mut cone = Network::new(format!("{}:pre-cone", net.name()));
+    let mut map: Vec<Option<NodeId>> = vec![None; net.id_bound()];
+    for &pi in inputs {
+        map[pi.index()] = Some(cone.add_input(net.node(pi).name()).ok()?);
+    }
+    let mut open = vec![false; net.id_bound()];
+    let mut stack = vec![(root, false)];
+    while let Some((n, emit)) = stack.pop() {
+        let (fanins, cover) = pre_def(net, snap, n);
+        if emit {
+            let mut mapped = Vec::with_capacity(fanins.len());
+            for &f in fanins {
+                mapped.push(map[f.index()]?);
+            }
+            let cover = cover.expect("internal").clone();
+            map[n.index()] = Some(cone.add_node(net.node(n).name(), mapped, cover).ok()?);
+            continue;
+        }
+        if open[n.index()] || map[n.index()].is_some() {
+            continue;
+        }
+        cover?; // a primary input the caller did not list
+        open[n.index()] = true;
+        stack.push((n, true));
+        for &f in fanins {
+            stack.push((f, false));
+        }
+    }
+    let out = map[root.index()]?;
+    cone.add_output(net.node(root).name(), out).ok()?;
+    Some(cone)
 }
 
 /// Display names for every live node, indexed by raw slot id.
@@ -104,7 +236,18 @@ pub struct SubstEngine<'a> {
     /// path does nothing beyond these `Option` checks and an attached
     /// handle never changes the accepted rewrites.
     pub(crate) metrics: Option<EngineMetrics>,
+    /// The divisor-discovery strategy, resolved from
+    /// [`SubstOptions::discovery`] at session start (the resolved choice
+    /// is in `stats.discovery`). All candidate enumeration goes through
+    /// this source; it is notified after every commit so incremental
+    /// indexes stay synchronised.
+    pub(crate) source: Box<dyn CandidateSource>,
 }
+
+/// [`Discovery::Auto`] switches to signature discovery at this many
+/// internal nodes — below it the quadratic overlap index is cheap enough
+/// and bit-identical to the paper's sweep.
+const AUTO_SIGNATURE_NODES: usize = 10_000;
 
 impl<'a> SubstEngine<'a> {
     /// Opens a session: builds the structural side tables for the
@@ -124,6 +267,23 @@ impl<'a> SubstEngine<'a> {
             stats.sim_nanos += nanos(t0);
         }
         let guard = opts.checked.then(|| Guard::new(opts.guard));
+        // Resolve the discovery strategy once per session: signature-class
+        // discovery keys off the sim filter's signatures, so without a
+        // filter it degrades to the overlap index, and `Auto` only pays
+        // for bucket maintenance where the quadratic enumeration hurts.
+        let discovery = match opts.discovery {
+            Discovery::Overlap => Discovery::Overlap,
+            Discovery::Signature if sim.is_some() => Discovery::Signature,
+            Discovery::Signature => Discovery::Overlap,
+            Discovery::Auto => {
+                if sim.is_some() && net.internal_ids().count() >= AUTO_SIGNATURE_NODES {
+                    Discovery::Signature
+                } else {
+                    Discovery::Overlap
+                }
+            }
+        };
+        stats.discovery = discovery;
         SubstEngine {
             net,
             opts,
@@ -135,6 +295,7 @@ impl<'a> SubstEngine<'a> {
             guard,
             quarantine: HashSet::new(),
             metrics: None,
+            source: build_source(discovery),
         }
     }
 
@@ -148,6 +309,7 @@ impl<'a> SubstEngine<'a> {
     ) -> SubstEngine<'a> {
         let mut engine = SubstEngine::new(net, opts);
         tracer.set_node_names(node_names(engine.net));
+        tracer.set_discovery(engine.stats.discovery.name());
         engine.tracer = Some(tracer);
         engine
     }
@@ -324,6 +486,18 @@ impl<'a> SubstEngine<'a> {
     /// which tier produced it) in the stats block and on the tracer.
     /// `None` means no guard is installed (unchecked run): the rewrite
     /// stands on the division proof alone.
+    ///
+    /// Outside GDC mode every division strategy is pure cover algebra
+    /// over the joint space, so an accepted rewrite preserves each
+    /// changed node's function over the primary inputs *exactly* —
+    /// comparing just the changed nodes' single-output TFI cones is both
+    /// sound (identical cones imply identical outputs, everything else
+    /// being untouched) and complete. The guard therefore runs on the
+    /// cone pair first; only a cone that fails to pass falls back to the
+    /// whole-network compare, which preserves the original verdict
+    /// semantics (circuit-level observability may still save a rewrite a
+    /// cone compare refutes). GDC rewrites exploit observability across
+    /// the whole circuit by design, so they always take the full compare.
     fn guard_verdict(
         &mut self,
         snap: &TxnSnapshot,
@@ -332,15 +506,25 @@ impl<'a> SubstEngine<'a> {
     ) -> Option<GuardDecision> {
         let guard = self.guard.as_mut()?;
         let t0 = Instant::now();
-        let mut pre = self.net.clone();
-        if snap.rollback(&mut pre).is_err() {
-            // No pre-state to compare against: reject conservatively.
-            return Some(GuardDecision::RefutedSim {
-                output: "<pre-state reconstruction failed>".to_string(),
-            });
-        }
         let sat_runs0 = guard.sat_runs();
-        let decision = guard.check(&pre, self.net);
+        let cone_pass = (self.opts.mode != SubstMode::ExtendedGdc)
+            .then(|| cone_checked(guard, snap, self.net, target, divisor))
+            .flatten();
+        let decision = match cone_pass {
+            Some(d) => d,
+            None => {
+                // Whole-network fallback: reconstruct the pre-state
+                // (rollback applied to a clone of the post state).
+                let mut pre = self.net.clone();
+                if snap.rollback(&mut pre).is_err() {
+                    // No pre-state to compare against: reject conservatively.
+                    return Some(GuardDecision::RefutedSim {
+                        output: "<pre-state reconstruction failed>".to_string(),
+                    });
+                }
+                guard.check(&pre, self.net)
+            }
+        };
         self.stats.guard_sat_runs += usize::try_from(guard.sat_runs() - sat_runs0).unwrap_or(0);
         if decision == GuardDecision::PassSampled {
             self.stats.guard_pass_sampled += 1;
@@ -359,46 +543,86 @@ impl<'a> SubstEngine<'a> {
         Some(decision)
     }
 
-    /// Divisor candidates for `target`: the fanouts of its fanins, which
-    /// is exactly the set passing the legacy support-overlap filter.
-    /// Restricted to ids below `bound` (the divisor snapshot the legacy
-    /// sweep takes at target-visit time — mid-visit core nodes are
-    /// excluded) and above `cursor` (resume point after an acceptance).
-    /// Sorted ascending to match the legacy visit order.
-    pub(crate) fn candidates(
-        &self,
+    /// Divisor candidates for `target` from the hard-wired support-overlap
+    /// index: the fanouts of its fanins, restricted to ids below `bound`
+    /// and above `cursor`, sorted ascending.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `SubstOptions::with_discovery` and the `crate::candidates::CandidateSource` trait; the engine enumerates through its configured source"
+    )]
+    #[must_use]
+    pub fn candidates(&self, target: NodeId, bound: usize, cursor: Option<NodeId>) -> Vec<NodeId> {
+        let ctx = SourceCtx {
+            net: &*self.net,
+            side: &self.side,
+            sim: self.sim.as_ref(),
+        };
+        OverlapIndex::enumerate(&ctx, target, bound, cursor)
+    }
+
+    /// Books into `stats.filtered_by_index` the internal nodes the legacy
+    /// sweep would have visited in the same range that the overlap index
+    /// skipped.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `SubstOptions::with_discovery` and the `crate::candidates::CandidateSource` trait; the engine enumerates through its configured source"
+    )]
+    pub fn count_skipped(&mut self, candidates: usize, bound: usize, cursor: Option<NodeId>) {
+        let ctx = SourceCtx {
+            net: &*self.net,
+            side: &self.side,
+            sim: self.sim.as_ref(),
+        };
+        self.stats.filtered_by_index +=
+            OverlapIndex::count_skipped(&ctx, candidates, bound, cursor);
+    }
+
+    /// One candidate enumeration through the configured
+    /// [`CandidateSource`]: flushes the sim filter first when signature
+    /// discovery needs current bucket keys, books the per-source funnel
+    /// counters (`discovery_proposed`, `discovery_bucket_hits`,
+    /// `filtered_by_index`) and the enumerate stage time.
+    pub(crate) fn discover(
+        &mut self,
         target: NodeId,
         bound: usize,
         cursor: Option<NodeId>,
     ) -> Vec<NodeId> {
-        let net = &*self.net;
-        let mut out: Vec<NodeId> = Vec::new();
-        for &f in net.node(target).fanins() {
-            for &o in self.side.fanouts(net, f) {
-                if o.index() < bound && cursor.is_none_or(|c| o > c) {
-                    out.push(o);
+        if self.stats.discovery == Discovery::Signature {
+            if let Some(sim) = self.sim.as_mut() {
+                // Bucket keys must never bake in half-simulated tail
+                // words; fold pending refinement patterns in first.
+                let ts = Instant::now();
+                sim.flush(self.net);
+                let dts = nanos(ts);
+                self.stats.sim_nanos += dts;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.stage(Stage::Sim, dts);
                 }
             }
         }
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
-    /// Internal nodes the legacy sweep would visit in the same range;
-    /// the difference to the candidate list is what the index skipped.
-    pub(crate) fn count_skipped(
-        &mut self,
-        candidates: usize,
-        bound: usize,
-        cursor: Option<NodeId>,
-    ) {
-        let eligible = self
-            .net
-            .internal_ids()
-            .filter(|id| id.index() < bound && cursor.is_none_or(|c| *id > c))
-            .count();
-        self.stats.filtered_by_index += eligible.saturating_sub(candidates);
+        let t0 = Instant::now();
+        let (cands, bucket_hits, skipped) = {
+            let ctx = SourceCtx {
+                net: &*self.net,
+                side: &self.side,
+                sim: self.sim.as_ref(),
+            };
+            let iter = self.source.candidates(&ctx, target, bound, cursor);
+            let bucket_hits = iter.bucket_hits();
+            let cands = iter.into_vec();
+            let skipped = self.source.skipped(&ctx, cands.len(), bound, cursor);
+            (cands, bucket_hits, skipped)
+        };
+        self.stats.discovery_proposed += cands.len();
+        self.stats.discovery_bucket_hits += bucket_hits;
+        self.stats.filtered_by_index += skipped;
+        let dt = nanos(t0);
+        self.stats.enumerate_nanos += dt;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.stage(Stage::Enumerate, dt);
+        }
+        cands
     }
 
     fn visit_target(&mut self, target: NodeId) {
@@ -412,14 +636,7 @@ impl<'a> SubstEngine<'a> {
             Acceptance::FirstGain => {
                 let mut cursor: Option<NodeId> = None;
                 'resume: loop {
-                    let t0 = Instant::now();
-                    let cands = self.candidates(target, bound, cursor);
-                    self.count_skipped(cands.len(), bound, cursor);
-                    let dt = nanos(t0);
-                    self.stats.enumerate_nanos += dt;
-                    if let Some(t) = self.tracer.as_deref_mut() {
-                        t.stage(Stage::Enumerate, dt);
-                    }
+                    let cands = self.discover(target, bound, cursor);
                     for divisor in cands {
                         if self.deadline_expired() {
                             return;
@@ -438,14 +655,7 @@ impl<'a> SubstEngine<'a> {
                 }
             }
             Acceptance::BestGain => {
-                let t0 = Instant::now();
-                let cands = self.candidates(target, bound, None);
-                self.count_skipped(cands.len(), bound, None);
-                let dt = nanos(t0);
-                self.stats.enumerate_nanos += dt;
-                if let Some(t) = self.tracer.as_deref_mut() {
-                    t.stage(Stage::Enumerate, dt);
-                }
+                let cands = self.discover(target, bound, None);
                 // Dry-run every candidate on a scratch copy, then apply
                 // only the best one for real.
                 let mut best: Option<(NodeId, i64)> = None;
@@ -625,6 +835,8 @@ impl<'a> SubstEngine<'a> {
             }
             return None;
         }
+        // The pair survived every cheap filter: the division proof runs.
+        self.stats.discovery_proofs_run += 1;
         let t1 = Instant::now();
         let v0 = self.net.version();
         let old_tgt = self.net.node(target).fanins().to_vec();
@@ -760,13 +972,32 @@ impl<'a> SubstEngine<'a> {
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.stage(Stage::Apply, dt2);
             }
+            let mut changed: Vec<NodeId> = Vec::new();
             if let Some(sim) = self.sim.as_mut() {
                 let ts = Instant::now();
-                sim.patch(self.net, &self.side, &[target, divisor]);
+                changed = sim.patch(self.net, &self.side, &[target, divisor]);
                 let dts = nanos(ts);
                 self.stats.sim_nanos += dts;
                 if let Some(t) = self.tracer.as_deref_mut() {
                     t.stage(Stage::Sim, dts);
+                }
+            }
+            // Carry the discovery source across the edit (commit or
+            // recovered rollback alike — the changed-row list is exact
+            // either way), then spot-audit the touched rows in checked
+            // mode the same way the sim table is audited: a key mismatch
+            // is a fault, and the source has self-repaired.
+            let ctx = SourceCtx {
+                net: &*self.net,
+                side: &self.side,
+                sim: self.sim.as_ref(),
+            };
+            self.source.note_commit(&ctx, v0, &changed);
+            if self.opts.checked {
+                let mut rows = changed.clone();
+                rows.extend([target, divisor]);
+                if !self.source.audit(&ctx, &rows) {
+                    self.stats.engine_faults += 1;
                 }
             }
         }
@@ -777,6 +1008,9 @@ impl<'a> SubstEngine<'a> {
                 Some(outcome) => t.end_pair_with(outcome, 0),
                 None => t.end_pair(result.unwrap_or(0)),
             }
+        }
+        if result.is_some() {
+            self.stats.discovery_accepted += 1;
         }
         if let Some(m) = &self.metrics {
             m.pair_ns.observe(nanos(t0));

@@ -13,7 +13,11 @@
 //! * [`subst`] — the network-level substitution driver with the paper's
 //!   three configurations (`basic`, `ext`, `ext-GDC`);
 //! * [`engine`] — the incremental sweep engine: cached side tables,
-//!   support-overlap candidate indexing, shadow circuits, stage stats;
+//!   pluggable candidate discovery, shadow circuits, stage stats;
+//! * [`candidates`] — the [`CandidateSource`] divisor-discovery seam:
+//!   [`OverlapIndex`] (the support-overlap index, bit-identical default)
+//!   and [`SignatureClasses`] (sim-resub signature-class proposal),
+//!   selected by [`SubstOptions::with_discovery`];
 //! * [`session`] — the [`Session`] builder, the one blessed entry point
 //!   for running a sweep (tracing, thread count, options);
 //! * [`legacy`] — `#[deprecated]` shims for the pre-`Session` free
@@ -39,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod candidates;
 pub mod division;
 pub mod dontcare;
 pub mod engine;
@@ -57,6 +62,7 @@ pub mod verify;
 #[cfg(feature = "chaos")]
 pub mod chaos;
 
+pub use candidates::{CandidateIter, CandidateSource, OverlapIndex, SignatureClasses, SourceCtx};
 pub use division::{
     basic_divide_covers, pos_divide_covers, pos_divide_precomplemented, split_remainder,
     DivisionOptions, DivisionResult, PosDivisionResult,
@@ -73,7 +79,8 @@ pub use netcircuit::{network_from_circuit, NetCircuit, NetworkRegion, ShadowBase
 pub use session::Session;
 pub use sos::{is_pos_of_compl, is_sos_of, lemma1_holds, lemma2_holds};
 pub use subst::{
-    all_configs, boolean_substitute_legacy, Acceptance, SubstMode, SubstOptions, SubstStats,
+    all_configs, boolean_substitute_legacy, Acceptance, Discovery, SubstMode, SubstOptions,
+    SubstStats,
 };
 
 #[allow(deprecated)]

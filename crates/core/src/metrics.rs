@@ -60,6 +60,10 @@ pub(crate) struct EngineMetrics {
     stage_divide_ns: Counter,
     stage_apply_ns: Counter,
     rar_checks: Counter,
+    discovery_proposed: Counter,
+    discovery_bucket_hits: Counter,
+    discovery_proofs_run: Counter,
+    discovery_accepted: Counter,
     sim_screened: Counter,
     sim_refuted: Counter,
     sim_false_passes: Counter,
@@ -104,6 +108,10 @@ impl EngineMetrics {
             stage_divide_ns: handle.counter("engine.stage.divide_ns"),
             stage_apply_ns: handle.counter("engine.stage.apply_ns"),
             rar_checks: handle.counter("engine.rar_checks"),
+            discovery_proposed: handle.counter("discovery.proposed"),
+            discovery_bucket_hits: handle.counter("discovery.bucket_hits"),
+            discovery_proofs_run: handle.counter("discovery.proofs_run"),
+            discovery_accepted: handle.counter("discovery.accepted"),
             sim_screened: handle.counter("sim.pairs_screened"),
             sim_refuted: handle.counter("sim.pairs_refuted"),
             sim_false_passes: handle.counter("sim.false_passes"),
@@ -134,6 +142,18 @@ impl EngineMetrics {
             .add(stats.apply_nanos.saturating_sub(self.last.apply_nanos));
         self.rar_checks
             .add(du(stats.rar_checks, self.last.rar_checks));
+        self.discovery_proposed
+            .add(du(stats.discovery_proposed, self.last.discovery_proposed));
+        self.discovery_bucket_hits.add(du(
+            stats.discovery_bucket_hits,
+            self.last.discovery_bucket_hits,
+        ));
+        self.discovery_proofs_run.add(du(
+            stats.discovery_proofs_run,
+            self.last.discovery_proofs_run,
+        ));
+        self.discovery_accepted
+            .add(du(stats.discovery_accepted, self.last.discovery_accepted));
         self.sim_screened
             .add(du(stats.sim_pairs_screened, self.last.sim_pairs_screened));
         self.sim_refuted

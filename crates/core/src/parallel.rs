@@ -153,6 +153,8 @@ fn speculate_pair(
         (SpecVerdict::Reject, outcome)
     } else {
         let space = space.expect("space is set when every filter passes");
+        // Mirrors `attempt`: the pair survived every cheap filter.
+        delta.discovery_proofs_run += 1;
         let t1 = Instant::now();
         let sim_nanos0 = delta.sim_nanos;
         let planned = catch_unwind(AssertUnwindSafe(|| {
@@ -435,14 +437,7 @@ impl SubstEngine<'_> {
             if self.deadline_expired() {
                 return;
             }
-            let t0 = Instant::now();
-            let cands = self.candidates(target, bound, cursor);
-            self.count_skipped(cands.len(), bound, cursor);
-            let dt = nanos(t0);
-            self.stats.enumerate_nanos += dt;
-            if let Some(t) = self.tracer.as_deref_mut() {
-                t.stage(Stage::Enumerate, dt);
-            }
+            let cands = self.discover(target, bound, cursor);
             // Commit-side guard rejections consume pairs without touching
             // the network, so the sweep continues inside the *same*
             // enumeration from `start` — exactly like the sequential
@@ -517,14 +512,7 @@ impl SubstEngine<'_> {
     /// then the lowest-index best gain is applied for real.
     fn parallel_best_gain(&mut self, target: NodeId) {
         let bound = self.net.id_bound();
-        let t0 = Instant::now();
-        let cands = self.candidates(target, bound, None);
-        self.count_skipped(cands.len(), bound, None);
-        let dt = nanos(t0);
-        self.stats.enumerate_nanos += dt;
-        if let Some(t) = self.tracer.as_deref_mut() {
-            t.stage(Stage::Enumerate, dt);
-        }
+        let cands = self.discover(target, bound, None);
         if self.deadline_expired() {
             return;
         }

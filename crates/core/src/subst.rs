@@ -43,6 +43,57 @@ impl SubstMode {
     }
 }
 
+/// How the sweep discovers candidate divisors for each target — the
+/// strategy behind the [`crate::candidates::CandidateSource`] seam.
+///
+/// [`Discovery::Overlap`] is the original support-overlap index and is
+/// pinned bit-identical to the pre-`CandidateSource` sweep
+/// (`tests/engine_parity.rs`). [`Discovery::Signature`] is the
+/// simulation-guided proposer of arXiv 2007.02579: divisors come from
+/// equal / complement / containment signature classes over the sim
+/// filter's pattern pool, so the division proof runs only on near-certain
+/// survivors. Signature discovery visits a different (usually much
+/// smaller) pair set, so its rewrites are *sound* — every acceptance
+/// still passes the full division proof (and the guard, in checked mode)
+/// — but not bit-identical to overlap discovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discovery {
+    /// Fanouts-of-fanins support-overlap enumeration (the default; the
+    /// pre-redesign behaviour, bit-identical).
+    #[default]
+    Overlap,
+    /// Signature-class proposal over the sim filter's pattern pool.
+    /// Requires [`SubstOptions::sim`] enabled; resolved to `Overlap`
+    /// otherwise.
+    Signature,
+    /// Pick per run: `Signature` on large networks (≥ 10 000 internal
+    /// nodes) with the sim filter enabled, `Overlap` otherwise.
+    Auto,
+}
+
+impl Discovery {
+    /// Stable lowercase label, matching the CLI's `--discovery` values.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Discovery::Overlap => "overlap",
+            Discovery::Signature => "signature",
+            Discovery::Auto => "auto",
+        }
+    }
+
+    /// Parses a `--discovery` CLI value.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Discovery> {
+        match name {
+            "overlap" => Some(Discovery::Overlap),
+            "signature" => Some(Discovery::Signature),
+            "auto" => Some(Discovery::Auto),
+            _ => None,
+        }
+    }
+}
+
 /// When to accept a substitution during the sweep — the paper's
 /// implementation is locally greedy ("takes the first division that has a
 /// positive gain"), which it blames for the Table V `ext-GDC` anomaly;
@@ -89,6 +140,11 @@ pub struct SubstOptions {
     pub max_passes: NonZeroUsize,
     /// Acceptance policy (paper: first positive gain).
     pub acceptance: Acceptance,
+    /// Divisor-discovery strategy (engine path only). The default,
+    /// [`Discovery::Overlap`], is pinned bit-identical to the pre-redesign
+    /// sweep; [`Discovery::Signature`] proposes divisors from signature
+    /// classes and requires the sim filter.
+    pub discovery: Discovery,
     /// Simulation-signature pre-filter (engine path only). Refute-only:
     /// the screen never rejects a pair the proofs would accept, so the
     /// accepted rewrites are identical with the filter on or off.
@@ -136,6 +192,7 @@ impl SubstOptions {
             max_joint_vars: 48,
             max_passes: at_least_one(1),
             acceptance: Acceptance::FirstGain,
+            discovery: Discovery::Overlap,
             sim: SimConfig::default(),
             checked: false,
             guard: GuardConfig::default(),
@@ -178,6 +235,16 @@ impl SubstOptions {
     #[must_use]
     pub fn with_acceptance(mut self, acceptance: Acceptance) -> SubstOptions {
         self.acceptance = acceptance;
+        self
+    }
+
+    /// Sets the divisor-discovery strategy. [`Discovery::Signature`] and
+    /// [`Discovery::Auto`] require [`SubstOptions::sim`] enabled; without
+    /// the filter the engine resolves them back to [`Discovery::Overlap`]
+    /// (the resolved choice is reported in [`SubstStats::discovery`]).
+    #[must_use]
+    pub fn with_discovery(mut self, discovery: Discovery) -> SubstOptions {
+        self.discovery = discovery;
         self
     }
 
@@ -312,6 +379,25 @@ pub struct SubstStats {
     pub literal_gain: i64,
     /// Sweeps over the network actually run.
     pub passes: usize,
+    /// The divisor-discovery strategy the engine actually ran with, after
+    /// resolving [`Discovery::Auto`] and the sim-filter requirement. When
+    /// stats from runs with different strategies are [`SubstStats::merge`]d
+    /// the receiver's label wins.
+    pub discovery: Discovery,
+    /// Divisors the discovery source proposed across every enumeration
+    /// (the top of the per-source funnel: proposed → bucket-hits →
+    /// proofs-run → accepted).
+    pub discovery_proposed: usize,
+    /// Signature-bucket members scanned while proposing (equal/complement
+    /// class members plus containment-test survivors' bucket peers). Zero
+    /// under [`Discovery::Overlap`], which has no buckets.
+    pub discovery_bucket_hits: usize,
+    /// Proposed pairs that survived every cheap filter and reached the
+    /// division proof.
+    pub discovery_proofs_run: usize,
+    /// Proposed pairs whose division proof succeeded and whose rewrite was
+    /// committed (equals `substitutions` plus accepted extended moves).
+    pub discovery_accepted: usize,
     /// Candidate pairs individually examined.
     pub candidates_enumerated: usize,
     /// Pairs the support-overlap index skipped without examining
@@ -394,6 +480,15 @@ impl fmt::Display for SubstStats {
         }
         writeln!(f, "substitution statistics")?;
         writeln!(f, "  passes                 {:>8}", self.passes)?;
+        writeln!(
+            f,
+            "  discovery              {:>8}  (proposed {}, bucket-hits {}, proofs-run {}, accepted {})",
+            self.discovery.name(),
+            self.discovery_proposed,
+            self.discovery_bucket_hits,
+            self.discovery_proofs_run,
+            self.discovery_accepted,
+        )?;
         writeln!(
             f,
             "  candidates examined    {:>8}",
@@ -494,6 +589,19 @@ impl SubstStats {
             .saturating_add(other.extended_decompositions);
         self.literal_gain = self.literal_gain.saturating_add(other.literal_gain);
         self.passes = self.passes.saturating_add(other.passes);
+        // `discovery` is a label, not a counter: the receiver's wins.
+        self.discovery_proposed = self
+            .discovery_proposed
+            .saturating_add(other.discovery_proposed);
+        self.discovery_bucket_hits = self
+            .discovery_bucket_hits
+            .saturating_add(other.discovery_bucket_hits);
+        self.discovery_proofs_run = self
+            .discovery_proofs_run
+            .saturating_add(other.discovery_proofs_run);
+        self.discovery_accepted = self
+            .discovery_accepted
+            .saturating_add(other.discovery_accepted);
         self.candidates_enumerated = self
             .candidates_enumerated
             .saturating_add(other.candidates_enumerated);
@@ -563,6 +671,11 @@ impl SubstStats {
             .u64("extended_decompositions", u(self.extended_decompositions))
             .i64("literal_gain", self.literal_gain)
             .u64("passes", u(self.passes))
+            .str("discovery", self.discovery.name())
+            .u64("discovery_proposed", u(self.discovery_proposed))
+            .u64("discovery_bucket_hits", u(self.discovery_bucket_hits))
+            .u64("discovery_proofs_run", u(self.discovery_proofs_run))
+            .u64("discovery_accepted", u(self.discovery_accepted))
             .u64("candidates_enumerated", u(self.candidates_enumerated))
             .u64("filtered_by_index", u(self.filtered_by_index))
             .u64("filtered_structural", u(self.filtered_structural))
@@ -675,7 +788,7 @@ pub(crate) fn try_pair(
         stats.filtered_structural += 1;
         return None;
     }
-    if net.tfo(target).contains(&divisor) {
+    if net.in_tfo(divisor, target) {
         stats.filtered_tfo += 1;
         return None;
     }

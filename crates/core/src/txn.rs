@@ -68,6 +68,19 @@ impl TxnSnapshot {
         self.version
     }
 
+    /// Captured pre-image of `id`: its fanins and cover at capture time.
+    /// `None` when `id` was not captured — the attempt was not allowed to
+    /// touch it, so its live definition *is* its pre-image. Lets the
+    /// guard resolve pre-rewrite definitions as an overlay over the
+    /// mutated network without cloning it.
+    #[must_use]
+    pub fn image_of(&self, id: NodeId) -> Option<(&[NodeId], &Cover)> {
+        self.images
+            .iter()
+            .find(|img| img.id == id)
+            .map(|img| (img.fanins.as_slice(), &img.cover))
+    }
+
     /// Whether `net` has been mutated since this snapshot was captured.
     #[must_use]
     pub fn dirty(&self, net: &Network) -> bool {

@@ -59,6 +59,13 @@ pub struct GuardConfig {
     /// Tier B (exact BDD compare) runs only when tier A sampled and the
     /// network has at most this many live nodes. `0` disables tier B.
     pub exact_node_limit: usize,
+    /// Cap on the shared BDD manager's node count during a tier B
+    /// compare. Network size is a poor proxy for BDD size (a small
+    /// multiplier cone explodes where a wide adder stays linear), so the
+    /// build itself is budgeted: blowing the cap abandons tier B —
+    /// escalating to the tier C miter under [`TierPolicy::Auto`],
+    /// degrading to a sampled pass otherwise. `0` means unlimited.
+    pub bdd_node_budget: usize,
     /// Which exact tiers may run after tier A samples clean.
     pub tier: TierPolicy,
     /// Tier C solver budget. A zero [`SatOptions::conflict_budget`]
@@ -83,6 +90,7 @@ impl Default for GuardConfig {
             seed: 0x6A5D_0CE1_1B0A_7E0F,
             exhaustive_inputs: 12,
             exact_node_limit: 4096,
+            bdd_node_budget: 1 << 18,
             tier: TierPolicy::Auto,
             sat: SatOptions::default(),
             deadline: None,
@@ -262,6 +270,7 @@ pub struct Guard {
     sat_runs: u64,
     sampled_passes: u64,
     sat_skipped_deadline: u64,
+    bdd_over_budget: u64,
     /// EWMA of observed tier C cost in nanoseconds per conflict, used to
     /// translate remaining deadline time into an affordable conflict
     /// budget. Seeded conservatively (20 µs/conflict ≈ the miter's
@@ -312,6 +321,7 @@ impl Guard {
             sat_runs: 0,
             sampled_passes: 0,
             sat_skipped_deadline: 0,
+            bdd_over_budget: 0,
             sat_ns_per_conflict: SAT_NS_PER_CONFLICT_SEED,
             metrics: None,
         }
@@ -381,6 +391,14 @@ impl Guard {
     #[must_use]
     pub fn sat_skipped_deadline(&self) -> u64 {
         self.sat_skipped_deadline
+    }
+
+    /// Number of tier B runs abandoned because the BDD build blew
+    /// [`GuardConfig::bdd_node_budget`] (each escalated to tier C under
+    /// [`TierPolicy::Auto`], or degraded to a sampled pass otherwise).
+    #[must_use]
+    pub fn bdd_over_budget(&self) -> u64 {
+        self.bdd_over_budget
     }
 
     /// Checks that `post` (the network after an accepted rewrite) still
@@ -458,13 +476,14 @@ impl Guard {
             self.config.exact_node_limit != 0 && post.len() <= self.config.exact_node_limit;
         let decision = match self.config.tier {
             TierPolicy::Sim => None,
-            TierPolicy::Bdd => bdd_affordable.then(|| self.check_bdd(pre, post)),
+            TierPolicy::Bdd => bdd_affordable.then(|| self.check_bdd(pre, post)).flatten(),
             TierPolicy::Sat => self.check_sat(pre, post),
             TierPolicy::Auto => {
-                if bdd_affordable {
-                    Some(self.check_bdd(pre, post))
-                } else {
-                    self.check_sat(pre, post)
+                match bdd_affordable.then(|| self.check_bdd(pre, post)).flatten() {
+                    Some(d) => Some(d),
+                    // Tier B unaffordable or its build blew the node
+                    // budget: fall through to the miter.
+                    None => self.check_sat(pre, post),
                 }
             }
         };
@@ -474,15 +493,22 @@ impl Guard {
         })
     }
 
-    /// Tier B: exact BDD compare of the primary-output functions.
-    fn check_bdd(&mut self, pre: &Network, post: &Network) -> GuardDecision {
+    /// Tier B: exact BDD compare of the primary-output functions, capped
+    /// by [`GuardConfig::bdd_node_budget`]. `None` means the build blew
+    /// the budget before reaching a verdict — the caller escalates (Auto)
+    /// or degrades to a sampled pass.
+    fn check_bdd(&mut self, pre: &Network, post: &Network) -> Option<GuardDecision> {
         self.exact_runs += 1;
         if let Some(m) = &self.metrics {
             m.escalations_bdd.inc();
         }
-        match outputs_equal_exact(pre, post) {
-            None => GuardDecision::PassExact,
-            Some(output) => GuardDecision::RefutedExact { output },
+        match outputs_equal_exact(pre, post, self.config.bdd_node_budget) {
+            Ok(None) => Some(GuardDecision::PassExact),
+            Ok(Some(output)) => Some(GuardDecision::RefutedExact { output }),
+            Err(BddOverBudget) => {
+                self.bdd_over_budget += 1;
+                None
+            }
         }
     }
 
@@ -565,14 +591,24 @@ fn nanos_f64(d: Duration) -> f64 {
     d.as_nanos() as f64
 }
 
+/// Marker error: a budgeted BDD build exceeded its node cap before
+/// reaching a verdict.
+struct BddOverBudget;
+
 /// Shared-manager BDD comparison of primary-output functions. Inputs are
 /// matched positionally: `pre` is a rolled-back clone of `post`, so input
 /// `i` of one *is* input `i` of the other. Returns the name of the first
-/// differing output, or `None` when all outputs agree.
-fn outputs_equal_exact(pre: &Network, post: &Network) -> Option<String> {
+/// differing output, `None` when all outputs agree, or
+/// [`BddOverBudget`] when the manager grew past `node_budget` nodes
+/// mid-build (`0` = unlimited).
+fn outputs_equal_exact(
+    pre: &Network,
+    post: &Network,
+    node_budget: usize,
+) -> Result<Option<String>, BddOverBudget> {
     let n = pre.inputs().len();
     let mut bdd = Bdd::new(n);
-    let build = |bdd: &mut Bdd, net: &Network| -> Vec<Option<Ref>> {
+    let build = |bdd: &mut Bdd, net: &Network| -> Result<Vec<Option<Ref>>, BddOverBudget> {
         let mut node_fn: Vec<Option<Ref>> = vec![None; net.id_bound()];
         for (i, &pi) in net.inputs().iter().enumerate() {
             node_fn[pi.index()] = Some(bdd.var(i));
@@ -594,21 +630,24 @@ fn outputs_equal_exact(pre: &Network, post: &Network) -> Option<String> {
                 }
                 acc = bdd.or(acc, term);
             }
+            if node_budget != 0 && bdd.node_count() > node_budget {
+                return Err(BddOverBudget);
+            }
             node_fn[id.index()] = Some(acc);
         }
-        node_fn
+        Ok(node_fn)
     };
-    let pre_fn = build(&mut bdd, pre);
-    let post_fn = build(&mut bdd, post);
+    let pre_fn = build(&mut bdd, pre)?;
+    let post_fn = build(&mut bdd, post)?;
     for (k, (name, o)) in pre.outputs().iter().enumerate() {
         let (_, post_o) = &post.outputs()[k];
         let a = pre_fn[o.index()].expect("driver built");
         let b = post_fn[post_o.index()].expect("driver built");
         if a != b {
-            return Some(name.clone());
+            return Ok(Some(name.clone()));
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -712,6 +751,38 @@ mod tests {
         );
         assert_eq!(guard.exact_runs(), 0);
         assert_eq!(guard.sat_runs(), 1);
+    }
+
+    #[test]
+    fn bdd_node_budget_blown_escalates_to_sat_under_auto() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            bdd_node_budget: 1,
+            ..GuardConfig::default()
+        });
+        assert_eq!(
+            guard.check(&pre, &post),
+            GuardDecision::RefutedSat {
+                output: "f".to_string()
+            },
+            "a blown BDD build must fall through to the miter, not hang"
+        );
+        assert_eq!(guard.exact_runs(), 1, "tier B was attempted");
+        assert_eq!(guard.bdd_over_budget(), 1);
+        assert_eq!(guard.sat_runs(), 1);
+    }
+
+    #[test]
+    fn bdd_node_budget_blown_degrades_to_sampled_under_bdd_policy() {
+        let (pre, post) = wide_pair();
+        let mut guard = Guard::new(GuardConfig {
+            tier: TierPolicy::Bdd,
+            bdd_node_budget: 1,
+            ..GuardConfig::default()
+        });
+        assert_eq!(guard.check(&pre, &post), GuardDecision::PassSampled);
+        assert_eq!(guard.bdd_over_budget(), 1);
+        assert_eq!(guard.sat_runs(), 0, "Bdd policy must never touch the miter");
     }
 
     #[test]

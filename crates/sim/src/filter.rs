@@ -133,6 +133,12 @@ impl SimFilter {
         self.refinements
     }
 
+    /// The pattern pool behind the filter (validity masks for the
+    /// signature-class index).
+    pub(crate) fn pool(&self) -> &PatternPool {
+        &self.pool
+    }
+
     /// Direct access to a node's signature (primarily for tests).
     ///
     /// # Panics
@@ -153,9 +159,20 @@ impl SimFilter {
     }
 
     /// Patches the signature table after an engine edit; `side` must
-    /// already be synchronised. `seeds` are the rewired node ids.
-    pub fn patch(&mut self, net: &Network, side: &SideTables, seeds: &[NodeId]) {
-        self.table.patch(net, side, &self.pool, seeds);
+    /// already be synchronised. `seeds` are the rewired node ids. Returns
+    /// the ids whose signature row actually changed (see
+    /// [`SimTable::patch`]) so derived indexes can re-key exactly those.
+    pub fn patch(&mut self, net: &Network, side: &SideTables, seeds: &[NodeId]) -> Vec<NodeId> {
+        self.table.patch(net, side, &self.pool, seeds)
+    }
+
+    /// True when no harvested patterns are pending a [`SimFilter::flush`]
+    /// — i.e. every cached signature word is current. Signature-class
+    /// indexes must only be (re)built in this state, or bucket keys would
+    /// bake in rotten tail words.
+    #[must_use]
+    pub fn is_flushed(&self) -> bool {
+        self.pending_from.is_none()
     }
 
     /// Integrity audit (checked mode): re-derives each given node's cached

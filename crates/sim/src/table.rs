@@ -199,13 +199,18 @@ impl SimTable {
     /// rewired nodes) in level order, pruning wherever a recomputed
     /// signature is unchanged. `side` must already be synchronised with
     /// the network.
+    ///
+    /// Returns the ids whose cached row actually changed (including every
+    /// fresh node), sorted and deduplicated — the exact set a derived
+    /// index such as [`crate::SignatureBuckets`] must re-key. Seeds whose
+    /// recomputed signature came out identical are *not* in the list.
     pub fn patch(
         &mut self,
         net: &Network,
         side: &SideTables,
         pool: &PatternPool,
         seeds: &[NodeId],
-    ) {
+    ) -> Vec<NodeId> {
         let old_bound = self.sigs.len() / self.words;
         if net.id_bound() > old_bound {
             self.sigs.resize(net.id_bound() * self.words, 0);
@@ -225,15 +230,20 @@ impl SimTable {
             }
         }
         let fresh_bound = old_bound;
+        let mut touched: Vec<NodeId> = Vec::new();
         while let Some((_, id)) = work.pop_first() {
             let changed = self.recompute(net, pool, id, 0);
             if changed || id.index() >= fresh_bound {
+                touched.push(id);
                 for &o in side.fanouts(net, id) {
                     work.insert((side.level(net, o), o));
                 }
             }
         }
         self.stamp.mark(net);
+        touched.sort_unstable();
+        touched.dedup();
+        touched
     }
 
     /// True if no edit has happened since the last synchronisation.

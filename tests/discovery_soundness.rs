@@ -1,0 +1,183 @@
+//! Soundness of signature-class divisor discovery: a `SignatureClasses`
+//! source only ever *proposes* — every proposal still runs the engine's
+//! full filter chain and division proof — so a checked signature sweep
+//! must never commit a rewrite the guard refutes (the proof would have
+//! rejected it first), must keep every primary-output function, and must
+//! report the resolved strategy in both the stats and the trace meta.
+
+use boolsubst::core::{all_configs, Discovery, Session, SubstOptions};
+use boolsubst::cube::parse_sop;
+use boolsubst::network::{Network, NodeId};
+use boolsubst::sim::SimConfig;
+use boolsubst::trace::export::jsonl_string;
+use boolsubst::trace::Tracer;
+use boolsubst::workloads::generator::{random_network, GeneratorParams};
+
+fn modes() -> Vec<(&'static str, SubstOptions)> {
+    ["basic", "extended", "extended_gdc"]
+        .into_iter()
+        .zip(all_configs())
+        .collect()
+}
+
+/// Exhaustive primary-output equivalence for networks with few inputs.
+fn outputs_preserved(before: &Network, after: &Network, label: &str) {
+    let n = before.inputs().len();
+    assert!(n <= 16, "exhaustive sweep needs few inputs");
+    for m in 0u32..(1 << n) {
+        let ins: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+        assert_eq!(
+            before.eval_outputs(&ins),
+            after.eval_outputs(&ins),
+            "{label}: output mismatch at input {m:b}"
+        );
+    }
+}
+
+/// The planted false-pass network from `sim_soundness.rs`: `t` is one
+/// wide cube over eight inputs and `dvr = a'`, so the seeded pool's
+/// signatures look containment-compatible while the functions are not —
+/// exactly the shape a signature bucket would propose wrongly.
+fn craft() -> Network {
+    let mut net = Network::new("craft");
+    let pis: Vec<NodeId> = ('a'..='h')
+        .map(|c| net.add_input(c.to_string()).expect("pi"))
+        .collect();
+    let t = net
+        .add_node("t", pis.clone(), parse_sop(8, "abcdefgh").expect("p"))
+        .expect("t");
+    let dvr = net
+        .add_node("dvr", vec![pis[0]], parse_sop(1, "a'").expect("p"))
+        .expect("dvr");
+    net.add_output("t", t).expect("ot");
+    net.add_output("dvr", dvr).expect("od");
+    net
+}
+
+/// Checked signature sweep on random and crafted networks: the guard
+/// never has to veto anything (the division proof screens every wrong
+/// proposal first), the source's incremental buckets audit clean, and
+/// the outputs are preserved exactly.
+#[test]
+fn checked_signature_sweep_never_needs_the_guard() {
+    // On the crafted two-node net the buckets legitimately stay silent
+    // (the nodes never share a class); only the random nets must show a
+    // live funnel.
+    let mut nets: Vec<(String, bool, Network)> = [11u64, 23, 47]
+        .into_iter()
+        .map(|seed| {
+            (
+                format!("seed {seed}"),
+                true,
+                random_network(seed, &GeneratorParams::default()),
+            )
+        })
+        .collect();
+    nets.push(("craft".into(), false, craft()));
+    for (tag, expect_proposals, base) in &nets {
+        for (name, opts) in modes() {
+            let label = format!("{tag} {name}");
+            let opts = opts.with_discovery(Discovery::Signature).with_checked(true);
+            let mut net = base.clone();
+            let stats = Session::new(&mut net, opts).run();
+            assert_eq!(
+                stats.discovery,
+                Discovery::Signature,
+                "{label}: resolved discovery"
+            );
+            if *expect_proposals {
+                assert!(stats.discovery_proposed > 0, "{label}: nothing proposed");
+                assert!(
+                    stats.discovery_bucket_hits > 0,
+                    "{label}: buckets never consulted"
+                );
+            }
+            assert_eq!(
+                stats.guard_rejections, 0,
+                "{label}: signature proposal slipped past the division proof"
+            );
+            assert_eq!(stats.engine_faults, 0, "{label}: bucket audit failed");
+            assert_eq!(stats.quarantined, 0, "{label}: pairs quarantined");
+            net.check_invariants();
+            outputs_preserved(base, &net, &label);
+        }
+    }
+}
+
+/// The accepted-rewrite tail of the funnel must reconcile: every accept
+/// came out of a proposal, ran a proof, and landed in `substitutions`.
+#[test]
+fn signature_funnel_counters_reconcile() {
+    let base = random_network(29, &GeneratorParams::default());
+    for (name, opts) in modes() {
+        let mut net = base.clone();
+        let stats = Session::new(&mut net, opts.with_discovery(Discovery::Signature)).run();
+        assert!(
+            stats.discovery_proofs_run <= stats.discovery_proposed,
+            "{name}: more proofs than proposals"
+        );
+        assert!(
+            stats.discovery_accepted <= stats.discovery_proofs_run,
+            "{name}: more accepts than proofs"
+        );
+        assert_eq!(
+            stats.discovery_accepted, stats.substitutions,
+            "{name}: accepted != substitutions"
+        );
+    }
+}
+
+/// Option resolution: signature discovery needs the sim filter — with it
+/// disabled the engine falls back to overlap; `Auto` stays on overlap
+/// below the node threshold. The resolved value is what `SubstStats`
+/// reports, so a caller can always see what actually ran.
+#[test]
+fn discovery_resolution_is_reported_in_stats() {
+    let base = random_network(11, &GeneratorParams::default());
+    let cases = [
+        (SubstOptions::basic(), Discovery::Overlap),
+        (
+            SubstOptions::basic().with_discovery(Discovery::Signature),
+            Discovery::Signature,
+        ),
+        (
+            SubstOptions::basic()
+                .with_discovery(Discovery::Signature)
+                .with_sim(SimConfig::disabled()),
+            Discovery::Overlap,
+        ),
+        (
+            // 24-node default generator is far below the auto threshold.
+            SubstOptions::basic().with_discovery(Discovery::Auto),
+            Discovery::Overlap,
+        ),
+    ];
+    for (i, (opts, expect)) in cases.into_iter().enumerate() {
+        let mut net = base.clone();
+        let stats = Session::new(&mut net, opts).run();
+        assert_eq!(stats.discovery, expect, "case {i}");
+    }
+}
+
+/// The JSONL trace meta line carries the resolved discovery label, for
+/// both strategies (satellite of the `trace_validate` meta lint).
+#[test]
+fn trace_meta_records_discovery() {
+    let base = random_network(11, &GeneratorParams::default());
+    for (discovery, want) in [
+        (Discovery::Overlap, "\"discovery\": \"overlap\""),
+        (Discovery::Signature, "\"discovery\": \"signature\""),
+    ] {
+        let mut net = base.clone();
+        let mut tracer = Tracer::new("basic");
+        Session::new(&mut net, SubstOptions::basic().with_discovery(discovery))
+            .tracer(&mut tracer)
+            .run();
+        let jsonl = jsonl_string(&tracer);
+        let meta = jsonl.lines().next().expect("meta line");
+        assert!(
+            meta.contains(want),
+            "{discovery:?}: meta line {meta} lacks {want}"
+        );
+    }
+}

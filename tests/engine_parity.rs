@@ -288,6 +288,66 @@ fn generous_deadline_changes_nothing() {
     }
 }
 
+/// The redesigned discovery seam must leave the default path untouched:
+/// an explicit `Discovery::Overlap` selection is bit-identical to the
+/// legacy sweep for every configuration, at 1 and 4 worker threads, and
+/// the proposal-funnel counters are thread-count independent.
+#[test]
+fn overlap_discovery_is_pinned_bit_identical() {
+    use boolsubst::core::Discovery;
+    for seed in [11u64, 47] {
+        let base = random_network(seed, &GeneratorParams::default());
+        for (name, opts) in modes() {
+            let mut legacy_net = base.clone();
+            let legacy = boolean_substitute_legacy(&mut legacy_net, &opts);
+            let mut single: Option<(usize, usize, usize)> = None;
+            for threads in [1usize, 4] {
+                let opts = opts
+                    .clone()
+                    .with_discovery(Discovery::Overlap)
+                    .with_threads(threads);
+                let mut net = base.clone();
+                let stats = Session::new(&mut net, opts).run();
+                assert_eq!(
+                    stats.discovery,
+                    Discovery::Overlap,
+                    "seed {seed} {name} t{threads}: resolved discovery"
+                );
+                assert_eq!(
+                    write_blif(&net),
+                    write_blif(&legacy_net),
+                    "seed {seed} {name} t{threads}: rewrites diverged from legacy"
+                );
+                assert_eq!(
+                    stats.substitutions, legacy.substitutions,
+                    "seed {seed} {name} t{threads}: substitutions"
+                );
+                assert_eq!(
+                    stats.literal_gain, legacy.literal_gain,
+                    "seed {seed} {name} t{threads}: literal gain"
+                );
+                let funnel = (
+                    stats.discovery_proposed,
+                    stats.discovery_proofs_run,
+                    stats.discovery_accepted,
+                );
+                assert!(funnel.0 > 0, "seed {seed} {name} t{threads}: empty funnel");
+                assert_eq!(
+                    stats.discovery_accepted, stats.substitutions,
+                    "seed {seed} {name} t{threads}: accepted != substitutions"
+                );
+                match single {
+                    None => single = Some(funnel),
+                    Some(expect) => assert_eq!(
+                        funnel, expect,
+                        "seed {seed} {name}: funnel counters depend on thread count"
+                    ),
+                }
+            }
+        }
+    }
+}
+
 /// Attaching a tracer must be pure observation: the traced engine run
 /// produces a bit-identical network and identical work counters compared
 /// to the untraced run (only the `*_nanos` wall-clock fields may differ).
